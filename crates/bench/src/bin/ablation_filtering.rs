@@ -1,0 +1,36 @@
+//! Ablation: the Block Filtering ratio (§7 workflow step 3 fixes 0.8).
+//!
+//! Sweeps the retained-blocks ratio and reports final recall plus
+//! `AUC*@10` for PPS — showing the recall/efficiency trade-off behind the
+//! paper's default.
+
+use sper_bench::{dataset, paper_config, run_on};
+use sper_blocking::TokenBlockingWorkflow;
+use sper_core::ProgressiveMethod;
+use sper_datagen::DatasetKind;
+use sper_eval::report::{f3, Table};
+
+fn main() {
+    println!("== Ablation: Block Filtering ratio (PPS, dbpedia twin) ==\n");
+    let data = dataset(DatasetKind::Dbpedia);
+    let mut table = Table::new([
+        "filter ratio", "AUC*@1", "AUC*@10", "final recall", "emissions",
+    ]);
+    for ratio in [0.4, 0.6, 0.8, 1.0] {
+        let mut config = paper_config(DatasetKind::Dbpedia);
+        config.workflow = TokenBlockingWorkflow {
+            purge_ratio: 0.1,
+            filter_ratio: ratio,
+        };
+        let result = run_on(ProgressiveMethod::Pps, &data, &config, 15.0);
+        table.add_row([
+            format!("{ratio:.1}"),
+            f3(result.auc(1.0)),
+            f3(result.auc(10.0)),
+            f3(result.curve.final_recall()),
+            result.curve.emissions().to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper default: 0.8 (retain each profile in 80% of its smallest blocks)");
+}

@@ -1,0 +1,44 @@
+//! Ablation: weighting schemes for the equality-based methods.
+//!
+//! The paper fixes ARCS (§7 workflow step 4) but the Blocking Graph accepts
+//! "all other weighting functions \[12\], \[20\]". This binary sweeps
+//! ARCS / CBS / JS / ECBS through PBS and PPS on one structured and one RDF
+//! twin, reporting `AUC*@{1,5,10}` — the design-choice ablation called out
+//! in DESIGN.md §5.
+
+use sper_bench::{dataset, paper_config, run_on};
+use sper_blocking::WeightingScheme;
+use sper_core::ProgressiveMethod;
+use sper_datagen::DatasetKind;
+use sper_eval::report::{f3, Table};
+
+fn main() {
+    println!("== Ablation: meta-blocking weighting schemes (PBS & PPS) ==\n");
+    for kind in [DatasetKind::Restaurant, DatasetKind::Freebase] {
+        let data = dataset(kind);
+        println!(
+            "-- {} (|P| = {}, |DP| = {}) --",
+            kind,
+            data.profiles.len(),
+            data.truth.num_matches()
+        );
+        let mut table = Table::new([
+            "method", "scheme", "AUC*@1", "AUC*@5", "AUC*@10",
+        ]);
+        for method in [ProgressiveMethod::Pbs, ProgressiveMethod::Pps] {
+            for scheme in WeightingScheme::ALL {
+                let mut config = paper_config(kind);
+                config.scheme = scheme;
+                let result = run_on(method, &data, &config, 15.0);
+                table.add_row([
+                    method.name().to_string(),
+                    scheme.name().to_string(),
+                    f3(result.auc(1.0)),
+                    f3(result.auc(5.0)),
+                    f3(result.auc(10.0)),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,25 @@
+//! Exports the Fig. 9 / Fig. 11 recall curves as CSV (one row per method ×
+//! dataset × ec\* sample) for external plotting.
+//!
+//! ```text
+//! cargo run -p sper-bench --release --bin export_curves > curves.csv
+//! ```
+
+use sper_bench::{dataset, methods_for, paper_config, run_on};
+use sper_datagen::DatasetKind;
+
+fn main() {
+    // Dense ec* grid for smooth plots.
+    let grid: Vec<f64> = (1..=60).map(|i| i as f64 * 0.5).collect();
+    println!("dataset,method,ec_star,recall");
+    for kind in DatasetKind::ALL {
+        let data = dataset(kind);
+        let config = paper_config(kind);
+        for method in methods_for(kind) {
+            let result = run_on(method, &data, &config, 30.0);
+            for (ec, recall) in result.curve.sample(&grid) {
+                println!("{},{},{ec},{recall:.6}", kind.name(), method.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Extension experiment: progressive ER with a perfect transitive oracle
+//! (the crowdsourced setting of §2).
+//!
+//! For each method on the cora twin (large equivalence clusters → maximal
+//! transitivity leverage), reports how many oracle queries full recall
+//! needs, how many positives were saved by deduction, and the AUC of the
+//! recall-per-query curve.
+
+use sper_bench::{dataset, paper_config};
+use sper_core::{build_method, ProgressiveMethod};
+use sper_datagen::DatasetKind;
+use sper_eval::oracle::run_with_oracle;
+use sper_eval::report::{f3, Table};
+
+fn main() {
+    println!("== Extension: transitive-oracle progressive ER (cora twin) ==\n");
+    let data = dataset(DatasetKind::Cora);
+    let config = paper_config(DatasetKind::Cora);
+    let total = data.truth.num_matches();
+    println!(
+        "|P| = {}, |DP| = {} (clusters up to 30 profiles)\n",
+        data.profiles.len(),
+        total
+    );
+
+    let mut table = Table::new([
+        "method",
+        "queries",
+        "positives",
+        "deduced pairs",
+        "recall",
+        "AUC*@1 (per query)",
+    ]);
+    for method in [
+        ProgressiveMethod::SaPsn,
+        ProgressiveMethod::LsPsn,
+        ProgressiveMethod::GsPsn,
+        ProgressiveMethod::Pbs,
+        ProgressiveMethod::Pps,
+    ] {
+        let m = build_method(method, &data.profiles, &config, data.schema_keys.as_deref());
+        let budget = (total as u64) * 30;
+        let result = run_with_oracle(m, &data.truth, data.profiles.len(), budget);
+        table.add_row([
+            method.name().to_string(),
+            result.queries.to_string(),
+            result.positive_queries.to_string(),
+            (result.curve.matches_found() as u64 - result.positive_queries).to_string(),
+            f3(result.curve.final_recall()),
+            f3(sper_eval::normalized_auc(&result.curve, 1.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "a cluster of k duplicates needs only k−1 positive answers for its\n\
+         k(k−1)/2 pairs — the oracle setting the paper's methods deliberately\n\
+         do not assume (§2), quantified here on top of them."
+    );
+}

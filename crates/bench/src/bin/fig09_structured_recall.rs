@@ -1,0 +1,36 @@
+//! Figure 9: recall progressiveness over the four structured datasets.
+//!
+//! Prints, per dataset, one row per method with recall sampled at the
+//! paper's `ec*` grid (the paper plots `ec* ∈ \[0, 30\]` with a focus on
+//! `\[0, 10\]`).
+
+use sper_bench::{dataset, methods_for, paper_config, run_on, EC_GRID};
+use sper_datagen::DatasetKind;
+use sper_eval::report::{f3, Table};
+
+fn main() {
+    println!("== Figure 9: recall progressiveness, structured datasets ==\n");
+    for kind in DatasetKind::STRUCTURED {
+        let data = dataset(kind);
+        let config = paper_config(kind);
+        println!(
+            "-- {} (|P| = {}, |DP| = {}) --",
+            kind,
+            data.profiles.len(),
+            data.truth.num_matches()
+        );
+        let mut table = Table::new(
+            std::iter::once("method".to_string())
+                .chain(EC_GRID.iter().map(|e| format!("ec*={e}"))),
+        );
+        for method in methods_for(kind) {
+            let result = run_on(method, &data, &config, *EC_GRID.last().unwrap());
+            let mut row = vec![method.name().to_string()];
+            for &(_, recall) in &result.curve.sample(&EC_GRID) {
+                row.push(f3(recall));
+            }
+            table.add_row(row);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 10: mean normalized area under the recall curve (`AUC*_m@ec*`)
+//! across the four structured datasets, at `ec* ∈ {1, 5, 10, 20}`.
+//!
+//! The paper's headline: LS-PSN and GS-PSN are the top performers, with
+//! `AUC*@1` three times PSN's and PBS's.
+
+use sper_bench::{dataset, methods_for, paper_config, run_on};
+use sper_core::ProgressiveMethod;
+use sper_datagen::DatasetKind;
+use sper_eval::auc::PAPER_EC_STARS;
+use sper_eval::report::{f3, Table};
+use std::collections::HashMap;
+
+fn main() {
+    println!("== Figure 10: mean AUC*@ec*, structured datasets ==\n");
+    // method -> per-dataset AUC at each checkpoint
+    let mut scores: HashMap<ProgressiveMethod, Vec<[f64; 4]>> = HashMap::new();
+    for kind in DatasetKind::STRUCTURED {
+        let data = dataset(kind);
+        let config = paper_config(kind);
+        for method in methods_for(kind) {
+            let result = run_on(method, &data, &config, 25.0);
+            let mut aucs = [0.0; 4];
+            for (i, &ec) in PAPER_EC_STARS.iter().enumerate() {
+                aucs[i] = result.auc(ec);
+            }
+            scores.entry(method).or_default().push(aucs);
+        }
+    }
+
+    let mut table = Table::new(["method", "AUC*@1", "AUC*@5", "AUC*@10", "AUC*@20"]);
+    let order = [
+        ProgressiveMethod::Psn,
+        ProgressiveMethod::SaPsn,
+        ProgressiveMethod::SaPsab,
+        ProgressiveMethod::LsPsn,
+        ProgressiveMethod::GsPsn,
+        ProgressiveMethod::Pbs,
+        ProgressiveMethod::Pps,
+    ];
+    for method in order {
+        let Some(per_dataset) = scores.get(&method) else { continue };
+        let n = per_dataset.len() as f64;
+        let mut row = vec![method.name().to_string()];
+        for i in 0..4 {
+            let mean = per_dataset.iter().map(|a| a[i]).sum::<f64>() / n;
+            row.push(f3(mean));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+}

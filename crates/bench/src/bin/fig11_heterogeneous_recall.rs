@@ -1,0 +1,38 @@
+//! Figure 11: recall progressiveness over the large, heterogeneous
+//! datasets (movies, dbpedia, freebase).
+//!
+//! Schema-based PSN is inapplicable (no usable schema keys); SA-PSAB runs
+//! only on movies — its suffix forest does not scale to the RDF twins,
+//! exactly as reported in §7.2.
+
+use sper_bench::{dataset, methods_for, paper_config, run_on, EC_GRID};
+use sper_datagen::DatasetKind;
+use sper_eval::report::{f3, Table};
+
+fn main() {
+    println!("== Figure 11: recall progressiveness, heterogeneous datasets ==\n");
+    for kind in DatasetKind::HETEROGENEOUS {
+        let data = dataset(kind);
+        let config = paper_config(kind);
+        println!(
+            "-- {} (|P1| = {}, |P2| = {}, |DP| = {}) --",
+            kind,
+            data.profiles.len_first(),
+            data.profiles.len_second(),
+            data.truth.num_matches()
+        );
+        let mut table = Table::new(
+            std::iter::once("method".to_string())
+                .chain(EC_GRID.iter().map(|e| format!("ec*={e}"))),
+        );
+        for method in methods_for(kind) {
+            let result = run_on(method, &data, &config, *EC_GRID.last().unwrap());
+            let mut row = vec![method.name().to_string()];
+            for &(_, recall) in &result.curve.sample(&EC_GRID) {
+                row.push(f3(recall));
+            }
+            table.add_row(row);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,57 @@
+//! Figure 12: mean normalized AUC across the heterogeneous datasets at
+//! `ec* ∈ {1, 5, 10, 20}` — the paper's verdict that PPS is the best
+//! performer over large, heterogeneous data.
+//!
+//! SA-PSAB is averaged over movies only (it does not scale to the RDF
+//! twins, §7.2) and flagged with `*`.
+
+use sper_bench::{dataset, methods_for, paper_config, run_on};
+use sper_core::ProgressiveMethod;
+use sper_datagen::DatasetKind;
+use sper_eval::auc::PAPER_EC_STARS;
+use sper_eval::report::{f3, Table};
+use std::collections::HashMap;
+
+fn main() {
+    println!("== Figure 12: mean AUC*@ec*, heterogeneous datasets ==\n");
+    let mut scores: HashMap<ProgressiveMethod, Vec<[f64; 4]>> = HashMap::new();
+    for kind in DatasetKind::HETEROGENEOUS {
+        let data = dataset(kind);
+        let config = paper_config(kind);
+        for method in methods_for(kind) {
+            let result = run_on(method, &data, &config, 25.0);
+            let mut aucs = [0.0; 4];
+            for (i, &ec) in PAPER_EC_STARS.iter().enumerate() {
+                aucs[i] = result.auc(ec);
+            }
+            scores.entry(method).or_default().push(aucs);
+        }
+    }
+
+    let mut table = Table::new(["method", "#ds", "AUC*@1", "AUC*@5", "AUC*@10", "AUC*@20"]);
+    let order = [
+        ProgressiveMethod::SaPsn,
+        ProgressiveMethod::SaPsab,
+        ProgressiveMethod::LsPsn,
+        ProgressiveMethod::GsPsn,
+        ProgressiveMethod::Pbs,
+        ProgressiveMethod::Pps,
+    ];
+    for method in order {
+        let Some(per_dataset) = scores.get(&method) else { continue };
+        let n = per_dataset.len() as f64;
+        let name = if per_dataset.len() < 3 {
+            format!("{}*", method.name())
+        } else {
+            method.name().to_string()
+        };
+        let mut row = vec![name, per_dataset.len().to_string()];
+        for i in 0..4 {
+            let mean = per_dataset.iter().map(|a| a[i]).sum::<f64>() / n;
+            row.push(f3(mean));
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.render());
+    println!("* averaged over movies only (SA-PSAB does not scale to the RDF twins)");
+}

@@ -1,0 +1,27 @@
+//! Table 2: the dataset characteristics of the seven twins at their
+//! reference sizes (`scale = 1.0`; the heterogeneous twins' scale 1.0 is a
+//! laptop-sized downscaling of the paper's millions — see DESIGN.md §2).
+
+use sper_datagen::{DatasetKind, DatasetSpec};
+
+fn main() {
+    println!("== Table 2: dataset characteristics (synthetic twins) ==\n");
+    println!(
+        "{:<11} {:>13} {:>7} {:>9} {:>7}",
+        "dataset", "|P|", "#attr", "|DP|", "|p̄|"
+    );
+    println!("{}", "-".repeat(52));
+    for kind in DatasetKind::ALL {
+        let data = DatasetSpec::paper(kind).generate();
+        println!("{}", data.table2_row());
+    }
+    println!();
+    println!("paper reference:");
+    println!("  census      841        5     344    4.65   (twin: scale 1.0 = paper)");
+    println!("  restaurant  864        5     112    5.00   (twin: scale 1.0 = paper)");
+    println!("  cora        1.3k       12    17k    5.53   (twin: scale 1.0 = paper)");
+    println!("  cddb        9.8k       106   300    18.75  (twin: scale 1.0 = paper)");
+    println!("  movies      28k—23k    4—7   23k    7.11   (twin: scale 1.0 = paper)");
+    println!("  dbpedia     1.2M—2.2M  30—50k 893k  15.47  (twin: 1:100 downscale)");
+    println!("  freebase    4.2M—3.7M  37—11k 1.5M  24.54  (twin: 1:200 downscale)");
+}

@@ -1,0 +1,306 @@
+//! Blocks and block collections (§3 notation: `|b|`, `‖b‖`, `|B|`, `‖B‖`).
+
+use sper_model::{ErKind, Pair, ProfileId, SourceId};
+
+/// Identifier of a block inside a [`BlockCollection`]. After block
+/// scheduling (sorting by cardinality), the id equals the processing
+/// position — the property the LeCoBI condition relies on (§5.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A block: the set of profiles indexed under one blocking key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The blocking key (attribute-value token, suffix, …).
+    pub key: String,
+    /// Member profiles, sorted ascending by id.
+    profiles: Vec<ProfileId>,
+    /// How many members belong to `SourceId::FIRST` (needed for the
+    /// Clean-clean cardinality `|b ∩ P1| · |b ∩ P2|`). The members are
+    /// stored with all `P1` profiles before all `P2` profiles.
+    n_first: u32,
+}
+
+impl Block {
+    /// Builds a block from `(profile, source)` members. Members are
+    /// deduplicated and sorted with `P1` profiles first, each group in
+    /// ascending id order.
+    pub fn new(key: impl Into<String>, members: Vec<(ProfileId, SourceId)>) -> Self {
+        let mut firsts: Vec<ProfileId> = Vec::new();
+        let mut seconds: Vec<ProfileId> = Vec::new();
+        for (p, s) in members {
+            if s == SourceId::FIRST {
+                firsts.push(p);
+            } else {
+                seconds.push(p);
+            }
+        }
+        firsts.sort_unstable();
+        firsts.dedup();
+        seconds.sort_unstable();
+        seconds.dedup();
+        let n_first = firsts.len() as u32;
+        firsts.extend(seconds);
+        Self {
+            key: key.into(),
+            profiles: firsts,
+            n_first,
+        }
+    }
+
+    /// Builds a Dirty-ER block (all members from the single source).
+    pub fn new_dirty(key: impl Into<String>, mut members: Vec<ProfileId>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        let n_first = members.len() as u32;
+        Self {
+            key: key.into(),
+            profiles: members,
+            n_first,
+        }
+    }
+
+    /// Block size `|b|`: the number of profiles it contains.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Members, `P1` profiles first.
+    #[inline]
+    pub fn profiles(&self) -> &[ProfileId] {
+        &self.profiles
+    }
+
+    /// Members belonging to `P1`.
+    pub fn first_source(&self) -> &[ProfileId] {
+        &self.profiles[..self.n_first as usize]
+    }
+
+    /// Members belonging to `P2` (empty in Dirty ER).
+    pub fn second_source(&self) -> &[ProfileId] {
+        &self.profiles[self.n_first as usize..]
+    }
+
+    /// Block cardinality `‖b‖`: the number of comparisons the block yields —
+    /// `C(|b|, 2)` for Dirty ER, `|b∩P1|·|b∩P2|` for Clean-clean ER
+    /// (comparisons are only meaningful across sources).
+    pub fn cardinality(&self, kind: ErKind) -> u64 {
+        match kind {
+            ErKind::Dirty => {
+                let n = self.profiles.len() as u64;
+                n * n.saturating_sub(1) / 2
+            }
+            ErKind::CleanClean => {
+                let n1 = u64::from(self.n_first);
+                let n2 = self.profiles.len() as u64 - n1;
+                n1 * n2
+            }
+        }
+    }
+
+    /// Iterates the block's valid comparisons: all unordered pairs for
+    /// Dirty ER, cross-source pairs for Clean-clean ER.
+    pub fn comparisons(&self, kind: ErKind) -> Vec<Pair> {
+        let mut out = Vec::with_capacity(self.cardinality(kind) as usize);
+        match kind {
+            ErKind::Dirty => {
+                for (i, &a) in self.profiles.iter().enumerate() {
+                    for &b in &self.profiles[i + 1..] {
+                        out.push(Pair::new(a, b));
+                    }
+                }
+            }
+            ErKind::CleanClean => {
+                for &a in self.first_source() {
+                    for &b in self.second_source() {
+                        out.push(Pair::new(a, b));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A set of blocks together with the task kind and profile count.
+#[derive(Debug, Clone)]
+pub struct BlockCollection {
+    kind: ErKind,
+    n_profiles: usize,
+    blocks: Vec<Block>,
+}
+
+impl BlockCollection {
+    /// Wraps raw blocks.
+    pub fn new(kind: ErKind, n_profiles: usize, blocks: Vec<Block>) -> Self {
+        Self {
+            kind,
+            n_profiles,
+            blocks,
+        }
+    }
+
+    /// The task kind the blocks were built for.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Number of profiles in the underlying collection.
+    pub fn n_profiles(&self) -> usize {
+        self.n_profiles
+    }
+
+    /// `|B|`: the number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The block with the given id.
+    pub fn get(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates the blocks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// Consumes the collection, returning the blocks.
+    pub fn into_blocks(self) -> Vec<Block> {
+        self.blocks
+    }
+
+    /// `‖B‖`: the aggregate cardinality (total comparisons, with repeats
+    /// across blocks counted multiply).
+    pub fn total_comparisons(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.cardinality(self.kind))
+            .sum()
+    }
+
+    /// Average block size `|b̄|`.
+    pub fn avg_block_size(&self) -> f64 {
+        if self.blocks.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.blocks.iter().map(Block::size).sum();
+        total as f64 / self.blocks.len() as f64
+    }
+
+    /// Sorts blocks in non-decreasing cardinality — Block Scheduling
+    /// (§5.2.1, Algorithm 3 line 2). Ties keep their previous relative
+    /// order so results stay deterministic.
+    pub fn sort_by_cardinality(&mut self) {
+        let kind = self.kind;
+        self.blocks.sort_by_key(|b| b.cardinality(kind));
+    }
+
+    /// Drops blocks that yield no valid comparison (singletons; single-
+    /// source blocks in Clean-clean ER).
+    pub fn retain_comparable(&mut self) {
+        let kind = self.kind;
+        self.blocks.retain(|b| b.cardinality(kind) > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn dirty_cardinality_is_binomial() {
+        // Fig. 3b: |b_tailor| = 4 → ‖b_tailor‖ = C(4,2) = 6.
+        let b = Block::new_dirty("tailor", vec![pid(0), pid(1), pid(2), pid(5)]);
+        assert_eq!(b.size(), 4);
+        assert_eq!(b.cardinality(ErKind::Dirty), 6);
+        assert_eq!(b.comparisons(ErKind::Dirty).len(), 6);
+    }
+
+    #[test]
+    fn clean_clean_cardinality_is_cross_product() {
+        let b = Block::new(
+            "white",
+            vec![
+                (pid(0), SourceId::FIRST),
+                (pid(1), SourceId::FIRST),
+                (pid(7), SourceId::SECOND),
+            ],
+        );
+        assert_eq!(b.cardinality(ErKind::CleanClean), 2);
+        let cmps = b.comparisons(ErKind::CleanClean);
+        assert_eq!(cmps.len(), 2);
+        assert!(cmps.contains(&Pair::new(pid(0), pid(7))));
+        assert!(cmps.contains(&Pair::new(pid(1), pid(7))));
+    }
+
+    #[test]
+    fn members_deduplicated_and_sorted() {
+        let b = Block::new_dirty("k", vec![pid(3), pid(1), pid(3)]);
+        assert_eq!(b.profiles(), &[pid(1), pid(3)]);
+    }
+
+    #[test]
+    fn single_source_block_yields_nothing_in_clean_clean() {
+        let b = Block::new(
+            "k",
+            vec![(pid(0), SourceId::FIRST), (pid(1), SourceId::FIRST)],
+        );
+        assert_eq!(b.cardinality(ErKind::CleanClean), 0);
+        assert!(b.comparisons(ErKind::CleanClean).is_empty());
+    }
+
+    #[test]
+    fn collection_stats() {
+        let blocks = vec![
+            Block::new_dirty("a", vec![pid(0), pid(1)]),
+            Block::new_dirty("b", vec![pid(0), pid(1), pid(2)]),
+        ];
+        let coll = BlockCollection::new(ErKind::Dirty, 3, blocks);
+        assert_eq!(coll.len(), 2);
+        assert_eq!(coll.total_comparisons(), 1 + 3);
+        assert!((coll.avg_block_size() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scheduling_sorts_by_cardinality() {
+        let blocks = vec![
+            Block::new_dirty("big", vec![pid(0), pid(1), pid(2), pid(3)]),
+            Block::new_dirty("small", vec![pid(0), pid(1)]),
+        ];
+        let mut coll = BlockCollection::new(ErKind::Dirty, 4, blocks);
+        coll.sort_by_cardinality();
+        assert_eq!(coll.get(BlockId(0)).key, "small");
+        assert_eq!(coll.get(BlockId(1)).key, "big");
+    }
+
+    #[test]
+    fn retain_comparable_drops_empty() {
+        let blocks = vec![
+            Block::new_dirty("single", vec![pid(0)]),
+            Block::new_dirty("pair", vec![pid(0), pid(1)]),
+        ];
+        let mut coll = BlockCollection::new(ErKind::Dirty, 2, blocks);
+        coll.retain_comparable();
+        assert_eq!(coll.len(), 1);
+        assert_eq!(coll.get(BlockId(0)).key, "pair");
+    }
+}

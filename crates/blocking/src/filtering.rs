@@ -1,0 +1,185 @@
+//! Block Filtering (§7 workflow step 3, \[12\]).
+//!
+//! Retains every profile in a fraction (paper default 80 %) of its most
+//! important — i.e., smallest-cardinality — blocks, then rebuilds the block
+//! collection. This cheaply removes the least informative co-occurrences
+//! before the blocking graph is formed.
+
+use crate::block::{Block, BlockCollection};
+use sper_model::{ProfileId, SourceId};
+
+/// Block Filtering operator.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockFilter {
+    ratio: f64,
+}
+
+impl BlockFilter {
+    /// Creates a filter keeping each profile in `round(ratio · |B_i|)` of
+    /// its smallest blocks (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio ≤ 1`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        Self { ratio }
+    }
+
+    /// The paper's default (0.8).
+    pub fn paper_default() -> Self {
+        Self::new(0.8)
+    }
+
+    /// Number of blocks a profile contained in `n_blocks` blocks keeps.
+    pub fn keep_count(&self, n_blocks: usize) -> usize {
+        if n_blocks == 0 {
+            return 0;
+        }
+        (((self.ratio * n_blocks as f64).round()) as usize).clamp(1, n_blocks)
+    }
+
+    /// Applies filtering and rebuilds the collection (dropping blocks that
+    /// no longer yield valid comparisons).
+    pub fn filter(&self, blocks: BlockCollection) -> BlockCollection {
+        let kind = blocks.kind();
+        let n_profiles = blocks.n_profiles();
+
+        // Rank blocks by cardinality ascending; rank index = importance.
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        let cards: Vec<u64> = blocks.iter().map(|b| b.cardinality(kind)).collect();
+        order.sort_by_key(|&i| cards[i]);
+        let mut rank = vec![0u32; blocks.len()];
+        for (r, &i) in order.iter().enumerate() {
+            rank[i] = r as u32;
+        }
+
+        // Per profile: list of (rank, block index) memberships.
+        let mut memberships: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_profiles];
+        for (bi, b) in blocks.iter().enumerate() {
+            for &p in b.profiles() {
+                memberships[p.index()].push((rank[bi], bi as u32));
+            }
+        }
+
+        // Decide which (profile, block) memberships survive.
+        let mut keep: Vec<Vec<ProfileId>> = vec![Vec::new(); blocks.len()];
+        for (p, mem) in memberships.iter_mut().enumerate() {
+            mem.sort_unstable();
+            let k = self.keep_count(mem.len());
+            for &(_, bi) in mem.iter().take(k) {
+                keep[bi as usize].push(ProfileId(p as u32));
+            }
+        }
+
+        // Rebuild blocks preserving source partitioning.
+        let old: Vec<Block> = blocks.into_blocks();
+        let mut rebuilt = Vec::with_capacity(old.len());
+        for (bi, b) in old.iter().enumerate() {
+            let members = &keep[bi];
+            if members.len() < 2 {
+                continue;
+            }
+            let with_sources: Vec<(ProfileId, SourceId)> = members
+                .iter()
+                .map(|&p| {
+                    let src = if b.first_source().binary_search(&p).is_ok() {
+                        SourceId::FIRST
+                    } else {
+                        SourceId::SECOND
+                    };
+                    (p, src)
+                })
+                .collect();
+            let nb = Block::new(b.key.clone(), with_sources);
+            if nb.cardinality(kind) > 0 {
+                rebuilt.push(nb);
+            }
+        }
+        BlockCollection::new(kind, n_profiles, rebuilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::{ErKind, ProfileId};
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn keep_count_rounding() {
+        let f = BlockFilter::paper_default();
+        assert_eq!(f.keep_count(0), 0);
+        assert_eq!(f.keep_count(1), 1);
+        assert_eq!(f.keep_count(5), 4);
+        assert_eq!(f.keep_count(10), 8);
+        assert_eq!(BlockFilter::new(1.0).keep_count(7), 7);
+    }
+
+    #[test]
+    fn drops_profile_from_largest_blocks() {
+        // p0 is in 5 blocks; with ratio 0.8 it keeps the 4 smallest, so it
+        // must leave the biggest block ("huge").
+        let mut blocks = vec![
+            Block::new_dirty("huge", (0..6).map(pid).collect()),
+            Block::new_dirty("b1", vec![pid(0), pid(1)]),
+            Block::new_dirty("b2", vec![pid(0), pid(2)]),
+            Block::new_dirty("b3", vec![pid(0), pid(3)]),
+            Block::new_dirty("b4", vec![pid(0), pid(4)]),
+        ];
+        // Give the other profiles enough memberships that they also keep
+        // their small blocks.
+        blocks.push(Block::new_dirty("b5", vec![pid(1), pid(2)]));
+        let coll = BlockCollection::new(ErKind::Dirty, 6, blocks);
+        let filtered = BlockFilter::paper_default().filter(coll);
+        // The block may also have degenerated and been dropped entirely.
+        if let Some(b) = filtered.iter().find(|b| b.key == "huge") {
+            assert!(!b.profiles().contains(&pid(0)));
+        }
+        // The small blocks survive intact.
+        assert!(filtered.iter().any(|b| b.key == "b1"));
+    }
+
+    #[test]
+    fn single_membership_always_kept() {
+        let blocks = vec![Block::new_dirty("only", vec![pid(0), pid(1)])];
+        let coll = BlockCollection::new(ErKind::Dirty, 2, blocks);
+        let filtered = BlockFilter::paper_default().filter(coll);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.get(crate::BlockId(0)).size(), 2);
+    }
+
+    #[test]
+    fn clean_clean_sources_preserved() {
+        let blocks = vec![Block::new(
+            "k",
+            vec![
+                (pid(0), SourceId::FIRST),
+                (pid(5), SourceId::SECOND),
+            ],
+        )];
+        let coll = BlockCollection::new(ErKind::CleanClean, 6, blocks);
+        let filtered = BlockFilter::paper_default().filter(coll);
+        assert_eq!(filtered.len(), 1);
+        let b = filtered.get(crate::BlockId(0));
+        assert_eq!(b.first_source(), &[pid(0)]);
+        assert_eq!(b.second_source(), &[pid(5)]);
+        assert_eq!(b.cardinality(ErKind::CleanClean), 1);
+    }
+
+    #[test]
+    fn filtering_never_increases_comparisons() {
+        let blocks = vec![
+            Block::new_dirty("a", (0..5).map(pid).collect()),
+            Block::new_dirty("b", (2..8).map(pid).collect()),
+            Block::new_dirty("c", vec![pid(0), pid(7)]),
+        ];
+        let coll = BlockCollection::new(ErKind::Dirty, 8, blocks);
+        let before = coll.total_comparisons();
+        let filtered = BlockFilter::paper_default().filter(coll);
+        assert!(filtered.total_comparisons() <= before);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reusable fixtures encoding the paper's running example (Fig. 3).
+//!
+//! Exposed publicly (not just under `cfg(test)`) so that downstream crates,
+//! examples and doctests can exercise the exact worked example of the paper.
+
+use sper_model::{ProfileCollection, ProfileCollectionBuilder};
+
+/// The running example of Fig. 3(a): six profiles extracted from a data
+/// lake with a variety of formats — relational (p1, p4), RDF (p2, p3) and
+/// free text (p5, p6). The true matches are p1≡p2≡p3 and p4≡p5.
+///
+/// Our ids are 0-based, so the paper's `p1..p6` are `ProfileId(0..=5)`.
+///
+/// ```
+/// use sper_blocking::fixtures::fig3_profiles;
+/// let profiles = fig3_profiles();
+/// assert_eq!(profiles.len(), 6);
+/// ```
+pub fn fig3_profiles() -> ProfileCollection {
+    let mut b = ProfileCollectionBuilder::dirty();
+    // p1: relational
+    b.add_profile([
+        ("Name", "Carl"),
+        ("Surname", "White"),
+        ("City", "NY"),
+        ("Profession", "Tailor"),
+    ]);
+    // p2: RDF
+    b.add_profile([(":livesIn", "NY"), (":n", "Carl_White"), (":workAs", "Tailor")]);
+    // p3: RDF
+    b.add_profile([(":loc", "NY"), (":n", "Karl_White"), (":job", "Tailor")]);
+    // p4: relational
+    b.add_profile([
+        ("Name", "Ellen"),
+        ("Surname", "White"),
+        ("City", "ML"),
+        ("Profession", "Teacher"),
+    ]);
+    // p5: free text
+    b.add_profile([("text", "Hellen White, ML teacher")]);
+    // p6: free text
+    b.add_profile([("text", "Emma White, WI Tailor")]);
+    b.build()
+}
+
+/// The ground truth of Fig. 3(a): `{p1, p2, p3}` and `{p4, p5}`.
+pub fn fig3_ground_truth() -> sper_model::GroundTruth {
+    use sper_model::ProfileId;
+    sper_model::GroundTruth::from_clusters(
+        6,
+        &[
+            vec![ProfileId(0), ProfileId(1), ProfileId(2)],
+            vec![ProfileId(3), ProfileId(4)],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_shape() {
+        let p = fig3_profiles();
+        assert_eq!(p.len(), 6);
+        let gt = fig3_ground_truth();
+        assert_eq!(gt.num_matches(), 4); // C(3,2) + C(2,2)
+    }
+}

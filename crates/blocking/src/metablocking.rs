@@ -1,0 +1,217 @@
+//! Batch Meta-blocking (§3.2, \[12\], \[20\]): restructure a redundancy-positive
+//! block collection into a new one with similar recall but far higher
+//! precision by pruning low-weight blocking-graph edges.
+//!
+//! The paper's progressive methods *replace* this batch pruning with on-line
+//! ordering; the batch algorithms are implemented here because (a) they are
+//! the substrate the equality-based methods generalize, and (b) they give
+//! the Batch-ER baseline that the *Improved Early Quality* requirement
+//! (§3.1) is defined against.
+//!
+//! Implemented pruning schemes (the standard meta-blocking family):
+//!
+//! * **WEP** — Weighted Edge Pruning: keep edges above the global mean
+//!   weight.
+//! * **CEP** — Cardinality Edge Pruning: keep the globally top-`K` edges,
+//!   `K = Σ|b|/2` by convention.
+//! * **WNP** — Weighted Node Pruning: per node, keep edges above the local
+//!   mean; an edge survives if either endpoint keeps it (redefined-WNP).
+//! * **CNP** — Cardinality Node Pruning: per node, keep the top-`k` edges,
+//!   `k = Σ|b|/|P|` by convention.
+
+use crate::graph::BlockingGraph;
+use sper_model::Pair;
+
+/// Which meta-blocking pruning algorithm to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruningScheme {
+    /// Weighted Edge Pruning: global mean-weight threshold.
+    Wep,
+    /// Cardinality Edge Pruning: global top-`K` edges.
+    Cep {
+        /// Number of edges to keep.
+        k: usize,
+    },
+    /// Weighted Node Pruning: per-node mean threshold, union semantics.
+    Wnp,
+    /// Cardinality Node Pruning: per-node top-`k`, union semantics.
+    Cnp {
+        /// Edges kept per node.
+        k: usize,
+    },
+}
+
+impl PruningScheme {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PruningScheme::Wep => "WEP",
+            PruningScheme::Cep { .. } => "CEP",
+            PruningScheme::Wnp => "WNP",
+            PruningScheme::Cnp { .. } => "CNP",
+        }
+    }
+}
+
+/// Applies `scheme` to the blocking graph, returning the retained
+/// comparisons sorted by non-increasing weight (ties by pair id).
+pub fn prune(graph: &BlockingGraph, scheme: PruningScheme) -> Vec<(Pair, f64)> {
+    let mut kept: Vec<(Pair, f64)> = match scheme {
+        PruningScheme::Wep => {
+            let n = graph.num_edges();
+            if n == 0 {
+                return Vec::new();
+            }
+            let mean: f64 = graph.edges().map(|(_, w)| w).sum::<f64>() / n as f64;
+            graph.edges().filter(|&(_, w)| w >= mean).collect()
+        }
+        PruningScheme::Cep { k } => {
+            let mut edges: Vec<(Pair, f64)> = graph.edges().collect();
+            edges.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            edges.truncate(k);
+            edges
+        }
+        PruningScheme::Wnp => {
+            let mut keep: std::collections::HashSet<Pair> = std::collections::HashSet::new();
+            for node in 0..graph.num_nodes() {
+                let node = sper_model::ProfileId(node as u32);
+                let neighborhood: Vec<(sper_model::ProfileId, f64)> =
+                    graph.neighbors(node).collect();
+                if neighborhood.is_empty() {
+                    continue;
+                }
+                let mean: f64 = neighborhood.iter().map(|&(_, w)| w).sum::<f64>()
+                    / neighborhood.len() as f64;
+                for (other, w) in neighborhood {
+                    if w >= mean {
+                        keep.insert(Pair::new(node, other));
+                    }
+                }
+            }
+            graph.edges().filter(|(p, _)| keep.contains(p)).collect()
+        }
+        PruningScheme::Cnp { k } => {
+            let mut keep: std::collections::HashSet<Pair> = std::collections::HashSet::new();
+            for node in 0..graph.num_nodes() {
+                let node = sper_model::ProfileId(node as u32);
+                let mut neighborhood: Vec<(sper_model::ProfileId, f64)> =
+                    graph.neighbors(node).collect();
+                neighborhood.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                for (other, _) in neighborhood.into_iter().take(k) {
+                    keep.insert(Pair::new(node, other));
+                }
+            }
+            graph.edges().filter(|(p, _)| keep.contains(p)).collect()
+        }
+    };
+    kept.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{fig3_ground_truth, fig3_profiles};
+    use crate::token_blocking::TokenBlocking;
+    use crate::weights::WeightingScheme;
+
+    fn fig3_graph() -> BlockingGraph {
+        let mut blocks = TokenBlocking::default().build(&fig3_profiles());
+        blocks.sort_by_cardinality();
+        BlockingGraph::build(&blocks, WeightingScheme::Arcs)
+    }
+
+    #[test]
+    fn wep_keeps_above_mean() {
+        let g = fig3_graph();
+        let kept = prune(&g, PruningScheme::Wep);
+        let mean: f64 = g.edges().map(|(_, w)| w).sum::<f64>() / g.num_edges() as f64;
+        assert!(!kept.is_empty() && kept.len() < g.num_edges());
+        assert!(kept.iter().all(|&(_, w)| w >= mean));
+        // All true matches survive WEP on Fig. 3 (their weights dominate).
+        let truth = fig3_ground_truth();
+        let surviving_matches = kept
+            .iter()
+            .filter(|(p, _)| truth.is_match_pair(*p))
+            .count();
+        assert_eq!(surviving_matches, 4);
+    }
+
+    #[test]
+    fn cep_keeps_exactly_k() {
+        let g = fig3_graph();
+        let kept = prune(&g, PruningScheme::Cep { k: 3 });
+        assert_eq!(kept.len(), 3);
+        // The three strongest edges of Fig. 3(c): c45, c12, then one of the
+        // 0.57 edges.
+        assert!(kept[0].1 > kept[1].1 && kept[1].1 > kept[2].1 - 1e-12);
+    }
+
+    #[test]
+    fn wnp_union_semantics() {
+        let g = fig3_graph();
+        let kept = prune(&g, PruningScheme::Wnp);
+        // Node pruning retains at least the strongest edge per node.
+        for node in 0..g.num_nodes() as u32 {
+            let node = sper_model::ProfileId(node);
+            if g.degree(node) == 0 {
+                continue;
+            }
+            let best = g
+                .neighbors(node)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            let best_pair = Pair::new(node, best.0);
+            assert!(
+                kept.iter().any(|(p, _)| *p == best_pair),
+                "node {node:?}'s best edge pruned"
+            );
+        }
+    }
+
+    #[test]
+    fn cnp_bounds_retained_set() {
+        let g = fig3_graph();
+        let kept = prune(&g, PruningScheme::Cnp { k: 1 });
+        // ≤ one retained edge per node (union over nodes).
+        assert!(kept.len() <= g.num_nodes());
+        assert!(!kept.is_empty());
+    }
+
+    #[test]
+    fn output_sorted_descending() {
+        let g = fig3_graph();
+        for scheme in [
+            PruningScheme::Wep,
+            PruningScheme::Cep { k: 10 },
+            PruningScheme::Wnp,
+            PruningScheme::Cnp { k: 2 },
+        ] {
+            let kept = prune(&g, scheme);
+            assert!(
+                kept.windows(2).all(|w| w[0].1 >= w[1].1),
+                "{} output not sorted",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BlockingGraph::from_edges(4, Vec::new());
+        assert!(prune(&g, PruningScheme::Wep).is_empty());
+        assert!(prune(&g, PruningScheme::Cep { k: 5 }).is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! The schema-agnostic Neighbor List and Position Index (§3.2, §5.1).
+//!
+//! The Neighbor List is the sorted list of profiles produced by ordering all
+//! schema-agnostic blocking keys (attribute-value tokens) alphabetically;
+//! every profile typically occupies multiple positions, one per distinct
+//! token (Fig. 3(d)–(e)).
+//!
+//! When several profiles share a key, their relative order inside the run is
+//! *coincidental proximity* (§4.1) — "relatively random". We model this with
+//! a seeded shuffle of every equal-key run, keeping experiments
+//! deterministic while avoiding the systematic bias that insertion order
+//! (generation order ≈ duplicate adjacency) would introduce.
+//!
+//! The Position Index is the inverted index from profile ids to Neighbor
+//! List positions that powers the weighted similarity-based methods
+//! (LS-PSN/GS-PSN, §5.1.1): `PI[i]` lists the positions of `p_i`, ascending.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sper_model::{ProfileCollection, ProfileId};
+use sper_text::Tokenizer;
+
+/// Inverted index: profile id → ascending Neighbor List positions.
+#[derive(Debug, Clone)]
+pub struct PositionIndex {
+    positions: Vec<Vec<u32>>,
+}
+
+impl PositionIndex {
+    fn build(nl: &[ProfileId], n_profiles: usize) -> Self {
+        let mut positions: Vec<Vec<u32>> = vec![Vec::new(); n_profiles];
+        for (pos, &p) in nl.iter().enumerate() {
+            positions[p.index()].push(pos as u32);
+        }
+        Self { positions }
+    }
+
+    /// The positions of profile `p`, ascending. Empty when the profile has
+    /// no tokens.
+    #[inline]
+    pub fn positions_of(&self, p: ProfileId) -> &[u32] {
+        &self.positions[p.index()]
+    }
+
+    /// Number of placements of `p` (its distinct-token count).
+    #[inline]
+    pub fn num_positions(&self, p: ProfileId) -> usize {
+        self.positions[p.index()].len()
+    }
+
+    /// Number of profiles indexed.
+    pub fn n_profiles(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+/// The schema-agnostic Neighbor List plus its Position Index.
+#[derive(Debug, Clone)]
+pub struct NeighborList {
+    nl: Vec<ProfileId>,
+    position_index: PositionIndex,
+    /// Blocking key per position; retained only when built with
+    /// [`NeighborList::build_with_keys`] (costly on large datasets).
+    keys: Option<Vec<String>>,
+}
+
+impl NeighborList {
+    /// Builds the Neighbor List for `profiles` with the default tokenizer.
+    /// Equal-key runs are shuffled with `seed` (coincidental proximity).
+    pub fn build(profiles: &ProfileCollection, seed: u64) -> Self {
+        Self::build_inner(profiles, seed, false)
+    }
+
+    /// Like [`Self::build`] but also retains the blocking key of every
+    /// position, for inspection and tests.
+    pub fn build_with_keys(profiles: &ProfileCollection, seed: u64) -> Self {
+        Self::build_inner(profiles, seed, true)
+    }
+
+    fn build_inner(profiles: &ProfileCollection, seed: u64, keep_keys: bool) -> Self {
+        let tokenizer = Tokenizer::default();
+        // (token, profile) placements: one per *distinct* token per profile.
+        let mut placements: Vec<(String, ProfileId)> = Vec::new();
+        for p in profiles.iter() {
+            let mut toks = p.tokens(&tokenizer);
+            toks.sort_unstable();
+            toks.dedup();
+            for t in toks {
+                placements.push((t, p.id));
+            }
+        }
+        placements.sort_by(|a, b| a.0.cmp(&b.0));
+
+        // Shuffle every equal-key run: coincidental proximity.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut start = 0;
+        while start < placements.len() {
+            let mut end = start + 1;
+            while end < placements.len() && placements[end].0 == placements[start].0 {
+                end += 1;
+            }
+            if end - start > 1 {
+                placements[start..end].shuffle(&mut rng);
+            }
+            start = end;
+        }
+
+        let nl: Vec<ProfileId> = placements.iter().map(|(_, p)| *p).collect();
+        let position_index = PositionIndex::build(&nl, profiles.len());
+        let keys = keep_keys.then(|| placements.into_iter().map(|(k, _)| k).collect());
+        Self {
+            nl,
+            position_index,
+            keys,
+        }
+    }
+
+    /// Length of the list (total placements, `|p̄|·|P|` on average).
+    pub fn len(&self) -> usize {
+        self.nl.len()
+    }
+
+    /// True when no profile produced any token.
+    pub fn is_empty(&self) -> bool {
+        self.nl.is_empty()
+    }
+
+    /// The profile at `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn profile_at(&self, position: usize) -> ProfileId {
+        self.nl[position]
+    }
+
+    /// The profile at a possibly-out-of-range position (window probes walk
+    /// off both ends).
+    #[inline]
+    pub fn get(&self, position: isize) -> Option<ProfileId> {
+        if position < 0 {
+            return None;
+        }
+        self.nl.get(position as usize).copied()
+    }
+
+    /// The underlying list.
+    pub fn as_slice(&self) -> &[ProfileId] {
+        &self.nl
+    }
+
+    /// The Position Index.
+    pub fn position_index(&self) -> &PositionIndex {
+        &self.position_index
+    }
+
+    /// The blocking key at `position`, when keys were retained.
+    pub fn key_at(&self, position: usize) -> Option<&str> {
+        self.keys.as_ref().map(|k| k[position].as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig3_profiles;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn fig3_neighbor_list_shape() {
+        let profiles = fig3_profiles();
+        let nl = NeighborList::build_with_keys(&profiles, 7);
+        // Fig. 3(d): 11 distinct keys; Fig. 3(e): 24 placements.
+        assert_eq!(nl.len(), 24);
+        // Keys are sorted alphabetically.
+        let keys: Vec<&str> = (0..nl.len()).map(|i| nl.key_at(i).unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        // The first run is "carl" = {p1, p2} in some order.
+        let mut first_two = vec![nl.profile_at(0), nl.profile_at(1)];
+        first_two.sort_unstable();
+        assert_eq!(first_two, vec![pid(0), pid(1)]);
+        // The last placement before "wi" is the 6-profile "white" run.
+        assert_eq!(nl.key_at(23), Some("wi"));
+        let mut white_run: Vec<ProfileId> = (17..23).map(|i| nl.profile_at(i)).collect();
+        white_run.sort_unstable();
+        assert_eq!(white_run, (0..6).map(pid).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn position_index_inverts_neighbor_list() {
+        let profiles = fig3_profiles();
+        let nl = NeighborList::build(&profiles, 3);
+        let pi = nl.position_index();
+        for p in 0..6 {
+            let p = pid(p);
+            for &pos in pi.positions_of(p) {
+                assert_eq!(nl.profile_at(pos as usize), p);
+            }
+            // Ascending.
+            assert!(pi
+                .positions_of(p)
+                .windows(2)
+                .all(|w| w[0] < w[1]));
+        }
+        // Every position is owned by exactly one profile.
+        let total: usize = (0..6).map(|i| pi.num_positions(pid(i))).sum();
+        assert_eq!(total, nl.len());
+    }
+
+    #[test]
+    fn placements_equal_distinct_tokens() {
+        let profiles = fig3_profiles();
+        let nl = NeighborList::build(&profiles, 3);
+        let pi = nl.position_index();
+        // p1 (our p0): carl, white, ny, tailor → 4 placements.
+        assert_eq!(pi.num_positions(pid(0)), 4);
+        // p6 (our p5): emma, white, wi, tailor → 4 placements.
+        assert_eq!(pi.num_positions(pid(5)), 4);
+        // p2 (our p1): ny, carl, white, tailor → 4 placements.
+        assert_eq!(pi.num_positions(pid(1)), 4);
+    }
+
+    #[test]
+    fn different_seeds_permute_ties_only() {
+        let profiles = fig3_profiles();
+        let a = NeighborList::build_with_keys(&profiles, 1);
+        let b = NeighborList::build_with_keys(&profiles, 2);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            // Same key sequence regardless of seed.
+            assert_eq!(a.key_at(i), b.key_at(i));
+        }
+        // Same multiset of (key, profile) placements.
+        let collect = |nl: &NeighborList| {
+            let mut v: Vec<(String, ProfileId)> = (0..nl.len())
+                .map(|i| (nl.key_at(i).unwrap().to_string(), nl.profile_at(i)))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(collect(&a), collect(&b));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let profiles = fig3_profiles();
+        let a = NeighborList::build(&profiles, 9);
+        let b = NeighborList::build(&profiles, 9);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn out_of_range_probes() {
+        let profiles = fig3_profiles();
+        let nl = NeighborList::build(&profiles, 0);
+        assert_eq!(nl.get(-1), None);
+        assert_eq!(nl.get(nl.len() as isize), None);
+        assert!(nl.get(0).is_some());
+    }
+
+    #[test]
+    fn keys_not_retained_by_default() {
+        let profiles = fig3_profiles();
+        let nl = NeighborList::build(&profiles, 0);
+        assert_eq!(nl.key_at(0), None);
+    }
+}

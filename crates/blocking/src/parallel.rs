@@ -1,0 +1,244 @@
+//! Shared-memory parallelization of the blocking substrates — the paper's
+//! future-work direction (§8: "massive parallelization of our approach
+//! based on existing methods for parallelizing Sorted Neighborhood \[31,32\]
+//! and Meta-blocking \[33\]"), realized here as a MapReduce-shaped
+//! multi-threaded implementation on crossbeam scoped threads.
+//!
+//! Both entry points are *observationally identical* to their sequential
+//! counterparts (property-tested below): parallelism changes wall-clock
+//! time, never results.
+
+use crate::block::{Block, BlockCollection};
+use crate::graph::BlockingGraph;
+use crate::profile_index::ProfileIndex;
+use crate::weights::WeightingScheme;
+use sper_model::{Pair, ProfileCollection, ProfileId, SourceId};
+use sper_text::Tokenizer;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+fn shard_of(token: &str, shards: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    token.hash(&mut h);
+    (h.finish() as usize) % shards
+}
+
+/// Parallel Token Blocking: the *map* phase tokenizes disjoint profile
+/// ranges and partitions `(token, profile)` emissions by token hash; the
+/// *reduce* phase builds each shard's blocks independently. Produces the
+/// exact same [`BlockCollection`] as
+/// [`TokenBlocking`](crate::token_blocking::TokenBlocking) (blocks sorted
+/// by key).
+///
+/// # Panics
+///
+/// Panics when `threads == 0`.
+pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> BlockCollection {
+    assert!(threads > 0, "need at least one thread");
+    let n = profiles.len();
+    if n == 0 {
+        return BlockCollection::new(profiles.kind(), 0, Vec::new());
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let all: &[sper_model::Profile] = profiles.profiles();
+
+    // Map phase: per-worker, per-shard emission buffers.
+    let mut emissions: Vec<Vec<Vec<(String, ProfileId, SourceId)>>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = all
+            .chunks(chunk)
+            .map(|profiles_chunk| {
+                scope.spawn(move |_| {
+                    let tokenizer = Tokenizer::default();
+                    let mut shards: Vec<Vec<(String, ProfileId, SourceId)>> =
+                        vec![Vec::new(); threads];
+                    let mut tokens: Vec<String> = Vec::new();
+                    for p in profiles_chunk {
+                        tokens.clear();
+                        for attr in &p.attributes {
+                            tokenizer.tokenize_into(&attr.value, &mut tokens);
+                        }
+                        tokens.sort_unstable();
+                        tokens.dedup();
+                        for tok in tokens.drain(..) {
+                            let s = shard_of(&tok, threads);
+                            shards[s].push((tok, p.id, p.source));
+                        }
+                    }
+                    shards
+                })
+            })
+            .collect();
+        emissions = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    })
+    .expect("map phase panicked");
+
+    // Reduce phase: shard s merges the s-th buffer of every worker.
+    let mut shard_blocks: Vec<Vec<Block>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let emissions = &emissions;
+        let kind = profiles.kind();
+        let handles: Vec<_> = (0..threads)
+            .map(|s| {
+                scope.spawn(move |_| {
+                    let mut index: HashMap<&str, Vec<(ProfileId, SourceId)>> = HashMap::new();
+                    for worker in emissions {
+                        for (tok, pid, src) in &worker[s] {
+                            index.entry(tok.as_str()).or_default().push((*pid, *src));
+                        }
+                    }
+                    let mut blocks: Vec<Block> = index
+                        .into_iter()
+                        .map(|(key, members)| Block::new(key, members))
+                        .filter(|b| b.cardinality(kind) > 0)
+                        .collect();
+                    blocks.sort_by(|a, b| a.key.cmp(&b.key));
+                    blocks
+                })
+            })
+            .collect();
+        shard_blocks = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    })
+    .expect("reduce phase panicked");
+
+    let mut blocks: Vec<Block> = shard_blocks.into_iter().flatten().collect();
+    blocks.sort_by(|a, b| a.key.cmp(&b.key));
+    BlockCollection::new(profiles.kind(), n, blocks)
+}
+
+/// Parallel Meta-blocking edge weighting: materializes the blocking graph
+/// with the distinct-pair discovery done sequentially (cheap) and the
+/// weight computation — the dominant cost — fanned out over `threads`.
+/// Identical to [`BlockingGraph::build`].
+///
+/// # Panics
+///
+/// Panics when `threads == 0`.
+pub fn parallel_blocking_graph(
+    blocks: &BlockCollection,
+    scheme: WeightingScheme,
+    threads: usize,
+) -> BlockingGraph {
+    assert!(threads > 0, "need at least one thread");
+    let index = ProfileIndex::build(blocks);
+    let kind = blocks.kind();
+
+    // Discover distinct pairs (deterministic order).
+    let mut seen: std::collections::HashSet<Pair> = std::collections::HashSet::new();
+    let mut pairs: Vec<Pair> = Vec::new();
+    for block in blocks.iter() {
+        for pair in block.comparisons(kind) {
+            if seen.insert(pair) {
+                pairs.push(pair);
+            }
+        }
+    }
+
+    // Weight in parallel chunks.
+    let chunk = pairs.len().div_ceil(threads).max(1);
+    let mut weights: Vec<Vec<f64>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let index = &index;
+        let handles: Vec<_> = pairs
+            .chunks(chunk)
+            .map(|chunk_pairs| {
+                scope.spawn(move |_| {
+                    chunk_pairs
+                        .iter()
+                        .map(|p| index.weight(p.first, p.second, scheme))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        weights = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    })
+    .expect("weighting phase panicked");
+
+    let weighted: Vec<(Pair, f64)> = pairs
+        .into_iter()
+        .zip(weights.into_iter().flatten())
+        .collect();
+    BlockingGraph::from_edges(blocks.n_profiles(), weighted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig3_profiles;
+    use crate::token_blocking::TokenBlocking;
+    use sper_model::ProfileCollectionBuilder;
+
+    fn medium_collection() -> ProfileCollection {
+        // Deterministic mid-sized dirty collection with duplicates.
+        let mut b = ProfileCollectionBuilder::dirty();
+        for i in 0..300u32 {
+            let base = i % 120; // thirds are duplicates
+            b.add_profile([
+                ("name", format!("alpha{} beta{}", base, base % 17)),
+                ("city", format!("city{}", base % 9)),
+            ]);
+        }
+        b.build()
+    }
+
+    fn keys_and_sizes(blocks: &BlockCollection) -> Vec<(String, Vec<ProfileId>)> {
+        blocks
+            .iter()
+            .map(|b| (b.key.clone(), b.profiles().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_blocking_equals_sequential() {
+        let coll = medium_collection();
+        let sequential = TokenBlocking::default().build(&coll);
+        for threads in [1, 2, 4, 7] {
+            let parallel = parallel_token_blocking(&coll, threads);
+            assert_eq!(
+                keys_and_sizes(&parallel),
+                keys_and_sizes(&sequential),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_blocking_on_fig3() {
+        let coll = fig3_profiles();
+        let parallel = parallel_token_blocking(&coll, 3);
+        let mut keys: Vec<_> = parallel.iter().map(|b| b.key.as_str()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["carl", "ml", "ny", "tailor", "teacher", "white"]);
+    }
+
+    #[test]
+    fn parallel_graph_equals_sequential() {
+        let coll = medium_collection();
+        let mut blocks = TokenBlocking::default().build(&coll);
+        blocks.sort_by_cardinality();
+        let sequential = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
+        let parallel = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, 4);
+        assert_eq!(parallel.num_edges(), sequential.num_edges());
+        for (pair, w) in sequential.edges() {
+            let pw = parallel
+                .weight_of(pair.first, pair.second)
+                .expect("edge missing in parallel graph");
+            assert!((pw - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let coll = ProfileCollectionBuilder::dirty().build();
+        let blocks = parallel_token_blocking(&coll, 4);
+        assert!(blocks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        parallel_token_blocking(&fig3_profiles(), 0);
+    }
+}

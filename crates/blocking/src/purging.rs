@@ -1,0 +1,97 @@
+//! Block Purging (§7 workflow step 2, \[12\]).
+//!
+//! Discards over-large blocks that correspond to stop words: any block whose
+//! size exceeds `ratio · |P|` (paper default 10 %) carries so little
+//! discriminative information that its comparisons are mostly noise. For
+//! RDF data this is what removes the URI-prefix blocks (`http`, `org`, …).
+
+use crate::block::BlockCollection;
+
+/// Block Purging operator.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockPurger {
+    ratio: f64,
+}
+
+impl BlockPurger {
+    /// Creates a purger keeping only blocks with `size ≤ ratio · |P|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < ratio ≤ 1`.
+    pub fn new(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        Self { ratio }
+    }
+
+    /// The paper's default (0.1).
+    pub fn paper_default() -> Self {
+        Self::new(0.1)
+    }
+
+    /// The size threshold for a collection of `n_profiles` profiles.
+    /// Always at least 2, so tiny collections are not purged to nothing.
+    pub fn max_block_size(&self, n_profiles: usize) -> usize {
+        ((self.ratio * n_profiles as f64).floor() as usize).max(2)
+    }
+
+    /// Applies purging, preserving block order.
+    pub fn purge(&self, blocks: BlockCollection) -> BlockCollection {
+        let kind = blocks.kind();
+        let n = blocks.n_profiles();
+        let max = self.max_block_size(n);
+        let kept: Vec<_> = blocks
+            .into_blocks()
+            .into_iter()
+            .filter(|b| b.size() <= max)
+            .collect();
+        BlockCollection::new(kind, n, kept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Block;
+    use sper_model::{ErKind, ProfileId};
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn purges_stop_word_blocks() {
+        // 20 profiles; ratio 0.1 → threshold max(2, 2) = 2.
+        let blocks = vec![
+            Block::new_dirty("rare", vec![pid(0), pid(1)]),
+            Block::new_dirty("the", (0..15).map(pid).collect()),
+        ];
+        let coll = BlockCollection::new(ErKind::Dirty, 20, blocks);
+        let purged = BlockPurger::paper_default().purge(coll);
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged.get(crate::BlockId(0)).key, "rare");
+    }
+
+    #[test]
+    fn threshold_floor_is_two() {
+        // With 5 profiles and ratio 0.1, 0.5 floors to 0 — but pairs must
+        // survive, so the effective threshold is 2.
+        let p = BlockPurger::paper_default();
+        assert_eq!(p.max_block_size(5), 2);
+        assert_eq!(p.max_block_size(1000), 100);
+    }
+
+    #[test]
+    fn ratio_one_keeps_everything() {
+        let blocks = vec![Block::new_dirty("k", (0..10).map(pid).collect())];
+        let coll = BlockCollection::new(ErKind::Dirty, 10, blocks);
+        let purged = BlockPurger::new(1.0).purge(coll);
+        assert_eq!(purged.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_panics() {
+        BlockPurger::new(0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Schema-agnostic Standard Blocking, a.k.a. Token Blocking (§3, \[7\], \[18\]).
+//!
+//! Creates one block per distinct attribute-value token that stems from at
+//! least two profiles (Dirty ER) or from both sources (Clean-clean ER) —
+//! disregarding attribute names entirely, which is what makes the approach
+//! schema-agnostic.
+
+use crate::block::{Block, BlockCollection};
+use sper_model::{ProfileCollection, ProfileId, SourceId};
+use sper_text::{Tokenizer, TokenizerConfig};
+use std::collections::HashMap;
+
+/// Token Blocking builder.
+#[derive(Debug, Clone, Default)]
+pub struct TokenBlocking {
+    tokenizer: Tokenizer,
+}
+
+impl TokenBlocking {
+    /// Uses a custom tokenizer configuration.
+    pub fn with_config(config: TokenizerConfig) -> Self {
+        Self {
+            tokenizer: Tokenizer::new(config),
+        }
+    }
+
+    /// Builds the block collection for `profiles`.
+    ///
+    /// Blocks that cannot yield a valid comparison are dropped: singleton
+    /// blocks in Dirty ER, single-source blocks in Clean-clean ER.
+    pub fn build(&self, profiles: &ProfileCollection) -> BlockCollection {
+        let mut index: HashMap<String, Vec<(ProfileId, SourceId)>> = HashMap::new();
+        let mut tokens: Vec<String> = Vec::new();
+        for p in profiles.iter() {
+            tokens.clear();
+            for attr in &p.attributes {
+                self.tokenizer.tokenize_into(&attr.value, &mut tokens);
+            }
+            // A profile enters each token block once, regardless of how many
+            // attributes repeat the token.
+            tokens.sort_unstable();
+            tokens.dedup();
+            for tok in &tokens {
+                index
+                    .entry(tok.clone())
+                    .or_default()
+                    .push((p.id, p.source));
+            }
+        }
+
+        let kind = profiles.kind();
+        let mut blocks: Vec<Block> = index
+            .into_iter()
+            .map(|(key, members)| Block::new(key, members))
+            .filter(|b| b.cardinality(kind) > 0)
+            .collect();
+        // HashMap iteration order is unspecified; fix a deterministic order.
+        blocks.sort_by(|a, b| a.key.cmp(&b.key));
+        BlockCollection::new(kind, profiles.len(), blocks)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use sper_model::ProfileCollectionBuilder;
+
+    pub(crate) use crate::fixtures::fig3_profiles;
+
+    #[test]
+    fn fig3_token_blocks() {
+        let coll = fig3_profiles();
+        let blocks = TokenBlocking::default().build(&coll);
+        let find = |key: &str| {
+            blocks
+                .iter()
+                .find(|b| b.key == key)
+                .unwrap_or_else(|| panic!("missing block {key}"))
+        };
+        // Fig. 3(b): carl → {p1,p2}; ny → {p1,p2,p3}; tailor → {p1,p2,p3,p6};
+        // ml → {p4,p5}; teacher → {p4,p5}; white → all six.
+        assert_eq!(find("carl").size(), 2);
+        assert_eq!(find("ny").size(), 3);
+        assert_eq!(find("tailor").size(), 4);
+        assert_eq!(find("ml").size(), 2);
+        assert_eq!(find("teacher").size(), 2);
+        assert_eq!(find("white").size(), 6);
+        // Singleton tokens (carl_white, ellen, emma, hellen, karl_white,
+        // wi) are dropped; exactly the six blocks of Fig. 3(b) remain.
+        let mut keys: Vec<_> = blocks.iter().map(|b| b.key.as_str()).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec!["carl", "ml", "ny", "tailor", "teacher", "white"]);
+    }
+
+    #[test]
+    fn profile_enters_block_once() {
+        let mut b = ProfileCollectionBuilder::dirty();
+        b.add_profile([("a", "white white white")]);
+        b.add_profile([("b", "white")]);
+        let blocks = TokenBlocking::default().build(&b.build());
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks.get(crate::BlockId(0)).size(), 2);
+    }
+
+    #[test]
+    fn clean_clean_requires_both_sources() {
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        b.add_profile([("n", "alpha shared")]);
+        b.add_profile([("n", "alpha other")]);
+        b.start_second_source();
+        b.add_profile([("n", "shared thing")]);
+        let coll = b.build();
+        let blocks = TokenBlocking::default().build(&coll);
+        // "alpha" appears only in P1 → no block; "shared" spans sources.
+        assert!(!blocks.iter().any(|b| b.key == "alpha"));
+        assert!(blocks.iter().any(|b| b.key == "shared"));
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let coll = fig3_profiles();
+        let b1 = TokenBlocking::default().build(&coll);
+        let b2 = TokenBlocking::default().build(&coll);
+        let keys1: Vec<_> = b1.iter().map(|b| b.key.clone()).collect();
+        let keys2: Vec<_> = b2.iter().map(|b| b.key.clone()).collect();
+        assert_eq!(keys1, keys2);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let coll = ProfileCollectionBuilder::dirty().build();
+        let blocks = TokenBlocking::default().build(&coll);
+        assert!(blocks.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! The Comparison List (§5): a batch of comparisons sorted in non-increasing
+//! matching likelihood, consumed from the front during the emission phase
+//! and refilled by the owning method when it runs dry.
+
+use crate::Comparison;
+
+/// A drainable list of comparisons kept in non-increasing weight order.
+///
+/// Refill–sort–drain is the shared emission machinery of all advanced
+/// methods (LS-PSN, GS-PSN, PBS, PPS). Draining is O(1) per emission: the
+/// list is sorted once per refill and consumed via a cursor.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonList {
+    items: Vec<Comparison>,
+    cursor: usize,
+}
+
+impl ComparisonList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no comparison is left to emit.
+    pub fn is_empty(&self) -> bool {
+        self.cursor >= self.items.len()
+    }
+
+    /// Number of comparisons left to emit.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.cursor
+    }
+
+    /// Adds a comparison to the pending batch (call [`Self::sort_descending`]
+    /// before draining).
+    pub fn push(&mut self, c: Comparison) {
+        self.items.push(c);
+    }
+
+    /// Replaces the contents with `batch`, resetting the cursor. The batch
+    /// is sorted in non-increasing weight (ties broken by pair id so that
+    /// emission order is fully deterministic).
+    pub fn refill(&mut self, batch: Vec<Comparison>) {
+        self.items = batch;
+        self.cursor = 0;
+        self.sort_descending();
+    }
+
+    /// Sorts the pending comparisons in non-increasing weight, ties by pair.
+    pub fn sort_descending(&mut self) {
+        self.items[self.cursor..].sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.pair.cmp(&b.pair))
+        });
+    }
+
+    /// Removes and returns the best remaining comparison.
+    pub fn remove_first(&mut self) -> Option<Comparison> {
+        if self.is_empty() {
+            // Release memory of fully drained batches.
+            if !self.items.is_empty() {
+                self.items.clear();
+                self.cursor = 0;
+            }
+            return None;
+        }
+        let c = self.items[self.cursor];
+        self.cursor += 1;
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::{Pair, ProfileId};
+
+    fn cmp(a: u32, b: u32, w: f64) -> Comparison {
+        Comparison::new(Pair::new(ProfileId(a), ProfileId(b)), w)
+    }
+
+    #[test]
+    fn drains_in_descending_weight() {
+        let mut list = ComparisonList::new();
+        list.refill(vec![cmp(0, 1, 0.2), cmp(2, 3, 0.9), cmp(4, 5, 0.5)]);
+        let weights: Vec<f64> = std::iter::from_fn(|| list.remove_first())
+            .map(|c| c.weight)
+            .collect();
+        assert_eq!(weights, vec![0.9, 0.5, 0.2]);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn ties_broken_by_pair_id() {
+        let mut list = ComparisonList::new();
+        list.refill(vec![cmp(4, 5, 1.0), cmp(0, 1, 1.0), cmp(2, 3, 1.0)]);
+        let pairs: Vec<Pair> = std::iter::from_fn(|| list.remove_first())
+            .map(|c| c.pair)
+            .collect();
+        assert_eq!(
+            pairs,
+            vec![
+                Pair::new(ProfileId(0), ProfileId(1)),
+                Pair::new(ProfileId(2), ProfileId(3)),
+                Pair::new(ProfileId(4), ProfileId(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn refill_resets_cursor() {
+        let mut list = ComparisonList::new();
+        list.refill(vec![cmp(0, 1, 1.0)]);
+        assert!(list.remove_first().is_some());
+        assert!(list.remove_first().is_none());
+        list.refill(vec![cmp(2, 3, 0.5)]);
+        assert_eq!(list.remaining(), 1);
+        assert_eq!(list.remove_first().unwrap().weight, 0.5);
+    }
+
+    #[test]
+    fn push_then_sort() {
+        let mut list = ComparisonList::new();
+        list.push(cmp(0, 1, 0.1));
+        list.push(cmp(0, 2, 0.7));
+        list.sort_descending();
+        assert_eq!(list.remove_first().unwrap().weight, 0.7);
+    }
+
+    #[test]
+    fn nan_weights_do_not_panic() {
+        let mut list = ComparisonList::new();
+        list.refill(vec![cmp(0, 1, f64::NAN), cmp(2, 3, 1.0)]);
+        // Order with NaN is unspecified but draining must be total.
+        assert_eq!(
+            std::iter::from_fn(|| list.remove_first()).count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Progressive Block Scheduling (PBS), §5.2.1, Algorithms 3–4.
+//!
+//! The block-centric equality-based method:
+//!
+//! 1. build a redundancy-positive block collection (Token Blocking
+//!    Workflow);
+//! 2. **Block Scheduling** — sort blocks by non-decreasing cardinality
+//!    (small = distinctive = likely to contain duplicates, `w(b) = 1/‖b‖`);
+//! 3. process one block at a time: discard repeated comparisons with the
+//!    **LeCoBI** condition, weight the new ones from the Blocking Graph via
+//!    the Profile Index, and emit them in non-increasing weight.
+
+use crate::emitter::ComparisonList;
+use crate::{Comparison, ProgressiveEr};
+use sper_blocking::{
+    BlockCollection, BlockId, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
+};
+use sper_model::ProfileCollection;
+
+/// The advanced equality-based method with block-level scheduling.
+#[derive(Debug)]
+pub struct Pbs {
+    blocks: BlockCollection,
+    index: ProfileIndex,
+    scheme: WeightingScheme,
+    next_block: usize,
+    list: ComparisonList,
+}
+
+impl Pbs {
+    /// Initialization phase (Algorithm 3): runs the Token Blocking Workflow,
+    /// schedules the blocks and prepares the first block's comparisons.
+    pub fn new(profiles: &ProfileCollection, scheme: WeightingScheme) -> Self {
+        Self::with_workflow(profiles, scheme, &TokenBlockingWorkflow::default())
+    }
+
+    /// Like [`Self::new`] with an explicit blocking workflow configuration.
+    pub fn with_workflow(
+        profiles: &ProfileCollection,
+        scheme: WeightingScheme,
+        workflow: &TokenBlockingWorkflow,
+    ) -> Self {
+        Self::from_blocks(workflow.run(profiles), scheme)
+    }
+
+    /// Builds PBS from an existing redundancy-positive block collection
+    /// (any schema-agnostic blocking method works, §5.2).
+    pub fn from_blocks(mut blocks: BlockCollection, scheme: WeightingScheme) -> Self {
+        blocks.retain_comparable();
+        blocks.sort_by_cardinality(); // Block Scheduling
+        let index = ProfileIndex::build(&blocks);
+        let mut this = Self {
+            blocks,
+            index,
+            scheme,
+            next_block: 0,
+            list: ComparisonList::new(),
+        };
+        this.fill_next_block();
+        this
+    }
+
+    /// The scheduled block collection.
+    pub fn blocks(&self) -> &BlockCollection {
+        &self.blocks
+    }
+
+    /// Number of blocks processed so far.
+    pub fn blocks_processed(&self) -> usize {
+        self.next_block
+    }
+
+    /// Loads the next block's non-repeated comparisons into the Comparison
+    /// List (Algorithm 3 lines 4–12). Returns false when no block is left.
+    fn fill_next_block(&mut self) -> bool {
+        let kind = self.blocks.kind();
+        while self.next_block < self.blocks.len() {
+            let bid = BlockId(self.next_block as u32);
+            let block = self.blocks.get(bid);
+            let mut batch: Vec<Comparison> = Vec::new();
+            for pair in block.comparisons(kind) {
+                // LeCoBI: keep the comparison only in its least common block.
+                if self.index.is_new_comparison(pair.first, pair.second, bid) {
+                    let w = self.index.weight(pair.first, pair.second, self.scheme);
+                    batch.push(Comparison::new(pair, w));
+                }
+            }
+            self.next_block += 1;
+            if !batch.is_empty() {
+                self.list.refill(batch);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Iterator for Pbs {
+    type Item = Comparison;
+
+    /// Emission phase (Algorithm 4): next best comparison of the current
+    /// block, refilling from the next scheduled block when dry.
+    fn next(&mut self) -> Option<Comparison> {
+        loop {
+            if let Some(c) = self.list.remove_first() {
+                return Some(c);
+            }
+            if !self.fill_next_block() {
+                return None;
+            }
+        }
+    }
+}
+
+impl ProgressiveEr for Pbs {
+    fn method_name(&self) -> &'static str {
+        "PBS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_blocking::fixtures::{fig3_ground_truth, fig3_profiles};
+    use sper_blocking::TokenBlocking;
+    use sper_model::{Pair, ProfileCollectionBuilder, ProfileId};
+    use std::collections::HashSet;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    /// PBS over the raw Fig. 3(b) blocks (no purging/filtering), matching
+    /// Example 5 / Fig. 7.
+    fn fig3_pbs() -> Pbs {
+        let blocks = TokenBlocking::default().build(&fig3_profiles());
+        Pbs::from_blocks(blocks, WeightingScheme::Arcs)
+    }
+
+    #[test]
+    fn fig7_emission_order() {
+        // Fig. 7: the singleton-comparison blocks (carl, ml, teacher) come
+        // first; c12 and c45 are emitted once each (LeCoBI discards their
+        // repeats in later blocks), and both precede any non-matching pair.
+        let emissions: Vec<Comparison> = fig3_pbs().collect();
+        let pairs: Vec<Pair> = emissions.iter().map(|c| c.pair).collect();
+        let c12 = Pair::new(pid(0), pid(1));
+        let c45 = Pair::new(pid(3), pid(4));
+        let first_three: HashSet<Pair> = pairs[..3].iter().copied().collect();
+        assert!(first_three.contains(&c12), "c12 among first emissions");
+        assert!(first_three.contains(&c45), "c45 among first emissions");
+        // No repeats at all: LeCoBI is exact.
+        let distinct: HashSet<Pair> = pairs.iter().copied().collect();
+        assert_eq!(distinct.len(), pairs.len());
+        // Eventually all 15 co-occurring pairs are emitted exactly once.
+        assert_eq!(pairs.len(), 15);
+    }
+
+    #[test]
+    fn lecobi_example_from_paper() {
+        // Example 5: c45 satisfies LeCoBI in its first block (ml or teacher,
+        // whichever scheduled first) and is discarded afterwards.
+        let pairs: Vec<Pair> = fig3_pbs().map(|c| c.pair).collect();
+        let c45 = Pair::new(pid(3), pid(4));
+        assert_eq!(pairs.iter().filter(|&&p| p == c45).count(), 1);
+    }
+
+    #[test]
+    fn within_block_sorted_by_weight() {
+        // Drive PBS one block at a time: inside each block's batch the
+        // weights must drain in non-increasing order.
+        let mut pbs = fig3_pbs();
+        let mut current_block = pbs.blocks_processed();
+        let mut prev = f64::INFINITY;
+        while let Some(c) = pbs.next() {
+            if pbs.blocks_processed() != current_block {
+                current_block = pbs.blocks_processed();
+                prev = f64::INFINITY;
+            }
+            assert!(c.weight <= prev + 1e-12, "within-block order violated");
+            prev = c.weight;
+            // All pairs share ≥ 1 block → strictly positive ARCS weights.
+            assert!(c.weight > 0.0);
+        }
+    }
+
+    #[test]
+    fn matches_outrank_non_matches_early() {
+        let truth = fig3_ground_truth();
+        let first4: Vec<Pair> = fig3_pbs().take(4).map(|c| c.pair).collect();
+        let hits = first4.iter().filter(|p| truth.is_match_pair(**p)).count();
+        assert!(hits >= 2, "early emissions should be match-heavy: {first4:?}");
+    }
+
+    #[test]
+    fn full_workflow_constructor() {
+        let profiles = fig3_profiles();
+        let pbs = Pbs::new(&profiles, WeightingScheme::Arcs);
+        let total = pbs.count();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn clean_clean_cross_source() {
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        b.add_profile([("t", "acme corp ltd")]);
+        b.add_profile([("t", "zenith inc")]);
+        b.start_second_source();
+        b.add_profile([("t", "acme corporation ltd")]);
+        b.add_profile([("t", "zenith incorporated")]);
+        let coll = b.build();
+        let pbs = Pbs::new(&coll, WeightingScheme::Arcs);
+        for c in pbs {
+            assert!(coll.is_valid_comparison(c.pair.first, c.pair.second));
+        }
+    }
+
+    #[test]
+    fn empty_input_terminates() {
+        let coll = ProfileCollectionBuilder::dirty().build();
+        let mut pbs = Pbs::new(&coll, WeightingScheme::Arcs);
+        assert!(pbs.next().is_none());
+    }
+
+    #[test]
+    fn works_with_all_schemes() {
+        let profiles = fig3_profiles();
+        for scheme in WeightingScheme::ALL {
+            let blocks = TokenBlocking::default().build(&profiles);
+            let n = Pbs::from_blocks(blocks, scheme).count();
+            assert_eq!(n, 15, "scheme {scheme} must not change coverage");
+        }
+    }
+}

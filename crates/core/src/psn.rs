@@ -1,0 +1,204 @@
+//! Progressive Sorted Neighborhood (PSN) — the schema-based state of the
+//! art the paper compares against (§2, \[4\], \[5\]).
+//!
+//! Every profile is represented by a single **schema-based blocking key**
+//! (e.g. for census: Soundex of the surname + initials + zip code, footnote
+//! 6). Profiles are sorted alphabetically by key and comparisons are emitted
+//! through a sliding window of iteratively incremented size: first all pairs
+//! at distance 1, then distance 2, and so on (Fig. 4(a)).
+//!
+//! PSN requires domain expertise to choose the key — which is exactly the
+//! limitation the schema-agnostic methods remove.
+
+use crate::{Comparison, ProgressiveEr};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use sper_model::{Pair, ProfileCollection, ProfileId};
+
+/// The schema-based Progressive Sorted Neighborhood baseline.
+#[derive(Debug)]
+pub struct Psn<'a> {
+    profiles: &'a ProfileCollection,
+    /// Profiles sorted by their schema-based key; each appears exactly once.
+    order: Vec<ProfileId>,
+    window: usize,
+    pos: usize,
+}
+
+impl<'a> Psn<'a> {
+    /// Initialization phase: sorts the profiles by `keys` (one key per
+    /// profile, indexed by id). Equal keys are shuffled with `seed` —
+    /// coincidental proximity affects PSN too (§4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys.len() != profiles.len()`.
+    pub fn new(profiles: &'a ProfileCollection, keys: &[String], seed: u64) -> Self {
+        assert_eq!(
+            keys.len(),
+            profiles.len(),
+            "one schema-based key per profile"
+        );
+        let mut order: Vec<ProfileId> = profiles.iter().map(|p| p.id).collect();
+        order.sort_by(|a, b| keys[a.index()].cmp(&keys[b.index()]));
+
+        // Shuffle equal-key runs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut start = 0;
+        while start < order.len() {
+            let mut end = start + 1;
+            while end < order.len()
+                && keys[order[end].index()] == keys[order[start].index()]
+            {
+                end += 1;
+            }
+            if end - start > 1 {
+                order[start..end].shuffle(&mut rng);
+            }
+            start = end;
+        }
+
+        Self {
+            profiles,
+            order,
+            window: 1,
+            pos: 0,
+        }
+    }
+
+    /// The sorted list of profiles (for inspection).
+    pub fn sorted_order(&self) -> &[ProfileId] {
+        &self.order
+    }
+
+    /// Current window size.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+}
+
+impl Iterator for Psn<'_> {
+    type Item = Comparison;
+
+    fn next(&mut self) -> Option<Comparison> {
+        let n = self.order.len();
+        loop {
+            if self.window >= n {
+                return None;
+            }
+            if self.pos + self.window >= n {
+                self.window += 1;
+                self.pos = 0;
+                continue;
+            }
+            let a = self.order[self.pos];
+            let b = self.order[self.pos + self.window];
+            self.pos += 1;
+            if self.profiles.is_valid_comparison(a, b) {
+                return Some(Comparison::new(Pair::new(a, b), 0.0));
+            }
+        }
+    }
+}
+
+impl ProgressiveEr for Psn<'_> {
+    fn method_name(&self) -> &'static str {
+        "PSN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::ProfileCollectionBuilder;
+    use std::collections::HashSet;
+
+    fn coll_with_keys(keys: &[&str]) -> (ProfileCollection, Vec<String>) {
+        let mut b = ProfileCollectionBuilder::dirty();
+        for k in keys {
+            b.add_profile([("key", *k)]);
+        }
+        (b.build(), keys.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn emits_window_one_first() {
+        let (coll, keys) = coll_with_keys(&["b", "a", "c"]);
+        let mut psn = Psn::new(&coll, &keys, 0);
+        // Sorted order: a(p1), b(p0), c(p2).
+        assert_eq!(
+            psn.sorted_order(),
+            &[ProfileId(1), ProfileId(0), ProfileId(2)]
+        );
+        let c1 = psn.next().unwrap();
+        assert_eq!(c1.pair, Pair::new(ProfileId(1), ProfileId(0)));
+        let c2 = psn.next().unwrap();
+        assert_eq!(c2.pair, Pair::new(ProfileId(0), ProfileId(2)));
+        // Window 2: a–c.
+        let c3 = psn.next().unwrap();
+        assert_eq!(c3.pair, Pair::new(ProfileId(1), ProfileId(2)));
+        assert!(psn.next().is_none());
+    }
+
+    #[test]
+    fn emits_every_pair_exactly_once() {
+        let (coll, keys) = coll_with_keys(&["d", "b", "a", "c", "e"]);
+        let psn = Psn::new(&coll, &keys, 3);
+        let pairs: Vec<Pair> = psn.map(|c| c.pair).collect();
+        let distinct: HashSet<Pair> = pairs.iter().copied().collect();
+        assert_eq!(pairs.len(), 10, "C(5,2) emissions");
+        assert_eq!(distinct.len(), 10, "no repeats: each profile once in list");
+    }
+
+    #[test]
+    fn clean_clean_skips_same_source() {
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        b.add_profile([("k", "a")]);
+        b.add_profile([("k", "b")]);
+        b.start_second_source();
+        b.add_profile([("k", "c")]);
+        let coll = b.build();
+        let keys = vec!["a".into(), "b".into(), "c".into()];
+        let psn = Psn::new(&coll, &keys, 0);
+        let pairs: Vec<Pair> = psn.map(|c| c.pair).collect();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs
+            .iter()
+            .all(|p| coll.is_valid_comparison(p.first, p.second)));
+    }
+
+    #[test]
+    fn tie_shuffling_is_seeded() {
+        let (coll, keys) = coll_with_keys(&["x", "x", "x", "x", "x", "x"]);
+        let a = Psn::new(&coll, &keys, 1).sorted_order().to_vec();
+        let b = Psn::new(&coll, &keys, 1).sorted_order().to_vec();
+        assert_eq!(a, b, "same seed, same order");
+        let c = Psn::new(&coll, &keys, 2).sorted_order().to_vec();
+        assert_ne!(a, c, "different seed permutes the tie run");
+    }
+
+    #[test]
+    fn matching_keys_are_adjacent() {
+        // A duplicate pair with identical keys is emitted at window 1,
+        // before any far-apart pair: the similarity principle.
+        let (coll, keys) = coll_with_keys(&["aaa", "zzz", "aaa", "mmm"]);
+        let psn = Psn::new(&coll, &keys, 0);
+        let first = psn.take(1).next().unwrap().pair;
+        assert_eq!(first, Pair::new(ProfileId(0), ProfileId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one schema-based key per profile")]
+    fn key_count_mismatch_panics() {
+        let (coll, _) = coll_with_keys(&["a", "b"]);
+        let keys = vec!["only-one".to_string()];
+        let _ = Psn::new(&coll, &keys, 0);
+    }
+
+    #[test]
+    fn method_name() {
+        let (coll, keys) = coll_with_keys(&["a"]);
+        assert_eq!(Psn::new(&coll, &keys, 0).method_name(), "PSN");
+    }
+}

@@ -1,0 +1,110 @@
+//! The Relative Co-occurrence Frequency weighting scheme (§5.1) and its
+//! variants for the weighted-Neighbor-List methods.
+
+/// RCF weight of a comparison: the number of times the two profiles
+/// co-occurred at the current window distance(s), normalized by their total
+/// placements (§5.1.1):
+///
+/// `RCF(i, j) = freq / (|PI[i]| + |PI[j]| − freq)`
+///
+/// This is a Jaccard-style normalization: `freq` co-occurrences out of the
+/// union of the two profiles' placements. When frequencies are accumulated
+/// over several window sizes (GS-PSN) or hit the same neighbor from both
+/// directions, `freq` can exceed the placement counts; the denominator is
+/// clamped to 1 so the weight stays finite and monotone in `freq`.
+#[inline]
+pub fn rcf_weight(freq: u32, positions_i: usize, positions_j: usize) -> f64 {
+    let denom = (positions_i as f64 + positions_j as f64 - f64::from(freq)).max(1.0);
+    f64::from(freq) / denom
+}
+
+/// Which co-occurrence statistic the similarity-based methods use to weight
+/// comparisons. LS-PSN/GS-PSN are "compatible with any other schema-agnostic
+/// weighting scheme that infers the similarity of profiles exclusively from
+/// their co-occurrences in the incremental sliding window" (§5.1); we expose
+/// RCF (the paper's choice) plus the raw count for ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeighborWeighting {
+    /// Relative Co-occurrence Frequency (paper default).
+    #[default]
+    Rcf,
+    /// Raw co-occurrence count (un-normalized ablation variant).
+    Frequency,
+}
+
+impl NeighborWeighting {
+    /// Computes the weight from a co-occurrence count and the two profiles'
+    /// placement counts.
+    #[inline]
+    pub fn weight(self, freq: u32, positions_i: usize, positions_j: usize) -> f64 {
+        match self {
+            NeighborWeighting::Rcf => rcf_weight(freq, positions_i, positions_j),
+            NeighborWeighting::Frequency => f64::from(freq),
+        }
+    }
+
+    /// Display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            NeighborWeighting::Rcf => "RCF",
+            NeighborWeighting::Frequency => "CF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rcf_formula() {
+        // freq 2, |PI[i]| = 4, |PI[j]| = 3 → 2 / (4 + 3 − 2) = 0.4.
+        assert!((rcf_weight(2, 4, 3) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rcf_full_overlap_is_one() {
+        assert_eq!(rcf_weight(4, 4, 4), 1.0);
+    }
+
+    #[test]
+    fn rcf_zero_freq_is_zero() {
+        assert_eq!(rcf_weight(0, 5, 7), 0.0);
+    }
+
+    #[test]
+    fn rcf_degenerate_denominator() {
+        assert_eq!(rcf_weight(0, 0, 0), 0.0);
+        // Accumulated frequency beyond the placement union stays finite and
+        // monotone (denominator clamped to 1).
+        assert_eq!(rcf_weight(5, 2, 2), 5.0);
+        assert!(rcf_weight(5, 2, 2) > rcf_weight(4, 2, 2));
+    }
+
+    #[test]
+    fn frequency_variant_is_identity() {
+        assert_eq!(NeighborWeighting::Frequency.weight(3, 10, 10), 3.0);
+        assert_eq!(NeighborWeighting::Rcf.name(), "RCF");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// RCF is in \[0, 1\] whenever freq ≤ min(|PI_i|, |PI_j|), symmetric,
+        /// and monotone in freq.
+        #[test]
+        fn rcf_bounds(pi in 1usize..50, pj in 1usize..50, f in 0u32..50) {
+            let f = f.min(pi.min(pj) as u32);
+            let w = rcf_weight(f, pi, pj);
+            prop_assert!((0.0..=1.0).contains(&w));
+            prop_assert_eq!(w, rcf_weight(f, pj, pi));
+            if f > 0 {
+                prop_assert!(w > rcf_weight(f - 1, pi, pj));
+            }
+        }
+    }
+}

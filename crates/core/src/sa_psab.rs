@@ -1,0 +1,151 @@
+//! Schema-Agnostic Progressive Suffix Arrays Blocking (SA-PSAB), §4.2.
+//!
+//! The naïve block-based method: every attribute-value token contributes all
+//! suffixes of at least `lmin` characters; the resulting suffix forest is
+//! processed *leaves first, root last* (longest suffixes first; within a
+//! layer, smallest blocks first), emitting every comparison of each block in
+//! turn. It is the easiest-to-configure hierarchy method (`lmin` is the only
+//! parameter) and the schema-agnostic analogue of the hierarchical method
+//! of \[9\], but the huge root blocks make it unscalable — the finding of
+//! §7.2.
+
+use crate::{Comparison, ProgressiveEr};
+use sper_blocking::suffix_forest::SuffixForest;
+use sper_model::{Pair, ProfileCollection};
+
+/// The naïve hierarchy-based method.
+#[derive(Debug)]
+pub struct SaPsab {
+    forest: SuffixForest,
+    node_idx: usize,
+    buffer: Vec<Pair>,
+    buf_idx: usize,
+}
+
+impl SaPsab {
+    /// Default minimum suffix length (characters).
+    pub const DEFAULT_LMIN: usize = 3;
+
+    /// Initialization phase: extracts every suffix of length ≥ `lmin` from
+    /// every attribute-value token and schedules the suffix forest.
+    pub fn new(profiles: &ProfileCollection, lmin: usize) -> Self {
+        Self {
+            forest: SuffixForest::build(profiles, lmin),
+            node_idx: 0,
+            buffer: Vec::new(),
+            buf_idx: 0,
+        }
+    }
+
+    /// The scheduled suffix forest.
+    pub fn forest(&self) -> &SuffixForest {
+        &self.forest
+    }
+}
+
+impl Iterator for SaPsab {
+    type Item = Comparison;
+
+    fn next(&mut self) -> Option<Comparison> {
+        loop {
+            if self.buf_idx < self.buffer.len() {
+                let pair = self.buffer[self.buf_idx];
+                self.buf_idx += 1;
+                // All comparisons of one block share the same (implicit)
+                // likelihood; the suffix length is a natural proxy.
+                let depth = self.forest.nodes()[self.node_idx - 1].suffix_len;
+                return Some(Comparison::new(pair, f64::from(depth)));
+            }
+            let node = self.forest.nodes().get(self.node_idx)?;
+            self.buffer = node.block.comparisons(self.forest.kind());
+            self.buf_idx = 0;
+            self.node_idx += 1;
+        }
+    }
+}
+
+impl ProgressiveEr for SaPsab {
+    fn method_name(&self) -> &'static str {
+        "SA-PSAB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::{ProfileCollectionBuilder, ProfileId};
+    use std::collections::HashSet;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn leaves_before_roots() {
+        // gain/pain share "ain"; join/coin share "oin"; all share "in".
+        let mut b = ProfileCollectionBuilder::dirty();
+        b.add_profile([("w", "gain")]);
+        b.add_profile([("w", "pain")]);
+        b.add_profile([("w", "join")]);
+        b.add_profile([("w", "coin")]);
+        let coll = b.build();
+        let emissions: Vec<Comparison> = SaPsab::new(&coll, 2).collect();
+        // Layer-3 blocks (ain, oin) first: 1 + 1 comparisons; then the
+        // 4-profile root "in": 6 comparisons.
+        assert_eq!(emissions.len(), 8);
+        let first_two: HashSet<Pair> = emissions[..2].iter().map(|c| c.pair).collect();
+        assert!(first_two.contains(&Pair::new(pid(0), pid(1))));
+        assert!(first_two.contains(&Pair::new(pid(2), pid(3))));
+        // Depth proxy non-increasing.
+        let depths: Vec<f64> = emissions.iter().map(|c| c.weight).collect();
+        assert!(depths.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn repeats_across_layers() {
+        // The "ain" pair repeats inside "in": naïve methods do not dedup.
+        let mut b = ProfileCollectionBuilder::dirty();
+        b.add_profile([("w", "gain")]);
+        b.add_profile([("w", "pain")]);
+        let coll = b.build();
+        let pairs: Vec<Pair> = SaPsab::new(&coll, 2).map(|c| c.pair).collect();
+        assert_eq!(pairs.len(), 2); // once in "ain", again in "in".
+        assert!(pairs.iter().all(|&p| p == Pair::new(pid(0), pid(1))));
+    }
+
+    #[test]
+    fn matches_surface_before_unrelated_pairs() {
+        // A duplicate pair sharing a long token is emitted before pairs
+        // that only share a short suffix.
+        let mut b = ProfileCollectionBuilder::dirty();
+        b.add_profile([("name", "montgomery")]);
+        b.add_profile([("name", "montgomery")]);
+        b.add_profile([("name", "zontgomery")]); // shares suffix only
+        let coll = b.build();
+        let first = SaPsab::new(&coll, 3).next().unwrap();
+        assert_eq!(first.pair, Pair::new(pid(0), pid(1)));
+    }
+
+    #[test]
+    fn empty_collection_terminates() {
+        let coll = ProfileCollectionBuilder::dirty().build();
+        assert!(SaPsab::new(&coll, 3).next().is_none());
+    }
+
+    #[test]
+    fn lmin_controls_forest_size() {
+        let mut b = ProfileCollectionBuilder::dirty();
+        b.add_profile([("w", "abcdef")]);
+        b.add_profile([("w", "abcdef")]);
+        let coll = b.build();
+        let deep = SaPsab::new(&coll, 2);
+        let shallow = SaPsab::new(&coll, 5);
+        assert!(deep.forest().len() > shallow.forest().len());
+    }
+
+    #[test]
+    fn method_name() {
+        let coll = ProfileCollectionBuilder::dirty().build();
+        assert_eq!(SaPsab::new(&coll, 3).method_name(), "SA-PSAB");
+    }
+}

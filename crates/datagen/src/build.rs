@@ -1,0 +1,159 @@
+//! Assembly helpers shared by the dataset generators: turn entity instances
+//! into a shuffled [`ProfileCollection`] plus its [`GroundTruth`].
+//!
+//! Shuffling matters: without it duplicates would occupy adjacent profile
+//! ids (generation order), which would leak ground truth into any
+//! id-ordered tie-break downstream.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use sper_model::{
+    Attribute, GroundTruth, ProfileCollection, ProfileCollectionBuilder, ProfileId,
+};
+
+/// One profile-to-be: its attributes and the id of the real-world entity it
+/// describes. Instances sharing an `entity_id` are duplicates.
+#[derive(Debug, Clone)]
+pub struct EntityInstance {
+    /// Identifier of the underlying real-world entity.
+    pub entity_id: usize,
+    /// The instance's attribute pairs.
+    pub attributes: Vec<Attribute>,
+}
+
+/// Assembles a Dirty-ER collection from instances, shuffling profile order.
+pub fn assemble_dirty(
+    mut instances: Vec<EntityInstance>,
+    rng: &mut StdRng,
+) -> (ProfileCollection, GroundTruth) {
+    instances.shuffle(rng);
+    let n = instances.len();
+    let mut builder = ProfileCollectionBuilder::dirty();
+    let mut by_entity: std::collections::HashMap<usize, Vec<ProfileId>> =
+        std::collections::HashMap::new();
+    for inst in instances {
+        let pid = builder.add_attributes(inst.attributes);
+        by_entity.entry(inst.entity_id).or_default().push(pid);
+    }
+    let clusters: Vec<Vec<ProfileId>> = by_entity
+        .into_values()
+        .filter(|c| c.len() >= 2)
+        .collect();
+    let truth = GroundTruth::from_clusters(n, &clusters);
+    (builder.build(), truth)
+}
+
+/// Assembles a Clean-clean-ER collection: `first` becomes `P1`, `second`
+/// becomes `P2` (each shuffled); instances sharing an `entity_id` across
+/// the sources are matches.
+///
+/// # Panics
+///
+/// Panics when either source contains two instances of the same entity —
+/// Clean-clean sources are duplicate-free by definition.
+pub fn assemble_clean_clean(
+    mut first: Vec<EntityInstance>,
+    mut second: Vec<EntityInstance>,
+    rng: &mut StdRng,
+) -> (ProfileCollection, GroundTruth) {
+    for (name, source) in [("P1", &first), ("P2", &second)] {
+        let mut seen = std::collections::HashSet::new();
+        for inst in source.iter() {
+            assert!(
+                seen.insert(inst.entity_id),
+                "{name} must be duplicate-free (entity {} repeated)",
+                inst.entity_id
+            );
+        }
+    }
+    first.shuffle(rng);
+    second.shuffle(rng);
+    let n = first.len() + second.len();
+
+    let mut builder = ProfileCollectionBuilder::clean_clean();
+    let mut p1_of_entity: std::collections::HashMap<usize, ProfileId> =
+        std::collections::HashMap::new();
+    for inst in first {
+        let pid = builder.add_attributes(inst.attributes);
+        p1_of_entity.insert(inst.entity_id, pid);
+    }
+    builder.start_second_source();
+    let mut clusters: Vec<Vec<ProfileId>> = Vec::new();
+    for inst in second {
+        let pid = builder.add_attributes(inst.attributes);
+        if let Some(&p1) = p1_of_entity.get(&inst.entity_id) {
+            clusters.push(vec![p1, pid]);
+        }
+    }
+    let truth = GroundTruth::from_clusters(n, &clusters);
+    (builder.build(), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn inst(entity: usize, val: &str) -> EntityInstance {
+        EntityInstance {
+            entity_id: entity,
+            attributes: vec![Attribute::new("v", val)],
+        }
+    }
+
+    #[test]
+    fn dirty_assembly_builds_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (coll, truth) = assemble_dirty(
+            vec![inst(0, "a"), inst(0, "a2"), inst(1, "b"), inst(2, "c")],
+            &mut rng,
+        );
+        assert_eq!(coll.len(), 4);
+        assert_eq!(truth.num_matches(), 1);
+        assert_eq!(truth.validate(&coll), 0);
+    }
+
+    #[test]
+    fn dirty_duplicates_not_id_adjacent_in_general() {
+        // With 200 pairs and shuffling, at least some duplicate pairs must
+        // be separated by other profiles.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut instances = Vec::new();
+        for e in 0..200 {
+            instances.push(inst(e, "x"));
+            instances.push(inst(e, "y"));
+        }
+        let (_, truth) = assemble_dirty(instances, &mut rng);
+        let non_adjacent = truth
+            .pairs()
+            .filter(|p| p.second.0 - p.first.0 > 1)
+            .count();
+        assert!(non_adjacent > 100, "shuffle broke: {non_adjacent}");
+    }
+
+    #[test]
+    fn clean_clean_assembly_matches_across_sources() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (coll, truth) = assemble_clean_clean(
+            vec![inst(0, "a"), inst(1, "b"), inst(2, "c")],
+            vec![inst(0, "a'"), inst(2, "c'"), inst(9, "z")],
+            &mut rng,
+        );
+        assert_eq!(coll.len_first(), 3);
+        assert_eq!(coll.len_second(), 3);
+        assert_eq!(truth.num_matches(), 2);
+        assert_eq!(truth.validate(&coll), 0);
+        assert!(truth.clean_sources_are_duplicate_free(&coll));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate-free")]
+    fn clean_clean_rejects_in_source_duplicates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = assemble_clean_clean(
+            vec![inst(0, "a"), inst(0, "a-again")],
+            vec![inst(0, "b")],
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The **cddb** twin: Dirty ER, 9.8 k profiles, 106 attributes, 300
+//! matches, 18.75 avg name-value pairs (Table 2).
+//!
+//! CDDB disc records: artist / title / category / year plus a long, highly
+//! variable track list — hence the huge attribute-name count (track01..)
+//! and high pairs-per-profile. Duplicates are rare (300 pairs in ~10 k
+//! profiles) and noisy, which is why every method needs far more than
+//! `ec* = 1` comparisons here (Fig. 9d).
+
+use crate::build::{assemble_dirty, EntityInstance};
+use crate::noise::CharNoise;
+use crate::plan::plan_clusters;
+use crate::vocab::{Vocab, GENRES, SURNAMES};
+use crate::{DatasetSpec, GeneratedDataset};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use sper_model::Attribute;
+use sper_text::soundex;
+
+struct Disc {
+    artist: String,
+    title: String,
+    category: String,
+    year: u32,
+    tracks: Vec<String>,
+}
+
+/// Generates the cddb twin.
+pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let n = ((9763.0 * spec.scale).round() as usize).max(4);
+    let pairs = ((300.0 * spec.scale).round() as usize).max(1);
+    let plan = plan_clusters(n, pairs, 2);
+
+    let artists = Vocab::new(SURNAMES, 2000, &mut rng);
+    let words = Vocab::new(&[], 10000, &mut rng);
+    let genres = Vocab::new(GENRES, 0, &mut rng);
+    let noise = CharNoise::moderate();
+
+    let make = |rng: &mut StdRng| {
+        let n_tracks = rng.gen_range(8..=22usize);
+        Disc {
+            artist: format!("{} {}", words.pick(rng), artists.pick(rng)),
+            title: (0..rng.gen_range(1..=3))
+                .map(|_| words.pick_skewed(rng).to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            category: genres.pick_skewed(rng).to_string(),
+            year: rng.gen_range(1960..2005),
+            // Track titles draw uniformly from a large vocabulary: real
+            // track names are full of rare words, which is what gives
+            // duplicate discs their distinctive shared tokens.
+            tracks: (0..n_tracks)
+                .map(|_| {
+                    (0..rng.gen_range(1..=3))
+                        .map(|_| words.pick(rng).to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect(),
+        }
+    };
+
+    let instantiate = |d: &Disc, noisy: bool, rng: &mut StdRng| -> Vec<Attribute> {
+        let mut attrs = Vec::with_capacity(d.tracks.len() + 4);
+        let artist = if noisy { noise.apply(&d.artist, rng) } else { d.artist.clone() };
+        let title = if noisy { noise.apply(&d.title, rng) } else { d.title.clone() };
+        attrs.push(Attribute::new("artist", artist));
+        attrs.push(Attribute::new("dtitle", title));
+        if rng.gen_bool(0.8) {
+            attrs.push(Attribute::new("category", d.category.clone()));
+        }
+        if rng.gen_bool(0.6) {
+            attrs.push(Attribute::new("year", d.year.to_string()));
+        }
+        for (i, track) in d.tracks.iter().enumerate() {
+            // A second submission may miss a few tracks or misspell them.
+            if noisy && rng.gen_bool(0.08) {
+                continue;
+            }
+            let value = if noisy { noise.apply(track, rng) } else { track.clone() };
+            attrs.push(Attribute::new(format!("track{:02}", i + 1), value));
+        }
+        attrs
+    };
+
+    let mut instances = Vec::with_capacity(n);
+    let mut entity_id = 0usize;
+    for &size in &plan.sizes {
+        let disc = make(&mut rng);
+        for k in 0..size {
+            instances.push(EntityInstance {
+                entity_id,
+                attributes: instantiate(&disc, k > 0, &mut rng),
+            });
+        }
+        entity_id += 1;
+    }
+    for _ in 0..plan.singletons() {
+        let disc = make(&mut rng);
+        instances.push(EntityInstance {
+            entity_id,
+            attributes: instantiate(&disc, false, &mut rng),
+        });
+        entity_id += 1;
+    }
+
+    let (profiles, truth) = assemble_dirty(instances, &mut rng);
+
+    // Literature key: phonetic artist + year.
+    let schema_keys: Vec<String> = profiles
+        .iter()
+        .map(|p| {
+            let artist = p.value_of("artist").unwrap_or("");
+            let last = artist.split_whitespace().last().unwrap_or("");
+            let year = p.value_of("year").unwrap_or("");
+            format!("{}{}", soundex(last), year)
+        })
+        .collect();
+
+    GeneratedDataset {
+        kind: spec.kind,
+        profiles,
+        truth,
+        schema_keys: Some(schema_keys),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DatasetKind;
+
+    fn twin() -> GeneratedDataset {
+        // Scale down for test speed; shape assertions scale along.
+        DatasetSpec::paper(DatasetKind::Cddb).with_scale(0.2).generate()
+    }
+
+    #[test]
+    fn table2_shape_scaled() {
+        let d = twin();
+        assert_eq!(d.profiles.len(), 1953); // 9763 × 0.2
+        assert_eq!(d.truth.num_matches(), 60); // 300 × 0.2
+        let attrs = d.profiles.num_attribute_names();
+        assert!((20..=110).contains(&attrs), "attr names {attrs}");
+        let avg = d.profiles.avg_pairs();
+        assert!((14.0..=24.0).contains(&avg), "avg pairs {avg}");
+    }
+
+    #[test]
+    fn full_scale_attribute_count_close_to_paper() {
+        let d = DatasetSpec::paper(DatasetKind::Cddb).with_scale(0.5).generate();
+        // 4 header attrs + track01..track22 ≈ 26 names guaranteed; the paper
+        // counts 106 because real CDDB has up to ~100 tracks. Our twin keeps
+        // the *order of magnitude* of the track-attr mechanism.
+        assert!(d.profiles.num_attribute_names() >= 24);
+    }
+
+    #[test]
+    fn duplicates_are_sparse() {
+        let d = twin();
+        let dup_profiles: usize = d.truth.clusters().iter().map(Vec::len).sum();
+        assert!(dup_profiles * 10 < d.profiles.len(), "duplicates are rare");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(twin().profiles.len(), twin().profiles.len());
+        assert_eq!(
+            twin().profiles.profiles()[0],
+            twin().profiles.profiles()[0]
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Noise models: how duplicates differ from their base entity.
+//!
+//! Structured twins use character-level noise — the curated-data regime the
+//! paper attributes to census/restaurant/cora/cddb ("principally containing
+//! character-level errors", §8). RDF twins add token-level noise ("both
+//! character- and token-level noise", §8): dropped / reordered / replaced
+//! tokens and divergent attribute naming.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Character-level noise intensity and operators.
+#[derive(Debug, Clone, Copy)]
+pub struct CharNoise {
+    /// Probability that a value receives any edit at all.
+    pub value_edit_prob: f64,
+    /// Number of character edits applied to an edited value (1..=max).
+    pub max_edits: usize,
+}
+
+impl CharNoise {
+    /// Light noise: most duplicate values survive verbatim (census-like).
+    pub fn light() -> Self {
+        Self {
+            value_edit_prob: 0.35,
+            max_edits: 1,
+        }
+    }
+
+    /// Moderate noise (restaurant/cora-like).
+    pub fn moderate() -> Self {
+        Self {
+            value_edit_prob: 0.55,
+            max_edits: 2,
+        }
+    }
+
+    /// Heavy noise (cddb free-text-ish fields).
+    pub fn heavy() -> Self {
+        Self {
+            value_edit_prob: 0.75,
+            max_edits: 3,
+        }
+    }
+
+    /// Applies the noise to `value`, returning a possibly-edited copy.
+    pub fn apply(&self, value: &str, rng: &mut StdRng) -> String {
+        if value.is_empty() || !rng.gen_bool(self.value_edit_prob) {
+            return value.to_string();
+        }
+        let mut chars: Vec<char> = value.chars().collect();
+        let edits = rng.gen_range(1..=self.max_edits);
+        for _ in 0..edits {
+            apply_one_edit(&mut chars, rng);
+        }
+        chars.into_iter().collect()
+    }
+}
+
+/// One random character edit: substitution, deletion, insertion or adjacent
+/// transposition — the Damerau operations.
+fn apply_one_edit(chars: &mut Vec<char>, rng: &mut StdRng) {
+    const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    if chars.is_empty() {
+        chars.push(LETTERS[rng.gen_range(0..26)] as char);
+        return;
+    }
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // substitute
+            let i = rng.gen_range(0..chars.len());
+            chars[i] = LETTERS[rng.gen_range(0..26)] as char;
+        }
+        1 => {
+            // delete (keep at least one char)
+            if chars.len() > 1 {
+                let i = rng.gen_range(0..chars.len());
+                chars.remove(i);
+            }
+        }
+        2 => {
+            // insert
+            let i = rng.gen_range(0..=chars.len());
+            chars.insert(i, LETTERS[rng.gen_range(0..26)] as char);
+        }
+        _ => {
+            // transpose adjacent
+            if chars.len() > 1 {
+                let i = rng.gen_range(0..chars.len() - 1);
+                chars.swap(i, i + 1);
+            }
+        }
+    }
+}
+
+/// Token-level noise for RDF-ish values.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenNoise {
+    /// Probability of dropping each token.
+    pub drop_prob: f64,
+    /// Probability of shuffling the token order of a value.
+    pub shuffle_prob: f64,
+}
+
+impl TokenNoise {
+    /// Paper-calibrated default for the RDF twins.
+    pub fn rdf() -> Self {
+        Self {
+            drop_prob: 0.2,
+            shuffle_prob: 0.3,
+        }
+    }
+
+    /// Applies the noise to a whitespace-tokenized value.
+    pub fn apply(&self, value: &str, rng: &mut StdRng) -> String {
+        let mut tokens: Vec<&str> = value.split_whitespace().collect();
+        if tokens.len() > 1 {
+            tokens.retain(|_| !rng.gen_bool(self.drop_prob));
+            if tokens.is_empty() {
+                // Never erase the whole value.
+                tokens.push(value.split_whitespace().next().unwrap());
+            }
+            if rng.gen_bool(self.shuffle_prob) {
+                use rand::seq::SliceRandom;
+                tokens.shuffle(rng);
+            }
+        }
+        tokens.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sper_text::damerau_levenshtein;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn char_noise_bounded_by_max_edits() {
+        let noise = CharNoise {
+            value_edit_prob: 1.0,
+            max_edits: 2,
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            let out = noise.apply("montgomery", &mut r);
+            // Each edit is one Damerau operation (transpositions included).
+            assert!(damerau_levenshtein("montgomery", &out) <= 2);
+        }
+    }
+
+    #[test]
+    fn zero_prob_is_identity() {
+        let noise = CharNoise {
+            value_edit_prob: 0.0,
+            max_edits: 3,
+        };
+        let mut r = rng();
+        assert_eq!(noise.apply("exactly", &mut r), "exactly");
+    }
+
+    #[test]
+    fn empty_value_survives() {
+        let mut r = rng();
+        assert_eq!(CharNoise::heavy().apply("", &mut r), "");
+        assert!(!TokenNoise::rdf().apply("single", &mut r).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let noise = CharNoise::moderate();
+        let a = noise.apply("reproducible", &mut StdRng::seed_from_u64(5));
+        let b = noise.apply("reproducible", &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn token_noise_preserves_some_tokens() {
+        let noise = TokenNoise {
+            drop_prob: 0.5,
+            shuffle_prob: 1.0,
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = noise.apply("alpha beta gamma delta", &mut r);
+            assert!(!out.is_empty());
+            for tok in out.split_whitespace() {
+                assert!(["alpha", "beta", "gamma", "delta"].contains(&tok));
+            }
+        }
+    }
+
+    #[test]
+    fn presets_ordered_by_intensity() {
+        assert!(CharNoise::light().value_edit_prob < CharNoise::moderate().value_edit_prob);
+        assert!(CharNoise::moderate().value_edit_prob < CharNoise::heavy().value_edit_prob);
+    }
+}

@@ -1,0 +1,152 @@
+//! Cluster planning: decide how many duplicate clusters of which sizes to
+//! build so the generated ground truth matches a target pair count |DP|
+//! within a profile budget |P| — e.g. cora packs 17 k pairs into 1.3 k
+//! profiles with large clusters, while cddb spreads 300 pairs over 9.8 k
+//! profiles as plain pairs.
+
+/// A cluster plan: the sizes (≥ 2) of the duplicate clusters to generate.
+/// Profiles not covered by any cluster are singletons (no duplicates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterPlan {
+    /// Duplicate cluster sizes, largest first.
+    pub sizes: Vec<usize>,
+    /// Total number of profiles (clusters + singletons).
+    pub n_profiles: usize,
+}
+
+impl ClusterPlan {
+    /// Number of duplicate pairs the plan yields: `Σ k·(k−1)/2`.
+    pub fn num_pairs(&self) -> usize {
+        self.sizes.iter().map(|&k| k * (k - 1) / 2).sum()
+    }
+
+    /// Number of profiles covered by clusters.
+    pub fn duplicated_profiles(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Number of singleton (non-duplicated) profiles.
+    pub fn singletons(&self) -> usize {
+        self.n_profiles - self.duplicated_profiles()
+    }
+
+    /// Number of distinct base entities (clusters + singletons).
+    pub fn num_entities(&self) -> usize {
+        self.sizes.len() + self.singletons()
+    }
+}
+
+/// Greedily plans clusters so that the pair count reaches `target_pairs`
+/// (exactly, whenever the budget allows) without exceeding `n_profiles`
+/// profiles or `max_cluster` per cluster.
+///
+/// The greedy choice — the largest feasible cluster first — concentrates
+/// pairs in few clusters (cora-like); with `max_cluster = 2` it degenerates
+/// to plain duplicate pairs (census/restaurant/cddb-like).
+///
+/// # Panics
+///
+/// Panics when `max_cluster < 2`.
+pub fn plan_clusters(n_profiles: usize, target_pairs: usize, max_cluster: usize) -> ClusterPlan {
+    assert!(max_cluster >= 2, "clusters need at least two profiles");
+    let mut sizes = Vec::new();
+    let mut pairs_left = target_pairs;
+    let mut profiles_left = n_profiles;
+    while pairs_left > 0 && profiles_left >= 2 {
+        // Largest k ≤ max_cluster with C(k,2) ≤ pairs_left and k ≤ budget.
+        let mut k = max_cluster.min(profiles_left);
+        while k > 2 && k * (k - 1) / 2 > pairs_left {
+            k -= 1;
+        }
+        if k * (k - 1) / 2 > pairs_left {
+            // Even a pair overshoots (pairs_left == 0 handled above, so this
+            // means pairs_left == 1 and k == 2 fits; unreachable otherwise).
+            break;
+        }
+        sizes.push(k);
+        pairs_left -= k * (k - 1) / 2;
+        profiles_left -= k;
+    }
+    ClusterPlan { sizes, n_profiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_pair_targets() {
+        // census-like: 841 profiles, 344 pairs, small clusters.
+        let plan = plan_clusters(841, 344, 3);
+        assert_eq!(plan.num_pairs(), 344);
+        assert!(plan.duplicated_profiles() <= 841);
+        assert!(plan.sizes.iter().all(|&k| (2..=3).contains(&k)));
+    }
+
+    #[test]
+    fn pairs_only_plan() {
+        let plan = plan_clusters(9763, 300, 2);
+        assert_eq!(plan.sizes, vec![2; 300]);
+        assert_eq!(plan.num_pairs(), 300);
+        assert_eq!(plan.singletons(), 9763 - 600);
+    }
+
+    #[test]
+    fn cora_like_large_clusters() {
+        let plan = plan_clusters(1300, 17000, 30);
+        assert_eq!(plan.num_pairs(), 17000);
+        assert!(plan.duplicated_profiles() <= 1300);
+        assert_eq!(*plan.sizes.first().unwrap(), 30);
+        // Plenty of singletons remain possible but pairs hit exactly.
+    }
+
+    #[test]
+    fn profile_budget_respected() {
+        // Tiny budget: can't reach the target; uses what it has.
+        let plan = plan_clusters(5, 1000, 10);
+        assert!(plan.duplicated_profiles() <= 5);
+        assert_eq!(plan.num_pairs(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn zero_pairs_means_no_clusters() {
+        let plan = plan_clusters(100, 0, 5);
+        assert!(plan.sizes.is_empty());
+        assert_eq!(plan.singletons(), 100);
+        assert_eq!(plan.num_entities(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn max_cluster_one_panics() {
+        plan_clusters(10, 5, 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The plan never exceeds the profile budget, never overshoots the
+        /// pair target, and hits it exactly when the budget suffices.
+        #[test]
+        fn plan_invariants(
+            n in 2usize..2000,
+            target in 0usize..5000,
+            max_cluster in 2usize..40,
+        ) {
+            let plan = plan_clusters(n, target, max_cluster);
+            prop_assert!(plan.duplicated_profiles() <= n);
+            prop_assert!(plan.num_pairs() <= target);
+            prop_assert!(plan.sizes.iter().all(|&k| k >= 2 && k <= max_cluster));
+            // The greedy only stops short of the target when it runs out of
+            // profiles: whenever at least two singletons remain, the pair
+            // count must be exact.
+            if plan.singletons() >= 2 {
+                prop_assert_eq!(plan.num_pairs(), target);
+            }
+        }
+    }
+}

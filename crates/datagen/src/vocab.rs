@@ -1,0 +1,215 @@
+//! Deterministic vocabularies for the synthetic twins: curated seed lists
+//! (for realism) expanded with generated pronounceable words (for volume),
+//! all derived from the spec's seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Curated surname seeds (shared across twins; expanded synthetically).
+pub const SURNAMES: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
+    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
+    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
+    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
+    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
+    "rivera", "campbell", "mitchell", "carter", "roberts",
+];
+
+/// Curated first-name seeds.
+pub const FIRST_NAMES: &[&str] = &[
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
+    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty",
+    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "carl", "ellen", "emma", "hellen",
+];
+
+/// Curated city seeds.
+pub const CITIES: &[&str] = &[
+    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia", "san antonio",
+    "san diego", "dallas", "san jose", "austin", "jacksonville", "fort worth", "columbus",
+    "charlotte", "san francisco", "indianapolis", "seattle", "denver", "washington", "boston",
+    "el paso", "nashville", "detroit", "oklahoma city", "portland", "las vegas", "memphis",
+    "louisville", "baltimore", "milwaukee", "albuquerque", "tucson", "fresno", "mesa",
+];
+
+/// Curated cuisine seeds for the restaurant twin.
+pub const CUISINES: &[&str] = &[
+    "american", "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
+    "steakhouses", "seafood", "delis", "pizza", "bbq", "cafeterias", "continental", "greek",
+    "vietnamese", "spanish", "korean", "mediterranean",
+];
+
+/// Curated venue seeds for the cora twin.
+pub const VENUES: &[&str] = &[
+    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "icml", "nips", "aaai", "ijcai",
+    "acl", "emnlp", "sigir", "wsdm", "icdm", "pods", "socc", "sosp", "osdi",
+];
+
+/// Curated music-genre seeds for the cddb twin.
+pub const GENRES: &[&str] = &[
+    "rock", "pop", "jazz", "blues", "classical", "country", "folk", "metal", "punk", "soul",
+    "funk", "reggae", "electronic", "ambient", "techno", "house", "hiphop", "rap", "latin",
+    "world", "soundtrack", "opera", "gospel", "disco",
+];
+
+/// Curated movie-genre seeds.
+pub const MOVIE_GENRES: &[&str] = &[
+    "drama", "comedy", "action", "thriller", "horror", "romance", "adventure", "crime",
+    "fantasy", "mystery", "western", "animation", "documentary", "musical", "war", "biography",
+];
+
+/// Generates a pronounceable lowercase word of `syllables` consonant-vowel
+/// syllables — the synthetic volume behind every vocabulary.
+pub fn gen_word(rng: &mut StdRng, syllables: usize) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnprstvz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut w = String::with_capacity(syllables * 2 + 1);
+    for _ in 0..syllables.max(1) {
+        w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        w.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+        if rng.gen_bool(0.25) {
+            w.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        }
+    }
+    w
+}
+
+/// A vocabulary: curated seeds plus generated words, sampled uniformly.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    words: Vec<String>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from `seeds` expanded with `extra` generated
+    /// words of 2–3 syllables.
+    pub fn new(seeds: &[&str], extra: usize, rng: &mut StdRng) -> Self {
+        let mut words: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+        for _ in 0..extra {
+            let syl = rng.gen_range(2..=3);
+            words.push(gen_word(rng, syl));
+        }
+        words.sort_unstable();
+        words.dedup();
+        Self { words }
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Uniform random word.
+    pub fn pick<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        &self.words[rng.gen_range(0..self.words.len())]
+    }
+
+    /// Zipf-ish skewed pick: squaring the uniform variate favours the head
+    /// of the (sorted) vocabulary, creating the frequent/rare token split
+    /// Block Purging exploits.
+    pub fn pick_skewed<'a>(&'a self, rng: &mut StdRng) -> &'a str {
+        let u: f64 = rng.gen::<f64>();
+        let idx = ((u * u) * self.words.len() as f64) as usize;
+        &self.words[idx.min(self.words.len() - 1)]
+    }
+}
+
+/// A synthetic US-style zip code.
+pub fn gen_zip(rng: &mut StdRng) -> String {
+    format!("{:05}", rng.gen_range(10000..99999))
+}
+
+/// A synthetic US-style phone number.
+pub fn gen_phone(rng: &mut StdRng) -> String {
+    format!(
+        "{:03}-{:03}-{:04}",
+        rng.gen_range(200..999),
+        rng.gen_range(200..999),
+        rng.gen_range(0..9999)
+    )
+}
+
+/// A synthetic street address.
+pub fn gen_street(rng: &mut StdRng, vocab: &Vocab) -> String {
+    let suffix = ["st", "ave", "blvd", "rd", "dr", "ln"][rng.gen_range(0..6)];
+    format!(
+        "{} {} {}",
+        rng.gen_range(1..9999),
+        vocab.pick(rng),
+        suffix
+    )
+}
+
+/// A synthetic Freebase-style opaque machine id (e.g. `m.0q3xz7`).
+pub fn gen_mid(rng: &mut StdRng) -> String {
+    const ALPHABET: &[u8] = b"0123456789bcdfghjklmnpqrstvwxyz_";
+    let len = rng.gen_range(5..=7);
+    let mut s = String::from("m.0");
+    for _ in 0..len {
+        s.push(ALPHABET[rng.gen_range(0..ALPHABET.len())] as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn gen_word_is_pronounceable_lowercase() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let w = gen_word(&mut r, 3);
+            assert!(w.len() >= 6);
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn vocab_expansion_and_determinism() {
+        let v1 = Vocab::new(SURNAMES, 100, &mut rng());
+        let v2 = Vocab::new(SURNAMES, 100, &mut rng());
+        assert!(v1.len() >= SURNAMES.len());
+        assert_eq!(v1.words, v2.words);
+    }
+
+    #[test]
+    fn skewed_pick_prefers_the_head() {
+        let mut r = rng();
+        let v = Vocab::new(&[], 1000, &mut r);
+        let mut head = 0;
+        for _ in 0..2000 {
+            let w = v.pick_skewed(&mut r);
+            let idx = v.words.binary_search(&w.to_string()).unwrap();
+            if idx < v.len() / 4 {
+                head += 1;
+            }
+        }
+        // First quartile should absorb ~50 % of skewed picks (√0.25 = 0.5).
+        assert!(head > 700, "head hits: {head}");
+    }
+
+    #[test]
+    fn formatted_values() {
+        let mut r = rng();
+        assert_eq!(gen_zip(&mut r).len(), 5);
+        let phone = gen_phone(&mut r);
+        assert_eq!(phone.len(), 12);
+        assert!(gen_mid(&mut r).starts_with("m.0"));
+        // City seeds may be multi-word ("new york"), so a street is number
+        // + vocabulary pick + suffix = at least three words.
+        let v = Vocab::new(CITIES, 0, &mut r);
+        assert!(gen_street(&mut r, &v).split(' ').count() >= 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Normalized area under the recall curve — the paper's `AUC*_m@ec*`.
+
+use crate::curve::RecallCurve;
+
+/// `AUC*_m@ec*` (§7): the area under the recall curve up to
+/// `ec = ec_star · |DP|` emissions, divided by the ideal method's area at
+/// the same budget. In `\[0, 1\]` for plain progressive runs, with the ideal
+/// method scoring 1 for every `ec*`. (Oracle-assisted curves — where one
+/// query can confirm several matches transitively — may legitimately
+/// exceed 1; see [`crate::oracle`].)
+pub fn normalized_auc(curve: &RecallCurve, ec_star: f64) -> f64 {
+    assert!(ec_star > 0.0, "ec* must be positive");
+    let emissions = (ec_star * curve.num_matches() as f64).round() as u64;
+    if emissions == 0 {
+        return 0.0;
+    }
+    let ideal = curve.auc_ideal(emissions);
+    if ideal == 0.0 {
+        return 0.0;
+    }
+    curve.auc_raw(emissions) / ideal
+}
+
+/// Mean `AUC*` across several curves (one per dataset) at one `ec*` — the
+/// aggregation of Figs. 10 and 12.
+pub fn mean_normalized_auc(curves: &[&RecallCurve], ec_star: f64) -> f64 {
+    if curves.is_empty() {
+        return 0.0;
+    }
+    curves
+        .iter()
+        .map(|c| normalized_auc(c, ec_star))
+        .sum::<f64>()
+        / curves.len() as f64
+}
+
+/// The `ec*` checkpoints reported in Figs. 10 and 12.
+pub const PAPER_EC_STARS: [f64; 4] = [1.0, 5.0, 10.0, 20.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_curve_scores_one() {
+        let c = RecallCurve::new(4, 80, vec![1, 2, 3, 4]);
+        for ec in PAPER_EC_STARS {
+            assert!((normalized_auc(&c, ec) - 1.0).abs() < 1e-12, "ec*={ec}");
+        }
+    }
+
+    #[test]
+    fn late_matches_score_less() {
+        let early = RecallCurve::new(2, 20, vec![1, 2]);
+        let late = RecallCurve::new(2, 20, vec![9, 10]);
+        for ec in [1.0, 5.0, 10.0] {
+            assert!(normalized_auc(&early, ec) >= normalized_auc(&late, ec));
+        }
+        assert_eq!(normalized_auc(&late, 1.0), 0.0, "nothing found by ec*=1");
+    }
+
+    #[test]
+    fn in_unit_interval() {
+        let c = RecallCurve::new(5, 100, vec![3, 17, 44, 80]);
+        for ec in PAPER_EC_STARS {
+            let a = normalized_auc(&c, ec);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn mean_aggregation() {
+        let a = RecallCurve::new(2, 20, vec![1, 2]);
+        let b = RecallCurve::new(2, 20, vec![19, 20]);
+        let mean = mean_normalized_auc(&[&a, &b], 10.0);
+        let expected = (normalized_auc(&a, 10.0) + normalized_auc(&b, 10.0)) / 2.0;
+        assert!((mean - expected).abs() < 1e-12);
+        assert_eq!(mean_normalized_auc(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ec_star_panics() {
+        let c = RecallCurve::new(1, 1, vec![1]);
+        normalized_auc(&c, 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! The recall-progressiveness curve.
+//!
+//! Stored compactly: for every *newly found* match, the (1-based) emission
+//! index at which it surfaced. Recall after `e` emissions is then
+//! `|{indices ≤ e}| / |DP|`, and areas under the step curve have closed
+//! forms — no per-emission storage needed even for millions of emissions.
+
+use serde::{Deserialize, Serialize};
+
+/// Recall as a step function of emitted comparisons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecallCurve {
+    /// `|DP|`: total true matches of the task.
+    num_matches: usize,
+    /// Total comparisons emitted during the run.
+    emissions: u64,
+    /// Sorted, 1-based emission indices at which each new match was found.
+    match_indices: Vec<u64>,
+}
+
+impl RecallCurve {
+    /// Builds a curve. `match_indices` must be sorted non-decreasing (ties
+    /// are allowed: an oracle query can confirm several matches at once).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more matches than `num_matches` are recorded or indices
+    /// are unsorted/out of range.
+    pub fn new(num_matches: usize, emissions: u64, match_indices: Vec<u64>) -> Self {
+        assert!(
+            match_indices.len() <= num_matches,
+            "found more matches than |DP|"
+        );
+        assert!(
+            match_indices.windows(2).all(|w| w[0] <= w[1]),
+            "match indices must be non-decreasing"
+        );
+        if let Some(&last) = match_indices.last() {
+            assert!(last <= emissions, "match index beyond emission count");
+            assert!(match_indices[0] >= 1, "indices are 1-based");
+        }
+        Self {
+            num_matches,
+            emissions,
+            match_indices,
+        }
+    }
+
+    /// `|DP|`.
+    pub fn num_matches(&self) -> usize {
+        self.num_matches
+    }
+
+    /// Total emitted comparisons.
+    pub fn emissions(&self) -> u64 {
+        self.emissions
+    }
+
+    /// Number of matches found by the end of the run.
+    pub fn matches_found(&self) -> usize {
+        self.match_indices.len()
+    }
+
+    /// The emission indices of the found matches.
+    pub fn match_indices(&self) -> &[u64] {
+        &self.match_indices
+    }
+
+    /// Recall after `emissions` comparisons.
+    pub fn recall_at(&self, emissions: u64) -> f64 {
+        if self.num_matches == 0 {
+            return 1.0;
+        }
+        let found = self.match_indices.partition_point(|&m| m <= emissions);
+        found as f64 / self.num_matches as f64
+    }
+
+    /// Final recall of the run.
+    pub fn final_recall(&self) -> f64 {
+        self.recall_at(self.emissions)
+    }
+
+    /// Normalized emitted comparisons `ec* = ec / |DP|` of the whole run.
+    pub fn final_ec_star(&self) -> f64 {
+        if self.num_matches == 0 {
+            return 0.0;
+        }
+        self.emissions as f64 / self.num_matches as f64
+    }
+
+    /// Area under the recall step curve for the first `e` emissions:
+    /// `Σ_{k=1..e} recall(k)` — the discrete AUC before normalization.
+    ///
+    /// Closed form: each match found at index `m` contributes
+    /// `max(0, e − m + 1)` recall units divided by `|DP|`.
+    pub fn auc_raw(&self, emissions: u64) -> f64 {
+        if self.num_matches == 0 {
+            return emissions as f64;
+        }
+        let mut units = 0u128;
+        for &m in &self.match_indices {
+            if m <= emissions {
+                units += u128::from(emissions - m + 1);
+            }
+        }
+        units as f64 / self.num_matches as f64
+    }
+
+    /// The ideal method's raw AUC at the same budget: recall climbs by
+    /// `1/|DP|` per emission until `ec* = 1`, then stays at 1.
+    pub fn auc_ideal(&self, emissions: u64) -> f64 {
+        if self.num_matches == 0 {
+            return emissions as f64;
+        }
+        let d = self.num_matches as u64;
+        if emissions <= d {
+            // Σ k/d for k = 1..e
+            (emissions * (emissions + 1)) as f64 / (2.0 * d as f64)
+        } else {
+            let ramp = (d + 1) as f64 / 2.0 * d as f64 / d as f64; // Σ k/d, k=1..d
+            ramp + (emissions - d) as f64
+        }
+    }
+
+    /// Recall sampled at the given `ec*` grid (for plotting/reports).
+    pub fn sample(&self, ec_star_grid: &[f64]) -> Vec<(f64, f64)> {
+        ec_star_grid
+            .iter()
+            .map(|&x| {
+                let e = (x * self.num_matches as f64).round() as u64;
+                (x, self.recall_at(e))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_like_curve() {
+        // 3 matches found at emissions 1, 2, 3 of a 6-emission run.
+        let c = RecallCurve::new(3, 6, vec![1, 2, 3]);
+        assert_eq!(c.recall_at(0), 0.0);
+        assert!((c.recall_at(2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.recall_at(3), 1.0);
+        assert_eq!(c.final_recall(), 1.0);
+        assert_eq!(c.final_ec_star(), 2.0);
+    }
+
+    #[test]
+    fn auc_raw_closed_form_matches_naive_sum() {
+        let c = RecallCurve::new(4, 10, vec![2, 3, 7]);
+        for e in 0..=10u64 {
+            let naive: f64 = (1..=e).map(|k| c.recall_at(k)).sum();
+            assert!(
+                (c.auc_raw(e) - naive).abs() < 1e-9,
+                "e={e}: {} vs {naive}",
+                c.auc_raw(e)
+            );
+        }
+    }
+
+    #[test]
+    fn auc_ideal_closed_form() {
+        let c = RecallCurve::new(4, 20, vec![1, 2, 3, 4]);
+        // Ideal = this curve: ramp then flat.
+        for e in [0u64, 2, 4, 10, 20] {
+            let naive: f64 = (1..=e).map(|k| (k.min(4)) as f64 / 4.0).sum();
+            assert!((c.auc_ideal(e) - naive).abs() < 1e-9);
+            assert!((c.auc_raw(e) - naive).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recall_monotone_nondecreasing() {
+        let c = RecallCurve::new(5, 100, vec![10, 30, 31, 90]);
+        let mut prev = -1.0;
+        for e in 0..=100 {
+            let r = c.recall_at(e);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert!((c.final_recall() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_matches_edge_case() {
+        let c = RecallCurve::new(0, 50, vec![]);
+        assert_eq!(c.recall_at(10), 1.0);
+        assert_eq!(c.final_ec_star(), 0.0);
+    }
+
+    #[test]
+    fn sample_grid() {
+        let c = RecallCurve::new(2, 10, vec![1, 4]);
+        let pts = c.sample(&[0.5, 1.0, 2.0, 5.0]);
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (0.5, 0.5)); // e=1: one match
+        assert_eq!(pts[1], (1.0, 0.5)); // e=2
+        assert_eq!(pts[2], (2.0, 1.0)); // e=4
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn unsorted_indices_panic() {
+        RecallCurve::new(3, 10, vec![5, 2]);
+    }
+
+    #[test]
+    fn tied_indices_are_allowed() {
+        // An oracle query may confirm several matches at once.
+        let c = RecallCurve::new(3, 10, vec![2, 2, 2]);
+        assert_eq!(c.recall_at(1), 0.0);
+        assert_eq!(c.recall_at(2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more matches")]
+    fn too_many_matches_panic() {
+        RecallCurve::new(1, 10, vec![1, 2]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// Closed-form AUC equals the naive per-emission sum, and recall is
+        /// monotone, for arbitrary curves.
+        #[test]
+        fn auc_equivalence(
+            d in 1usize..20,
+            emissions in 0u64..200,
+            raw_idx in proptest::collection::btree_set(1u64..200, 0..15),
+        ) {
+            let indices: Vec<u64> = raw_idx
+                .into_iter()
+                .filter(|&m| m <= emissions)
+                .take(d)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let c = RecallCurve::new(d, emissions, indices);
+            let naive: f64 = (1..=emissions).map(|k| c.recall_at(k)).sum();
+            prop_assert!((c.auc_raw(emissions) - naive).abs() < 1e-6);
+            prop_assert!(c.auc_raw(emissions) <= c.auc_ideal(emissions) + 1e-9,
+                "no method beats the ideal");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Unordered profile pairs — the unit of work of progressive ER.
+
+use crate::profile::ProfileId;
+use serde::{Deserialize, Serialize};
+
+/// An unordered pair of distinct profiles, stored canonically with the
+/// smaller id first so that `Pair::new(a, b) == Pair::new(b, a)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Pair {
+    /// Smaller profile id.
+    pub first: ProfileId,
+    /// Larger profile id.
+    pub second: ProfileId,
+}
+
+impl Pair {
+    /// Creates a canonical pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a == b` — a profile never matches against itself.
+    #[inline]
+    pub fn new(a: ProfileId, b: ProfileId) -> Self {
+        assert_ne!(a, b, "a pair must contain two distinct profiles");
+        if a < b {
+            Self { first: a, second: b }
+        } else {
+            Self { first: b, second: a }
+        }
+    }
+
+    /// True when `p` is one of the two endpoints.
+    #[inline]
+    pub fn contains(&self, p: ProfileId) -> bool {
+        self.first == p || self.second == p
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not part of the pair.
+    #[inline]
+    pub fn other(&self, p: ProfileId) -> ProfileId {
+        if p == self.first {
+            self.second
+        } else if p == self.second {
+            self.first
+        } else {
+            panic!("{p} is not an endpoint of {self:?}")
+        }
+    }
+}
+
+impl std::fmt::Display for Pair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c({},{})", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order() {
+        let p = Pair::new(ProfileId(5), ProfileId(2));
+        assert_eq!(p.first, ProfileId(2));
+        assert_eq!(p.second, ProfileId(5));
+        assert_eq!(p, Pair::new(ProfileId(2), ProfileId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn self_pair_panics() {
+        Pair::new(ProfileId(1), ProfileId(1));
+    }
+
+    #[test]
+    fn contains_and_other() {
+        let p = Pair::new(ProfileId(1), ProfileId(9));
+        assert!(p.contains(ProfileId(9)));
+        assert!(!p.contains(ProfileId(2)));
+        assert_eq!(p.other(ProfileId(1)), ProfileId(9));
+        assert_eq!(p.other(ProfileId(9)), ProfileId(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn other_with_non_member_panics() {
+        Pair::new(ProfileId(1), ProfileId(2)).other(ProfileId(3));
+    }
+}

@@ -1,0 +1,225 @@
+//! Ground truth: the known set of duplicate pairs `DP` (§7, Table 2).
+//!
+//! Internally the truth is an equivalence relation over profile ids
+//! (union–find), from which the duplicate-pair set is enumerated: Dirty-ER
+//! clusters of size `k` contribute `k·(k−1)/2` pairs (this is how cora's
+//! 1.3 k profiles yield 17 k matches), while Clean-clean truths pair ids
+//! across the two sources.
+
+use crate::comparison::Pair;
+use crate::profile::{ErKind, ProfileCollection, ProfileId};
+use crate::union_find::UnionFind;
+use std::collections::HashSet;
+
+/// The set of true matches of an ER task.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    pairs: HashSet<Pair>,
+    /// Cluster representative per profile for O(1) `is_match` in the common
+    /// case; pairs set remains the source of truth for Clean-clean tasks
+    /// where transitivity across sources is not assumed.
+    representative: Vec<u32>,
+}
+
+impl GroundTruth {
+    /// Builds the truth from equivalence clusters over `n` profiles. All
+    /// within-cluster pairs become matches.
+    pub fn from_clusters(n: usize, clusters: &[Vec<ProfileId>]) -> Self {
+        let mut uf = UnionFind::new(n);
+        for cluster in clusters {
+            for w in cluster.windows(2) {
+                uf.union(w[0].index(), w[1].index());
+            }
+        }
+        Self::from_union_find(n, uf)
+    }
+
+    /// Builds the truth from explicit matching pairs, closing transitively
+    /// (the paper's oracle discussion §2 notes transitivity is a property of
+    /// ground truths even when match functions lack it).
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = Pair>) -> Self {
+        let mut uf = UnionFind::new(n);
+        for p in pairs {
+            uf.union(p.first.index(), p.second.index());
+        }
+        Self::from_union_find(n, uf)
+    }
+
+    fn from_union_find(n: usize, mut uf: UnionFind) -> Self {
+        let mut representative = vec![0u32; n];
+        for (i, slot) in representative.iter_mut().enumerate() {
+            *slot = uf.find(i) as u32;
+        }
+        let mut pairs = HashSet::new();
+        for cluster in uf.clusters(2) {
+            for (i, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[i + 1..] {
+                    pairs.insert(Pair::new(ProfileId(a as u32), ProfileId(b as u32)));
+                }
+            }
+        }
+        Self {
+            pairs,
+            representative,
+        }
+    }
+
+    /// Number of duplicate pairs, `|DP|`.
+    pub fn num_matches(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the two profiles are duplicates.
+    #[inline]
+    pub fn is_match(&self, a: ProfileId, b: ProfileId) -> bool {
+        a != b && self.representative[a.index()] == self.representative[b.index()]
+    }
+
+    /// True when `pair` is a duplicate pair.
+    #[inline]
+    pub fn is_match_pair(&self, pair: Pair) -> bool {
+        self.is_match(pair.first, pair.second)
+    }
+
+    /// Iterates the duplicate pairs in unspecified order.
+    pub fn pairs(&self) -> impl Iterator<Item = &Pair> {
+        self.pairs.iter()
+    }
+
+    /// The equivalence clusters of size ≥ 2 (the distinct duplicated
+    /// entities).
+    pub fn clusters(&self) -> Vec<Vec<ProfileId>> {
+        let mut uf = UnionFind::new(self.representative.len());
+        for p in &self.pairs {
+            uf.union(p.first.index(), p.second.index());
+        }
+        uf.clusters(2)
+            .into_iter()
+            .map(|c| c.into_iter().map(|i| ProfileId(i as u32)).collect())
+            .collect()
+    }
+
+    /// Validates the truth against a collection: every pair must be a valid
+    /// comparison of the task (distinct ids; cross-source for Clean-clean).
+    /// Returns the number of violating pairs (0 when consistent).
+    pub fn validate(&self, collection: &ProfileCollection) -> usize {
+        self.pairs
+            .iter()
+            .filter(|p| !collection.is_valid_comparison(p.first, p.second))
+            .count()
+    }
+
+    /// For Clean-clean tasks, a sanity property: each source is
+    /// duplicate-free, so every cluster has at most one profile per source.
+    /// Returns true when that holds (always true for Dirty).
+    pub fn clean_sources_are_duplicate_free(&self, collection: &ProfileCollection) -> bool {
+        if collection.kind() == ErKind::Dirty {
+            return true;
+        }
+        self.clusters().iter().all(|c| {
+            let firsts = c
+                .iter()
+                .filter(|&&p| collection.source_of(p) == crate::profile::SourceId::FIRST)
+                .count();
+            firsts <= 1 && c.len() - firsts <= 1
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    #[test]
+    fn cluster_pair_count() {
+        // Fig. 3: p1≡p2≡p3 and p4≡p5 → C(3,2) + C(2,2) = 3 + 1 = 4 pairs.
+        let gt = GroundTruth::from_clusters(
+            6,
+            &[vec![pid(0), pid(1), pid(2)], vec![pid(3), pid(4)]],
+        );
+        assert_eq!(gt.num_matches(), 4);
+        assert!(gt.is_match(pid(0), pid(2)));
+        assert!(gt.is_match(pid(3), pid(4)));
+        assert!(!gt.is_match(pid(0), pid(3)));
+        assert!(!gt.is_match(pid(5), pid(5)));
+    }
+
+    #[test]
+    fn from_pairs_closes_transitively() {
+        let gt = GroundTruth::from_pairs(
+            4,
+            [Pair::new(pid(0), pid(1)), Pair::new(pid(1), pid(2))],
+        );
+        assert!(gt.is_match(pid(0), pid(2)));
+        assert_eq!(gt.num_matches(), 3);
+    }
+
+    #[test]
+    fn clusters_roundtrip() {
+        let gt = GroundTruth::from_clusters(5, &[vec![pid(1), pid(3), pid(4)]]);
+        let clusters = gt.clusters();
+        assert_eq!(clusters, vec![vec![pid(1), pid(3), pid(4)]]);
+    }
+
+    #[test]
+    fn validate_against_collection() {
+        use crate::profile::ProfileCollectionBuilder;
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        let a = b.add_profile([("n", "x")]);
+        let c = b.add_profile([("n", "y")]);
+        b.start_second_source();
+        let d = b.add_profile([("n", "x")]);
+        let coll = b.build();
+
+        let good = GroundTruth::from_pairs(3, [Pair::new(a, d)]);
+        assert_eq!(good.validate(&coll), 0);
+        assert!(good.clean_sources_are_duplicate_free(&coll));
+
+        let bad = GroundTruth::from_pairs(3, [Pair::new(a, c)]);
+        assert_eq!(bad.validate(&coll), 1);
+        assert!(!bad.clean_sources_are_duplicate_free(&coll));
+    }
+
+    #[test]
+    fn empty_truth() {
+        let gt = GroundTruth::from_clusters(10, &[]);
+        assert_eq!(gt.num_matches(), 0);
+        assert!(gt.clusters().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// |DP| equals Σ k·(k−1)/2 over clusters, and is_match agrees with
+        /// the enumerated pair set.
+        #[test]
+        fn pair_count_matches_cluster_sizes(
+            n in 2usize..30,
+            seed_pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..40),
+        ) {
+            let pairs: Vec<Pair> = seed_pairs
+                .into_iter()
+                .filter(|(a, b)| a != b && (*a as usize) < n && (*b as usize) < n)
+                .map(|(a, b)| Pair::new(ProfileId(a), ProfileId(b)))
+                .collect();
+            let gt = GroundTruth::from_pairs(n, pairs);
+            let expected: usize = gt
+                .clusters()
+                .iter()
+                .map(|c| c.len() * (c.len() - 1) / 2)
+                .sum();
+            prop_assert_eq!(gt.num_matches(), expected);
+            for p in gt.pairs() {
+                prop_assert!(gt.is_match_pair(*p));
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Disjoint-set forest used to maintain ground-truth equivalence clusters.
+
+/// Union–find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x` (with path halving).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x as usize
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` when they were
+    /// previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups all elements into clusters of size ≥ `min_size`, each sorted
+    /// ascending; clusters ordered by their smallest element.
+    pub fn clusters(&mut self, min_size: usize) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for x in 0..n {
+            let r = self.find(x);
+            by_root[r].push(x);
+        }
+        by_root.retain(|c| c.len() >= min_size.max(1));
+        by_root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.clusters(1).len(), 3);
+        assert_eq!(uf.clusters(2).len(), 0);
+    }
+
+    #[test]
+    fn union_and_transitivity() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already connected
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        let clusters = uf.clusters(2);
+        assert_eq!(clusters, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn cluster_ordering() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 5);
+        uf.union(0, 2);
+        let clusters = uf.clusters(2);
+        assert_eq!(clusters, vec![vec![0, 2], vec![4, 5]]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// After arbitrary unions, `connected` is an equivalence relation and
+        /// cluster sizes sum to n.
+        #[test]
+        fn equivalence_relation(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0usize..40, 0usize..40), 0..60),
+        ) {
+            let mut uf = UnionFind::new(n);
+            for (a, b) in edges {
+                if a < n && b < n {
+                    uf.union(a, b);
+                }
+            }
+            let clusters = uf.clusters(1);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            prop_assert_eq!(total, n);
+            // Within a cluster everything is connected; across clusters not.
+            for c in &clusters {
+                for w in c.windows(2) {
+                    prop_assert!(uf.connected(w[0], w[1]));
+                }
+            }
+            for pair in clusters.windows(2) {
+                prop_assert!(!uf.connected(pair[0][0], pair[1][0]));
+            }
+        }
+    }
+}

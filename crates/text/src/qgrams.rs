@@ -1,0 +1,132 @@
+//! Character q-grams: an auxiliary similarity used by the synthetic data
+//! calibration and available as an alternative cheap match function.
+
+use std::collections::HashMap;
+
+/// Returns the multiset of character `q`-grams of `s` as a count map.
+///
+/// Strings shorter than `q` yield a single gram equal to the whole string
+/// (so very short values still compare meaningfully).
+///
+/// # Examples
+///
+/// ```
+/// use sper_text::qgrams;
+/// let g = qgrams("abab", 2);
+/// assert_eq!(g.get("ab"), Some(&2));
+/// assert_eq!(g.get("ba"), Some(&1));
+/// ```
+pub fn qgrams(s: &str, q: usize) -> HashMap<String, u32> {
+    assert!(q > 0, "q must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    let mut map = HashMap::new();
+    if chars.is_empty() {
+        return map;
+    }
+    if chars.len() < q {
+        *map.entry(s.to_string()).or_insert(0) += 1;
+        return map;
+    }
+    for w in chars.windows(q) {
+        let gram: String = w.iter().collect();
+        *map.entry(gram).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Multiset-Jaccard similarity over q-gram profiles:
+/// `Σ min(countA, countB) / Σ max(countA, countB)`.
+///
+/// # Examples
+///
+/// ```
+/// use sper_text::qgram_similarity;
+/// assert_eq!(qgram_similarity("night", "night", 2), 1.0);
+/// assert!(qgram_similarity("night", "nacht", 2) < 0.5);
+/// ```
+pub fn qgram_similarity(a: &str, b: &str, q: usize) -> f64 {
+    let ga = qgrams(a, q);
+    let gb = qgrams(b, q);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let mut inter = 0u64;
+    let mut union = 0u64;
+    for (gram, &ca) in &ga {
+        let cb = gb.get(gram).copied().unwrap_or(0);
+        inter += u64::from(ca.min(cb));
+        union += u64::from(ca.max(cb));
+    }
+    for (gram, &cb) in &gb {
+        if !ga.contains_key(gram) {
+            union += u64::from(cb);
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_counts() {
+        let g = qgrams("hello", 2);
+        assert_eq!(g.len(), 4);
+        assert!(g.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn short_string_single_gram() {
+        let g = qgrams("a", 3);
+        assert_eq!(g.get("a"), Some(&1));
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn empty_string() {
+        assert!(qgrams("", 2).is_empty());
+        assert_eq!(qgram_similarity("", "", 2), 1.0);
+        assert_eq!(qgram_similarity("ab", "", 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn zero_q_panics() {
+        qgrams("abc", 0);
+    }
+
+    #[test]
+    fn similarity_symmetry() {
+        for (a, b) in [("night", "nacht"), ("carl", "karl"), ("", "x")] {
+            assert_eq!(qgram_similarity(a, b, 2), qgram_similarity(b, a, 2));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn similarity_in_unit_range(a in "[a-d]{0,10}", b in "[a-d]{0,10}", q in 1usize..4) {
+            let s = qgram_similarity(&a, &b, q);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert_eq!(qgram_similarity(&a, &a, q), 1.0);
+        }
+
+        #[test]
+        fn gram_total_count(a in "[a-d]{0,12}", q in 1usize..4) {
+            let total: u32 = qgrams(&a, q).values().sum();
+            let n = a.chars().count();
+            let expected = if n == 0 { 0 } else if n < q { 1 } else { (n - q + 1) as u32 };
+            prop_assert_eq!(total, expected);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! American Soundex — the phonetic encoding used to build PSN's schema-based
+//! blocking keys for the census twin (paper footnote 6: "Soundex encoded
+//! surnames concatenated to initials and zipcodes").
+
+/// Encodes `name` with American Soundex, returning a 4-character code such
+/// as `"R163"` for `"Robert"`. Non-alphabetic characters are skipped; an
+/// input without any letters yields `"0000"`.
+///
+/// # Examples
+///
+/// ```
+/// use sper_text::soundex;
+/// assert_eq!(soundex("Robert"), "R163");
+/// assert_eq!(soundex("Rupert"), "R163");
+/// assert_eq!(soundex("Tymczak"), "T522");
+/// assert_eq!(soundex("Pfister"), "P236");
+/// assert_eq!(soundex("Honeyman"), "H555");
+/// ```
+pub fn soundex(name: &str) -> String {
+    fn digit(c: u8) -> u8 {
+        match c {
+            b'b' | b'f' | b'p' | b'v' => b'1',
+            b'c' | b'g' | b'j' | b'k' | b'q' | b's' | b'x' | b'z' => b'2',
+            b'd' | b't' => b'3',
+            b'l' => b'4',
+            b'm' | b'n' => b'5',
+            b'r' => b'6',
+            _ => b'0', // vowels + h, w, y
+        }
+    }
+
+    let letters: Vec<u8> = name
+        .bytes()
+        .filter(|b| b.is_ascii_alphabetic())
+        .map(|b| b.to_ascii_lowercase())
+        .collect();
+    let Some(&first) = letters.first() else {
+        return "0000".to_string();
+    };
+
+    let mut code = vec![first.to_ascii_uppercase()];
+    let mut last_digit = digit(first);
+    for &c in &letters[1..] {
+        let d = digit(c);
+        if d == b'0' {
+            // h and w are "transparent": they do NOT reset the previous
+            // digit; vowels do.
+            if c != b'h' && c != b'w' {
+                last_digit = b'0';
+            }
+            continue;
+        }
+        if d != last_digit {
+            code.push(d);
+            if code.len() == 4 {
+                break;
+            }
+        }
+        last_digit = d;
+    }
+    while code.len() < 4 {
+        code.push(b'0');
+    }
+    String::from_utf8(code).expect("soundex output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        // The classic reference vectors from the U.S. National Archives.
+        assert_eq!(soundex("Washington"), "W252");
+        assert_eq!(soundex("Lee"), "L000");
+        assert_eq!(soundex("Gutierrez"), "G362");
+        assert_eq!(soundex("Jackson"), "J250");
+        assert_eq!(soundex("Ashcraft"), "A261"); // h is transparent
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(soundex("SMITH"), soundex("smith"));
+        assert_eq!(soundex("Smith"), "S530");
+        assert_eq!(soundex("Smyth"), "S530");
+    }
+
+    #[test]
+    fn non_alpha_skipped() {
+        assert_eq!(soundex("O'Brien"), soundex("OBrien"));
+    }
+
+    #[test]
+    fn empty_and_non_alpha() {
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+    }
+
+    #[test]
+    fn single_letter() {
+        assert_eq!(soundex("A"), "A000");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Output is always 4 chars: uppercase letter or '0', then digits.
+        #[test]
+        fn shape(s in "\\PC{0,16}") {
+            let code = soundex(&s);
+            prop_assert_eq!(code.len(), 4);
+            let bytes = code.as_bytes();
+            prop_assert!(bytes[0].is_ascii_uppercase() || bytes[0] == b'0');
+            prop_assert!(bytes[1..].iter().all(|b| b.is_ascii_digit()));
+        }
+    }
+}

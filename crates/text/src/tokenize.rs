@@ -1,0 +1,210 @@
+//! Attribute-value tokenization — the source of schema-agnostic blocking keys.
+//!
+//! Token Blocking (§3, \[18\]) creates one block per distinct attribute-value
+//! token. The tokenizer splits attribute values on non-alphanumeric
+//! boundaries, normalizes each token, and optionally drops tokens that are
+//! too short to be discriminative.
+//!
+//! For RDF-style values (URIs), splitting on non-alphanumeric boundaries
+//! yields the URI path fragments; the prefix fragments (`http`, `www`, domain parts) become
+//! extremely frequent tokens that Block Purging later removes — exactly the
+//! noise mechanism the paper describes for freebase (§7.2).
+
+use crate::normalize::normalize_token_into;
+
+/// Configuration for [`Tokenizer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenizerConfig {
+    /// Minimum token length (in bytes after normalization); shorter tokens
+    /// are discarded. The paper's workflow keeps all tokens, so the default
+    /// is 1.
+    pub min_token_len: usize,
+    /// When true, purely numeric tokens are kept (default). Disabling them is
+    /// occasionally useful for bibliographic data where page numbers are
+    /// noise.
+    pub keep_numeric: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self {
+            min_token_len: 1,
+            keep_numeric: true,
+        }
+    }
+}
+
+/// Splits attribute values into normalized tokens.
+///
+/// # Examples
+///
+/// ```
+/// use sper_text::Tokenizer;
+/// let t = Tokenizer::default();
+/// assert_eq!(
+///     t.tokenize("Emma White, WI Tailor"),
+///     vec!["emma", "white", "wi", "tailor"]
+/// );
+/// // URI values decompose into their fragments:
+/// assert_eq!(
+///     t.tokenize("http://kb.org/resource/Carl_White"),
+///     vec!["http", "kb", "org", "resource", "carl", "white"]
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Returns the configuration in use.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenizes `value`, returning owned normalized tokens in order of
+    /// appearance (duplicates preserved — block construction dedups later).
+    pub fn tokenize(&self, value: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        self.tokenize_into(value, &mut out);
+        out
+    }
+
+    /// Tokenizes `value` appending into `out` (which is *not* cleared), so a
+    /// profile's tokens across all attributes can accumulate in one buffer.
+    pub fn tokenize_into(&self, value: &str, out: &mut Vec<String>) {
+        let mut buf = String::new();
+        for raw in value.split(|c: char| !c.is_ascii_alphanumeric()) {
+            if raw.is_empty() {
+                continue;
+            }
+            if !normalize_token_into(raw, &mut buf) {
+                continue;
+            }
+            if buf.len() < self.config.min_token_len {
+                continue;
+            }
+            if !self.config.keep_numeric && buf.bytes().all(|b| b.is_ascii_digit()) {
+                continue;
+            }
+            out.push(buf.clone());
+        }
+    }
+}
+
+/// Convenience wrapper: tokenize with the default configuration.
+pub fn tokenize_value(value: &str) -> Vec<String> {
+    Tokenizer::default().tokenize(value)
+}
+
+/// Convenience wrapper: tokenize with the default configuration into `out`.
+pub fn tokenize_value_into(value: &str, out: &mut Vec<String>) {
+    Tokenizer::default().tokenize_into(value, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_and_punctuation() {
+        assert_eq!(
+            tokenize_value("Hellen White, ML teacher"),
+            vec!["hellen", "white", "ml", "teacher"]
+        );
+    }
+
+    #[test]
+    fn underscore_splits_rdf_local_names() {
+        // Fig. 3: Carl_White yields the tokens carl and white, which is why
+        // the "white" block contains all six profiles.
+        assert_eq!(tokenize_value(":Carl_White"), vec!["carl", "white"]);
+    }
+
+    #[test]
+    fn uri_decomposes_into_fragments() {
+        assert_eq!(
+            tokenize_value("http://dbpedia.org/resource/Rome"),
+            vec!["http", "dbpedia", "org", "resource", "rome"]
+        );
+    }
+
+    #[test]
+    fn empty_value_gives_no_tokens() {
+        assert!(tokenize_value("").is_empty());
+        assert!(tokenize_value("  ,,  ").is_empty());
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer::new(TokenizerConfig {
+            min_token_len: 3,
+            keep_numeric: true,
+        });
+        assert_eq!(t.tokenize("NY is a big city"), vec!["big", "city"]);
+    }
+
+    #[test]
+    fn numeric_filter() {
+        let t = Tokenizer::new(TokenizerConfig {
+            min_token_len: 1,
+            keep_numeric: false,
+        });
+        assert_eq!(t.tokenize("pages 42 to 58"), vec!["pages", "to"]);
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        let t = Tokenizer::default();
+        let mut out = Vec::new();
+        t.tokenize_into("Carl", &mut out);
+        t.tokenize_into("White", &mut out);
+        assert_eq!(out, vec!["carl", "white"]);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        assert_eq!(
+            tokenize_value("white on white"),
+            vec!["white", "on", "white"]
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every produced token is non-empty, normalized (lowercase ASCII
+        /// alphanumerics plus underscore), and at least `min_token_len` long.
+        #[test]
+        fn tokens_are_normalized(s in "\\PC{0,64}") {
+            for tok in tokenize_value(&s) {
+                prop_assert!(!tok.is_empty());
+                prop_assert!(tok
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || !c.is_ascii()));
+                // Edges are alphanumeric after normalization.
+                prop_assert!(tok.chars().next().unwrap().is_ascii_alphanumeric()
+                    || !tok.chars().next().unwrap().is_ascii());
+            }
+        }
+
+        /// Tokenizing the join of the tokens reproduces the tokens
+        /// (idempotence of the pipeline on its own output), for ASCII input.
+        #[test]
+        fn idempotent_on_own_output(s in "[a-zA-Z0-9 ,./:-]{0,64}") {
+            let once = tokenize_value(&s);
+            let joined = once.join(" ");
+            let twice = tokenize_value(&joined);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Clean-clean ER on the movies twin: linking an IMDB-style catalog to a
+//! DBpedia-style one under a real match function and a wall-clock budget.
+//!
+//! ```text
+//! cargo run --release --example clean_clean_movies
+//! ```
+//!
+//! Mirrors §7.3: the progressive method decides the comparison *order*;
+//! a Jaccard matcher (cheap) decides matches. A pay-as-you-go catalog
+//! update would stop after its time slice — we show how much recall each
+//! method banks in the same number of comparisons.
+
+use sper::prelude::*;
+use sper_datagen::DatasetKind;
+use sper_model::{JaccardMatcher, ProfileText};
+
+fn main() {
+    let data = DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(0.1)
+        .generate();
+    println!(
+        "movies twin: |P1| = {} (imdb-like, 4 attrs), |P2| = {} (dbpedia-like, 7 attrs)",
+        data.profiles.len_first(),
+        data.profiles.len_second()
+    );
+    println!("{} true matches; schemata are disjoint\n", data.truth.num_matches());
+
+    let text = ProfileText::extract(&data.profiles);
+    let matcher = JaccardMatcher::new(&text, 0.5);
+    let config = MethodConfig::heterogeneous();
+    let options = sper_eval::timing::TimingOptions {
+        max_ec_star: 5.0,
+        checkpoints: 10,
+    };
+
+    println!(
+        "{:<8} {:>10} {:>12} {:>14} {:>12}",
+        "method", "init", "final recall", "declared", "total time"
+    );
+    for method in [
+        ProgressiveMethod::SaPsn,
+        ProgressiveMethod::LsPsn,
+        ProgressiveMethod::Pbs,
+        ProgressiveMethod::Pps,
+    ] {
+        let result = sper_eval::timing::run_timed(
+            || {
+                sper::core::build_method(
+                    method,
+                    &data.profiles,
+                    &config,
+                    data.schema_keys.as_deref(),
+                )
+            },
+            &matcher,
+            &data.truth,
+            options,
+        );
+        println!(
+            "{:<8} {:>10?} {:>12.3} {:>14} {:>12?}",
+            result.method,
+            result.init_time,
+            result.final_recall(),
+            result.declared_matches,
+            result.trajectory.last().unwrap().0,
+        );
+    }
+
+    println!(
+        "\nSame emission budget (ec* = 5) for everyone: the equality-based\n\
+         methods bank most of the recall, exactly as in Fig. 11a."
+    );
+}

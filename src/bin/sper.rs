@@ -1,0 +1,210 @@
+//! `sper` — command-line progressive entity resolution over CSV files.
+//!
+//! ```text
+//! sper resolve <profiles.csv> [--method pps] [--budget 5000] [--threshold 0.5]
+//! sper evaluate <profiles.csv> <matches.csv> [--method pps] [--ec-star 10]
+//! sper generate <dataset> [--scale 1.0] [--out profiles.csv --truth matches.csv]
+//! ```
+//!
+//! * `resolve` — emit likely matches best-first, scored with the Jaccard
+//!   match function, until the comparison budget is spent.
+//! * `evaluate` — given a ground-truth match file (`id,id` per line),
+//!   report recall progressiveness and `AUC*`.
+//! * `generate` — write one of the seven synthetic twins to CSV.
+
+use sper::prelude::*;
+use sper_model::io as model_io;
+use sper_model::{JaccardMatcher, ProfileText};
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  sper resolve  <profiles.csv> [--method psn|sa-psn|sa-psab|ls-psn|gs-psn|pbs|pps]
+                [--budget N] [--threshold T]
+  sper evaluate <profiles.csv> <matches.csv> [--method M] [--ec-star X]
+  sper generate <census|restaurant|cora|cddb|movies|dbpedia|freebase>
+                [--scale S] [--out FILE] [--truth FILE]";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_method(s: &str) -> Result<ProgressiveMethod, String> {
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "psn" => ProgressiveMethod::Psn,
+        "sa-psn" => ProgressiveMethod::SaPsn,
+        "sa-psab" => ProgressiveMethod::SaPsab,
+        "ls-psn" => ProgressiveMethod::LsPsn,
+        "gs-psn" => ProgressiveMethod::GsPsn,
+        "pbs" => ProgressiveMethod::Pbs,
+        "pps" => ProgressiveMethod::Pps,
+        other => return Err(format!("unknown method '{other}'")),
+    })
+}
+
+fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == s.to_ascii_lowercase())
+        .ok_or_else(|| format!("unknown dataset '{s}'"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("resolve") => resolve(args),
+        Some("evaluate") => evaluate(args),
+        Some("generate") => generate(args),
+        _ => Err("missing or unknown subcommand".into()),
+    }
+}
+
+fn load_profiles(path: &str) -> Result<ProfileCollection, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    model_io::read_csv(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn resolve(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("resolve needs a CSV path")?;
+    let profiles = load_profiles(path)?;
+    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
+    if method.is_schema_based() {
+        return Err("PSN needs schema keys; use a schema-agnostic method".into());
+    }
+    let budget: u64 = flag(args, "--budget")
+        .map(|s| s.parse().map_err(|e| format!("--budget: {e}")))
+        .transpose()?
+        .unwrap_or(10 * profiles.len() as u64);
+    let threshold: f64 = flag(args, "--threshold")
+        .map(|s| s.parse().map_err(|e| format!("--threshold: {e}")))
+        .transpose()?
+        .unwrap_or(0.5);
+
+    eprintln!(
+        "{} profiles; method {}; budget {budget} comparisons; jaccard ≥ {threshold}",
+        profiles.len(),
+        method.name()
+    );
+    let config = MethodConfig::default();
+    let text = ProfileText::extract(&profiles);
+    let matcher = JaccardMatcher::new(&text, threshold);
+    let m = sper::core::build_method(method, &profiles, &config, None);
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    // A closed downstream pipe (e.g. `| head`) is a normal way to stop a
+    // progressive run early — treat it as success.
+    let write_row = |out: &mut dyn Write, line: String| -> Result<bool, String> {
+        match writeln!(out, "{line}") {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    let mut emitted = 0u64;
+    let mut declared = 0u64;
+    let mut seen = std::collections::HashSet::new();
+    if !write_row(&mut out, "profile_a,profile_b,jaccard".into())? {
+        return Ok(());
+    }
+    for c in m {
+        if emitted >= budget {
+            break;
+        }
+        emitted += 1;
+        if !seen.insert(c.pair) {
+            continue;
+        }
+        let sim = matcher.similarity(c.pair.first, c.pair.second);
+        if sim >= threshold {
+            declared += 1;
+            let row = format!("{},{},{sim:.4}", c.pair.first.0, c.pair.second.0);
+            if !write_row(&mut out, row)? {
+                return Ok(());
+            }
+        }
+    }
+    eprintln!("{emitted} comparisons emitted, {declared} matches declared");
+    Ok(())
+}
+
+fn evaluate(args: &[String]) -> Result<(), String> {
+    let path = args.get(1).ok_or("evaluate needs a profiles CSV path")?;
+    let matches_path = args.get(2).ok_or("evaluate needs a matches CSV path")?;
+    let profiles = load_profiles(path)?;
+    let truth_text =
+        std::fs::read(matches_path).map_err(|e| format!("{matches_path}: {e}"))?;
+    let truth = model_io::read_matches(&truth_text[..], profiles.len())
+        .map_err(|e| format!("{matches_path}: {e}"))?;
+    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
+    let ec_star: f64 = flag(args, "--ec-star")
+        .map(|s| s.parse().map_err(|e| format!("--ec-star: {e}")))
+        .transpose()?
+        .unwrap_or(10.0);
+
+    let config = MethodConfig::default();
+    let result = run_progressive(
+        || sper::core::build_method(method, &profiles, &config, None),
+        &truth,
+        RunOptions {
+            max_ec_star: ec_star,
+            stop_at_full_recall: true,
+        },
+    );
+    println!("method        : {}", result.method);
+    println!("|P|           : {}", profiles.len());
+    println!("|DP|          : {}", truth.num_matches());
+    println!("emissions     : {}", result.curve.emissions());
+    println!("matches found : {}", result.curve.matches_found());
+    println!("final recall  : {:.4}", result.curve.final_recall());
+    println!("AUC*@{ec_star:<7}: {:.4}", result.auc(ec_star));
+    println!("init time     : {:?}", result.init_time);
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let kind = parse_dataset(args.get(1).ok_or("generate needs a dataset name")?)?;
+    let scale: f64 = flag(args, "--scale")
+        .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
+        .transpose()?
+        .unwrap_or(1.0);
+    let data = DatasetSpec::paper(kind).with_scale(scale).generate();
+    eprintln!(
+        "{}: {} profiles, {} matches",
+        kind,
+        data.profiles.len(),
+        data.truth.num_matches()
+    );
+    match flag(args, "--out") {
+        Some(path) => {
+            let mut f = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            model_io::write_csv(&data.profiles, &mut f).map_err(|e| e.to_string())?;
+            eprintln!("profiles → {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            model_io::write_csv(&data.profiles, &mut stdout.lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(path) = flag(args, "--truth") {
+        let mut f = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        model_io::write_matches(&data.truth, &mut f).map_err(|e| e.to_string())?;
+        eprintln!("truth → {path}");
+    }
+    Ok(())
+}

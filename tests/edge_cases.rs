@@ -1,0 +1,145 @@
+//! Failure-injection and degenerate-input tests: every public entry point
+//! must behave sensibly on empty, token-free, singleton and pathological
+//! collections.
+
+use sper::prelude::*;
+
+fn all_methods() -> [ProgressiveMethod; 6] {
+    ProgressiveMethod::SCHEMA_AGNOSTIC
+}
+
+#[test]
+fn empty_collection_yields_no_comparisons() {
+    let profiles = ProfileCollectionBuilder::dirty().build();
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        let mut m = sper::core::build_method(method, &profiles, &config, None);
+        assert!(m.next().is_none(), "{method} on empty input");
+    }
+}
+
+#[test]
+fn single_profile_yields_no_comparisons() {
+    let mut b = ProfileCollectionBuilder::dirty();
+    b.add_profile([("a", "lonely value")]);
+    let profiles = b.build();
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        let mut m = sper::core::build_method(method, &profiles, &config, None);
+        assert!(m.next().is_none(), "{method} on single profile");
+    }
+}
+
+#[test]
+fn token_free_profiles_are_harmless() {
+    // Profiles whose values normalize to nothing never enter any index.
+    let mut b = ProfileCollectionBuilder::dirty();
+    b.add_profile([("a", "---"), ("b", "!!")]);
+    b.add_profile([("a", ""), ("b", "...")]);
+    b.add_profile([("a", "real token")]);
+    b.add_profile([("a", "real token")]);
+    let profiles = b.build();
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        let m = sper::core::build_method(method, &profiles, &config, None);
+        for c in m.take(100) {
+            // Only the two token-bearing profiles can ever be compared.
+            assert!(c.pair.first.0 >= 2 && c.pair.second.0 >= 2, "{method}: {c:?}");
+        }
+    }
+}
+
+#[test]
+fn all_identical_profiles() {
+    // The pathological all-duplicates collection: one giant block, one
+    // equal-key run. Every method must terminate and cover all pairs.
+    let mut b = ProfileCollectionBuilder::dirty();
+    for _ in 0..12 {
+        b.add_profile([("v", "same thing everywhere")]);
+    }
+    let profiles = b.build();
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        let distinct: std::collections::HashSet<Pair> =
+            sper::core::build_method(method, &profiles, &config, None)
+                .take(20_000)
+                .map(|c| c.pair)
+                .collect();
+        match method {
+            // Every token occurs in 100 % of the profiles, so Block Purging
+            // correctly treats them all as stop words: the equality-based
+            // methods legitimately see zero comparable blocks.
+            ProgressiveMethod::Pbs | ProgressiveMethod::Pps => {
+                assert!(distinct.is_empty(), "{method}: stop words must be purged");
+            }
+            // The similarity-based and suffix methods must cover C(12,2).
+            _ => assert_eq!(distinct.len(), 66, "{method} must cover every pair"),
+        }
+    }
+}
+
+#[test]
+fn clean_clean_empty_second_source() {
+    let mut b = ProfileCollectionBuilder::clean_clean();
+    b.add_profile([("a", "x y z")]);
+    b.add_profile([("a", "x q r")]);
+    b.start_second_source();
+    let profiles = b.build();
+    assert_eq!(profiles.len_second(), 0);
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        let mut m = sper::core::build_method(method, &profiles, &config, None);
+        assert!(m.next().is_none(), "{method}: no cross-source pair exists");
+    }
+}
+
+#[test]
+fn unicode_heavy_values() {
+    let mut b = ProfileCollectionBuilder::dirty();
+    b.add_profile([("名", "café München 東京"), ("x", "β-carotene")]);
+    b.add_profile([("名", "café München 東京"), ("x", "β-carotene")]);
+    let profiles = b.build();
+    let config = MethodConfig::default();
+    for method in all_methods() {
+        // Must not panic on multi-byte boundaries anywhere in the pipeline.
+        let n = sper::core::build_method(method, &profiles, &config, None)
+            .take(50)
+            .count();
+        let _ = n;
+    }
+}
+
+#[test]
+fn runner_handles_truthless_task() {
+    // A ground truth with zero matches: curves stay sane.
+    let mut b = ProfileCollectionBuilder::dirty();
+    b.add_profile([("a", "alpha beta")]);
+    b.add_profile([("a", "alpha gamma")]);
+    let profiles = b.build();
+    let truth = GroundTruth::from_clusters(2, &[]);
+    let result = run_progressive(
+        || sper::core::build_method(ProgressiveMethod::SaPsn, &profiles, &MethodConfig::default(), None),
+        &truth,
+        RunOptions::default(),
+    );
+    assert_eq!(result.curve.matches_found(), 0);
+    assert_eq!(result.curve.recall_at(100), 1.0, "vacuous recall is 1");
+}
+
+#[test]
+fn huge_kmax_and_tiny_wmax_configs() {
+    let mut b = ProfileCollectionBuilder::dirty();
+    for i in 0..20u32 {
+        b.add_profile([("v", format!("tok{} shared", i % 7))]);
+    }
+    let profiles = b.build();
+    let config = MethodConfig {
+        kmax: usize::MAX / 2,
+        wmax: 1,
+        ..MethodConfig::default()
+    };
+    for method in [ProgressiveMethod::Pps, ProgressiveMethod::GsPsn] {
+        let n = sper::core::build_method(method, &profiles, &config, None).count();
+        assert!(n > 0, "{method} should still emit");
+    }
+}

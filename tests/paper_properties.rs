@@ -1,0 +1,158 @@
+//! Cross-crate integration tests: the paper's *qualitative* experimental
+//! claims, asserted on scaled-down twins. Absolute numbers differ from the
+//! paper (synthetic data, different hardware) but the orderings — who wins,
+//! where — must hold.
+
+use sper::prelude::*;
+use sper_datagen::DatasetKind;
+
+fn auc10(method: ProgressiveMethod, data: &GeneratedDataset, config: &MethodConfig) -> f64 {
+    let result = run_progressive(
+        || sper::core::build_method(method, &data.profiles, config, data.schema_keys.as_deref()),
+        &data.truth,
+        RunOptions {
+            max_ec_star: 10.0,
+            stop_at_full_recall: true,
+        },
+    );
+    result.auc(10.0)
+}
+
+/// §7.1: on structured data, the advanced similarity-based methods beat the
+/// naive SA-PSN to a significant extent.
+#[test]
+fn advanced_beats_naive_on_structured() {
+    let data = DatasetSpec::paper(DatasetKind::Census).with_scale(0.5).generate();
+    let config = MethodConfig::default();
+    let naive = auc10(ProgressiveMethod::SaPsn, &data, &config);
+    for advanced in [ProgressiveMethod::LsPsn, ProgressiveMethod::GsPsn] {
+        let score = auc10(advanced, &data, &config);
+        assert!(
+            score > naive,
+            "{advanced} ({score:.3}) should beat SA-PSN ({naive:.3}) on census"
+        );
+    }
+}
+
+/// §7.1 / Fig. 10: the schema-agnostic advanced methods outperform the
+/// schema-based PSN on the restaurant twin (high token overlap,
+/// non-discriminative attributes).
+#[test]
+fn schema_agnostic_beats_psn_on_restaurant() {
+    let data = DatasetSpec::paper(DatasetKind::Restaurant).generate();
+    let config = MethodConfig::default();
+    let psn = auc10(ProgressiveMethod::Psn, &data, &config);
+    for advanced in ProgressiveMethod::ADVANCED {
+        let score = auc10(advanced, &data, &config);
+        assert!(
+            score > psn,
+            "{advanced} ({score:.3}) should beat PSN ({psn:.3}) on restaurant"
+        );
+    }
+}
+
+/// §7.2 / Fig. 11c: on the freebase twin, similarity-based methods collapse
+/// (URI noise destroys alphabetical proximity) while the equality-based
+/// methods stay robust: PBS and PPS dominate LS-PSN and GS-PSN.
+#[test]
+fn equality_methods_robust_on_freebase() {
+    let data = DatasetSpec::paper(DatasetKind::Freebase).with_scale(0.1).generate();
+    let config = MethodConfig::heterogeneous();
+    let pbs = auc10(ProgressiveMethod::Pbs, &data, &config);
+    let pps = auc10(ProgressiveMethod::Pps, &data, &config);
+    let ls = auc10(ProgressiveMethod::LsPsn, &data, &config);
+    let gs = auc10(ProgressiveMethod::GsPsn, &data, &config);
+    assert!(
+        pbs > ls && pbs > gs,
+        "PBS ({pbs:.3}) must beat LS-PSN ({ls:.3}) and GS-PSN ({gs:.3})"
+    );
+    assert!(
+        pps > ls && pps > gs,
+        "PPS ({pps:.3}) must beat LS-PSN ({ls:.3}) and GS-PSN ({gs:.3})"
+    );
+}
+
+/// §7.2: GS-PSN degrades *below* its structured-data self on freebase —
+/// the RCF weighting cannot approximate similarity when the Neighbor List
+/// is dominated by opaque machine-id tokens.
+#[test]
+fn gs_psn_degrades_on_rdf_noise() {
+    let config = MethodConfig::heterogeneous();
+    let freebase = DatasetSpec::paper(DatasetKind::Freebase).with_scale(0.1).generate();
+    let movies = DatasetSpec::paper(DatasetKind::Movies).with_scale(0.03).generate();
+    let on_freebase = auc10(ProgressiveMethod::GsPsn, &freebase, &config);
+    let on_movies = auc10(ProgressiveMethod::GsPsn, &movies, &config);
+    assert!(
+        on_movies > on_freebase + 0.2,
+        "GS-PSN should collapse on freebase: movies {on_movies:.3} vs freebase {on_freebase:.3}"
+    );
+}
+
+/// §7.1 / Fig. 9c: equality-based methods cannot reach full recall on cora
+/// (Token Blocking misses some duplicates after purging/filtering), while
+/// exhaustive similarity methods can.
+#[test]
+fn pbs_final_recall_below_one_on_cora() {
+    let data = DatasetSpec::paper(DatasetKind::Cora).with_scale(0.3).generate();
+    let config = MethodConfig::default();
+    let result = run_progressive(
+        || {
+            sper::core::build_method(
+                ProgressiveMethod::Pbs,
+                &data.profiles,
+                &config,
+                None,
+            )
+        },
+        &data.truth,
+        RunOptions {
+            max_ec_star: 1_000.0, // effectively unbounded
+            stop_at_full_recall: true,
+        },
+    );
+    let recall = result.curve.final_recall();
+    assert!(
+        recall > 0.9 && recall <= 1.0,
+        "PBS exhausts near-but-possibly-below full recall: {recall}"
+    );
+}
+
+/// §8 / Fig. 13: PBS has the lowest initialization time among the advanced
+/// methods (the reason the paper recommends it for tight time budgets).
+#[test]
+fn pbs_has_cheapest_advanced_initialization() {
+    let data = DatasetSpec::paper(DatasetKind::Movies).with_scale(0.05).generate();
+    let config = MethodConfig::heterogeneous();
+    let init_of = |method: ProgressiveMethod| {
+        let t0 = std::time::Instant::now();
+        let mut m = sper::core::build_method(method, &data.profiles, &config, None);
+        let _ = m.next();
+        t0.elapsed()
+    };
+    // Warm up allocator/caches once.
+    let _ = init_of(ProgressiveMethod::Pbs);
+    let pbs = init_of(ProgressiveMethod::Pbs);
+    let gs = init_of(ProgressiveMethod::GsPsn);
+    assert!(
+        pbs < gs,
+        "PBS init ({pbs:?}) should undercut GS-PSN's wmax-deep pass ({gs:?})"
+    );
+}
+
+/// Improved Early Quality (§3.1): at the same emission budget, every
+/// advanced method finds at least as many matches as a batch-ordered
+/// (arbitrary-order) execution would on average — approximated here by
+/// SA-PSAB's hierarchy order on the restaurant twin.
+#[test]
+fn improved_early_quality_over_batch_like_order() {
+    let data = DatasetSpec::paper(DatasetKind::Restaurant).generate();
+    let config = MethodConfig::default();
+    let batch_like = auc10(ProgressiveMethod::SaPsab, &data, &config);
+    for advanced in ProgressiveMethod::ADVANCED {
+        let score = auc10(advanced, &data, &config);
+        assert!(
+            score > batch_like,
+            "{advanced} ({score:.3}) must beat the batch-like order ({batch_like:.3})"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Brute-force equivalence tests for the similarity-based methods: the
+//! sliding-window semantics of SA-PSN / LS-PSN / GS-PSN are re-derived from
+//! an externally built Neighbor List (same seed ⇒ identical list) and
+//! compared pair-for-pair.
+
+use sper::prelude::*;
+use sper_blocking::neighbor_list::NeighborList;
+use sper_core::gs_psn::GsPsn;
+use sper_core::ls_psn::LsPsn;
+use sper_core::sa_psn::SaPsn;
+use sper_datagen::DatasetKind;
+use std::collections::HashSet;
+
+const SEED: u64 = 1234;
+
+fn twin() -> GeneratedDataset {
+    DatasetSpec::paper(DatasetKind::Restaurant).with_scale(0.15).generate()
+}
+
+/// All valid pairs at exactly window distance `w` of the Neighbor List, in
+/// position order (the SA-PSN emission order for that window).
+fn window_pairs(nl: &NeighborList, profiles: &ProfileCollection, w: usize) -> Vec<Pair> {
+    let mut out = Vec::new();
+    for pos in 0..nl.len().saturating_sub(w) {
+        let a = nl.profile_at(pos);
+        let b = nl.profile_at(pos + w);
+        if profiles.is_valid_comparison(a, b) {
+            out.push(Pair::new(a, b));
+        }
+    }
+    out
+}
+
+#[test]
+fn sa_psn_equals_brute_force_window_sweep() {
+    let data = twin();
+    let nl = NeighborList::build(&data.profiles, SEED);
+    let mut expected: Vec<Pair> = Vec::new();
+    for w in 1..=3 {
+        expected.extend(window_pairs(&nl, &data.profiles, w));
+    }
+    let got: Vec<Pair> = SaPsn::new(&data.profiles, SEED)
+        .with_max_window(3)
+        .map(|c| c.pair)
+        .collect();
+    assert_eq!(got, expected, "emission order must match the brute force");
+}
+
+#[test]
+fn ls_psn_window_batches_equal_brute_force_sets() {
+    let data = twin();
+    let nl = NeighborList::build(&data.profiles, SEED);
+    let mut ls = LsPsn::new(&data.profiles, SEED);
+
+    // Drain the window-1 batch and compare as a *set* (LS-PSN reorders by
+    // RCF weight) against the distinct window-1 pairs.
+    let expected: HashSet<Pair> = window_pairs(&nl, &data.profiles, 1).into_iter().collect();
+    let mut got: HashSet<Pair> = HashSet::new();
+    loop {
+        if ls.window() > 1 {
+            break;
+        }
+        let Some(c) = ls.next() else { break };
+        if ls.window() > 1 {
+            // This emission already belongs to window 2.
+            break;
+        }
+        got.insert(c.pair);
+    }
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn gs_psn_pair_set_equals_all_windows_up_to_wmax() {
+    let data = twin();
+    let wmax = 5;
+    let nl = NeighborList::build(&data.profiles, SEED);
+    let mut expected: HashSet<Pair> = HashSet::new();
+    for w in 1..=wmax {
+        expected.extend(window_pairs(&nl, &data.profiles, w));
+    }
+    let got: HashSet<Pair> = GsPsn::new(&data.profiles, SEED, wmax)
+        .map(|c| c.pair)
+        .collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn gs_psn_weights_dominate_ls_psn_window1() {
+    // For any pair, the GS-PSN frequency accumulated over windows 1..=wmax
+    // is at least the LS-PSN window-1 frequency, so with the raw-frequency
+    // weighting GS weights dominate LS window-1 weights.
+    use sper_core::NeighborWeighting;
+    let data = twin();
+    let mut ls_w1: std::collections::HashMap<Pair, f64> = std::collections::HashMap::new();
+    let mut ls = LsPsn::with_weighting(&data.profiles, SEED, NeighborWeighting::Frequency);
+    loop {
+        if ls.window() > 1 {
+            break;
+        }
+        let Some(c) = ls.next() else { break };
+        if ls.window() > 1 {
+            break;
+        }
+        ls_w1.insert(c.pair, c.weight);
+    }
+    let gs = GsPsn::with_weighting(&data.profiles, SEED, 4, NeighborWeighting::Frequency);
+    let gs_weights: std::collections::HashMap<Pair, f64> =
+        gs.map(|c| (c.pair, c.weight)).collect();
+    for (pair, w1) in &ls_w1 {
+        let gw = gs_weights
+            .get(pair)
+            .unwrap_or_else(|| panic!("{pair:?} missing from GS-PSN"));
+        assert!(gw >= w1, "{pair:?}: GS {gw} < LS window-1 {w1}");
+    }
+}
