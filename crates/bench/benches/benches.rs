@@ -17,7 +17,9 @@ fn small_twin() -> GeneratedDataset {
 }
 
 fn movies_twin() -> GeneratedDataset {
-    DatasetSpec::paper(DatasetKind::Movies).with_scale(0.05).generate()
+    DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(0.05)
+        .generate()
 }
 
 /// Initialization-phase cost of every schema-agnostic method (Fig. 13e's
@@ -32,12 +34,8 @@ fn bench_init_phase(c: &mut Criterion) {
             &method,
             |b, &method| {
                 b.iter(|| {
-                    let mut m = build_method(
-                        method,
-                        &data.profiles,
-                        &config,
-                        data.schema_keys.as_deref(),
-                    );
+                    let mut m =
+                        build_method(method, &data.profiles, &config, data.schema_keys.as_deref());
                     black_box(m.next())
                 });
             },
@@ -63,14 +61,7 @@ fn bench_emission(c: &mut Criterion) {
             &method,
             |b, &method| {
                 b.iter_batched(
-                    || {
-                        build_method(
-                            method,
-                            &data.profiles,
-                            &config,
-                            data.schema_keys.as_deref(),
-                        )
-                    },
+                    || build_method(method, &data.profiles, &config, data.schema_keys.as_deref()),
                     |mut m| {
                         for _ in 0..1_000 {
                             if m.next().is_none() {

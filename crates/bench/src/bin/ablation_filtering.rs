@@ -14,7 +14,11 @@ fn main() {
     println!("== Ablation: Block Filtering ratio (PPS, dbpedia twin) ==\n");
     let data = dataset(DatasetKind::Dbpedia);
     let mut table = Table::new([
-        "filter ratio", "AUC*@1", "AUC*@10", "final recall", "emissions",
+        "filter ratio",
+        "AUC*@1",
+        "AUC*@10",
+        "final recall",
+        "emissions",
     ]);
     for ratio in [0.4, 0.6, 0.8, 1.0] {
         let mut config = paper_config(DatasetKind::Dbpedia);

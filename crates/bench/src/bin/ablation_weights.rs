@@ -22,9 +22,7 @@ fn main() {
             data.profiles.len(),
             data.truth.num_matches()
         );
-        let mut table = Table::new([
-            "method", "scheme", "AUC*@1", "AUC*@5", "AUC*@10",
-        ]);
+        let mut table = Table::new(["method", "scheme", "AUC*@1", "AUC*@5", "AUC*@10"]);
         for method in [ProgressiveMethod::Pbs, ProgressiveMethod::Pps] {
             for scheme in WeightingScheme::ALL {
                 let mut config = paper_config(kind);

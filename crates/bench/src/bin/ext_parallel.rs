@@ -5,8 +5,7 @@
 //! movies twin, and verifies result identity.
 
 use sper_blocking::{
-    parallel_blocking_graph, parallel_token_blocking, BlockingGraph, TokenBlocking,
-    WeightingScheme,
+    parallel_blocking_graph, parallel_token_blocking, BlockingGraph, TokenBlocking, WeightingScheme,
 };
 use sper_datagen::{DatasetKind, DatasetSpec};
 use sper_eval::report::{fmt_duration, Table};

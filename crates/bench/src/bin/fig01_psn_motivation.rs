@@ -5,9 +5,9 @@
 //! of magnitude more comparisons than ideal; cddb stays below 80 %).
 
 use sper_bench::{dataset, paper_config, run_on};
+use sper_core::ProgressiveMethod;
 use sper_datagen::DatasetKind;
 use sper_eval::report::{f3, Table};
-use sper_core::ProgressiveMethod;
 
 fn main() {
     println!("== Figure 1: PSN on the structured datasets ==\n");

@@ -20,8 +20,7 @@ fn main() {
             data.truth.num_matches()
         );
         let mut table = Table::new(
-            std::iter::once("method".to_string())
-                .chain(EC_GRID.iter().map(|e| format!("ec*={e}"))),
+            std::iter::once("method".to_string()).chain(EC_GRID.iter().map(|e| format!("ec*={e}"))),
         );
         for method in methods_for(kind) {
             let result = run_on(method, &data, &config, *EC_GRID.last().unwrap());

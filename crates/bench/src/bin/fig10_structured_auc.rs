@@ -39,7 +39,9 @@ fn main() {
         ProgressiveMethod::Pps,
     ];
     for method in order {
-        let Some(per_dataset) = scores.get(&method) else { continue };
+        let Some(per_dataset) = scores.get(&method) else {
+            continue;
+        };
         let n = per_dataset.len() as f64;
         let mut row = vec![method.name().to_string()];
         for i in 0..4 {

@@ -38,7 +38,9 @@ fn main() {
         ProgressiveMethod::Pps,
     ];
     for method in order {
-        let Some(per_dataset) = scores.get(&method) else { continue };
+        let Some(per_dataset) = scores.get(&method) else {
+            continue;
+        };
         let n = per_dataset.len() as f64;
         let name = if per_dataset.len() < 3 {
             format!("{}*", method.name())

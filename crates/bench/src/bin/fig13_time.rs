@@ -53,7 +53,11 @@ fn main() {
             println!(
                 "   match function: {} ({})",
                 matcher.name(),
-                if cheap { "cheap, O(s+t)" } else { "expensive, O(s·t)" }
+                if cheap {
+                    "cheap, O(s+t)"
+                } else {
+                    "expensive, O(s·t)"
+                }
             );
             let mut table = Table::new([
                 "method",
@@ -66,14 +70,7 @@ fn main() {
             ]);
             for method in methods {
                 let result = run_timed(
-                    || {
-                        build_method(
-                            method,
-                            &data.profiles,
-                            &config,
-                            data.schema_keys.as_deref(),
-                        )
-                    },
+                    || build_method(method, &data.profiles, &config, data.schema_keys.as_deref()),
                     matcher,
                     &data.truth,
                     options,

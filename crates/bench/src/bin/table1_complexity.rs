@@ -21,9 +21,7 @@ fn main() {
         ProgressiveMethod::Pps,
     ];
 
-    let mut table = Table::new([
-        "method", "|P|", "init", "emit 10k", "emissions/ms",
-    ]);
+    let mut table = Table::new(["method", "|P|", "init", "emit 10k", "emissions/ms"]);
     for &scale in &scales {
         let data = DatasetSpec::paper(DatasetKind::Movies)
             .with_scale(scale)
@@ -31,12 +29,7 @@ fn main() {
         let config = paper_config(DatasetKind::Movies);
         for method in methods {
             let t0 = Instant::now();
-            let mut m = build_method(
-                method,
-                &data.profiles,
-                &config,
-                data.schema_keys.as_deref(),
-            );
+            let mut m = build_method(method, &data.profiles, &config, data.schema_keys.as_deref());
             let init = t0.elapsed();
 
             let t1 = Instant::now();
@@ -64,6 +57,10 @@ fn main() {
     println!("  SA-PSAB  space O(s̄e|P|)        init O(s̄e|P| log s̄e|P|)     emit O(1)");
     println!("  GS-PSN   space O(wmax|p̄||P|)   init O(|p̄||P| log |p̄||P|)   emit O(1)");
     println!("  LS-PSN   space O(|p̄||P|)       init O(|p̄||P| log |p̄||P|)   emit O(1) or O(|p̄||P|)");
-    println!("  PPS      space O(|p̄||P|)       init O(|V|+|E|)              emit O(1) or O(|p̄||b̄|)");
-    println!("  PBS      space O(|p̄||P|)       init O(|B| log |B|)          emit O(1) or O(‖b̄‖ log ‖b̄‖)");
+    println!(
+        "  PPS      space O(|p̄||P|)       init O(|V|+|E|)              emit O(1) or O(|p̄||b̄|)"
+    );
+    println!(
+        "  PBS      space O(|p̄||P|)       init O(|B| log |B|)          emit O(1) or O(‖b̄‖ log ‖b̄‖)"
+    );
 }

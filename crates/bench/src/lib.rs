@@ -71,14 +71,7 @@ pub fn run_on(
         stop_at_full_recall: true,
     };
     run_progressive(
-        || {
-            build_method(
-                method,
-                &data.profiles,
-                config,
-                data.schema_keys.as_deref(),
-            )
-        },
+        || build_method(method, &data.profiles, config, data.schema_keys.as_deref()),
         &data.truth,
         options,
     )

@@ -68,6 +68,37 @@ impl Block {
         }
     }
 
+    /// Appends one member to a live block — the streaming ingest path
+    /// (`sper-stream`), where profiles arrive in ascending id order and all
+    /// `P1` profiles precede all `P2` profiles (the [`ProfileCollection`]
+    /// id-density invariant). Duplicate ids are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id order or source layout would be violated.
+    pub fn push_member(&mut self, p: ProfileId, source: SourceId) {
+        if source == SourceId::FIRST {
+            assert!(
+                self.profiles.len() == self.n_first as usize,
+                "P1 members must be added before any P2 member"
+            );
+            match self.first_source().last() {
+                Some(&last) if last == p => return,
+                Some(&last) => assert!(last < p, "members must arrive in ascending id order"),
+                None => {}
+            }
+            self.profiles.insert(self.n_first as usize, p);
+            self.n_first += 1;
+        } else {
+            match self.second_source().last() {
+                Some(&last) if last == p => return,
+                Some(&last) => assert!(last < p, "members must arrive in ascending id order"),
+                None => {}
+            }
+            self.profiles.push(p);
+        }
+    }
+
     /// Block size `|b|`: the number of profiles it contains.
     #[inline]
     pub fn size(&self) -> usize {
@@ -187,10 +218,7 @@ impl BlockCollection {
     /// `‖B‖`: the aggregate cardinality (total comparisons, with repeats
     /// across blocks counted multiply).
     pub fn total_comparisons(&self) -> u64 {
-        self.blocks
-            .iter()
-            .map(|b| b.cardinality(self.kind))
-            .sum()
+        self.blocks.iter().map(|b| b.cardinality(self.kind)).sum()
     }
 
     /// Average block size `|b̄|`.
@@ -290,6 +318,40 @@ mod tests {
         coll.sort_by_cardinality();
         assert_eq!(coll.get(BlockId(0)).key, "small");
         assert_eq!(coll.get(BlockId(1)).key, "big");
+    }
+
+    #[test]
+    fn push_member_matches_batch_construction() {
+        let mut streamed = Block::new_dirty("k", vec![]);
+        for i in [1u32, 3, 3, 7] {
+            streamed.push_member(pid(i), SourceId::FIRST);
+        }
+        assert_eq!(
+            streamed,
+            Block::new_dirty("k", vec![pid(1), pid(3), pid(7)])
+        );
+
+        let mut cc = Block::new("k", vec![]);
+        cc.push_member(pid(0), SourceId::FIRST);
+        cc.push_member(pid(2), SourceId::SECOND);
+        cc.push_member(pid(5), SourceId::SECOND);
+        let batch = Block::new(
+            "k",
+            vec![
+                (pid(0), SourceId::FIRST),
+                (pid(2), SourceId::SECOND),
+                (pid(5), SourceId::SECOND),
+            ],
+        );
+        assert_eq!(cc, batch);
+        assert_eq!(cc.cardinality(ErKind::CleanClean), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending id order")]
+    fn push_member_rejects_out_of_order_ids() {
+        let mut b = Block::new_dirty("k", vec![pid(5)]);
+        b.push_member(pid(2), SourceId::FIRST);
     }
 
     #[test]

@@ -156,10 +156,7 @@ mod tests {
     fn clean_clean_sources_preserved() {
         let blocks = vec![Block::new(
             "k",
-            vec![
-                (pid(0), SourceId::FIRST),
-                (pid(5), SourceId::SECOND),
-            ],
+            vec![(pid(0), SourceId::FIRST), (pid(5), SourceId::SECOND)],
         )];
         let coll = BlockCollection::new(ErKind::CleanClean, 6, blocks);
         let filtered = BlockFilter::paper_default().filter(coll);

@@ -26,7 +26,11 @@ pub fn fig3_profiles() -> ProfileCollection {
         ("Profession", "Tailor"),
     ]);
     // p2: RDF
-    b.add_profile([(":livesIn", "NY"), (":n", "Carl_White"), (":workAs", "Tailor")]);
+    b.add_profile([
+        (":livesIn", "NY"),
+        (":n", "Carl_White"),
+        (":workAs", "Tailor"),
+    ]);
     // p3: RDF
     b.add_profile([(":loc", "NY"), (":n", "Karl_White"), (":job", "Tailor")]);
     // p4: relational

@@ -173,8 +173,14 @@ mod tests {
     fn fig3c_weights() {
         let g = fig3_graph();
         let close = |a: f64, b: f64| (a - b).abs() < 1e-9;
-        assert!(close(g.weight_of(pid(0), pid(1)).unwrap(), 1.0 + 1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0));
-        assert!(close(g.weight_of(pid(3), pid(4)).unwrap(), 2.0 + 1.0 / 15.0));
+        assert!(close(
+            g.weight_of(pid(0), pid(1)).unwrap(),
+            1.0 + 1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0
+        ));
+        assert!(close(
+            g.weight_of(pid(3), pid(4)).unwrap(),
+            2.0 + 1.0 / 15.0
+        ));
         assert!(close(g.weight_of(pid(2), pid(3)).unwrap(), 1.0 / 15.0));
         assert_eq!(g.weight_of(pid(0), pid(0)), None);
     }
@@ -196,10 +202,7 @@ mod tests {
         // p6 (our 5) is the only non-duplicated profile; its average
         // incident weight must be the lowest.
         let dl: Vec<f64> = (0..6).map(|i| g.duplication_likelihood(pid(i))).collect();
-        let min = dl
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let min = dl.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!((dl[5] - min).abs() < 1e-12, "p6 should rank last: {dl:?}");
     }
 

@@ -21,8 +21,8 @@
 //!   §8 future-work direction), result-identical to the sequential paths.
 
 pub mod block;
-pub mod fixtures;
 pub mod filtering;
+pub mod fixtures;
 pub mod graph;
 pub mod metablocking;
 pub mod neighbor_list;

@@ -84,8 +84,8 @@ pub fn prune(graph: &BlockingGraph, scheme: PruningScheme) -> Vec<(Pair, f64)> {
                 if neighborhood.is_empty() {
                     continue;
                 }
-                let mean: f64 = neighborhood.iter().map(|&(_, w)| w).sum::<f64>()
-                    / neighborhood.len() as f64;
+                let mean: f64 =
+                    neighborhood.iter().map(|&(_, w)| w).sum::<f64>() / neighborhood.len() as f64;
                 for (other, w) in neighborhood {
                     if w >= mean {
                         keep.insert(Pair::new(node, other));
@@ -142,10 +142,7 @@ mod tests {
         assert!(kept.iter().all(|&(_, w)| w >= mean));
         // All true matches survive WEP on Fig. 3 (their weights dominate).
         let truth = fig3_ground_truth();
-        let surviving_matches = kept
-            .iter()
-            .filter(|(p, _)| truth.is_match_pair(*p))
-            .count();
+        let surviving_matches = kept.iter().filter(|(p, _)| truth.is_match_pair(*p)).count();
         assert_eq!(surviving_matches, 4);
     }
 

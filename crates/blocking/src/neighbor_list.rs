@@ -116,6 +116,33 @@ impl NeighborList {
         }
     }
 
+    /// Builds a Neighbor List from placements that are already in final
+    /// order (keys non-decreasing, equal-key runs already permuted) — the
+    /// streaming path (`sper-stream`), whose incremental index maintains
+    /// that order itself. `keep_keys` retains the key of every position.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) when keys are not non-decreasing.
+    pub fn from_sorted_placements(
+        placements: Vec<(String, ProfileId)>,
+        n_profiles: usize,
+        keep_keys: bool,
+    ) -> Self {
+        debug_assert!(
+            placements.windows(2).all(|w| w[0].0 <= w[1].0),
+            "placements must be sorted by key"
+        );
+        let nl: Vec<ProfileId> = placements.iter().map(|(_, p)| *p).collect();
+        let position_index = PositionIndex::build(&nl, n_profiles);
+        let keys = keep_keys.then(|| placements.into_iter().map(|(k, _)| k).collect());
+        Self {
+            nl,
+            position_index,
+            keys,
+        }
+    }
+
     /// Length of the list (total placements, `|p̄|·|P|` on average).
     pub fn len(&self) -> usize {
         self.nl.len()
@@ -204,10 +231,7 @@ mod tests {
                 assert_eq!(nl.profile_at(pos as usize), p);
             }
             // Ascending.
-            assert!(pi
-                .positions_of(p)
-                .windows(2)
-                .all(|w| w[0] < w[1]));
+            assert!(pi.positions_of(p).windows(2).all(|w| w[0] < w[1]));
         }
         // Every position is owned by exactly one profile.
         let total: usize = (0..6).map(|i| pi.num_positions(pid(i))).sum();

@@ -66,6 +66,65 @@ impl ProfileIndex {
         }
     }
 
+    /// An empty index over `n_profiles` profiles — the starting point of
+    /// the streaming ingest path (`sper-stream`), grown with
+    /// [`Self::push_block`] / [`Self::add_member`] / [`Self::add_profiles`]
+    /// instead of full rebuilds.
+    pub fn new_empty(n_profiles: usize) -> Self {
+        Self {
+            block_lists: vec![Vec::new(); n_profiles],
+            cardinalities: Vec::new(),
+            total_blocks: 0,
+        }
+    }
+
+    /// Registers `additional` new profiles (appearing in no block yet).
+    pub fn add_profiles(&mut self, additional: usize) {
+        self.block_lists
+            .extend(std::iter::repeat_with(Vec::new).take(additional));
+    }
+
+    /// Appends a new block with the given members and cardinality,
+    /// returning its id. Per-profile block lists stay sorted because the
+    /// new id is the largest so far — the amortized-O(|b|) append that
+    /// replaces an O(‖B‖) rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a member id is out of range.
+    pub fn push_block(&mut self, members: &[ProfileId], cardinality: u64) -> BlockId {
+        let id = self.total_blocks as u32;
+        self.cardinalities.push(cardinality);
+        self.total_blocks += 1;
+        for &p in members {
+            self.block_lists[p.index()].push(id);
+        }
+        BlockId(id)
+    }
+
+    /// Adds one member to an existing block, updating its cardinality.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block or profile id is out of range, or when the
+    /// profile already lists a block id beyond `block` (appends must come
+    /// in non-decreasing block-id order to keep the lists sorted).
+    pub fn add_member(&mut self, block: BlockId, p: ProfileId, cardinality: u64) {
+        let list = &mut self.block_lists[p.index()];
+        match list.last() {
+            Some(&last) if last == block.0 => {}
+            Some(&last) => {
+                assert!(
+                    last < block.0,
+                    "streaming appends must use non-decreasing block ids"
+                );
+                list.push(block.0);
+            }
+            None => list.push(block.0),
+        }
+        self.cardinalities[block.index()] = cardinality;
+    }
+
     /// `|B|`: number of blocks indexed.
     pub fn total_blocks(&self) -> usize {
         self.total_blocks
@@ -183,17 +242,25 @@ mod tests {
         let (_, index) = fig3_index();
         // Paper ids are 1-based; ours 0-based.
         let w12 = index.weight(pid(0), pid(1), WeightingScheme::Arcs);
-        assert!((w12 - (1.0 + 1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
-            "c12 should be ≈1.57, got {w12}");
+        assert!(
+            (w12 - (1.0 + 1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
+            "c12 should be ≈1.57, got {w12}"
+        );
         let w45 = index.weight(pid(3), pid(4), WeightingScheme::Arcs);
-        assert!((w45 - (1.0 + 1.0 + 1.0 / 15.0)).abs() < 1e-12,
-            "c45 should be ≈2.07, got {w45}");
+        assert!(
+            (w45 - (1.0 + 1.0 + 1.0 / 15.0)).abs() < 1e-12,
+            "c45 should be ≈2.07, got {w45}"
+        );
         let w23 = index.weight(pid(1), pid(2), WeightingScheme::Arcs);
-        assert!((w23 - (1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
-            "c23 should be ≈0.57, got {w23}");
+        assert!(
+            (w23 - (1.0 / 3.0 + 1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
+            "c23 should be ≈0.57, got {w23}"
+        );
         let w16 = index.weight(pid(0), pid(5), WeightingScheme::Arcs);
-        assert!((w16 - (1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
-            "c16 should be ≈0.23, got {w16}");
+        assert!(
+            (w16 - (1.0 / 6.0 + 1.0 / 15.0)).abs() < 1e-12,
+            "c16 should be ≈0.23, got {w16}"
+        );
         let w46 = index.weight(pid(3), pid(5), WeightingScheme::Arcs);
         assert!((w46 - 1.0 / 15.0).abs() < 1e-12, "c46 should be ≈0.07");
     }
@@ -243,6 +310,48 @@ mod tests {
     }
 
     #[test]
+    fn incremental_append_matches_batch_build() {
+        // Grow an index block by block / member by member; it must agree
+        // with the batch `build` on the same final collection.
+        let (blocks, batch) = fig3_index();
+        let mut inc = ProfileIndex::new_empty(0);
+        inc.add_profiles(blocks.n_profiles());
+        let kind = sper_model::ErKind::Dirty;
+        for block in blocks.iter() {
+            // Simulate streaming: first member arrives with the block, the
+            // rest join one at a time.
+            let members = block.profiles();
+            let id = inc.push_block(&members[..1], 0);
+            let mut so_far = vec![members[0]];
+            for &p in &members[1..] {
+                so_far.push(p);
+                let tmp = Block::new_dirty("k", so_far.clone());
+                inc.add_member(id, p, tmp.cardinality(kind));
+            }
+        }
+        assert_eq!(inc.total_blocks(), batch.total_blocks());
+        for p in 0..blocks.n_profiles() {
+            assert_eq!(inc.blocks_of(pid(p as u32)), batch.blocks_of(pid(p as u32)));
+        }
+        for b in 0..blocks.len() as u32 {
+            assert_eq!(inc.cardinality(BlockId(b)), batch.cardinality(BlockId(b)));
+        }
+        // Derived queries agree too.
+        let a = inc.intersect(pid(0), pid(1));
+        let b = batch.intersect(pid(0), pid(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_append_panics() {
+        let mut inc = ProfileIndex::new_empty(2);
+        let b0 = inc.push_block(&[pid(0)], 0);
+        inc.push_block(&[pid(0)], 0);
+        inc.add_member(b0, pid(0), 1);
+    }
+
+    #[test]
     fn block_lists_sorted_ascending() {
         let (_, index) = fig3_index();
         for p in 0..index.n_profiles() {
@@ -261,25 +370,20 @@ mod proptests {
     use std::collections::BTreeSet;
 
     fn arbitrary_blocks() -> impl Strategy<Value = BlockCollection> {
-        proptest::collection::vec(
-            proptest::collection::btree_set(0u32..12, 2..6),
-            1..12,
+        proptest::collection::vec(proptest::collection::btree_set(0u32..12, 2..6), 1..12).prop_map(
+            |sets: Vec<BTreeSet<u32>>| {
+                let mut blocks: Vec<Block> = sets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        Block::new_dirty(format!("k{i}"), s.into_iter().map(ProfileId).collect())
+                    })
+                    .collect();
+                // Mimic block scheduling so LeCoBI semantics hold.
+                blocks.sort_by_key(|b| b.cardinality(ErKind::Dirty));
+                BlockCollection::new(ErKind::Dirty, 12, blocks)
+            },
         )
-        .prop_map(|sets: Vec<BTreeSet<u32>>| {
-            let mut blocks: Vec<Block> = sets
-                .into_iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    Block::new_dirty(
-                        format!("k{i}"),
-                        s.into_iter().map(ProfileId).collect(),
-                    )
-                })
-                .collect();
-            // Mimic block scheduling so LeCoBI semantics hold.
-            blocks.sort_by_key(|b| b.cardinality(ErKind::Dirty));
-            BlockCollection::new(ErKind::Dirty, 12, blocks)
-        })
     }
 
     proptest! {

@@ -81,11 +81,7 @@ impl SuffixForest {
         nodes.sort_by(|a, b| {
             b.suffix_len
                 .cmp(&a.suffix_len)
-                .then_with(|| {
-                    a.block
-                        .cardinality(kind)
-                        .cmp(&b.block.cardinality(kind))
-                })
+                .then_with(|| a.block.cardinality(kind).cmp(&b.block.cardinality(kind)))
                 .then_with(|| a.key.cmp(&b.key))
         });
 

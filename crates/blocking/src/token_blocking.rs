@@ -41,10 +41,7 @@ impl TokenBlocking {
             tokens.sort_unstable();
             tokens.dedup();
             for tok in &tokens {
-                index
-                    .entry(tok.clone())
-                    .or_default()
-                    .push((p.id, p.source));
+                index.entry(tok.clone()).or_default().push((p.id, p.source));
             }
         }
 

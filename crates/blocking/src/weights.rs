@@ -114,7 +114,11 @@ mod tests {
 
     #[test]
     fn counting_schemes_accumulate_ones() {
-        for s in [WeightingScheme::Cbs, WeightingScheme::Js, WeightingScheme::Ecbs] {
+        for s in [
+            WeightingScheme::Cbs,
+            WeightingScheme::Js,
+            WeightingScheme::Ecbs,
+        ] {
             assert_eq!(s.per_block(99), 1.0);
         }
     }

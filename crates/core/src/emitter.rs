@@ -134,9 +134,6 @@ mod tests {
         let mut list = ComparisonList::new();
         list.refill(vec![cmp(0, 1, f64::NAN), cmp(2, 3, 1.0)]);
         // Order with NaN is unspecified but draining must be total.
-        assert_eq!(
-            std::iter::from_fn(|| list.remove_first()).count(),
-            2
-        );
+        assert_eq!(std::iter::from_fn(|| list.remove_first()).count(), 2);
     }
 }

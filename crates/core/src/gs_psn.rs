@@ -40,8 +40,28 @@ impl GsPsn {
         wmax: usize,
         weighting: NeighborWeighting,
     ) -> Self {
+        Self::from_neighbor_list(
+            profiles,
+            NeighborList::build(profiles, seed),
+            wmax,
+            weighting,
+        )
+    }
+
+    /// Builds GS-PSN over an externally maintained Neighbor List — the
+    /// streaming path (`sper-stream`).
+    pub fn from_neighbor_list(
+        profiles: &ProfileCollection,
+        nl: NeighborList,
+        wmax: usize,
+        weighting: NeighborWeighting,
+    ) -> Self {
         assert!(wmax >= 1, "wmax must be at least 1");
-        let nl = NeighborList::build(profiles, seed);
+        assert_eq!(
+            nl.position_index().n_profiles(),
+            profiles.len(),
+            "Neighbor List indexes a different profile count"
+        );
         let pi = nl.position_index();
         let n = profiles.len();
         let wmax = wmax.min(nl.len().saturating_sub(1).max(1));
@@ -79,8 +99,7 @@ impl GsPsn {
             for &j in &touched {
                 let j = ProfileId(j);
                 let f = std::mem::take(&mut freq[j.index()]);
-                let weight =
-                    weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
+                let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
                 batch.push(Comparison::new(Pair::new(i, j), weight));
             }
         }

@@ -46,7 +46,23 @@ impl<'a> LsPsn<'a> {
         seed: u64,
         weighting: NeighborWeighting,
     ) -> Self {
-        let nl = NeighborList::build(profiles, seed);
+        Self::from_neighbor_list(profiles, NeighborList::build(profiles, seed), weighting)
+    }
+
+    /// Builds LS-PSN over an externally maintained Neighbor List — the
+    /// streaming path (`sper-stream`), where the list is kept up to date
+    /// incrementally instead of being rebuilt per run. The list must index
+    /// exactly `profiles` (same profile count).
+    pub fn from_neighbor_list(
+        profiles: &'a ProfileCollection,
+        nl: NeighborList,
+        weighting: NeighborWeighting,
+    ) -> Self {
+        assert_eq!(
+            nl.position_index().n_profiles(),
+            profiles.len(),
+            "Neighbor List indexes a different profile count"
+        );
         let n = profiles.len();
         let mut this = Self {
             profiles,
@@ -97,7 +113,9 @@ impl<'a> LsPsn<'a> {
             self.touched.clear();
             for &pos in pi.positions_of(i) {
                 for probe in [pos as isize + w, pos as isize - w] {
-                    let Some(j) = self.nl.get(probe) else { continue };
+                    let Some(j) = self.nl.get(probe) else {
+                        continue;
+                    };
                     if j != i && self.is_valid_neighbor(i, j) {
                         if self.freq[j.index()] == 0 {
                             self.touched.push(j.0);
@@ -109,11 +127,9 @@ impl<'a> LsPsn<'a> {
             for &j in &self.touched {
                 let j = ProfileId(j);
                 let f = std::mem::take(&mut self.freq[j.index()]);
-                let weight = self.weighting.weight(
-                    f,
-                    pi.num_positions(i),
-                    pi.num_positions(j),
-                );
+                let weight = self
+                    .weighting
+                    .weight(f, pi.num_positions(i), pi.num_positions(j));
                 batch.push(Comparison::new(Pair::new(i, j), weight));
             }
         }

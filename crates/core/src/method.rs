@@ -141,8 +141,8 @@ pub fn build_method<'a>(
 ) -> Box<dyn ProgressiveEr + 'a> {
     match method {
         ProgressiveMethod::Psn => {
-            let keys = schema_keys
-                .expect("PSN is schema-based: provide one blocking key per profile");
+            let keys =
+                schema_keys.expect("PSN is schema-based: provide one blocking key per profile");
             Box::new(Psn::new(profiles, keys, config.seed))
         }
         ProgressiveMethod::SaPsn => {

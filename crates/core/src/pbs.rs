@@ -189,7 +189,10 @@ mod tests {
         let truth = fig3_ground_truth();
         let first4: Vec<Pair> = fig3_pbs().take(4).map(|c| c.pair).collect();
         let hits = first4.iter().filter(|p| truth.is_match_pair(**p)).count();
-        assert!(hits >= 2, "early emissions should be match-heavy: {first4:?}");
+        assert!(
+            hits >= 2,
+            "early emissions should be match-heavy: {first4:?}"
+        );
     }
 
     #[test]

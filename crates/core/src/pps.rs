@@ -116,10 +116,7 @@ impl Pps {
                 let cand = Comparison::new(Pair::new(i, j), w);
                 let better = match &top {
                     None => true,
-                    Some(best) => {
-                        w > best.weight
-                            || (w == best.weight && cand.pair < best.pair)
-                    }
+                    Some(best) => w > best.weight || (w == best.weight && cand.pair < best.pair),
                 };
                 if better {
                     top = Some(cand);
@@ -302,13 +299,14 @@ mod tests {
         let pps = fig3_pps(2);
         let order = pps.sorted_profile_list();
         assert_eq!(order.len(), 6);
-        assert_eq!(*order.last().unwrap(), pid(5), "p6 has the lowest likelihood");
+        assert_eq!(
+            *order.last().unwrap(),
+            pid(5),
+            "p6 has the lowest likelihood"
+        );
         // The top-4 are exactly the two duplicate groups' leaders.
         let top4: HashSet<ProfileId> = order[..4].iter().copied().collect();
-        assert_eq!(
-            top4,
-            [pid(0), pid(1), pid(3), pid(4)].into_iter().collect()
-        );
+        assert_eq!(top4, [pid(0), pid(1), pid(3), pid(4)].into_iter().collect());
     }
 
     #[test]
@@ -404,11 +402,7 @@ mod tests {
         let mut expected: Vec<(ProfileId, f64)> = (0..6)
             .map(|i| (pid(i), graph.duplication_likelihood(pid(i))))
             .collect();
-        expected.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap()
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        expected.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let expected_order: Vec<ProfileId> = expected.into_iter().map(|(p, _)| p).collect();
         assert_eq!(pps.sorted_profile_list(), expected_order.as_slice());
     }

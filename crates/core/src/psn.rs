@@ -48,9 +48,7 @@ impl<'a> Psn<'a> {
         let mut start = 0;
         while start < order.len() {
             let mut end = start + 1;
-            while end < order.len()
-                && keys[order[end].index()] == keys[order[start].index()]
-            {
+            while end < order.len() && keys[order[end].index()] == keys[order[start].index()] {
                 end += 1;
             }
             if end - start > 1 {

@@ -26,7 +26,17 @@ impl<'a> SaPsn<'a> {
     /// Initialization phase: builds the Neighbor List (equal-key runs
     /// shuffled with `seed`) and starts at window size 1.
     pub fn new(profiles: &'a ProfileCollection, seed: u64) -> Self {
-        let nl = NeighborList::build(profiles, seed);
+        Self::from_neighbor_list(profiles, NeighborList::build(profiles, seed))
+    }
+
+    /// Builds SA-PSN over an externally maintained Neighbor List — the
+    /// streaming path (`sper-stream`).
+    pub fn from_neighbor_list(profiles: &'a ProfileCollection, nl: NeighborList) -> Self {
+        assert_eq!(
+            nl.position_index().n_profiles(),
+            profiles.len(),
+            "Neighbor List indexes a different profile count"
+        );
         let max_window = nl.len().saturating_sub(1);
         Self {
             profiles,
@@ -161,10 +171,7 @@ mod tests {
         let emissions: Vec<_> = SaPsn::new(&coll, 0).collect();
         // NL = [p?, p?]; only window 1 yields the single pair.
         assert_eq!(emissions.len(), 1);
-        assert_eq!(
-            emissions[0].pair,
-            Pair::new(ProfileId(0), ProfileId(1))
-        );
+        assert_eq!(emissions[0].pair, Pair::new(ProfileId(0), ProfileId(1)));
     }
 
     #[test]

@@ -7,9 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use sper_model::{
-    Attribute, GroundTruth, ProfileCollection, ProfileCollectionBuilder, ProfileId,
-};
+use sper_model::{Attribute, GroundTruth, ProfileCollection, ProfileCollectionBuilder, ProfileId};
 
 /// One profile-to-be: its attributes and the id of the real-world entity it
 /// describes. Instances sharing an `entity_id` are duplicates.
@@ -35,10 +33,7 @@ pub fn assemble_dirty(
         let pid = builder.add_attributes(inst.attributes);
         by_entity.entry(inst.entity_id).or_default().push(pid);
     }
-    let clusters: Vec<Vec<ProfileId>> = by_entity
-        .into_values()
-        .filter(|c| c.len() >= 2)
-        .collect();
+    let clusters: Vec<Vec<ProfileId>> = by_entity.into_values().filter(|c| c.len() >= 2).collect();
     let truth = GroundTruth::from_clusters(n, &clusters);
     (builder.build(), truth)
 }
@@ -124,10 +119,7 @@ mod tests {
             instances.push(inst(e, "y"));
         }
         let (_, truth) = assemble_dirty(instances, &mut rng);
-        let non_adjacent = truth
-            .pairs()
-            .filter(|p| p.second.0 - p.first.0 > 1)
-            .count();
+        let non_adjacent = truth.pairs().filter(|p| p.second.0 - p.first.0 > 1).count();
         assert!(non_adjacent > 100, "shuffle broke: {non_adjacent}");
     }
 

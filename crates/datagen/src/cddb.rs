@@ -64,8 +64,16 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
 
     let instantiate = |d: &Disc, noisy: bool, rng: &mut StdRng| -> Vec<Attribute> {
         let mut attrs = Vec::with_capacity(d.tracks.len() + 4);
-        let artist = if noisy { noise.apply(&d.artist, rng) } else { d.artist.clone() };
-        let title = if noisy { noise.apply(&d.title, rng) } else { d.title.clone() };
+        let artist = if noisy {
+            noise.apply(&d.artist, rng)
+        } else {
+            d.artist.clone()
+        };
+        let title = if noisy {
+            noise.apply(&d.title, rng)
+        } else {
+            d.title.clone()
+        };
         attrs.push(Attribute::new("artist", artist));
         attrs.push(Attribute::new("dtitle", title));
         if rng.gen_bool(0.8) {
@@ -79,7 +87,11 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
             if noisy && rng.gen_bool(0.08) {
                 continue;
             }
-            let value = if noisy { noise.apply(track, rng) } else { track.clone() };
+            let value = if noisy {
+                noise.apply(track, rng)
+            } else {
+                track.clone()
+            };
             attrs.push(Attribute::new(format!("track{:02}", i + 1), value));
         }
         attrs
@@ -134,7 +146,9 @@ mod tests {
 
     fn twin() -> GeneratedDataset {
         // Scale down for test speed; shape assertions scale along.
-        DatasetSpec::paper(DatasetKind::Cddb).with_scale(0.2).generate()
+        DatasetSpec::paper(DatasetKind::Cddb)
+            .with_scale(0.2)
+            .generate()
     }
 
     #[test]
@@ -150,7 +164,9 @@ mod tests {
 
     #[test]
     fn full_scale_attribute_count_close_to_paper() {
-        let d = DatasetSpec::paper(DatasetKind::Cddb).with_scale(0.5).generate();
+        let d = DatasetSpec::paper(DatasetKind::Cddb)
+            .with_scale(0.5)
+            .generate();
         // 4 header attrs + track01..track22 ≈ 26 names guaranteed; the paper
         // counts 106 because real CDDB has up to ~100 tracks. Our twin keeps
         // the *order of magnitude* of the track-attr mechanism.
@@ -167,9 +183,6 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(twin().profiles.len(), twin().profiles.len());
-        assert_eq!(
-            twin().profiles.profiles()[0],
-            twin().profiles.profiles()[0]
-        );
+        assert_eq!(twin().profiles.profiles()[0], twin().profiles.profiles()[0]);
     }
 }

@@ -56,8 +56,16 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
 
     let instantiate = |p: &Person, noisy: bool, rng: &mut StdRng| -> Vec<Attribute> {
         let mut attrs = Vec::with_capacity(5);
-        let surname = if noisy { noise.apply(&p.surname, rng) } else { p.surname.clone() };
-        let name = if noisy { noise.apply(&p.name, rng) } else { p.name.clone() };
+        let surname = if noisy {
+            noise.apply(&p.surname, rng)
+        } else {
+            p.surname.clone()
+        };
+        let name = if noisy {
+            noise.apply(&p.name, rng)
+        } else {
+            p.name.clone()
+        };
         attrs.push(Attribute::new("SURNAME", surname));
         attrs.push(Attribute::new("NAME", name));
         // The MI column is often empty in the real census sample — this is
@@ -165,7 +173,11 @@ mod tests {
         let d = DatasetSpec::paper(DatasetKind::Census)
             .with_scale(0.5)
             .generate();
-        assert!((380..=462).contains(&d.profiles.len()), "{}", d.profiles.len());
+        assert!(
+            (380..=462).contains(&d.profiles.len()),
+            "{}",
+            d.profiles.len()
+        );
         assert_eq!(d.truth.num_matches(), 172);
     }
 
@@ -176,8 +188,7 @@ mod tests {
             .truth
             .pairs()
             .filter(|p| {
-                d.profiles.get(p.first).value_of("ZIP")
-                    == d.profiles.get(p.second).value_of("ZIP")
+                d.profiles.get(p.first).value_of("ZIP") == d.profiles.get(p.second).value_of("ZIP")
             })
             .count();
         assert_eq!(share, d.truth.num_matches(), "zip is never noised");

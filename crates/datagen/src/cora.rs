@@ -34,8 +34,18 @@ struct Paper {
 }
 
 const MONTHS: [&str; 12] = [
-    "january", "february", "march", "april", "may", "june", "july", "august", "september",
-    "october", "november", "december",
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
 ];
 
 /// Generates the cora twin.
@@ -48,7 +58,11 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let authors_vocab = Vocab::new(SURNAMES, 300, &mut rng);
     let title_vocab = Vocab::new(&[], 900, &mut rng);
     let venues = Vocab::new(VENUES, 40, &mut rng);
-    let publishers = Vocab::new(&["springer", "acm", "ieee", "elsevier", "mit"], 20, &mut rng);
+    let publishers = Vocab::new(
+        &["springer", "acm", "ieee", "elsevier", "mit"],
+        20,
+        &mut rng,
+    );
     let noise = CharNoise::moderate();
 
     let make = |rng: &mut StdRng| Paper {
@@ -212,9 +226,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            twin().truth.num_matches(),
-            twin().truth.num_matches()
-        );
+        assert_eq!(twin().truth.num_matches(), twin().truth.num_matches());
     }
 }

@@ -38,9 +38,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let genres = Vocab::new(MOVIE_GENRES, 0, &mut rng);
     let noise = CharNoise::light();
 
-    let person = |rng: &mut StdRng| {
-        format!("{} {}", people_first.pick(rng), people_last.pick(rng))
-    };
+    let person = |rng: &mut StdRng| format!("{} {}", people_first.pick(rng), people_last.pick(rng));
     let make = |rng: &mut StdRng| Movie {
         title: (0..rng.gen_range(1..=4))
             .map(|_| title_words.pick_skewed(rng).to_string())
@@ -48,7 +46,10 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         year: rng.gen_range(1950..2010),
         director: person(rng),
         genre: genres.pick_skewed(rng).to_string(),
-        starring: { let k = rng.gen_range(2..=3); (0..k).map(|_| person(rng)).collect() },
+        starring: {
+            let k = rng.gen_range(2..=3);
+            (0..k).map(|_| person(rng)).collect()
+        },
         runtime: rng.gen_range(70..210),
     };
 
@@ -127,7 +128,9 @@ mod tests {
     use sper_model::ErKind;
 
     fn twin() -> GeneratedDataset {
-        DatasetSpec::paper(DatasetKind::Movies).with_scale(0.05).generate()
+        DatasetSpec::paper(DatasetKind::Movies)
+            .with_scale(0.05)
+            .generate()
     }
 
     #[test]

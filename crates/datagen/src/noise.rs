@@ -148,8 +148,11 @@ mod tests {
         let mut r = rng();
         for _ in 0..100 {
             let out = noise.apply("montgomery", &mut r);
-            // Each edit is one Damerau operation (transpositions included).
-            assert!(damerau_levenshtein("montgomery", &out) <= 2);
+            // Each edit is one Damerau operation, but `damerau_levenshtein`
+            // implements the OSA variant, which can count an interleaved
+            // edit+transposition as up to two operations each — hence the
+            // sound bound is 2 per edit, not 1.
+            assert!(damerau_levenshtein("montgomery", &out) <= 2 * 2);
         }
     }
 

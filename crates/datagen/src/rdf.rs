@@ -103,7 +103,10 @@ fn dbpedia_instance(
             continue;
         }
         // Each snapshot names the linking predicate differently.
-        let pred = format!("{ns}/{}", if snapshot == 0 { "wikilink" } else { "related" });
+        let pred = format!(
+            "{ns}/{}",
+            if snapshot == 0 { "wikilink" } else { "related" }
+        );
         attrs.push(Attribute::new(
             pred,
             resource_uri("http://dbpedia.org", std::slice::from_ref(link)),
@@ -131,12 +134,12 @@ pub fn generate_dbpedia(spec: &DatasetSpec) -> GeneratedDataset {
     let mut second = Vec::new();
     let mut entity_id = 0usize;
     let push_pairs = |n: usize,
-                          both: bool,
-                          into_first: bool,
-                          first: &mut Vec<EntityInstance>,
-                          second: &mut Vec<EntityInstance>,
-                          rng: &mut StdRng,
-                          entity_id: &mut usize| {
+                      both: bool,
+                      into_first: bool,
+                      first: &mut Vec<EntityInstance>,
+                      second: &mut Vec<EntityInstance>,
+                      rng: &mut StdRng,
+                      entity_id: &mut usize| {
         for _ in 0..n {
             let e = make_entity(rng, &names, &kinds, &link_pool, 6..=14);
             if both || into_first {
@@ -154,9 +157,33 @@ pub fn generate_dbpedia(spec: &DatasetSpec) -> GeneratedDataset {
             *entity_id += 1;
         }
     };
-    push_pairs(matches, true, true, &mut first, &mut second, &mut rng, &mut entity_id);
-    push_pairs(p1_only, false, true, &mut first, &mut second, &mut rng, &mut entity_id);
-    push_pairs(p2_only, false, false, &mut first, &mut second, &mut rng, &mut entity_id);
+    push_pairs(
+        matches,
+        true,
+        true,
+        &mut first,
+        &mut second,
+        &mut rng,
+        &mut entity_id,
+    );
+    push_pairs(
+        p1_only,
+        false,
+        true,
+        &mut first,
+        &mut second,
+        &mut rng,
+        &mut entity_id,
+    );
+    push_pairs(
+        p2_only,
+        false,
+        false,
+        &mut first,
+        &mut second,
+        &mut rng,
+        &mut entity_id,
+    );
 
     let (profiles, truth) = assemble_clean_clean(first, second, &mut rng);
     GeneratedDataset {
@@ -241,11 +268,15 @@ mod tests {
     use sper_model::ErKind;
 
     fn dbp() -> GeneratedDataset {
-        DatasetSpec::paper(DatasetKind::Dbpedia).with_scale(0.05).generate()
+        DatasetSpec::paper(DatasetKind::Dbpedia)
+            .with_scale(0.05)
+            .generate()
     }
 
     fn fb() -> GeneratedDataset {
-        DatasetSpec::paper(DatasetKind::Freebase).with_scale(0.05).generate()
+        DatasetSpec::paper(DatasetKind::Freebase)
+            .with_scale(0.05)
+            .generate()
     }
 
     #[test]
@@ -264,10 +295,20 @@ mod tests {
         let d = dbp();
         let mut ratios = Vec::new();
         for p in d.truth.pairs().take(200) {
-            let a: std::collections::HashSet<(String, String)> = d.profiles.get(p.first)
-                .attributes.iter().map(|x| (x.name.clone(), x.value.clone())).collect();
-            let b: std::collections::HashSet<(String, String)> = d.profiles.get(p.second)
-                .attributes.iter().map(|x| (x.name.clone(), x.value.clone())).collect();
+            let a: std::collections::HashSet<(String, String)> = d
+                .profiles
+                .get(p.first)
+                .attributes
+                .iter()
+                .map(|x| (x.name.clone(), x.value.clone()))
+                .collect();
+            let b: std::collections::HashSet<(String, String)> = d
+                .profiles
+                .get(p.second)
+                .attributes
+                .iter()
+                .map(|x| (x.name.clone(), x.value.clone()))
+                .collect();
             let inter = a.intersection(&b).count();
             let union = a.len() + b.len() - inter;
             ratios.push(inter as f64 / union as f64);
@@ -283,8 +324,11 @@ mod tests {
         assert_eq!(d.truth.validate(&d.profiles), 0);
         // Freebase side is pair-heavy (~20+ attrs).
         let p1_avg: f64 = {
-            let firsts: Vec<_> = d.profiles.iter()
-                .filter(|p| p.source == sper_model::SourceId::FIRST).collect();
+            let firsts: Vec<_> = d
+                .profiles
+                .iter()
+                .filter(|p| p.source == sper_model::SourceId::FIRST)
+                .collect();
             firsts.iter().map(|p| p.num_pairs()).sum::<usize>() as f64 / firsts.len() as f64
         };
         assert!(p1_avg > 15.0, "freebase avg pairs {p1_avg}");

@@ -42,7 +42,11 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         let name = match rng.gen_range(0..3u8) {
             0 => format!("{}'s {}", words.pick(rng), cuisines.pick(rng)),
             1 => format!("cafe {}", words.pick(rng)),
-            _ => format!("{} {}", words.pick(rng), ["grill", "bistro", "kitchen", "house"][rng.gen_range(0..4)]),
+            _ => format!(
+                "{} {}",
+                words.pick(rng),
+                ["grill", "bistro", "kitchen", "house"][rng.gen_range(0..4)]
+            ),
         };
         Restaurant {
             name,
@@ -54,8 +58,16 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     };
 
     let instantiate = |r: &Restaurant, noisy: bool, rng: &mut StdRng| -> Vec<Attribute> {
-        let name = if noisy { noise.apply(&r.name, rng) } else { r.name.clone() };
-        let address = if noisy { noise.apply(&r.address, rng) } else { r.address.clone() };
+        let name = if noisy {
+            noise.apply(&r.name, rng)
+        } else {
+            r.name.clone()
+        };
+        let address = if noisy {
+            noise.apply(&r.address, rng)
+        } else {
+            r.address.clone()
+        };
         // Second listings often reformat the phone (dots vs dashes).
         let phone = if noisy && rng.gen_bool(0.5) {
             r.phone.replace('-', ".")

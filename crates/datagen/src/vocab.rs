@@ -7,56 +7,221 @@ use rand::Rng;
 
 /// Curated surname seeds (shared across twins; expanded synthetically).
 pub const SURNAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores", "green", "adams", "nelson", "baker", "hall",
-    "rivera", "campbell", "mitchell", "carter", "roberts",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
+    "green",
+    "adams",
+    "nelson",
+    "baker",
+    "hall",
+    "rivera",
+    "campbell",
+    "mitchell",
+    "carter",
+    "roberts",
 ];
 
 /// Curated first-name seeds.
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty",
-    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
-    "emily", "andrew", "donna", "joshua", "michelle", "carl", "ellen", "emma", "hellen",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "lisa",
+    "daniel",
+    "nancy",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
+    "carl",
+    "ellen",
+    "emma",
+    "hellen",
 ];
 
 /// Curated city seeds.
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia", "san antonio",
-    "san diego", "dallas", "san jose", "austin", "jacksonville", "fort worth", "columbus",
-    "charlotte", "san francisco", "indianapolis", "seattle", "denver", "washington", "boston",
-    "el paso", "nashville", "detroit", "oklahoma city", "portland", "las vegas", "memphis",
-    "louisville", "baltimore", "milwaukee", "albuquerque", "tucson", "fresno", "mesa",
+    "new york",
+    "los angeles",
+    "chicago",
+    "houston",
+    "phoenix",
+    "philadelphia",
+    "san antonio",
+    "san diego",
+    "dallas",
+    "san jose",
+    "austin",
+    "jacksonville",
+    "fort worth",
+    "columbus",
+    "charlotte",
+    "san francisco",
+    "indianapolis",
+    "seattle",
+    "denver",
+    "washington",
+    "boston",
+    "el paso",
+    "nashville",
+    "detroit",
+    "oklahoma city",
+    "portland",
+    "las vegas",
+    "memphis",
+    "louisville",
+    "baltimore",
+    "milwaukee",
+    "albuquerque",
+    "tucson",
+    "fresno",
+    "mesa",
 ];
 
 /// Curated cuisine seeds for the restaurant twin.
 pub const CUISINES: &[&str] = &[
-    "american", "italian", "french", "chinese", "japanese", "mexican", "thai", "indian",
-    "steakhouses", "seafood", "delis", "pizza", "bbq", "cafeterias", "continental", "greek",
-    "vietnamese", "spanish", "korean", "mediterranean",
+    "american",
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "mexican",
+    "thai",
+    "indian",
+    "steakhouses",
+    "seafood",
+    "delis",
+    "pizza",
+    "bbq",
+    "cafeterias",
+    "continental",
+    "greek",
+    "vietnamese",
+    "spanish",
+    "korean",
+    "mediterranean",
 ];
 
 /// Curated venue seeds for the cora twin.
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "icml", "nips", "aaai", "ijcai",
-    "acl", "emnlp", "sigir", "wsdm", "icdm", "pods", "socc", "sosp", "osdi",
+    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "icml", "nips", "aaai", "ijcai", "acl",
+    "emnlp", "sigir", "wsdm", "icdm", "pods", "socc", "sosp", "osdi",
 ];
 
 /// Curated music-genre seeds for the cddb twin.
 pub const GENRES: &[&str] = &[
-    "rock", "pop", "jazz", "blues", "classical", "country", "folk", "metal", "punk", "soul",
-    "funk", "reggae", "electronic", "ambient", "techno", "house", "hiphop", "rap", "latin",
-    "world", "soundtrack", "opera", "gospel", "disco",
+    "rock",
+    "pop",
+    "jazz",
+    "blues",
+    "classical",
+    "country",
+    "folk",
+    "metal",
+    "punk",
+    "soul",
+    "funk",
+    "reggae",
+    "electronic",
+    "ambient",
+    "techno",
+    "house",
+    "hiphop",
+    "rap",
+    "latin",
+    "world",
+    "soundtrack",
+    "opera",
+    "gospel",
+    "disco",
 ];
 
 /// Curated movie-genre seeds.
 pub const MOVIE_GENRES: &[&str] = &[
-    "drama", "comedy", "action", "thriller", "horror", "romance", "adventure", "crime",
-    "fantasy", "mystery", "western", "animation", "documentary", "musical", "war", "biography",
+    "drama",
+    "comedy",
+    "action",
+    "thriller",
+    "horror",
+    "romance",
+    "adventure",
+    "crime",
+    "fantasy",
+    "mystery",
+    "western",
+    "animation",
+    "documentary",
+    "musical",
+    "war",
+    "biography",
 ];
 
 /// Generates a pronounceable lowercase word of `syllables` consonant-vowel
@@ -138,12 +303,7 @@ pub fn gen_phone(rng: &mut StdRng) -> String {
 /// A synthetic street address.
 pub fn gen_street(rng: &mut StdRng, vocab: &Vocab) -> String {
     let suffix = ["st", "ave", "blvd", "rd", "dr", "ln"][rng.gen_range(0..6)];
-    format!(
-        "{} {} {}",
-        rng.gen_range(1..9999),
-        vocab.pick(rng),
-        suffix
-    )
+    format!("{} {} {}", rng.gen_range(1..9999), vocab.pick(rng), suffix)
 }
 
 /// A synthetic Freebase-style opaque machine id (e.g. `m.0q3xz7`).

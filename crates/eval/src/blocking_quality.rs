@@ -38,10 +38,7 @@ pub fn blocking_quality(
     for b in blocks.iter() {
         distinct.extend(b.comparisons(kind));
     }
-    let covered = truth
-        .pairs()
-        .filter(|p| distinct.contains(p))
-        .count();
+    let covered = truth.pairs().filter(|p| distinct.contains(p)).count();
     let pc = if truth.num_matches() == 0 {
         1.0
     } else {

@@ -15,18 +15,22 @@
 //! * [`report`] — fixed-width table helpers for the bench binaries.
 //! * [`oracle`] — extension: progressive ER with a perfect transitive
 //!   oracle (the crowdsourced setting of §2).
+//! * [`streaming`] — epoch-annotated recall curves for the
+//!   ingest-while-resolving sessions of `sper-stream`.
 
 pub mod auc;
 pub mod blocking_quality;
-pub mod oracle;
 pub mod curve;
+pub mod oracle;
 pub mod report;
 pub mod runner;
+pub mod streaming;
 pub mod timing;
 
 pub use auc::normalized_auc;
 pub use blocking_quality::{blocking_quality, BlockingQuality};
-pub use oracle::{run_with_oracle, OracleRunResult};
 pub use curve::RecallCurve;
+pub use oracle::{run_with_oracle, OracleRunResult};
 pub use runner::{run_progressive, RunOptions, RunResult};
+pub use streaming::{streaming_recall, EpochMark, StreamEpoch, StreamingRecall};
 pub use timing::{run_timed, TimedResult, TimingOptions};

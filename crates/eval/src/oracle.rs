@@ -126,9 +126,7 @@ mod tests {
         let with_oracle = run_with_oracle(sa, &truth, profiles.len(), 1_000);
         assert_eq!(with_oracle.curve.matches_found(), truth.num_matches());
         // The 3-cluster needs only 2 positive answers for its 3 pairs.
-        assert!(
-            (with_oracle.positive_queries as usize) < truth.num_matches()
-        );
+        assert!((with_oracle.positive_queries as usize) < truth.num_matches());
     }
 
     #[test]

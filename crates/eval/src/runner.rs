@@ -35,7 +35,7 @@ impl RunOptions {
 }
 
 /// The outcome of one progressive run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct RunResult {
     /// Method acronym.
     pub method: &'static str,
@@ -166,7 +166,10 @@ mod tests {
                 stop_at_full_recall: false,
             },
         );
-        assert!(result.curve.emissions() <= 4, "|DP| = 4 → at most 4 emissions");
+        assert!(
+            result.curve.emissions() <= 4,
+            "|DP| = 4 → at most 4 emissions"
+        );
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Epoch-annotated recall evaluation for streaming (ingest-while-resolving)
+//! runs: the `sper-stream` session emits comparisons in *epochs* — ingest a
+//! batch, re-prioritize, emit — and this module assembles the cumulative
+//! emissions into a [`RecallCurve`] whose epoch boundaries are retained, so
+//! progressiveness can be judged per ingest step as well as overall.
+//!
+//! Recall is always measured against the ground truth of the *final*
+//! collection: early epochs cannot have found matches involving profiles
+//! that had not arrived yet, which is exactly the latency the curve makes
+//! visible (the Same Eventual Quality requirement of §3.1 says the *end*
+//! state must agree with the batch run, not the path to it).
+
+use crate::curve::RecallCurve;
+use serde::Serialize;
+use sper_model::{GroundTruth, Pair};
+use std::collections::HashSet;
+
+/// One epoch of a streaming run, as fed to [`streaming_recall`].
+#[derive(Debug, Clone)]
+pub struct StreamEpoch {
+    /// Profiles in the collection at the end of the epoch.
+    pub profiles_total: usize,
+    /// Comparisons newly emitted during the epoch (already deduplicated
+    /// across epochs by the session; repeats are ignored defensively).
+    pub pairs: Vec<Pair>,
+}
+
+/// Summary of one epoch inside a [`StreamingRecall`].
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochMark {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Profiles in the collection at the end of the epoch.
+    pub profiles_total: usize,
+    /// Cumulative emissions at the end of the epoch.
+    pub emissions_end: u64,
+    /// New matches found during the epoch.
+    pub new_matches: usize,
+    /// Recall against the final ground truth at the end of the epoch.
+    pub recall: f64,
+}
+
+/// A recall curve over the cumulative emissions of a streaming run, plus
+/// the per-epoch boundaries.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamingRecall {
+    /// The cumulative recall curve (emission indices are global across
+    /// epochs).
+    pub curve: RecallCurve,
+    /// One mark per epoch, in order.
+    pub epochs: Vec<EpochMark>,
+}
+
+impl StreamingRecall {
+    /// Recall at the end of epoch `i` (0-based index into `epochs`).
+    pub fn recall_after_epoch(&self, i: usize) -> f64 {
+        self.epochs[i].recall
+    }
+
+    /// Final recall of the whole run.
+    pub fn final_recall(&self) -> f64 {
+        self.curve.final_recall()
+    }
+}
+
+/// Folds per-epoch emissions into an epoch-annotated recall curve against
+/// the final ground truth.
+pub fn streaming_recall(epochs: &[StreamEpoch], truth: &GroundTruth) -> StreamingRecall {
+    let mut emitted: HashSet<Pair> = HashSet::new();
+    let mut found: HashSet<Pair> = HashSet::with_capacity(truth.num_matches());
+    let mut match_indices: Vec<u64> = Vec::new();
+    let mut marks: Vec<EpochMark> = Vec::new();
+    let mut emissions: u64 = 0;
+
+    for (i, epoch) in epochs.iter().enumerate() {
+        let found_before = found.len();
+        for &pair in &epoch.pairs {
+            if !emitted.insert(pair) {
+                continue;
+            }
+            emissions += 1;
+            if truth.is_match_pair(pair) && found.insert(pair) {
+                match_indices.push(emissions);
+            }
+        }
+        marks.push(EpochMark {
+            epoch: i + 1,
+            profiles_total: epoch.profiles_total,
+            emissions_end: emissions,
+            new_matches: found.len() - found_before,
+            recall: if truth.num_matches() == 0 {
+                1.0
+            } else {
+                found.len() as f64 / truth.num_matches() as f64
+            },
+        });
+    }
+
+    StreamingRecall {
+        curve: RecallCurve::new(truth.num_matches(), emissions, match_indices),
+        epochs: marks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::ProfileId;
+
+    fn pair(a: u32, b: u32) -> Pair {
+        Pair::new(ProfileId(a), ProfileId(b))
+    }
+
+    fn truth() -> GroundTruth {
+        GroundTruth::from_pairs(6, [pair(0, 1), pair(2, 3), pair(4, 5)])
+    }
+
+    #[test]
+    fn epochs_annotate_the_cumulative_curve() {
+        let epochs = vec![
+            StreamEpoch {
+                profiles_total: 2,
+                pairs: vec![pair(0, 1)],
+            },
+            StreamEpoch {
+                profiles_total: 4,
+                pairs: vec![pair(1, 2), pair(2, 3)],
+            },
+            StreamEpoch {
+                profiles_total: 6,
+                pairs: vec![pair(4, 5), pair(0, 4)],
+            },
+        ];
+        let r = streaming_recall(&epochs, &truth());
+        assert_eq!(r.curve.emissions(), 5);
+        assert_eq!(r.curve.matches_found(), 3);
+        assert_eq!(r.final_recall(), 1.0);
+        assert_eq!(r.epochs.len(), 3);
+        assert!((r.recall_after_epoch(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.recall_after_epoch(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.epochs[1].emissions_end, 3);
+        assert_eq!(r.epochs[2].new_matches, 1);
+    }
+
+    #[test]
+    fn repeats_across_epochs_are_ignored() {
+        let epochs = vec![
+            StreamEpoch {
+                profiles_total: 2,
+                pairs: vec![pair(0, 1), pair(0, 1)],
+            },
+            StreamEpoch {
+                profiles_total: 2,
+                pairs: vec![pair(0, 1)],
+            },
+        ];
+        let r = streaming_recall(&epochs, &truth());
+        assert_eq!(r.curve.emissions(), 1);
+        assert_eq!(r.curve.matches_found(), 1);
+    }
+
+    #[test]
+    fn empty_truth_has_vacuous_recall() {
+        let epochs = vec![StreamEpoch {
+            profiles_total: 2,
+            pairs: vec![pair(0, 1)],
+        }];
+        let t = GroundTruth::from_pairs(2, []);
+        let r = streaming_recall(&epochs, &t);
+        assert_eq!(r.epochs[0].recall, 1.0);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = streaming_recall(
+            &[StreamEpoch {
+                profiles_total: 2,
+                pairs: vec![pair(0, 1)],
+            }],
+            &truth(),
+        );
+        let json = serde::json::to_string(&r);
+        assert!(json.contains("\"epochs\":["), "{json}");
+        assert!(json.contains("\"emissions_end\":1"), "{json}");
+    }
+}

@@ -27,7 +27,7 @@ impl Default for TimingOptions {
 }
 
 /// Result of a timed run: the recall trajectory over wall-clock time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize)]
 pub struct TimedResult {
     /// Method acronym.
     pub method: &'static str,

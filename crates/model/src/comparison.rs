@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 
 /// An unordered pair of distinct profiles, stored canonically with the
 /// smaller id first so that `Pair::new(a, b) == Pair::new(b, a)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Pair {
     /// Smaller profile id.
     pub first: ProfileId,
@@ -25,9 +23,15 @@ impl Pair {
     pub fn new(a: ProfileId, b: ProfileId) -> Self {
         assert_ne!(a, b, "a pair must contain two distinct profiles");
         if a < b {
-            Self { first: a, second: b }
+            Self {
+                first: a,
+                second: b,
+            }
         } else {
-            Self { first: b, second: a }
+            Self {
+                first: b,
+                second: a,
+            }
         }
     }
 

@@ -137,10 +137,8 @@ mod tests {
     #[test]
     fn cluster_pair_count() {
         // Fig. 3: p1≡p2≡p3 and p4≡p5 → C(3,2) + C(2,2) = 3 + 1 = 4 pairs.
-        let gt = GroundTruth::from_clusters(
-            6,
-            &[vec![pid(0), pid(1), pid(2)], vec![pid(3), pid(4)]],
-        );
+        let gt =
+            GroundTruth::from_clusters(6, &[vec![pid(0), pid(1), pid(2)], vec![pid(3), pid(4)]]);
         assert_eq!(gt.num_matches(), 4);
         assert!(gt.is_match(pid(0), pid(2)));
         assert!(gt.is_match(pid(3), pid(4)));
@@ -150,10 +148,7 @@ mod tests {
 
     #[test]
     fn from_pairs_closes_transitively() {
-        let gt = GroundTruth::from_pairs(
-            4,
-            [Pair::new(pid(0), pid(1)), Pair::new(pid(1), pid(2))],
-        );
+        let gt = GroundTruth::from_pairs(4, [Pair::new(pid(0), pid(1)), Pair::new(pid(1), pid(2))]);
         assert!(gt.is_match(pid(0), pid(2)));
         assert_eq!(gt.num_matches(), 3);
     }

@@ -22,9 +22,7 @@ pub mod union_find;
 
 pub use comparison::Pair;
 pub use ground_truth::GroundTruth;
-pub use matcher::{
-    EditDistanceMatcher, JaccardMatcher, MatchFunction, OracleMatcher, ProfileText,
-};
+pub use matcher::{EditDistanceMatcher, JaccardMatcher, MatchFunction, OracleMatcher, ProfileText};
 pub use profile::{
     Attribute, ErKind, Profile, ProfileCollection, ProfileCollectionBuilder, ProfileId, SourceId,
 };

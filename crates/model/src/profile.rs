@@ -242,6 +242,24 @@ impl ProfileCollection {
         names.len()
     }
 
+    /// Appends a profile to a live collection — the streaming ingest path
+    /// (`sper-stream`). The profile joins the single source of a Dirty
+    /// task, or `P2` of a Clean-clean task (the indexed base `P1` is fixed
+    /// at build time; new traffic arrives as the second source). Ids stay
+    /// dense: the new profile gets the next id.
+    pub fn append_profile(&mut self, attributes: Vec<Attribute>) -> ProfileId {
+        let id = ProfileId(self.profiles.len() as u32);
+        let source = match self.kind {
+            ErKind::Dirty => SourceId::FIRST,
+            ErKind::CleanClean => SourceId::SECOND,
+        };
+        if self.kind == ErKind::Dirty {
+            self.n_first += 1;
+        }
+        self.profiles.push(Profile::new(id, source, attributes));
+        id
+    }
+
     /// Total number of comparisons of the naïve (blocking-free) solution:
     /// `n·(n−1)/2` for Dirty, `|P1|·|P2|` for Clean-clean.
     pub fn naive_comparisons(&self) -> u64 {
@@ -458,6 +476,31 @@ mod tests {
         // schema-agnostic ER does not assume aligned attribute names).
         assert_eq!(coll.num_attribute_names(), 4);
         assert_eq!(coll.naive_comparisons(), 3);
+    }
+
+    #[test]
+    fn append_profile_keeps_ids_dense() {
+        let mut coll = sample_dirty();
+        let id = coll.append_profile(vec![Attribute::new("name", "Late Arrival")]);
+        assert_eq!(id, ProfileId(3));
+        assert_eq!(coll.len(), 4);
+        assert_eq!(coll.len_first(), 4);
+        assert_eq!(coll.source_of(id), SourceId::FIRST);
+        assert!(coll.is_valid_comparison(ProfileId(0), id));
+    }
+
+    #[test]
+    fn append_profile_clean_clean_joins_second_source() {
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        let a = b.add_profile([("n", "x")]);
+        b.start_second_source();
+        b.add_profile([("n", "y")]);
+        let mut coll = b.build();
+        let late = coll.append_profile(vec![Attribute::new("n", "z")]);
+        assert_eq!(coll.source_of(late), SourceId::SECOND);
+        assert_eq!(coll.len_first(), 1);
+        assert_eq!(coll.len_second(), 2);
+        assert!(coll.is_valid_comparison(a, late));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Streaming micro-benchmarks: ingest throughput of the incremental
+//! substrates and sessions (profiles/sec), and re-emission latency — the
+//! cost of `reprioritize + emit` after a small ingest delta, versus
+//! rebuilding the method from scratch.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use sper_core::{build_method, ProgressiveMethod};
+use sper_datagen::{DatasetKind, DatasetSpec, GeneratedDataset};
+use sper_model::{Attribute, ErKind, ProfileCollectionBuilder};
+use sper_stream::{
+    IncrementalNeighborList, IncrementalTokenBlocking, ProgressiveSession, SessionConfig,
+};
+
+fn census() -> GeneratedDataset {
+    DatasetSpec::paper(DatasetKind::Census).generate()
+}
+
+fn rows(data: &GeneratedDataset) -> Vec<Vec<Attribute>> {
+    data.profiles.iter().map(|p| p.attributes.clone()).collect()
+}
+
+/// Substrate-level ingest: amortized per-profile index updates over the
+/// whole census twin (throughput = |P| / reported time).
+fn bench_substrate_ingest(c: &mut Criterion) {
+    let data = census();
+    let n = data.profiles.len();
+    let mut group = c.benchmark_group("substrate_ingest");
+    group.bench_function(BenchmarkId::new("token_blocking", n), |b| {
+        b.iter_batched(
+            || IncrementalTokenBlocking::new(ErKind::Dirty),
+            |mut index| {
+                index.add_batch(data.profiles.iter());
+                black_box(index.n_keys())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.bench_function(BenchmarkId::new("neighbor_list", n), |b| {
+        b.iter_batched(
+            || IncrementalNeighborList::new(42),
+            |mut nl| {
+                nl.add_batch(data.profiles.iter());
+                black_box(nl.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+/// Session-level ingest throughput: profile append + substrate update per
+/// method family (blocks for PPS, neighbor list for LS-PSN).
+fn bench_session_ingest(c: &mut Criterion) {
+    let data = census();
+    let all = rows(&data);
+    let n = all.len();
+    let mut group = c.benchmark_group("session_ingest");
+    for method in [ProgressiveMethod::Pps, ProgressiveMethod::LsPsn] {
+        group.bench_with_input(BenchmarkId::new(method.name(), n), &method, |b, &method| {
+            b.iter_batched(
+                || {
+                    (
+                        ProgressiveSession::new(
+                            ProfileCollectionBuilder::dirty().build(),
+                            SessionConfig::exhaustive(method),
+                        ),
+                        all.clone(),
+                    )
+                },
+                |(mut session, batch)| {
+                    let ids = session.ingest_batch(batch);
+                    black_box(ids.end)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Re-emission latency: a warm session ingests a 5 % delta and runs one
+/// `reprioritize + emit` epoch; compared against rebuilding the batch
+/// method on the grown collection from scratch.
+fn bench_reemission(c: &mut Criterion) {
+    let data = census();
+    let all = rows(&data);
+    let split = all.len() * 95 / 100;
+    let (base, delta) = all.split_at(split);
+    let mut group = c.benchmark_group("reemission_after_delta");
+    for method in [ProgressiveMethod::Pps, ProgressiveMethod::LsPsn] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("session_{}", method.name()), delta.len()),
+            &method,
+            |b, &method| {
+                b.iter_batched(
+                    || {
+                        let mut session = ProgressiveSession::new(
+                            ProfileCollectionBuilder::dirty().build(),
+                            SessionConfig::exhaustive(method),
+                        );
+                        session.ingest_batch(base.to_vec());
+                        session.emit_epoch(None); // drain the warm epoch
+                        (session, delta.to_vec())
+                    },
+                    |(mut session, delta)| {
+                        session.ingest_batch(delta);
+                        let outcome = session.emit_epoch(Some(1_000));
+                        black_box(outcome.report.new_emissions)
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("rebuild_{}", method.name()), delta.len()),
+            &method,
+            |b, &method| {
+                let config = SessionConfig::exhaustive(method).config;
+                b.iter(|| {
+                    let mut m = build_method(method, &data.profiles, &config, None);
+                    let mut emitted = 0u64;
+                    for _ in 0..1_000 {
+                        if m.next().is_none() {
+                            break;
+                        }
+                        emitted += 1;
+                    }
+                    black_box(emitted)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substrate_ingest,
+    bench_session_ingest,
+    bench_reemission
+);
+criterion_main!(benches);

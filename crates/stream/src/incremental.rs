@@ -1,0 +1,492 @@
+//! Incremental blocking substrates: the batch indexes of `sper-blocking`
+//! (Token Blocking's block collection, the Profile Index, the Neighbor
+//! List) rebuilt as *updatable* structures supporting `add_profile` /
+//! `add_batch` with amortized index updates instead of full
+//! re-tokenization and re-sorting per epoch.
+//!
+//! Both substrates guarantee **batching invariance**: the state after
+//! ingesting a collection is a pure function of the final profile set,
+//! independent of how the ingest was split into batches (property-tested
+//! below). This is what makes the `ProgressiveSession` equivalence to the
+//! batch methods possible at all.
+
+use sper_blocking::{Block, BlockCollection, BlockId, NeighborList, ProfileIndex};
+use sper_model::{ErKind, Profile, ProfileCollection, ProfileId};
+use sper_text::Tokenizer;
+use std::collections::{BTreeMap, HashMap};
+
+/// Deterministic 64-bit FNV-1a — used to derive per-run shuffle seeds that
+/// are stable across processes and rustc versions (unlike
+/// `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Updatable schema-agnostic Token Blocking (§3): one block per
+/// attribute-value token, maintained under profile appends.
+///
+/// * [`Self::add_profile`] tokenizes one new profile and updates the block
+///   map and the live [`ProfileIndex`] in `O(|tokens| · log)` amortized —
+///   no other profile is touched.
+/// * [`Self::snapshot`] materializes a [`BlockCollection`] identical to
+///   `TokenBlocking::default().build(..)` on the current collection (same
+///   keys, same members, same key-sorted order), so every downstream
+///   consumer (`Pbs::from_blocks`, `Pps::from_blocks`, purging, filtering)
+///   works unchanged.
+///
+/// The live index uses *insertion-order* block ids (stable as blocks are
+/// appended); the snapshot re-keys to the batch key-sorted order.
+#[derive(Debug, Clone)]
+pub struct IncrementalTokenBlocking {
+    kind: ErKind,
+    n_profiles: usize,
+    tokenizer: Tokenizer,
+    /// token → insertion-order block position in `blocks`.
+    by_key: HashMap<String, u32>,
+    /// Blocks in insertion order (including not-yet-comparable singletons).
+    blocks: Vec<Block>,
+    /// Live profile → block-ids index over insertion-order ids.
+    index: ProfileIndex,
+}
+
+impl IncrementalTokenBlocking {
+    /// An empty substrate for a task of the given kind.
+    pub fn new(kind: ErKind) -> Self {
+        Self {
+            kind,
+            n_profiles: 0,
+            tokenizer: Tokenizer::default(),
+            by_key: HashMap::new(),
+            blocks: Vec::new(),
+            index: ProfileIndex::new_empty(0),
+        }
+    }
+
+    /// Bootstraps from an existing collection (ingests every profile).
+    pub fn from_collection(profiles: &ProfileCollection) -> Self {
+        let mut this = Self::new(profiles.kind());
+        for p in profiles.iter() {
+            this.add_profile(p);
+        }
+        this
+    }
+
+    /// The task kind.
+    pub fn kind(&self) -> ErKind {
+        self.kind
+    }
+
+    /// Number of profiles ingested.
+    pub fn n_profiles(&self) -> usize {
+        self.n_profiles
+    }
+
+    /// Number of distinct blocking keys seen (including singleton blocks
+    /// the snapshot will drop).
+    pub fn n_keys(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The live profile → blocks index (insertion-order block ids).
+    pub fn profile_index(&self) -> &ProfileIndex {
+        &self.index
+    }
+
+    /// Ingests one profile. Ids must arrive densely (`0, 1, 2, …`) — the
+    /// `ProfileCollection` invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profile.id` is not the next dense id.
+    pub fn add_profile(&mut self, profile: &Profile) {
+        assert_eq!(
+            profile.id.index(),
+            self.n_profiles,
+            "profiles must be ingested in dense id order"
+        );
+        self.n_profiles += 1;
+        self.index.add_profiles(1);
+
+        let mut tokens = profile.tokens(&self.tokenizer);
+        tokens.sort_unstable();
+        tokens.dedup();
+
+        // Existing blocks must be updated in ascending insertion id so the
+        // new profile's block list stays sorted; new keys then append with
+        // ever-larger ids.
+        let mut existing: Vec<u32> = Vec::new();
+        let mut fresh: Vec<String> = Vec::new();
+        for tok in tokens {
+            match self.by_key.get(&tok) {
+                Some(&id) => existing.push(id),
+                None => fresh.push(tok),
+            }
+        }
+        existing.sort_unstable();
+        for id in existing {
+            let block = &mut self.blocks[id as usize];
+            block.push_member(profile.id, profile.source);
+            let cardinality = block.cardinality(self.kind);
+            self.index.add_member(BlockId(id), profile.id, cardinality);
+        }
+        for tok in fresh {
+            let id = self.blocks.len() as u32;
+            let mut block = Block::new(tok.clone(), Vec::new());
+            block.push_member(profile.id, profile.source);
+            self.by_key.insert(tok, id);
+            self.index.push_block(&[profile.id], 0);
+            self.blocks.push(block);
+        }
+    }
+
+    /// Ingests a batch of profiles.
+    pub fn add_batch<'a>(&mut self, profiles: impl IntoIterator<Item = &'a Profile>) {
+        for p in profiles {
+            self.add_profile(p);
+        }
+    }
+
+    /// Materializes the current blocks as a batch-identical
+    /// [`BlockCollection`]: comparable blocks only, sorted by key — exactly
+    /// what `TokenBlocking::default().build(..)` produces on the same
+    /// collection.
+    pub fn snapshot(&self) -> BlockCollection {
+        let mut blocks: Vec<Block> = self
+            .blocks
+            .iter()
+            .filter(|b| b.cardinality(self.kind) > 0)
+            .cloned()
+            .collect();
+        blocks.sort_by(|a, b| a.key.cmp(&b.key));
+        BlockCollection::new(self.kind, self.n_profiles, blocks)
+    }
+}
+
+/// One equal-key run of the incremental Neighbor List.
+#[derive(Debug, Clone)]
+struct Run {
+    /// Members in ascending id order (insertion order under streaming).
+    members: Vec<ProfileId>,
+    /// Cached coincidental-proximity permutation of `members`.
+    order: Vec<ProfileId>,
+    /// Whether `order` is stale.
+    dirty: bool,
+}
+
+/// Updatable schema-agnostic Neighbor List (§3.2): the alphabetically
+/// sorted token placements maintained under profile appends.
+///
+/// Equal-key runs get their *coincidental proximity* (§4.1) from a
+/// per-run permutation seeded by `hash(seed, key)` over the sorted member
+/// set — a canonical function of the final profile set, so the list is
+/// **batching-invariant**: any ingest split yields the identical list.
+/// (The batch [`NeighborList::build`] threads one RNG through all runs
+/// instead; both are valid coincidental orders, and every set-level
+/// guarantee of the similarity-based methods is order-independent.)
+#[derive(Debug, Clone)]
+pub struct IncrementalNeighborList {
+    seed: u64,
+    tokenizer: Tokenizer,
+    n_profiles: usize,
+    runs: BTreeMap<String, Run>,
+    total_placements: usize,
+}
+
+impl IncrementalNeighborList {
+    /// An empty list with the given tie-shuffling seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            tokenizer: Tokenizer::default(),
+            n_profiles: 0,
+            runs: BTreeMap::new(),
+            total_placements: 0,
+        }
+    }
+
+    /// Bootstraps from an existing collection (ingests every profile).
+    pub fn from_collection(profiles: &ProfileCollection, seed: u64) -> Self {
+        let mut this = Self::new(seed);
+        for p in profiles.iter() {
+            this.add_profile(p);
+        }
+        this
+    }
+
+    /// Number of profiles ingested.
+    pub fn n_profiles(&self) -> usize {
+        self.n_profiles
+    }
+
+    /// Total placements (the Neighbor List length).
+    pub fn len(&self) -> usize {
+        self.total_placements
+    }
+
+    /// True when no profile produced any token.
+    pub fn is_empty(&self) -> bool {
+        self.total_placements == 0
+    }
+
+    /// Ingests one profile: one placement per distinct token, appended to
+    /// that token's run. `O(|tokens| · log)` amortized; the run's cached
+    /// permutation is invalidated lazily.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profile.id` is not the next dense id.
+    pub fn add_profile(&mut self, profile: &Profile) {
+        assert_eq!(
+            profile.id.index(),
+            self.n_profiles,
+            "profiles must be ingested in dense id order"
+        );
+        self.n_profiles += 1;
+        let mut tokens = profile.tokens(&self.tokenizer);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for tok in tokens {
+            let run = self.runs.entry(tok).or_insert_with(|| Run {
+                members: Vec::new(),
+                order: Vec::new(),
+                dirty: false,
+            });
+            run.members.push(profile.id);
+            run.dirty = true;
+            self.total_placements += 1;
+        }
+    }
+
+    /// Ingests a batch of profiles.
+    pub fn add_batch<'a>(&mut self, profiles: impl IntoIterator<Item = &'a Profile>) {
+        for p in profiles {
+            self.add_profile(p);
+        }
+    }
+
+    /// Materializes the current placements as a [`NeighborList`]. Stale
+    /// runs recompute their canonical permutation (amortized: a run is
+    /// reshuffled only after it changed); assembling the flat list is
+    /// `O(placements)` with no re-tokenization or global sort.
+    pub fn snapshot(&mut self) -> NeighborList {
+        let seed = self.seed;
+        let mut placements: Vec<(String, ProfileId)> = Vec::with_capacity(self.total_placements);
+        for (key, run) in self.runs.iter_mut() {
+            if run.dirty {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                run.order = run.members.clone();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ fnv1a(key.as_bytes()));
+                run.order.shuffle(&mut rng);
+                run.dirty = false;
+            }
+            placements.extend(run.order.iter().map(|&p| (key.clone(), p)));
+        }
+        NeighborList::from_sorted_placements(placements, self.n_profiles, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_blocking::TokenBlocking;
+    use sper_model::{Attribute, ProfileCollectionBuilder};
+
+    fn collection(n: u32) -> ProfileCollection {
+        let mut b = ProfileCollectionBuilder::dirty();
+        for i in 0..n {
+            let base = i % (n / 2).max(1);
+            b.add_profile([
+                ("name", format!("alpha{} beta{}", base, base % 5)),
+                ("city", format!("town{}", base % 3)),
+            ]);
+        }
+        b.build()
+    }
+
+    fn keys_and_members(blocks: &BlockCollection) -> Vec<(String, Vec<ProfileId>)> {
+        blocks
+            .iter()
+            .map(|b| (b.key.clone(), b.profiles().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_equals_batch_token_blocking() {
+        let coll = collection(40);
+        let batch = TokenBlocking::default().build(&coll);
+        let inc = IncrementalTokenBlocking::from_collection(&coll);
+        assert_eq!(keys_and_members(&inc.snapshot()), keys_and_members(&batch));
+    }
+
+    #[test]
+    fn blocking_is_batching_invariant() {
+        let coll = collection(30);
+        let all_at_once = IncrementalTokenBlocking::from_collection(&coll);
+        for split in [1usize, 7, 13] {
+            let mut inc = IncrementalTokenBlocking::new(ErKind::Dirty);
+            for chunk in coll.profiles().chunks(split) {
+                inc.add_batch(chunk);
+            }
+            assert_eq!(
+                keys_and_members(&inc.snapshot()),
+                keys_and_members(&all_at_once.snapshot()),
+                "split = {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn live_index_tracks_snapshot_membership() {
+        let coll = collection(24);
+        let inc = IncrementalTokenBlocking::from_collection(&coll);
+        let index = inc.profile_index();
+        // Every profile's live block list names blocks that do contain it.
+        for p in coll.iter() {
+            for &bid in index.blocks_of(p.id) {
+                // Insertion-order ids address `blocks` directly.
+                assert!(
+                    inc.blocks[bid as usize].profiles().contains(&p.id),
+                    "block {bid} should contain {}",
+                    p.id
+                );
+            }
+        }
+        // Intersections over the live index match a rebuilt batch index on
+        // the same (insertion-ordered) blocks.
+        let rebuilt = ProfileIndex::build(&BlockCollection::new(
+            ErKind::Dirty,
+            coll.len(),
+            inc.blocks.clone(),
+        ));
+        for a in 0..coll.len() as u32 {
+            for b in (a + 1)..coll.len() as u32 {
+                let (a, b) = (ProfileId(a), ProfileId(b));
+                assert_eq!(index.intersect(a, b), rebuilt.intersect(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_list_is_batching_invariant() {
+        let coll = collection(30);
+        let mut all_at_once = IncrementalNeighborList::from_collection(&coll, 42);
+        let reference = all_at_once.snapshot();
+        for split in [1usize, 4, 11] {
+            let mut inc = IncrementalNeighborList::new(42);
+            for chunk in coll.profiles().chunks(split) {
+                inc.add_batch(chunk);
+            }
+            assert_eq!(
+                inc.snapshot().as_slice(),
+                reference.as_slice(),
+                "split = {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn neighbor_list_placement_multiset_matches_batch() {
+        // Same placements as the batch list (only run-internal order may
+        // differ), hence identical position-index shape.
+        let coll = collection(20);
+        let batch = NeighborList::build(&coll, 42);
+        let mut inc = IncrementalNeighborList::from_collection(&coll, 42);
+        let snap = inc.snapshot();
+        assert_eq!(snap.len(), batch.len());
+        for p in coll.iter() {
+            assert_eq!(
+                snap.position_index().num_positions(p.id),
+                batch.position_index().num_positions(p.id),
+                "{}",
+                p.id
+            );
+        }
+        let mut a: Vec<ProfileId> = snap.as_slice().to_vec();
+        let mut b: Vec<ProfileId> = batch.as_slice().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_clean_streaming_into_second_source() {
+        let mut b = ProfileCollectionBuilder::clean_clean();
+        b.add_profile([("n", "acme corp")]);
+        b.add_profile([("n", "zenith inc")]);
+        b.start_second_source();
+        let mut coll = b.build();
+        let mut inc = IncrementalTokenBlocking::from_collection(&coll);
+        let id = coll.append_profile(vec![Attribute::new("n", "acme corporation")]);
+        inc.add_profile(coll.get(id));
+        let snap = inc.snapshot();
+        let batch = TokenBlocking::default().build(&coll);
+        assert_eq!(keys_and_members(&snap), keys_and_members(&batch));
+        // The "acme" block now yields exactly the one cross-source pair.
+        let acme = snap.iter().find(|b| b.key == "acme").unwrap();
+        assert_eq!(acme.cardinality(ErKind::CleanClean), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense id order")]
+    fn non_dense_ingest_panics() {
+        let coll = collection(4);
+        let mut inc = IncrementalTokenBlocking::new(ErKind::Dirty);
+        inc.add_profile(coll.get(ProfileId(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use sper_blocking::TokenBlocking;
+    use sper_model::ProfileCollectionBuilder;
+
+    fn arbitrary_collection() -> impl Strategy<Value = ProfileCollection> {
+        proptest::collection::vec("[a-e ]{1,8}", 1..20).prop_map(|values| {
+            let mut b = ProfileCollectionBuilder::dirty();
+            for v in values {
+                b.add_profile([("t", v)]);
+            }
+            b.build()
+        })
+    }
+
+    proptest! {
+        /// The incremental snapshot equals batch Token Blocking for every
+        /// collection and every batching of its ingest.
+        #[test]
+        fn snapshot_equivalence(coll in arbitrary_collection(), split in 1usize..8) {
+            let batch = TokenBlocking::default().build(&coll);
+            let mut inc = IncrementalTokenBlocking::new(ErKind::Dirty);
+            for chunk in coll.profiles().chunks(split) {
+                inc.add_batch(chunk);
+            }
+            let snap = inc.snapshot();
+            prop_assert_eq!(snap.len(), batch.len());
+            for (a, b) in snap.iter().zip(batch.iter()) {
+                prop_assert_eq!(&a.key, &b.key);
+                prop_assert_eq!(a.profiles(), b.profiles());
+            }
+        }
+
+        /// The incremental Neighbor List is a pure function of the final
+        /// profile set, whatever the batch split.
+        #[test]
+        fn neighbor_list_invariance(coll in arbitrary_collection(), split in 1usize..8) {
+            let mut whole = IncrementalNeighborList::from_collection(&coll, 7);
+            let mut inc = IncrementalNeighborList::new(7);
+            for chunk in coll.profiles().chunks(split) {
+                inc.add_batch(chunk);
+            }
+            let (inc_snap, whole_snap) = (inc.snapshot(), whole.snapshot());
+            prop_assert_eq!(inc_snap.as_slice(), whole_snap.as_slice());
+        }
+    }
+}

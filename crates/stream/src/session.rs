@@ -1,0 +1,466 @@
+//! Resumable progressive-resolution sessions: `ingest → reprioritize →
+//! emit` epochs over a continuously growing collection.
+//!
+//! A [`ProgressiveSession`] wraps any schema-agnostic progressive method.
+//! Each epoch it rebuilds the method's priority state from the
+//! *incrementally maintained* substrates ([`IncrementalTokenBlocking`] /
+//! [`IncrementalNeighborList`]) — re-prioritization without
+//! re-tokenization or index rebuilds — and emits best-first comparisons,
+//! suppressing every pair already emitted in an earlier epoch.
+//!
+//! ## Eventual-quality guarantee
+//!
+//! The streaming counterpart of the paper's *Same Eventual Quality*
+//! requirement (§3.1): once all profiles are ingested and the final epoch
+//! is drained, the session's cumulative emission set equals the batch
+//! method's emission set on the final collection — streaming changes
+//! *latency*, never eventual quality. This holds exactly for
+//! substrate-monotone configurations, i.e. when a comparison the method
+//! emits on a prefix collection is still emitted on every extension:
+//!
+//! * the similarity-based methods run to exhaustion (SA-PSN, LS-PSN, and
+//!   GS-PSN with `wmax ≥ |NL|`) — their eventual set is every valid pair
+//!   of token-bearing profiles, which only grows under ingest;
+//! * the equality-based methods (PBS, PPS) over *unpruned* token blocks
+//!   with `kmax ≥ |P|` — their eventual set is the distinct block
+//!   comparisons, and prefix blocks are subsets of final blocks.
+//!
+//! [`SessionConfig::exhaustive`] selects exactly this regime (it is the
+//! configuration of the equivalence property test). With the paper's
+//! pruned defaults (block purging/filtering, finite `kmax`/`wmax`) the
+//! session still never emits a pair twice and still converges, but early
+//! epochs may have emitted comparisons the final pruned batch run would
+//! skip — pruning is not monotone under ingest.
+
+use crate::incremental::{IncrementalNeighborList, IncrementalTokenBlocking};
+use sper_blocking::{BlockFilter, BlockPurger};
+use sper_core::{
+    build_method, gs_psn::GsPsn, ls_psn::LsPsn, pbs::Pbs, pps::Pps, sa_psn::SaPsn, Comparison,
+    MethodConfig, ProgressiveEr, ProgressiveMethod,
+};
+use sper_eval::{streaming_recall, StreamEpoch, StreamingRecall};
+use sper_model::{Attribute, GroundTruth, Pair, ProfileCollection, ProfileId};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// How a session builds and re-prioritizes its method.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The progressive method to run (PSN is rejected: schema keys do not
+    /// stream).
+    pub method: ProgressiveMethod,
+    /// Shared method parameters (seed, weighting, workflow, `kmax`, …).
+    pub config: MethodConfig,
+}
+
+impl SessionConfig {
+    /// The paper-default configuration for `method`.
+    pub fn new(method: ProgressiveMethod) -> Self {
+        Self {
+            method,
+            config: MethodConfig::default(),
+        }
+    }
+
+    /// The substrate-monotone regime under which the streaming ⇔ batch
+    /// equivalence is exact (see the module docs): no block purging or
+    /// filtering, effectively unbounded `kmax` and `wmax`.
+    pub fn exhaustive(method: ProgressiveMethod) -> Self {
+        let mut config = MethodConfig::default();
+        config.workflow.purge_ratio = 1.0;
+        config.workflow.filter_ratio = 1.0;
+        config.kmax = usize::MAX / 2;
+        config.wmax = usize::MAX / 2;
+        Self { method, config }
+    }
+}
+
+/// Statistics of one `ingest → reprioritize → emit` epoch.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Profiles streamed in since the previous epoch (the session's
+    /// initial base collection is not counted).
+    pub ingested: usize,
+    /// Collection size at the end of the epoch.
+    pub profiles_total: usize,
+    /// Comparisons the method produced this epoch (including suppressed
+    /// repeats).
+    pub raw_emissions: u64,
+    /// Comparisons emitted for the first time this epoch.
+    pub new_emissions: u64,
+    /// Comparisons suppressed as cross-epoch repeats.
+    pub suppressed: u64,
+    /// Time to rebuild the method from the incremental substrates.
+    pub init_time: Duration,
+    /// Time spent emitting.
+    pub emission_time: Duration,
+}
+
+/// The outcome of one epoch: the report plus the newly emitted
+/// comparisons, best-first in the method's epoch order.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Epoch statistics.
+    pub report: EpochReport,
+    /// The comparisons emitted for the first time this epoch.
+    pub comparisons: Vec<Comparison>,
+}
+
+/// A long-lived ingest-while-resolving session.
+#[derive(Debug)]
+pub struct ProgressiveSession {
+    method: ProgressiveMethod,
+    config: MethodConfig,
+    profiles: ProfileCollection,
+    blocks: Option<IncrementalTokenBlocking>,
+    nl: Option<IncrementalNeighborList>,
+    emitted: HashSet<Pair>,
+    pending_ingest: usize,
+    reports: Vec<EpochReport>,
+}
+
+impl ProgressiveSession {
+    /// Opens a session over an initial collection (which may be empty —
+    /// `ProfileCollectionBuilder::dirty().build()` — or a pre-loaded base;
+    /// for Clean-clean tasks the base fixes `P1` and streamed profiles
+    /// join `P2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ProgressiveMethod::Psn`]: schema-based blocking keys
+    /// are not available for streamed profiles.
+    pub fn new(initial: ProfileCollection, session: SessionConfig) -> Self {
+        assert!(
+            !session.method.is_schema_based(),
+            "PSN is schema-based; streaming sessions are schema-agnostic"
+        );
+        let SessionConfig { method, config } = session;
+        // Maintain only the substrate the method consumes; the fallback
+        // methods (SA-PSAB's suffix forest) rebuild from the collection.
+        let uses_blocks = matches!(method, ProgressiveMethod::Pbs | ProgressiveMethod::Pps);
+        let uses_nl = matches!(
+            method,
+            ProgressiveMethod::SaPsn | ProgressiveMethod::LsPsn | ProgressiveMethod::GsPsn
+        );
+        let blocks = uses_blocks.then(|| IncrementalTokenBlocking::from_collection(&initial));
+        let nl = uses_nl.then(|| IncrementalNeighborList::from_collection(&initial, config.seed));
+        Self {
+            method,
+            config,
+            profiles: initial,
+            blocks,
+            nl,
+            emitted: HashSet::new(),
+            // The base collection is not "streamed in": ingest counters
+            // (and throughput derived from them) start at zero.
+            pending_ingest: 0,
+            reports: Vec::new(),
+        }
+    }
+
+    /// The method this session runs.
+    pub fn method(&self) -> ProgressiveMethod {
+        self.method
+    }
+
+    /// The current collection.
+    pub fn profiles(&self) -> &ProfileCollection {
+        &self.profiles
+    }
+
+    /// Pairs emitted so far, across all epochs.
+    pub fn emitted(&self) -> &HashSet<Pair> {
+        &self.emitted
+    }
+
+    /// Per-epoch reports so far.
+    pub fn reports(&self) -> &[EpochReport] {
+        &self.reports
+    }
+
+    /// Ingests one profile, updating the incremental substrates. Cost is
+    /// amortized `O(|tokens| · log)` — no existing profile is touched.
+    pub fn ingest(&mut self, attributes: Vec<Attribute>) -> ProfileId {
+        let id = self.profiles.append_profile(attributes);
+        let profile = self.profiles.get(id);
+        if let Some(blocks) = self.blocks.as_mut() {
+            blocks.add_profile(profile);
+        }
+        if let Some(nl) = self.nl.as_mut() {
+            nl.add_profile(profile);
+        }
+        self.pending_ingest += 1;
+        id
+    }
+
+    /// Ingests a batch of profiles, returning the id range.
+    pub fn ingest_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = Vec<Attribute>>,
+    ) -> std::ops::Range<u32> {
+        let start = self.profiles.len() as u32;
+        for attrs in batch {
+            self.ingest(attrs);
+        }
+        start..self.profiles.len() as u32
+    }
+
+    /// Runs one epoch: rebuilds the method's priority state from the
+    /// incremental substrates (re-prioritization) and emits best-first
+    /// comparisons, suppressing cross-epoch repeats, until the method is
+    /// exhausted or `budget` *new* emissions have been produced.
+    pub fn emit_epoch(&mut self, budget: Option<u64>) -> EpochOutcome {
+        let budget = budget.unwrap_or(u64::MAX);
+        let t0 = Instant::now();
+        // Snapshot the substrates first (they need `&mut self`), then
+        // build the epoch method over `&self.profiles`.
+        let nl_snapshot = self.nl.as_mut().map(|nl| nl.snapshot());
+        let block_snapshot = self.blocks.as_ref().map(|b| {
+            let snap = b.snapshot();
+            let snap = BlockPurger::new(self.config.workflow.purge_ratio).purge(snap);
+            BlockFilter::new(self.config.workflow.filter_ratio).filter(snap)
+        });
+        let mut method: Box<dyn ProgressiveEr + '_> = match self.method {
+            ProgressiveMethod::SaPsn => {
+                let mut m = SaPsn::from_neighbor_list(&self.profiles, nl_snapshot.unwrap());
+                if let Some(mw) = self.config.max_window {
+                    m = m.with_max_window(mw);
+                }
+                Box::new(m)
+            }
+            ProgressiveMethod::LsPsn => Box::new(LsPsn::from_neighbor_list(
+                &self.profiles,
+                nl_snapshot.unwrap(),
+                self.config.neighbor_weighting,
+            )),
+            ProgressiveMethod::GsPsn => Box::new(GsPsn::from_neighbor_list(
+                &self.profiles,
+                nl_snapshot.unwrap(),
+                self.config.wmax,
+                self.config.neighbor_weighting,
+            )),
+            ProgressiveMethod::Pbs => Box::new(Pbs::from_blocks(
+                block_snapshot.unwrap(),
+                self.config.scheme,
+            )),
+            ProgressiveMethod::Pps => Box::new(Pps::from_blocks(
+                block_snapshot.unwrap(),
+                self.config.scheme,
+                self.config.kmax,
+            )),
+            // No incremental substrate for the suffix forest (SA-PSAB):
+            // full rebuild per epoch.
+            other => build_method(other, &self.profiles, &self.config, None),
+        };
+        let init_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let mut raw: u64 = 0;
+        let mut suppressed: u64 = 0;
+        let mut comparisons: Vec<Comparison> = Vec::new();
+        while (comparisons.len() as u64) < budget {
+            let Some(c) = method.next() else { break };
+            raw += 1;
+            if self.emitted.insert(c.pair) {
+                comparisons.push(c);
+            } else {
+                suppressed += 1;
+            }
+        }
+        drop(method);
+        let emission_time = t1.elapsed();
+
+        let report = EpochReport {
+            epoch: self.reports.len() + 1,
+            ingested: std::mem::take(&mut self.pending_ingest),
+            profiles_total: self.profiles.len(),
+            raw_emissions: raw,
+            new_emissions: comparisons.len() as u64,
+            suppressed,
+            init_time,
+            emission_time,
+        };
+        self.reports.push(report.clone());
+        EpochOutcome {
+            report,
+            comparisons,
+        }
+    }
+}
+
+/// Drives a full streaming run: ingest `batches` one epoch at a time
+/// (emitting up to `budget_per_epoch` new comparisons after each), then
+/// evaluates the cumulative emissions against `truth` as an
+/// epoch-annotated recall curve.
+pub fn run_streaming(
+    initial: ProfileCollection,
+    batches: Vec<Vec<Vec<Attribute>>>,
+    session_config: SessionConfig,
+    budget_per_epoch: Option<u64>,
+    truth: &GroundTruth,
+) -> (StreamingRecall, Vec<EpochReport>) {
+    let (recall, reports) = run_streaming_with(
+        initial,
+        batches,
+        session_config,
+        budget_per_epoch,
+        Some(truth),
+        |_| {},
+    );
+    (recall.expect("truth was provided"), reports)
+}
+
+/// [`run_streaming`] with its knobs exposed: the ground truth is optional
+/// (no truth → no recall curve, epochs still run) and `on_epoch` observes
+/// every [`EpochOutcome`] as it completes — live progress reporting for
+/// long runs (the `sper stream` CLI).
+pub fn run_streaming_with(
+    initial: ProfileCollection,
+    batches: Vec<Vec<Vec<Attribute>>>,
+    session_config: SessionConfig,
+    budget_per_epoch: Option<u64>,
+    truth: Option<&GroundTruth>,
+    mut on_epoch: impl FnMut(&EpochOutcome),
+) -> (Option<StreamingRecall>, Vec<EpochReport>) {
+    let mut session = ProgressiveSession::new(initial, session_config);
+    let mut epochs: Vec<StreamEpoch> = Vec::new();
+    for batch in batches {
+        session.ingest_batch(batch);
+        let outcome = session.emit_epoch(budget_per_epoch);
+        epochs.push(StreamEpoch {
+            profiles_total: outcome.report.profiles_total,
+            pairs: outcome.comparisons.iter().map(|c| c.pair).collect(),
+        });
+        on_epoch(&outcome);
+    }
+    let recall = truth.map(|t| streaming_recall(&epochs, t));
+    (recall, session.reports.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sper_model::ProfileCollectionBuilder;
+
+    fn toy() -> Vec<Vec<Attribute>> {
+        [
+            "carl white ny tailor",
+            "karl white ny tailor",
+            "hellen white ml teacher",
+            "ellen white ml teacher",
+            "emma white wi tailor",
+            "frank black la baker",
+        ]
+        .iter()
+        .map(|v| vec![Attribute::new("text", *v)])
+        .collect()
+    }
+
+    fn empty_dirty() -> ProfileCollection {
+        ProfileCollectionBuilder::dirty().build()
+    }
+
+    #[test]
+    fn epochs_never_repeat_emissions() {
+        for method in [
+            ProgressiveMethod::SaPsn,
+            ProgressiveMethod::LsPsn,
+            ProgressiveMethod::GsPsn,
+            ProgressiveMethod::Pbs,
+            ProgressiveMethod::Pps,
+            ProgressiveMethod::SaPsab,
+        ] {
+            let mut session =
+                ProgressiveSession::new(empty_dirty(), SessionConfig::exhaustive(method));
+            let mut seen: HashSet<Pair> = HashSet::new();
+            for chunk in toy().chunks(2) {
+                session.ingest_batch(chunk.to_vec());
+                let outcome = session.emit_epoch(None);
+                for c in &outcome.comparisons {
+                    assert!(seen.insert(c.pair), "{method:?} repeated {:?}", c.pair);
+                }
+            }
+            assert_eq!(seen.len(), session.emitted().len());
+        }
+    }
+
+    #[test]
+    fn budget_limits_new_emissions_per_epoch() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+        );
+        session.ingest_batch(toy());
+        let outcome = session.emit_epoch(Some(3));
+        assert_eq!(outcome.report.new_emissions, 3);
+        assert_eq!(outcome.comparisons.len(), 3);
+        // The rest arrives in the next epoch, without repeats.
+        let rest = session.emit_epoch(None);
+        assert!(rest.report.new_emissions > 0);
+        assert_eq!(rest.report.ingested, 0, "no new profiles this epoch");
+    }
+
+    #[test]
+    fn reports_track_ingest_and_epochs() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::LsPsn),
+        );
+        let ids = session.ingest_batch(toy().into_iter().take(4));
+        assert_eq!(ids, 0..4);
+        let o1 = session.emit_epoch(None);
+        assert_eq!(o1.report.epoch, 1);
+        assert_eq!(o1.report.ingested, 4);
+        assert_eq!(o1.report.profiles_total, 4);
+        session.ingest_batch(toy().into_iter().skip(4));
+        let o2 = session.emit_epoch(None);
+        assert_eq!(o2.report.epoch, 2);
+        assert_eq!(o2.report.ingested, 2);
+        assert_eq!(o2.report.profiles_total, 6);
+        assert_eq!(session.reports().len(), 2);
+    }
+
+    #[test]
+    fn empty_epoch_is_harmless() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pbs),
+        );
+        let outcome = session.emit_epoch(None);
+        assert_eq!(outcome.report.new_emissions, 0);
+        assert_eq!(outcome.comparisons.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema-based")]
+    fn psn_is_rejected() {
+        ProgressiveSession::new(empty_dirty(), SessionConfig::new(ProgressiveMethod::Psn));
+    }
+
+    #[test]
+    fn run_streaming_produces_epoch_marks() {
+        let profiles = toy();
+        let truth = GroundTruth::from_pairs(
+            6,
+            [
+                Pair::new(ProfileId(0), ProfileId(1)),
+                Pair::new(ProfileId(2), ProfileId(3)),
+            ],
+        );
+        let batches: Vec<Vec<Vec<Attribute>>> = profiles.chunks(2).map(|c| c.to_vec()).collect();
+        let (recall, reports) = run_streaming(
+            empty_dirty(),
+            batches,
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+            None,
+            &truth,
+        );
+        assert_eq!(recall.epochs.len(), 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(recall.final_recall(), 1.0, "exhaustive drain finds all");
+        // Matches among early-ingested profiles surface in early epochs.
+        assert!(recall.recall_after_epoch(1) >= 0.5);
+    }
+}

@@ -40,8 +40,14 @@ pub fn jaccard_similarity<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
 ///
 /// Debug-asserts that inputs are sorted and deduplicated.
 pub fn jaccard_similarity_sorted<S: AsRef<str> + Ord>(a: &[S], b: &[S]) -> f64 {
-    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input `a` must be sorted+dedup");
-    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input `b` must be sorted+dedup");
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]),
+        "input `a` must be sorted+dedup"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0] < w[1]),
+        "input `b` must be sorted+dedup"
+    );
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }

@@ -113,9 +113,7 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
         curr[0] = i;
         for j in 1..=b.len() {
             let cost = usize::from(a[i - 1] != b[j - 1]);
-            curr[j] = (prev[j - 1] + cost)
-                .min(prev[j] + 1)
-                .min(curr[j - 1] + 1);
+            curr[j] = (prev[j - 1] + cost).min(prev[j] + 1).min(curr[j - 1] + 1);
             if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
                 curr[j] = curr[j].min(prev2[j - 2] + 1);
             }

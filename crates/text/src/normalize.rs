@@ -66,10 +66,7 @@ mod tests {
     #[test]
     fn keeps_interior_punctuation() {
         // URI-style tokens must keep their internal structure.
-        assert_eq!(
-            normalize_token("Karl_White"),
-            Some("karl_white".into())
-        );
+        assert_eq!(normalize_token("Karl_White"), Some("karl_white".into()));
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn main() {
         data.profiles.len_first(),
         data.profiles.len_second()
     );
-    println!("{} true matches; schemata are disjoint\n", data.truth.num_matches());
+    println!(
+        "{} true matches; schemata are disjoint\n",
+        data.truth.num_matches()
+    );
 
     let text = ProfileText::extract(&data.profiles);
     let matcher = JaccardMatcher::new(&text, 0.5);

@@ -16,7 +16,9 @@ use sper_eval::oracle::run_with_oracle;
 
 fn main() {
     // Cora-like data: few entities, many citations each.
-    let data = DatasetSpec::paper(DatasetKind::Cora).with_scale(0.3).generate();
+    let data = DatasetSpec::paper(DatasetKind::Cora)
+        .with_scale(0.3)
+        .generate();
     let total = data.truth.num_matches();
     println!(
         "cora twin at 0.3 scale: {} profiles, {} duplicate pairs\n",
@@ -30,12 +32,8 @@ fn main() {
         "method", "queries", "positives", "deduced pairs", "recall"
     );
     for method in [ProgressiveMethod::Pps, ProgressiveMethod::GsPsn] {
-        let m = sper::core::build_method(
-            method,
-            &data.profiles,
-            &config,
-            data.schema_keys.as_deref(),
-        );
+        let m =
+            sper::core::build_method(method, &data.profiles, &config, data.schema_keys.as_deref());
         let result = run_with_oracle(m, &data.truth, data.profiles.len(), total as u64 * 30);
         println!(
             "{:<8} {:>9} {:>10} {:>14} {:>8.3}",

@@ -21,7 +21,11 @@ fn main() {
         ("City", "NY"),
         ("Profession", "Tailor"),
     ]);
-    let p2 = builder.add_profile([(":livesIn", "NY"), (":n", "Carl_White"), (":workAs", "Tailor")]);
+    let p2 = builder.add_profile([
+        (":livesIn", "NY"),
+        (":n", "Carl_White"),
+        (":workAs", "Tailor"),
+    ]);
     let p3 = builder.add_profile([(":loc", "NY"), (":n", "Karl_White"), (":job", "Tailor")]);
     let p4 = builder.add_profile([
         ("Name", "Ellen"),

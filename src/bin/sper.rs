@@ -4,6 +4,8 @@
 //! sper resolve <profiles.csv> [--method pps] [--budget 5000] [--threshold 0.5]
 //! sper evaluate <profiles.csv> <matches.csv> [--method pps] [--ec-star 10]
 //! sper generate <dataset> [--scale 1.0] [--out profiles.csv --truth matches.csv]
+//! sper stream   <dataset|profiles.csv> [--method pps] [--batches 5]
+//!               [--epoch-budget N] [--truth matches.csv] [--exhaustive]
 //! ```
 //!
 //! * `resolve` — emit likely matches best-first, scored with the Jaccard
@@ -11,10 +13,14 @@
 //! * `evaluate` — given a ground-truth match file (`id,id` per line),
 //!   report recall progressiveness and `AUC*`.
 //! * `generate` — write one of the seven synthetic twins to CSV.
+//! * `stream` — ingest-while-resolving: feed the profiles to a
+//!   [`ProgressiveSession`] in batches and report each `ingest →
+//!   reprioritize → emit` epoch (plus per-epoch recall when a ground truth
+//!   is available).
 
 use sper::prelude::*;
 use sper_model::io as model_io;
-use sper_model::{JaccardMatcher, ProfileText};
+use sper_model::{Attribute, JaccardMatcher, ProfileText};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -36,7 +42,9 @@ const USAGE: &str = "usage:
                 [--budget N] [--threshold T]
   sper evaluate <profiles.csv> <matches.csv> [--method M] [--ec-star X]
   sper generate <census|restaurant|cora|cddb|movies|dbpedia|freebase>
-                [--scale S] [--out FILE] [--truth FILE]";
+                [--scale S] [--out FILE] [--truth FILE]
+  sper stream   <dataset|profiles.csv> [--method M] [--batches N]
+                [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -69,6 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("resolve") => resolve(args),
         Some("evaluate") => evaluate(args),
         Some("generate") => generate(args),
+        Some("stream") => stream(args),
         _ => Err("missing or unknown subcommand".into()),
     }
 }
@@ -146,8 +155,7 @@ fn evaluate(args: &[String]) -> Result<(), String> {
     let path = args.get(1).ok_or("evaluate needs a profiles CSV path")?;
     let matches_path = args.get(2).ok_or("evaluate needs a matches CSV path")?;
     let profiles = load_profiles(path)?;
-    let truth_text =
-        std::fs::read(matches_path).map_err(|e| format!("{matches_path}: {e}"))?;
+    let truth_text = std::fs::read(matches_path).map_err(|e| format!("{matches_path}: {e}"))?;
     let truth = model_io::read_matches(&truth_text[..], profiles.len())
         .map_err(|e| format!("{matches_path}: {e}"))?;
     let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
@@ -176,6 +184,133 @@ fn evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Ingest-while-resolving over a dataset name (generated twin, ground
+/// truth included) or a profiles CSV (ground truth via `--truth`).
+fn stream(args: &[String]) -> Result<(), String> {
+    let source = args
+        .get(1)
+        .ok_or("stream needs a dataset name or CSV path")?;
+    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
+    if method.is_schema_based() {
+        return Err("PSN needs schema keys; streaming is schema-agnostic".into());
+    }
+    let n_batches: usize = flag(args, "--batches")
+        .map(|s| s.parse().map_err(|e| format!("--batches: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+    if n_batches == 0 {
+        return Err("--batches must be ≥ 1".into());
+    }
+    let epoch_budget: Option<u64> = flag(args, "--epoch-budget")
+        .map(|s| s.parse().map_err(|e| format!("--epoch-budget: {e}")))
+        .transpose()?;
+
+    let (profiles, truth) = match parse_dataset(source) {
+        Ok(kind) => {
+            let scale: f64 = flag(args, "--scale")
+                .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
+                .transpose()?
+                .unwrap_or(1.0);
+            let data = DatasetSpec::paper(kind).with_scale(scale).generate();
+            (data.profiles, Some(data.truth))
+        }
+        Err(_) => {
+            let profiles = load_profiles(source)?;
+            let truth = flag(args, "--truth")
+                .map(|p| {
+                    let text = std::fs::read(&p).map_err(|e| format!("{p}: {e}"))?;
+                    model_io::read_matches(&text[..], profiles.len())
+                        .map_err(|e| format!("{p}: {e}"))
+                })
+                .transpose()?;
+            (profiles, truth)
+        }
+    };
+
+    let session_config = if args.iter().any(|a| a == "--exhaustive") {
+        SessionConfig::exhaustive(method)
+    } else {
+        SessionConfig::new(method)
+    };
+    // Dirty tasks stream every profile into an empty base. Clean-clean
+    // tasks fix `P1` as the session base and stream only `P2` — appends to
+    // a Clean-clean collection join the second source, so ids (and the
+    // ground truth) line up with the batch collection.
+    let (initial, rows): (ProfileCollection, Vec<Vec<Attribute>>) = match profiles.kind() {
+        ErKind::Dirty => (
+            ProfileCollectionBuilder::dirty().build(),
+            profiles.iter().map(|p| p.attributes.clone()).collect(),
+        ),
+        ErKind::CleanClean => {
+            let split = profiles.len_first();
+            let mut b = ProfileCollectionBuilder::clean_clean();
+            for p in profiles.iter().take(split) {
+                b.add_attributes(p.attributes.clone());
+            }
+            b.start_second_source();
+            (
+                b.build(),
+                profiles
+                    .iter()
+                    .skip(split)
+                    .map(|p| p.attributes.clone())
+                    .collect(),
+            )
+        }
+    };
+    eprintln!(
+        "streaming {} profiles into {} batches (base: {}); method {}; epoch budget {}",
+        rows.len(),
+        n_batches,
+        initial.len(),
+        method.name(),
+        epoch_budget.map_or("∞".into(), |b| b.to_string()),
+    );
+    let chunk = rows.len().div_ceil(n_batches).max(1);
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(chunk).map(|c| c.to_vec()).collect();
+    println!("epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us");
+    let (recall, _reports) = run_streaming_with(
+        initial,
+        batches,
+        session_config,
+        epoch_budget,
+        truth.as_ref(),
+        |outcome| {
+            let r = &outcome.report;
+            println!(
+                "{},{},{},{},{},{},{}",
+                r.epoch,
+                r.ingested,
+                r.profiles_total,
+                r.new_emissions,
+                r.suppressed,
+                r.init_time.as_micros(),
+                r.emission_time.as_micros(),
+            );
+        },
+    );
+
+    if let Some(recall) = recall {
+        eprintln!();
+        eprintln!("epoch  profiles  emissions  new_matches  recall");
+        for m in &recall.epochs {
+            eprintln!(
+                "{:<5}  {:<8}  {:<9}  {:<11}  {:.4}",
+                m.epoch, m.profiles_total, m.emissions_end, m.new_matches, m.recall
+            );
+        }
+        eprintln!(
+            "final recall {:.4} ({} matches) over {} emissions",
+            recall.final_recall(),
+            recall.curve.matches_found(),
+            recall.curve.emissions(),
+        );
+    } else {
+        eprintln!("(no ground truth — pass --truth FILE for per-epoch recall)");
+    }
+    Ok(())
+}
+
 fn generate(args: &[String]) -> Result<(), String> {
     let kind = parse_dataset(args.get(1).ok_or("generate needs a dataset name")?)?;
     let scale: f64 = flag(args, "--scale")
@@ -197,8 +332,7 @@ fn generate(args: &[String]) -> Result<(), String> {
         }
         None => {
             let stdout = std::io::stdout();
-            model_io::write_csv(&data.profiles, &mut stdout.lock())
-                .map_err(|e| e.to_string())?;
+            model_io::write_csv(&data.profiles, &mut stdout.lock()).map_err(|e| e.to_string())?;
         }
     }
     if let Some(path) = flag(args, "--truth") {

@@ -18,6 +18,7 @@ pub use sper_core as core;
 pub use sper_datagen as datagen;
 pub use sper_eval as eval;
 pub use sper_model as model;
+pub use sper_stream as stream;
 pub use sper_text as text;
 
 /// Commonly used items, importable in one line.
@@ -28,8 +29,8 @@ pub mod prelude {
         weights::WeightingScheme, BlockCollection, TokenBlockingWorkflow,
     };
     pub use sper_core::{
-        gs_psn::GsPsn, ls_psn::LsPsn, pbs::Pbs, pps::Pps, psn::Psn, sa_psab::SaPsab,
-        sa_psn::SaPsn, Comparison, MethodConfig, ProgressiveMethod, ProgressiveEr,
+        gs_psn::GsPsn, ls_psn::LsPsn, pbs::Pbs, pps::Pps, psn::Psn, sa_psab::SaPsab, sa_psn::SaPsn,
+        Comparison, MethodConfig, ProgressiveEr, ProgressiveMethod,
     };
     pub use sper_datagen::{DatasetKind, DatasetSpec, GeneratedDataset};
     pub use sper_eval::{
@@ -41,5 +42,9 @@ pub mod prelude {
     pub use sper_model::{
         ErKind, GroundTruth, MatchFunction, Pair, Profile, ProfileCollection,
         ProfileCollectionBuilder, ProfileId, SourceId,
+    };
+    pub use sper_stream::{
+        run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession,
+        SessionConfig,
     };
 }

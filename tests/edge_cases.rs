@@ -44,7 +44,10 @@ fn token_free_profiles_are_harmless() {
         let m = sper::core::build_method(method, &profiles, &config, None);
         for c in m.take(100) {
             // Only the two token-bearing profiles can ever be compared.
-            assert!(c.pair.first.0 >= 2 && c.pair.second.0 >= 2, "{method}: {c:?}");
+            assert!(
+                c.pair.first.0 >= 2 && c.pair.second.0 >= 2,
+                "{method}: {c:?}"
+            );
         }
     }
 }
@@ -118,7 +121,14 @@ fn runner_handles_truthless_task() {
     let profiles = b.build();
     let truth = GroundTruth::from_clusters(2, &[]);
     let result = run_progressive(
-        || sper::core::build_method(ProgressiveMethod::SaPsn, &profiles, &MethodConfig::default(), None),
+        || {
+            sper::core::build_method(
+                ProgressiveMethod::SaPsn,
+                &profiles,
+                &MethodConfig::default(),
+                None,
+            )
+        },
         &truth,
         RunOptions::default(),
     );

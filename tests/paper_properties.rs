@@ -22,7 +22,9 @@ fn auc10(method: ProgressiveMethod, data: &GeneratedDataset, config: &MethodConf
 /// naive SA-PSN to a significant extent.
 #[test]
 fn advanced_beats_naive_on_structured() {
-    let data = DatasetSpec::paper(DatasetKind::Census).with_scale(0.5).generate();
+    let data = DatasetSpec::paper(DatasetKind::Census)
+        .with_scale(0.5)
+        .generate();
     let config = MethodConfig::default();
     let naive = auc10(ProgressiveMethod::SaPsn, &data, &config);
     for advanced in [ProgressiveMethod::LsPsn, ProgressiveMethod::GsPsn] {
@@ -56,7 +58,9 @@ fn schema_agnostic_beats_psn_on_restaurant() {
 /// methods stay robust: PBS and PPS dominate LS-PSN and GS-PSN.
 #[test]
 fn equality_methods_robust_on_freebase() {
-    let data = DatasetSpec::paper(DatasetKind::Freebase).with_scale(0.1).generate();
+    let data = DatasetSpec::paper(DatasetKind::Freebase)
+        .with_scale(0.1)
+        .generate();
     let config = MethodConfig::heterogeneous();
     let pbs = auc10(ProgressiveMethod::Pbs, &data, &config);
     let pps = auc10(ProgressiveMethod::Pps, &data, &config);
@@ -78,8 +82,12 @@ fn equality_methods_robust_on_freebase() {
 #[test]
 fn gs_psn_degrades_on_rdf_noise() {
     let config = MethodConfig::heterogeneous();
-    let freebase = DatasetSpec::paper(DatasetKind::Freebase).with_scale(0.1).generate();
-    let movies = DatasetSpec::paper(DatasetKind::Movies).with_scale(0.03).generate();
+    let freebase = DatasetSpec::paper(DatasetKind::Freebase)
+        .with_scale(0.1)
+        .generate();
+    let movies = DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(0.03)
+        .generate();
     let on_freebase = auc10(ProgressiveMethod::GsPsn, &freebase, &config);
     let on_movies = auc10(ProgressiveMethod::GsPsn, &movies, &config);
     assert!(
@@ -93,17 +101,12 @@ fn gs_psn_degrades_on_rdf_noise() {
 /// exhaustive similarity methods can.
 #[test]
 fn pbs_final_recall_below_one_on_cora() {
-    let data = DatasetSpec::paper(DatasetKind::Cora).with_scale(0.3).generate();
+    let data = DatasetSpec::paper(DatasetKind::Cora)
+        .with_scale(0.3)
+        .generate();
     let config = MethodConfig::default();
     let result = run_progressive(
-        || {
-            sper::core::build_method(
-                ProgressiveMethod::Pbs,
-                &data.profiles,
-                &config,
-                None,
-            )
-        },
+        || sper::core::build_method(ProgressiveMethod::Pbs, &data.profiles, &config, None),
         &data.truth,
         RunOptions {
             max_ec_star: 1_000.0, // effectively unbounded
@@ -121,7 +124,9 @@ fn pbs_final_recall_below_one_on_cora() {
 /// methods (the reason the paper recommends it for tight time budgets).
 #[test]
 fn pbs_has_cheapest_advanced_initialization() {
-    let data = DatasetSpec::paper(DatasetKind::Movies).with_scale(0.05).generate();
+    let data = DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(0.05)
+        .generate();
     let config = MethodConfig::heterogeneous();
     let init_of = |method: ProgressiveMethod| {
         let t0 = std::time::Instant::now();

@@ -14,7 +14,9 @@ use std::collections::HashSet;
 const SEED: u64 = 1234;
 
 fn twin() -> GeneratedDataset {
-    DatasetSpec::paper(DatasetKind::Restaurant).with_scale(0.15).generate()
+    DatasetSpec::paper(DatasetKind::Restaurant)
+        .with_scale(0.15)
+        .generate()
 }
 
 /// All valid pairs at exactly window distance `w` of the Neighbor List, in
@@ -105,8 +107,7 @@ fn gs_psn_weights_dominate_ls_psn_window1() {
         ls_w1.insert(c.pair, c.weight);
     }
     let gs = GsPsn::with_weighting(&data.profiles, SEED, 4, NeighborWeighting::Frequency);
-    let gs_weights: std::collections::HashMap<Pair, f64> =
-        gs.map(|c| (c.pair, c.weight)).collect();
+    let gs_weights: std::collections::HashMap<Pair, f64> = gs.map(|c| (c.pair, c.weight)).collect();
     for (pair, w1) in &ls_w1 {
         let gw = gs_weights
             .get(pair)

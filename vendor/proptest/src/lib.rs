@@ -1,0 +1,449 @@
+//! Minimal in-tree replacement for `proptest`, vendored because the build
+//! environment has no crates.io access.
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * [`Strategy`] with [`Strategy::prop_map`],
+//! * integer-range strategies (`0u32..12`), tuple strategies,
+//! * string strategies from a small regex subset (`"[a-z]{0,12}"`,
+//!   `"\\PC{0,16}"`),
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * the [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//!   [`prop_assume!`] macros.
+//!
+//! Differences from upstream: no shrinking (failures report the first
+//! counter-example verbatim) and a fixed deterministic seed schedule, so
+//! test runs are reproducible by construction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Deterministic source of randomness for one generated case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for one case.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn gen_usize(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is re-drawn.
+    Reject,
+    /// `prop_assert!`-family failure.
+    Fail(String),
+}
+
+/// Result type of one generated case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// String strategies: a `&str` is interpreted as a pattern from a small
+/// regex subset — a sequence of atoms, each a char class (`[a-z0-9,-]`),
+/// the printable-char escape `\PC`, or a literal char, optionally
+/// quantified with `{m,n}` / `{m}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (pool, lo, hi) in &atoms {
+            let len = rng.gen_usize(*lo..*hi + 1);
+            for _ in 0..len {
+                out.push(pool[rng.gen_usize(0..pool.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Printable-char pool for `\PC`: ASCII printables plus a few multi-byte
+/// code points so UTF-8 handling gets exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    pool.extend(['à', 'é', 'ß', 'ü', 'µ', 'β', 'Ω', '東', '京']);
+    pool
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool: Vec<char> = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                let pool = parse_class(&chars[i + 1..end], pattern);
+                i = end + 1;
+                pool
+            }
+            '\\' => {
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in {pattern:?}"
+                );
+                i += 3;
+                printable_pool()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional {m,n} / {m} quantifier.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let end = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+            let spec: String = chars[i + 1..end].iter().collect();
+            i = end + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad quantifier"),
+                    n.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().expect("bad quantifier");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "empty quantifier in {pattern:?}");
+        atoms.push((pool, lo, hi));
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut pool = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+            assert!(lo <= hi, "bad range in class of {pattern:?}");
+            for c in lo..=hi {
+                pool.push(char::from_u32(c).expect("bad class range"));
+            }
+            i += 3;
+        } else {
+            pool.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(!pool.is_empty(), "empty class in {pattern:?}");
+    pool
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_usize(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of roughly `size` elements drawn from `element`
+    /// (duplicates are re-drawn a bounded number of times, so a small
+    /// domain can produce a set below the requested minimum).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.gen_usize(self.size.clone());
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 10 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Number of cases generated per property.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Defines property tests: each function's arguments are drawn from the
+/// given strategies for [`DEFAULT_CASES`] cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut case: u32 = 0;
+                let mut rejected: u32 = 0;
+                while case < $crate::DEFAULT_CASES {
+                    let draw = (case as u64) | ((rejected as u64) << 32);
+                    let mut rng = $crate::TestRng::from_seed(
+                        0x5005_7E57u64 ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                    let result: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match result {
+                        Ok(()) => case += 1,
+                        Err($crate::TestCaseError::Reject) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 10_000,
+                                "{}: too many rejected cases",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("{} failed on case {case}: {msg}", stringify!($name));
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, m in 0u64..5) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(m < 5);
+        }
+
+        #[test]
+        fn assume_rejects(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn string_pattern_shapes(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn printable_escape(s in "\\PC{0,16}") {
+            prop_assert!(s.chars().count() <= 16);
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn collections_and_map(
+            v in collection::vec((0usize..4, 0usize..4), 0..6),
+            s in collection::btree_set("[a-e]{1,3}", 0..8),
+        ) {
+            prop_assert!(v.len() < 6);
+            let mapped = collection::btree_set(0u32..12, 2..6)
+                .prop_map(|s: BTreeSet<u32>| s.len());
+            let mut rng = crate::TestRng::from_seed(1);
+            let n = crate::Strategy::generate(&mapped, &mut rng);
+            prop_assert!(n < 6);
+            prop_assert!(s.len() < 8);
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        let pool = super::parse_class(&['a', '-', 'c', ',', '-'], "[a-c,-]");
+        assert_eq!(pool, vec!['a', 'b', 'c', ',', '-']);
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal in-tree replacement for `serde`, vendored because the build
+//! environment has no crates.io access.
+//!
+//! Provides the surface the workspace actually uses:
+//!
+//! * [`Serialize`] — JSON emission, implementable by hand or via
+//!   `#[derive(Serialize)]` (from the vendored `serde_derive`),
+//! * [`Deserialize`] — a marker trait so `#[derive(Deserialize)]` sites
+//!   keep compiling (nothing in the workspace parses JSON back),
+//! * [`json::to_string`] — the `serde_json::to_string` stand-in used by
+//!   the bench exporters.
+
+// Lets the derive expansion's `serde::` paths resolve inside this crate's
+// own tests as well.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can emit themselves as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait backing `#[derive(Deserialize)]`.
+pub trait Deserialize {}
+
+/// Serialization helpers used by the derive expansion.
+pub mod ser {
+    /// Writes `s` as a JSON string literal (with escaping) into `out`.
+    pub fn write_json_str(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+/// `serde_json`-shaped entry points.
+pub mod json {
+    use super::Serialize;
+
+    /// The JSON encoding of `value`.
+    pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+        let mut out = String::new();
+        value.serialize_json(&mut out);
+        out
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&format!("{self}"));
+                } else {
+                    // JSON has no NaN/Inf; null is the conventional fallback.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_json_str(&self.to_string(), out);
+    }
+}
+impl Deserialize for char {}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_json_str(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser::write_json_str(self, out);
+    }
+}
+impl Deserialize for String {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for std::time::Duration {
+    fn serialize_json(&self, out: &mut String) {
+        // Fractional seconds: convenient for plotting and diffing.
+        self.as_secs_f64().serialize_json(out);
+    }
+}
+impl Deserialize for std::time::Duration {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json::to_string(&42u32), "42");
+        assert_eq!(json::to_string(&-3i64), "-3");
+        assert_eq!(json::to_string(&1.5f64), "1.5");
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        assert_eq!(json::to_string(&true), "true");
+        assert_eq!(json::to_string("a\"b\nc"), "\"a\\\"b\\nc\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json::to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(json::to_string(&Some(1u8)), "1");
+        assert_eq!(json::to_string(&Option::<u8>::None), "null");
+        assert_eq!(json::to_string(&(1u8, "x")), "[1,\"x\"]");
+        assert_eq!(
+            json::to_string(&std::time::Duration::from_millis(1500)),
+            "1.5"
+        );
+    }
+
+    #[test]
+    fn derived_struct_and_enum() {
+        #[derive(Serialize)]
+        struct S {
+            a: u32,
+            b: String,
+        }
+        #[derive(Serialize)]
+        struct Newtype(u32);
+        #[derive(Serialize, Deserialize)]
+        enum E {
+            X,
+            Y,
+        }
+        let s = S {
+            a: 7,
+            b: "hi".into(),
+        };
+        assert_eq!(json::to_string(&s), "{\"a\":7,\"b\":\"hi\"}");
+        assert_eq!(json::to_string(&Newtype(9)), "9");
+        assert_eq!(json::to_string(&E::X), "\"X\"");
+        assert_eq!(json::to_string(&E::Y), "\"Y\"");
+    }
+}

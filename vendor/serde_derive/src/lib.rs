@@ -1,0 +1,245 @@
+//! Minimal in-tree replacement for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small serde-compatible surface: `#[derive(Serialize)]`
+//! generates an implementation of the vendored `serde::Serialize` trait
+//! (JSON emission), `#[derive(Deserialize)]` an implementation of the
+//! `serde::Deserialize` marker trait.
+//!
+//! Supported item shapes — exactly what the workspace uses:
+//!
+//! * braced structs with named fields (serialized as JSON objects),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   JSON arrays),
+//! * enums with unit variants only (serialized as the variant name).
+//!
+//! No generics, no `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct` / `enum` definition.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    let body = tokens.find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() != Delimiter::Bracket => Some(g),
+        _ => None,
+    });
+    match kind.as_str() {
+        "struct" => match body {
+            Some(g) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(g) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
+                name,
+                arity: count_tuple_fields(g.stream()),
+            },
+            // `struct Unit;`
+            _ => Item::TupleStruct { name, arity: 0 },
+        },
+        "enum" => {
+            let g = body.expect("enum without a body");
+            Item::UnitEnum {
+                name,
+                variants: parse_unit_variants(g.stream()),
+            }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+/// Field names of a braced struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        // Skip `: Type` up to the next top-level comma. Generic arguments
+        // arrive as individual `<`/`>` puncts; groups are single trees, so
+        // only angle-bracket depth needs tracking.
+        let mut depth = 0i32;
+        for t in tokens.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+/// Variant names of a unit-only enum body.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(v)) = tokens.next() else {
+            break;
+        };
+        variants.push(v.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            Some(TokenTree::Group(_)) => {
+                panic!("derive(Serialize): only unit enum variants are supported")
+            }
+            Some(other) => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, f) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{f}\\\":\");\n\
+                     serde::Serialize::serialize_json(&self.{f}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            impl_block(&name, &body)
+        }
+        Item::TupleStruct { name, arity: 0 } => impl_block(&name, "out.push_str(\"null\");"),
+        // Newtypes serialize transparently, as serde does.
+        Item::TupleStruct { name, arity: 1 } => {
+            impl_block(&name, "serde::Serialize::serialize_json(&self.0, out);")
+        }
+        Item::TupleStruct { name, arity } => {
+            let mut body = String::from("out.push('[');\n");
+            for i in 0..arity {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            body.push_str("out.push(']');");
+            impl_block(&name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for v in &variants {
+                body.push_str(&format!(
+                    "{name}::{v} => serde::ser::write_json_str(\"{v}\", out),\n"
+                ));
+            }
+            body.push('}');
+            impl_block(&name, &body)
+        }
+    };
+    out.parse()
+        .expect("derive(Serialize) generated invalid code")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitEnum { name, .. } => name,
+    };
+    format!("impl serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("derive(Deserialize) generated invalid code")
+}
+
+fn impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+}
