@@ -34,11 +34,13 @@ fn main() {
         let t0 = Instant::now();
         let parallel = parallel_token_blocking(&data.profiles, threads);
         let time = t0.elapsed();
+        // Ids are interner-local; identity is judged on resolved key
+        // strings and member lists.
         let identical = parallel.len() == sequential.len()
             && parallel
                 .iter()
                 .zip(sequential.iter())
-                .all(|(a, b)| a.key == b.key && a.profiles() == b.profiles());
+                .all(|(a, b)| a.key_str() == b.key_str() && a.profiles() == b.profiles());
         table.add_row([
             threads.to_string(),
             fmt_duration(time),

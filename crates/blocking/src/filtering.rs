@@ -40,7 +40,8 @@ impl BlockFilter {
     }
 
     /// Applies filtering and rebuilds the collection (dropping blocks that
-    /// no longer yield valid comparisons).
+    /// no longer yield valid comparisons). Operates directly on the CSR
+    /// views; only the surviving memberships are rebuilt.
     pub fn filter(&self, blocks: BlockCollection) -> BlockCollection {
         let kind = blocks.kind();
         let n_profiles = blocks.n_profiles();
@@ -72,10 +73,9 @@ impl BlockFilter {
             }
         }
 
-        // Rebuild blocks preserving source partitioning.
-        let old: Vec<Block> = blocks.into_blocks();
-        let mut rebuilt = Vec::with_capacity(old.len());
-        for (bi, b) in old.iter().enumerate() {
+        // Rebuild surviving blocks, preserving source partitioning.
+        let mut rebuilt = Vec::with_capacity(blocks.len());
+        for (bi, b) in blocks.iter().enumerate() {
             let members = &keep[bi];
             if members.len() < 2 {
                 continue;
@@ -91,12 +91,13 @@ impl BlockFilter {
                     (p, src)
                 })
                 .collect();
-            let nb = Block::new(b.key.clone(), with_sources);
+            let nb = Block::new(b.key, with_sources);
             if nb.cardinality(kind) > 0 {
                 rebuilt.push(nb);
             }
         }
-        BlockCollection::new(kind, n_profiles, rebuilt)
+        let interner = std::sync::Arc::clone(blocks.interner());
+        BlockCollection::new(kind, n_profiles, interner, rebuilt)
     }
 }
 
@@ -104,6 +105,7 @@ impl BlockFilter {
 mod tests {
     use super::*;
     use sper_model::{ErKind, ProfileId};
+    use sper_text::TokenInterner;
 
     fn pid(i: u32) -> ProfileId {
         ProfileId(i)
@@ -121,32 +123,34 @@ mod tests {
 
     #[test]
     fn drops_profile_from_largest_blocks() {
+        let it = TokenInterner::shared();
         // p0 is in 5 blocks; with ratio 0.8 it keeps the 4 smallest, so it
         // must leave the biggest block ("huge").
         let mut blocks = vec![
-            Block::new_dirty("huge", (0..6).map(pid).collect()),
-            Block::new_dirty("b1", vec![pid(0), pid(1)]),
-            Block::new_dirty("b2", vec![pid(0), pid(2)]),
-            Block::new_dirty("b3", vec![pid(0), pid(3)]),
-            Block::new_dirty("b4", vec![pid(0), pid(4)]),
+            Block::new_dirty(it.intern("huge"), (0..6).map(pid).collect()),
+            Block::new_dirty(it.intern("b1"), vec![pid(0), pid(1)]),
+            Block::new_dirty(it.intern("b2"), vec![pid(0), pid(2)]),
+            Block::new_dirty(it.intern("b3"), vec![pid(0), pid(3)]),
+            Block::new_dirty(it.intern("b4"), vec![pid(0), pid(4)]),
         ];
         // Give the other profiles enough memberships that they also keep
         // their small blocks.
-        blocks.push(Block::new_dirty("b5", vec![pid(1), pid(2)]));
-        let coll = BlockCollection::new(ErKind::Dirty, 6, blocks);
+        blocks.push(Block::new_dirty(it.intern("b5"), vec![pid(1), pid(2)]));
+        let coll = BlockCollection::new(ErKind::Dirty, 6, it, blocks);
         let filtered = BlockFilter::paper_default().filter(coll);
         // The block may also have degenerated and been dropped entirely.
-        if let Some(b) = filtered.iter().find(|b| b.key == "huge") {
+        if let Some(b) = filtered.iter().find(|b| &*b.key_str() == "huge") {
             assert!(!b.profiles().contains(&pid(0)));
         }
         // The small blocks survive intact.
-        assert!(filtered.iter().any(|b| b.key == "b1"));
+        assert!(filtered.iter().any(|b| &*b.key_str() == "b1"));
     }
 
     #[test]
     fn single_membership_always_kept() {
-        let blocks = vec![Block::new_dirty("only", vec![pid(0), pid(1)])];
-        let coll = BlockCollection::new(ErKind::Dirty, 2, blocks);
+        let it = TokenInterner::shared();
+        let blocks = vec![Block::new_dirty(it.intern("only"), vec![pid(0), pid(1)])];
+        let coll = BlockCollection::new(ErKind::Dirty, 2, it, blocks);
         let filtered = BlockFilter::paper_default().filter(coll);
         assert_eq!(filtered.len(), 1);
         assert_eq!(filtered.get(crate::BlockId(0)).size(), 2);
@@ -154,11 +158,12 @@ mod tests {
 
     #[test]
     fn clean_clean_sources_preserved() {
+        let it = TokenInterner::shared();
         let blocks = vec![Block::new(
-            "k",
+            it.intern("k"),
             vec![(pid(0), SourceId::FIRST), (pid(5), SourceId::SECOND)],
         )];
-        let coll = BlockCollection::new(ErKind::CleanClean, 6, blocks);
+        let coll = BlockCollection::new(ErKind::CleanClean, 6, it, blocks);
         let filtered = BlockFilter::paper_default().filter(coll);
         assert_eq!(filtered.len(), 1);
         let b = filtered.get(crate::BlockId(0));
@@ -169,12 +174,13 @@ mod tests {
 
     #[test]
     fn filtering_never_increases_comparisons() {
+        let it = TokenInterner::shared();
         let blocks = vec![
-            Block::new_dirty("a", (0..5).map(pid).collect()),
-            Block::new_dirty("b", (2..8).map(pid).collect()),
-            Block::new_dirty("c", vec![pid(0), pid(7)]),
+            Block::new_dirty(it.intern("a"), (0..5).map(pid).collect()),
+            Block::new_dirty(it.intern("b"), (2..8).map(pid).collect()),
+            Block::new_dirty(it.intern("c"), vec![pid(0), pid(7)]),
         ];
-        let coll = BlockCollection::new(ErKind::Dirty, 8, blocks);
+        let coll = BlockCollection::new(ErKind::Dirty, 8, it, blocks);
         let before = coll.total_comparisons();
         let filtered = BlockFilter::paper_default().filter(coll);
         assert!(filtered.total_comparisons() <= before);

@@ -11,12 +11,15 @@
 //! provided for analysis, small-scale experiments, tests (it encodes
 //! Fig. 3(c) exactly) and as the reference implementation that the lazy
 //! paths are property-tested against.
+//!
+//! The adjacency is stored in CSR form (offsets + one packed edge-index
+//! array) — neighborhood sweeps are sequential scans over one allocation.
 
 use crate::block::BlockCollection;
 use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
 use sper_model::{Pair, ProfileId};
-use std::collections::HashMap;
+use sper_text::FxHashSet;
 
 /// A materialized blocking graph.
 #[derive(Debug, Clone)]
@@ -24,8 +27,10 @@ pub struct BlockingGraph {
     n_profiles: usize,
     /// Distinct valid comparisons with their weights, in unspecified order.
     edges: Vec<(Pair, f64)>,
-    /// Adjacency: profile → indices into `edges`.
-    adjacency: Vec<Vec<u32>>,
+    /// CSR adjacency: edge indices of node `p` are
+    /// `adj_edges[adj_offsets[p]..adj_offsets[p+1]]`.
+    adj_offsets: Vec<u32>,
+    adj_edges: Vec<u32>,
 }
 
 impl BlockingGraph {
@@ -38,41 +43,53 @@ impl BlockingGraph {
     pub fn build(blocks: &BlockCollection, scheme: WeightingScheme) -> Self {
         let index = ProfileIndex::build(blocks);
         let kind = blocks.kind();
-        let mut seen: HashMap<Pair, ()> = HashMap::new();
+        // Fx-hashed: pair discovery visits ‖B‖ comparisons — at millions of
+        // pairs the hash is the dominant cost of materialization.
+        let mut seen: FxHashSet<Pair> = FxHashSet::default();
         let mut edges: Vec<(Pair, f64)> = Vec::new();
         for block in blocks.iter() {
             for pair in block.comparisons(kind) {
-                if seen.insert(pair, ()).is_none() {
+                if seen.insert(pair) {
                     let w = index.weight(pair.first, pair.second, scheme);
                     edges.push((pair, w));
                 }
             }
         }
-        let mut adjacency = vec![Vec::new(); blocks.n_profiles()];
-        for (i, (pair, _)) in edges.iter().enumerate() {
-            adjacency[pair.first.index()].push(i as u32);
-            adjacency[pair.second.index()].push(i as u32);
-        }
-        Self {
-            n_profiles: blocks.n_profiles(),
-            edges,
-            adjacency,
-        }
+        Self::from_edges(blocks.n_profiles(), edges)
     }
 
     /// Assembles a graph from pre-weighted edges (used by the parallel
     /// builder in [`crate::parallel`]). Edges must be distinct pairs.
     pub fn from_edges(n_profiles: usize, edges: Vec<(Pair, f64)>) -> Self {
-        let mut adjacency = vec![Vec::new(); n_profiles];
+        // Two counting passes build the CSR adjacency without per-node Vecs.
+        let mut counts = vec![0u32; n_profiles];
+        for (pair, _) in &edges {
+            counts[pair.first.index()] += 1;
+            counts[pair.second.index()] += 1;
+        }
+        let adj_offsets = crate::block::prefix_offsets(&counts);
+        let mut cursor = adj_offsets.clone();
+        let mut adj_edges = vec![0u32; *adj_offsets.last().unwrap() as usize];
         for (i, (pair, _)) in edges.iter().enumerate() {
-            adjacency[pair.first.index()].push(i as u32);
-            adjacency[pair.second.index()].push(i as u32);
+            for endpoint in [pair.first, pair.second] {
+                let at = &mut cursor[endpoint.index()];
+                adj_edges[*at as usize] = i as u32;
+                *at += 1;
+            }
         }
         Self {
             n_profiles,
             edges,
-            adjacency,
+            adj_offsets,
+            adj_edges,
         }
+    }
+
+    /// Edge indices incident to `p`.
+    #[inline]
+    fn adjacency(&self, p: ProfileId) -> &[u32] {
+        &self.adj_edges
+            [self.adj_offsets[p.index()] as usize..self.adj_offsets[p.index() + 1] as usize]
     }
 
     /// `|V_B|`: number of profiles (nodes), including isolated ones.
@@ -96,7 +113,7 @@ impl BlockingGraph {
             return None;
         }
         let pair = Pair::new(a, b);
-        self.adjacency[a.index()]
+        self.adjacency(a)
             .iter()
             .map(|&i| &self.edges[i as usize])
             .find(|(p, _)| *p == pair)
@@ -105,12 +122,12 @@ impl BlockingGraph {
 
     /// Degree of a node.
     pub fn degree(&self, p: ProfileId) -> usize {
-        self.adjacency[p.index()].len()
+        self.adjacency(p).len()
     }
 
     /// Iterates `(neighbor, weight)` over the node's neighborhood.
     pub fn neighbors(&self, p: ProfileId) -> impl Iterator<Item = (ProfileId, f64)> + '_ {
-        self.adjacency[p.index()].iter().map(move |&i| {
+        self.adjacency(p).iter().map(move |&i| {
             let (pair, w) = self.edges[i as usize];
             (pair.other(p), w)
         })
@@ -119,7 +136,7 @@ impl BlockingGraph {
     /// Average incident-edge weight of a node — PPS's *duplication
     /// likelihood* (§5.2.2). Zero for isolated nodes.
     pub fn duplication_likelihood(&self, p: ProfileId) -> f64 {
-        let adj = &self.adjacency[p.index()];
+        let adj = self.adjacency(p);
         if adj.is_empty() {
             return 0.0;
         }

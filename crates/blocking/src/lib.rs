@@ -24,6 +24,7 @@ pub mod block;
 pub mod filtering;
 pub mod fixtures;
 pub mod graph;
+pub mod legacy;
 pub mod metablocking;
 pub mod neighbor_list;
 pub mod parallel;
@@ -33,16 +34,19 @@ pub mod suffix_forest;
 pub mod token_blocking;
 pub mod weights;
 
-pub use block::{Block, BlockCollection, BlockId};
+pub use block::{Block, BlockCollection, BlockId, BlockRef};
 pub use filtering::BlockFilter;
 pub use graph::BlockingGraph;
 pub use metablocking::{prune, PruningScheme};
 pub use neighbor_list::{NeighborList, PositionIndex};
 pub use parallel::{parallel_blocking_graph, parallel_token_blocking};
-pub use profile_index::{IntersectStats, ProfileIndex};
+pub use profile_index::{IncrementalProfileIndex, IntersectStats, ProfileIndex};
 pub use purging::BlockPurger;
 pub use suffix_forest::{SuffixForest, SuffixNode};
 pub use token_blocking::TokenBlocking;
+// The string ↔ id boundary of the columnar core, re-exported so consumers
+// of block collections don't need a direct sper-text dependency.
+pub use sper_text::{TokenId, TokenInterner};
 pub use weights::WeightingScheme;
 
 use sper_model::ProfileCollection;

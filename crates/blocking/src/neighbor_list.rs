@@ -14,12 +14,20 @@
 //! The Position Index is the inverted index from profile ids to Neighbor
 //! List positions that powers the weighted similarity-based methods
 //! (LS-PSN/GS-PSN, §5.1.1): `PI[i]` lists the positions of `p_i`, ascending.
+//!
+//! Construction is interned: placements are `(TokenId, ProfileId)` pairs,
+//! and the global alphabetical sort compares one precomputed `u32`
+//! lexicographic rank per token instead of strings — the dominant
+//! `O(‖NL‖ log ‖NL‖)` sort runs on 8-byte records. The resulting list is
+//! bit-identical to the historical string-sorted build (the rank order *is*
+//! the string order, and the run shuffles consume the RNG identically).
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sper_model::{ProfileCollection, ProfileId};
-use sper_text::Tokenizer;
+use sper_text::{TokenId, TokenInterner, Tokenizer};
+use std::sync::Arc;
 
 /// Inverted index: profile id → ascending Neighbor List positions.
 #[derive(Debug, Clone)]
@@ -60,9 +68,10 @@ impl PositionIndex {
 pub struct NeighborList {
     nl: Vec<ProfileId>,
     position_index: PositionIndex,
-    /// Blocking key per position; retained only when built with
-    /// [`NeighborList::build_with_keys`] (costly on large datasets).
-    keys: Option<Vec<String>>,
+    interner: Arc<TokenInterner>,
+    /// Interned blocking key per position; retained only when built with
+    /// [`NeighborList::build_with_keys`].
+    keys: Option<Vec<TokenId>>,
 }
 
 impl NeighborList {
@@ -79,18 +88,27 @@ impl NeighborList {
     }
 
     fn build_inner(profiles: &ProfileCollection, seed: u64, keep_keys: bool) -> Self {
+        let interner = TokenInterner::shared();
         let tokenizer = Tokenizer::default();
         // (token, profile) placements: one per *distinct* token per profile.
-        let mut placements: Vec<(String, ProfileId)> = Vec::new();
+        let mut placements: Vec<(TokenId, ProfileId)> = Vec::new();
+        let mut ids: Vec<TokenId> = Vec::new();
         for p in profiles.iter() {
-            let mut toks = p.tokens(&tokenizer);
-            toks.sort_unstable();
-            toks.dedup();
-            for t in toks {
+            ids.clear();
+            for attr in &p.attributes {
+                tokenizer.tokenize_ids_into(&attr.value, &interner, &mut ids);
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            for &t in &ids {
                 placements.push((t, p.id));
             }
         }
-        placements.sort_by(|a, b| a.0.cmp(&b.0));
+        // Alphabetical order via the precomputed lexicographic rank: a
+        // stable u32-keyed sort, so equal-key runs keep their profile-id
+        // insertion order — exactly what the string sort produced.
+        let rank = interner.rank();
+        placements.sort_by_key(|&(t, _)| rank[t.index()]);
 
         // Shuffle every equal-key run: coincidental proximity.
         let mut rng = StdRng::seed_from_u64(seed);
@@ -106,39 +124,46 @@ impl NeighborList {
             start = end;
         }
 
-        let nl: Vec<ProfileId> = placements.iter().map(|(_, p)| *p).collect();
-        let position_index = PositionIndex::build(&nl, profiles.len());
-        let keys = keep_keys.then(|| placements.into_iter().map(|(k, _)| k).collect());
-        Self {
-            nl,
-            position_index,
-            keys,
-        }
+        Self::from_parts(placements, interner, profiles.len(), keep_keys)
     }
 
     /// Builds a Neighbor List from placements that are already in final
-    /// order (keys non-decreasing, equal-key runs already permuted) — the
-    /// streaming path (`sper-stream`), whose incremental index maintains
-    /// that order itself. `keep_keys` retains the key of every position.
+    /// order (key strings non-decreasing, equal-key runs already permuted)
+    /// — the streaming path (`sper-stream`), whose incremental index
+    /// maintains that order itself. `keep_keys` retains the key of every
+    /// position.
     ///
     /// # Panics
     ///
-    /// Panics (in debug builds) when keys are not non-decreasing.
+    /// Panics (in debug builds) when key strings are not non-decreasing.
     pub fn from_sorted_placements(
-        placements: Vec<(String, ProfileId)>,
+        placements: Vec<(TokenId, ProfileId)>,
+        interner: Arc<TokenInterner>,
         n_profiles: usize,
         keep_keys: bool,
     ) -> Self {
         debug_assert!(
-            placements.windows(2).all(|w| w[0].0 <= w[1].0),
-            "placements must be sorted by key"
+            placements
+                .windows(2)
+                .all(|w| interner.cmp_str(w[0].0, w[1].0) != std::cmp::Ordering::Greater),
+            "placements must be sorted by key string"
         );
-        let nl: Vec<ProfileId> = placements.iter().map(|(_, p)| *p).collect();
+        Self::from_parts(placements, interner, n_profiles, keep_keys)
+    }
+
+    fn from_parts(
+        placements: Vec<(TokenId, ProfileId)>,
+        interner: Arc<TokenInterner>,
+        n_profiles: usize,
+        keep_keys: bool,
+    ) -> Self {
+        let nl: Vec<ProfileId> = placements.iter().map(|&(_, p)| p).collect();
         let position_index = PositionIndex::build(&nl, n_profiles);
         let keys = keep_keys.then(|| placements.into_iter().map(|(k, _)| k).collect());
         Self {
             nl,
             position_index,
+            interner,
             keys,
         }
     }
@@ -183,9 +208,21 @@ impl NeighborList {
         &self.position_index
     }
 
-    /// The blocking key at `position`, when keys were retained.
-    pub fn key_at(&self, position: usize) -> Option<&str> {
-        self.keys.as_ref().map(|k| k[position].as_str())
+    /// The interner resolving this list's keys.
+    pub fn interner(&self) -> &Arc<TokenInterner> {
+        &self.interner
+    }
+
+    /// The interned blocking key at `position`, when keys were retained.
+    pub fn key_id_at(&self, position: usize) -> Option<TokenId> {
+        self.keys.as_ref().map(|k| k[position])
+    }
+
+    /// The blocking key string at `position`, when keys were retained.
+    pub fn key_at(&self, position: usize) -> Option<Arc<str>> {
+        self.keys
+            .as_ref()
+            .map(|k| self.interner.resolve(k[position]))
     }
 }
 
@@ -205,7 +242,9 @@ mod tests {
         // Fig. 3(d): 11 distinct keys; Fig. 3(e): 24 placements.
         assert_eq!(nl.len(), 24);
         // Keys are sorted alphabetically.
-        let keys: Vec<&str> = (0..nl.len()).map(|i| nl.key_at(i).unwrap()).collect();
+        let keys: Vec<String> = (0..nl.len())
+            .map(|i| nl.key_at(i).unwrap().to_string())
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
@@ -214,7 +253,7 @@ mod tests {
         first_two.sort_unstable();
         assert_eq!(first_two, vec![pid(0), pid(1)]);
         // The last placement before "wi" is the 6-profile "white" run.
-        assert_eq!(nl.key_at(23), Some("wi"));
+        assert_eq!(nl.key_at(23).as_deref(), Some("wi"));
         let mut white_run: Vec<ProfileId> = (17..23).map(|i| nl.profile_at(i)).collect();
         white_run.sort_unstable();
         assert_eq!(white_run, (0..6).map(pid).collect::<Vec<_>>());
@@ -294,5 +333,6 @@ mod tests {
         let profiles = fig3_profiles();
         let nl = NeighborList::build(&profiles, 0);
         assert_eq!(nl.key_at(0), None);
+        assert_eq!(nl.key_id_at(0), None);
     }
 }

@@ -7,29 +7,34 @@
 //! Both entry points are *observationally identical* to their sequential
 //! counterparts (property-tested below): parallelism changes wall-clock
 //! time, never results.
+//!
+//! Sharding is by `TokenId % shards` over the shared concurrent
+//! [`TokenInterner`] — fully deterministic partitioning, with none of the
+//! platform/release instability of `DefaultHasher` (whose SipHash keys are
+//! explicitly not guaranteed stable), and no re-hashing of token text.
+//!
+//! Note on scale: since the interned columnar refactor, the *sequential*
+//! Token Blocking build is fast enough that this MapReduce-shaped version
+//! only wins on collections large enough to amortize per-worker caches and
+//! the merge (the `ext_parallel` bench shows break-even around the
+//! bench-twin sizes). It earns its keep as the result-identity testbed for
+//! the sharding direction (distributed/out-of-core blocking) the ROADMAP
+//! names, where partitioned token streams are mandatory, not optional.
 
 use crate::block::{Block, BlockCollection};
 use crate::graph::BlockingGraph;
 use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
 use sper_model::{Pair, ProfileCollection, ProfileId, SourceId};
-use sper_text::Tokenizer;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-
-fn shard_of(token: &str, shards: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    token.hash(&mut h);
-    (h.finish() as usize) % shards
-}
+use sper_text::{FxHashMap, TokenId, TokenInterner, Tokenizer};
+use std::sync::Arc;
 
 /// Parallel Token Blocking: the *map* phase tokenizes disjoint profile
-/// ranges and partitions `(token, profile)` emissions by token hash; the
-/// *reduce* phase builds each shard's blocks independently. Produces the
-/// exact same [`BlockCollection`] as
+/// ranges through the shared interner and partitions `(token, profile)`
+/// emissions by `TokenId % shards`; the *reduce* phase builds each shard's
+/// blocks independently. Produces the exact same [`BlockCollection`] as
 /// [`TokenBlocking`](crate::token_blocking::TokenBlocking) (blocks sorted
-/// by key).
+/// by key string).
 ///
 /// # Panics
 ///
@@ -37,34 +42,52 @@ fn shard_of(token: &str, shards: usize) -> usize {
 pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> BlockCollection {
     assert!(threads > 0, "need at least one thread");
     let n = profiles.len();
+    let interner = TokenInterner::shared();
     if n == 0 {
-        return BlockCollection::new(profiles.kind(), 0, Vec::new());
+        return BlockCollection::new(profiles.kind(), 0, interner, Vec::new());
     }
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
     let all: &[sper_model::Profile] = profiles.profiles();
 
-    // Map phase: per-worker, per-shard emission buffers.
-    let mut emissions: Vec<Vec<Vec<(String, ProfileId, SourceId)>>> = Vec::new();
+    // Map phase: per-worker, per-shard emission buffers. Workers intern
+    // concurrently; id *assignment order* is nondeterministic across runs,
+    // but nothing downstream observes it — output is ordered by key string.
+    let mut emissions: Vec<Vec<Vec<(TokenId, ProfileId, SourceId)>>> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = all
             .chunks(chunk)
             .map(|profiles_chunk| {
+                let interner = Arc::clone(&interner);
                 scope.spawn(move |_| {
                     let tokenizer = Tokenizer::default();
-                    let mut shards: Vec<Vec<(String, ProfileId, SourceId)>> =
+                    let mut shards: Vec<Vec<(TokenId, ProfileId, SourceId)>> =
                         vec![Vec::new(); threads];
-                    let mut tokens: Vec<String> = Vec::new();
+                    let mut ids: Vec<TokenId> = Vec::new();
+                    // Worker-local token → id cache: the shared interner's
+                    // lock is touched once per distinct token per worker,
+                    // not once per occurrence — Zipfian token traffic makes
+                    // the contention otherwise swamp the map phase.
+                    let mut cache: FxHashMap<Box<str>, TokenId> = FxHashMap::default();
                     for p in profiles_chunk {
-                        tokens.clear();
+                        ids.clear();
                         for attr in &p.attributes {
-                            tokenizer.tokenize_into(&attr.value, &mut tokens);
+                            tokenizer.for_each_token(&attr.value, |tok| {
+                                let id = match cache.get(tok) {
+                                    Some(&id) => id,
+                                    None => {
+                                        let id = interner.intern(tok);
+                                        cache.insert(Box::from(tok), id);
+                                        id
+                                    }
+                                };
+                                ids.push(id);
+                            });
                         }
-                        tokens.sort_unstable();
-                        tokens.dedup();
-                        for tok in tokens.drain(..) {
-                            let s = shard_of(&tok, threads);
-                            shards[s].push((tok, p.id, p.source));
+                        ids.sort_unstable();
+                        ids.dedup();
+                        for &tok in &ids {
+                            shards[tok.index() % threads].push((tok, p.id, p.source));
                         }
                     }
                     shards
@@ -83,19 +106,18 @@ pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> 
         let handles: Vec<_> = (0..threads)
             .map(|s| {
                 scope.spawn(move |_| {
-                    let mut index: HashMap<&str, Vec<(ProfileId, SourceId)>> = HashMap::new();
+                    let mut index: FxHashMap<TokenId, Vec<(ProfileId, SourceId)>> =
+                        FxHashMap::default();
                     for worker in emissions {
-                        for (tok, pid, src) in &worker[s] {
-                            index.entry(tok.as_str()).or_default().push((*pid, *src));
+                        for &(tok, pid, src) in &worker[s] {
+                            index.entry(tok).or_default().push((pid, src));
                         }
                     }
-                    let mut blocks: Vec<Block> = index
+                    index
                         .into_iter()
                         .map(|(key, members)| Block::new(key, members))
                         .filter(|b| b.cardinality(kind) > 0)
-                        .collect();
-                    blocks.sort_by(|a, b| a.key.cmp(&b.key));
-                    blocks
+                        .collect::<Vec<Block>>()
                 })
             })
             .collect();
@@ -103,9 +125,10 @@ pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> 
     })
     .expect("reduce phase panicked");
 
-    let mut blocks: Vec<Block> = shard_blocks.into_iter().flatten().collect();
-    blocks.sort_by(|a, b| a.key.cmp(&b.key));
-    BlockCollection::new(profiles.kind(), n, blocks)
+    let blocks: Vec<Block> = shard_blocks.into_iter().flatten().collect();
+    let mut coll = BlockCollection::new(profiles.kind(), n, interner, blocks);
+    coll.sort_by_key_str();
+    coll
 }
 
 /// Parallel Meta-blocking edge weighting: materializes the blocking graph
@@ -126,7 +149,7 @@ pub fn parallel_blocking_graph(
     let kind = blocks.kind();
 
     // Discover distinct pairs (deterministic order).
-    let mut seen: std::collections::HashSet<Pair> = std::collections::HashSet::new();
+    let mut seen: sper_text::FxHashSet<Pair> = sper_text::FxHashSet::default();
     let mut pairs: Vec<Pair> = Vec::new();
     for block in blocks.iter() {
         for pair in block.comparisons(kind) {
@@ -186,7 +209,7 @@ mod tests {
     fn keys_and_sizes(blocks: &BlockCollection) -> Vec<(String, Vec<ProfileId>)> {
         blocks
             .iter()
-            .map(|b| (b.key.clone(), b.profiles().to_vec()))
+            .map(|b| (b.key_str().to_string(), b.profiles().to_vec()))
             .collect()
     }
 
@@ -208,7 +231,7 @@ mod tests {
     fn parallel_blocking_on_fig3() {
         let coll = fig3_profiles();
         let parallel = parallel_token_blocking(&coll, 3);
-        let mut keys: Vec<_> = parallel.iter().map(|b| b.key.as_str()).collect();
+        let mut keys: Vec<String> = parallel.iter().map(|b| b.key_str().to_string()).collect();
         keys.sort_unstable();
         assert_eq!(keys, vec!["carl", "ml", "ny", "tailor", "teacher", "white"]);
     }

@@ -11,6 +11,16 @@
 //!   the two sorted lists in parallel.
 //!
 //! Both operations are fused into a single merge pass ([`ProfileIndex::intersect`]).
+//!
+//! Two layouts share one set of merge kernels:
+//!
+//! * [`ProfileIndex`] — the frozen **CSR** batch index (`offsets` +
+//!   one packed `block_ids` array): one allocation instead of `|P|`,
+//!   sequential memory for the weighting sweeps.
+//! * [`IncrementalProfileIndex`] — the growable per-profile-`Vec` index of
+//!   the streaming ingest path (`sper-stream`), supporting amortized
+//!   `O(|b|)` appends, and [`freeze`](IncrementalProfileIndex::freeze)-able
+//!   into the CSR form.
 
 use crate::block::{BlockCollection, BlockId};
 use crate::weights::WeightingScheme;
@@ -27,13 +37,76 @@ pub struct IntersectStats {
     pub least_common: Option<BlockId>,
 }
 
-/// Inverted index: profile id → ascending list of block ids, plus cached
-/// block cardinalities.
+/// Single-pass merge of two sorted block-id lists against the cardinality
+/// table — the kernel behind both index layouts.
+fn merge_intersect(a: &[u32], b: &[u32], cardinalities: &[u64]) -> IntersectStats {
+    let mut ai = 0;
+    let mut bi = 0;
+    let mut stats = IntersectStats {
+        common: 0,
+        arcs: 0.0,
+        least_common: None,
+    };
+    while ai < a.len() && bi < b.len() {
+        match a[ai].cmp(&b[bi]) {
+            std::cmp::Ordering::Less => ai += 1,
+            std::cmp::Ordering::Greater => bi += 1,
+            std::cmp::Ordering::Equal => {
+                let id = a[ai];
+                if stats.least_common.is_none() {
+                    stats.least_common = Some(BlockId(id));
+                }
+                stats.common += 1;
+                stats.arcs += 1.0 / cardinalities[id as usize].max(1) as f64;
+                ai += 1;
+                bi += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// The LeCoBI early-exit: is `current` the first shared id of the two
+/// sorted lists? (True also when nothing is shared — see
+/// [`ProfileIndex::is_new_comparison`].)
+fn lecobi_is_new(a: &[u32], b: &[u32], current: u32) -> bool {
+    let mut ai = 0;
+    let mut bi = 0;
+    while ai < a.len() && bi < b.len() {
+        match a[ai].cmp(&b[bi]) {
+            std::cmp::Ordering::Less => ai += 1,
+            std::cmp::Ordering::Greater => bi += 1,
+            std::cmp::Ordering::Equal => return a[ai] == current,
+        }
+    }
+    true
+}
+
+/// Edge weight from two block lists (Algorithm 3 line 10).
+fn weight_from_lists(
+    a: &[u32],
+    b: &[u32],
+    cardinalities: &[u64],
+    total_blocks: usize,
+    scheme: WeightingScheme,
+) -> f64 {
+    let stats = merge_intersect(a, b, cardinalities);
+    let acc = match scheme {
+        WeightingScheme::Arcs => stats.arcs,
+        _ => f64::from(stats.common),
+    };
+    scheme.finalize(acc, a.len(), b.len(), total_blocks)
+}
+
+/// Frozen CSR inverted index: profile id → ascending block ids in one
+/// packed array, plus cached block cardinalities.
 #[derive(Debug, Clone)]
 pub struct ProfileIndex {
-    /// Second dimension sorted ascending (block ids in the collection's
-    /// current — typically cardinality-sorted — order).
-    block_lists: Vec<Vec<u32>>,
+    /// `blocks_of(p) = block_ids[offsets[p]..offsets[p+1]]`.
+    offsets: Vec<u32>,
+    /// Packed block ids, each profile's range sorted ascending (block ids
+    /// in the collection's current — typically cardinality-sorted — order).
+    block_ids: Vec<u32>,
     /// `‖b‖` per block id.
     cardinalities: Vec<u64>,
     total_blocks: usize,
@@ -44,28 +117,106 @@ impl ProfileIndex {
     /// need the LeCoBI semantics ("block id = processing position") must
     /// sort the collection with [`BlockCollection::sort_by_cardinality`]
     /// first, as Algorithm 3 does.
+    ///
+    /// Two counting passes over the packed member array — no per-profile
+    /// allocation.
     pub fn build(blocks: &BlockCollection) -> Self {
-        let kind = blocks.kind();
-        let mut block_lists: Vec<Vec<u32>> = vec![Vec::new(); blocks.n_profiles()];
+        let n_profiles = blocks.n_profiles();
+        let mut counts = vec![0u32; n_profiles];
         let mut cardinalities = Vec::with_capacity(blocks.len());
-        for (bid, block) in blocks.iter().enumerate() {
-            cardinalities.push(block.cardinality(kind));
+        for block in blocks.iter() {
+            cardinalities.push(block.cardinality(blocks.kind()));
             for &p in block.profiles() {
-                block_lists[p.index()].push(bid as u32);
+                counts[p.index()] += 1;
             }
         }
-        // Blocks are visited in ascending id order, so each list is already
-        // sorted; assert in debug builds.
-        debug_assert!(block_lists
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        let offsets = crate::block::prefix_offsets(&counts);
+        // Fill: blocks are visited in ascending id order, so each profile's
+        // range fills ascending — sorted by construction.
+        let mut cursor = offsets.clone();
+        let mut block_ids = vec![0u32; *offsets.last().unwrap() as usize];
+        for (bid, block) in blocks.iter().enumerate() {
+            for &p in block.profiles() {
+                let at = &mut cursor[p.index()];
+                block_ids[*at as usize] = bid as u32;
+                *at += 1;
+            }
+        }
         Self {
-            block_lists,
+            offsets,
+            block_ids,
             cardinalities,
             total_blocks: blocks.len(),
         }
     }
 
+    /// `|B|`: number of blocks indexed.
+    pub fn total_blocks(&self) -> usize {
+        self.total_blocks
+    }
+
+    /// Number of profiles indexed (including ones in no block).
+    pub fn n_profiles(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `|B_i|`: the ids of the blocks containing `p`, ascending.
+    #[inline]
+    pub fn blocks_of(&self, p: ProfileId) -> &[u32] {
+        &self.block_ids[self.offsets[p.index()] as usize..self.offsets[p.index() + 1] as usize]
+    }
+
+    /// `‖b‖` for a block id.
+    #[inline]
+    pub fn cardinality(&self, b: BlockId) -> u64 {
+        self.cardinalities[b.index()]
+    }
+
+    /// Single-pass merge of the two sorted block lists, producing the shared
+    /// count, the ARCS sum and the least common block id.
+    pub fn intersect(&self, i: ProfileId, j: ProfileId) -> IntersectStats {
+        merge_intersect(self.blocks_of(i), self.blocks_of(j), &self.cardinalities)
+    }
+
+    /// The **LeCoBI condition** (§5.2.1): a comparison between `i` and `j`
+    /// encountered in block `current` is *new* iff `current` is the least
+    /// common block of the two profiles. With blocks sorted by processing
+    /// order, `X > current` is impossible for a genuine co-occurrence.
+    ///
+    /// This early-exits at the first shared id, without a full merge.
+    /// When no block is shared, `current` cannot contain both — the
+    /// comparison is treated as new so the caller's iteration stays total.
+    #[inline]
+    pub fn is_new_comparison(&self, i: ProfileId, j: ProfileId, current: BlockId) -> bool {
+        lecobi_is_new(self.blocks_of(i), self.blocks_of(j), current.0)
+    }
+
+    /// Edge weight of the comparison `(i, j)` under `scheme`, derived purely
+    /// from the Profile Index (Algorithm 3 line 10).
+    pub fn weight(&self, i: ProfileId, j: ProfileId, scheme: WeightingScheme) -> f64 {
+        weight_from_lists(
+            self.blocks_of(i),
+            self.blocks_of(j),
+            &self.cardinalities,
+            self.total_blocks,
+            scheme,
+        )
+    }
+}
+
+/// Growable inverted index for streaming ingest: per-profile `Vec`s that
+/// support amortized-`O(|b|)` block appends and member additions, with the
+/// same query semantics as the frozen [`ProfileIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalProfileIndex {
+    /// Second dimension sorted ascending.
+    block_lists: Vec<Vec<u32>>,
+    /// `‖b‖` per block id.
+    cardinalities: Vec<u64>,
+    total_blocks: usize,
+}
+
+impl IncrementalProfileIndex {
     /// An empty index over `n_profiles` profiles — the starting point of
     /// the streaming ingest path (`sper-stream`), grown with
     /// [`Self::push_block`] / [`Self::add_member`] / [`Self::add_profiles`]
@@ -147,83 +298,56 @@ impl ProfileIndex {
         self.cardinalities[b.index()]
     }
 
-    /// Single-pass merge of the two sorted block lists, producing the shared
-    /// count, the ARCS sum and the least common block id.
+    /// See [`ProfileIndex::intersect`].
     pub fn intersect(&self, i: ProfileId, j: ProfileId) -> IntersectStats {
-        let (a, b) = (self.blocks_of(i), self.blocks_of(j));
-        let mut ai = 0;
-        let mut bi = 0;
-        let mut stats = IntersectStats {
-            common: 0,
-            arcs: 0.0,
-            least_common: None,
-        };
-        while ai < a.len() && bi < b.len() {
-            match a[ai].cmp(&b[bi]) {
-                std::cmp::Ordering::Less => ai += 1,
-                std::cmp::Ordering::Greater => bi += 1,
-                std::cmp::Ordering::Equal => {
-                    let id = a[ai];
-                    if stats.least_common.is_none() {
-                        stats.least_common = Some(BlockId(id));
-                    }
-                    stats.common += 1;
-                    stats.arcs += 1.0 / self.cardinalities[id as usize].max(1) as f64;
-                    ai += 1;
-                    bi += 1;
-                }
-            }
-        }
-        stats
+        merge_intersect(self.blocks_of(i), self.blocks_of(j), &self.cardinalities)
     }
 
-    /// The **LeCoBI condition** (§5.2.1): a comparison between `i` and `j`
-    /// encountered in block `current` is *new* iff `current` is the least
-    /// common block of the two profiles. With blocks sorted by processing
-    /// order, `X > current` is impossible for a genuine co-occurrence.
-    ///
-    /// This early-exits at the first shared id, without a full merge.
+    /// See [`ProfileIndex::is_new_comparison`].
     #[inline]
     pub fn is_new_comparison(&self, i: ProfileId, j: ProfileId, current: BlockId) -> bool {
-        let (a, b) = (self.blocks_of(i), self.blocks_of(j));
-        let mut ai = 0;
-        let mut bi = 0;
-        while ai < a.len() && bi < b.len() {
-            match a[ai].cmp(&b[bi]) {
-                std::cmp::Ordering::Less => ai += 1,
-                std::cmp::Ordering::Greater => bi += 1,
-                std::cmp::Ordering::Equal => return a[ai] == current.0,
-            }
-        }
-        // No shared block: `current` cannot contain both — treat as new so
-        // the caller's iteration logic stays total.
-        true
+        lecobi_is_new(self.blocks_of(i), self.blocks_of(j), current.0)
     }
 
-    /// Edge weight of the comparison `(i, j)` under `scheme`, derived purely
-    /// from the Profile Index (Algorithm 3 line 10).
+    /// See [`ProfileIndex::weight`].
     pub fn weight(&self, i: ProfileId, j: ProfileId, scheme: WeightingScheme) -> f64 {
-        let stats = self.intersect(i, j);
-        let acc = match scheme {
-            WeightingScheme::Arcs => stats.arcs,
-            _ => f64::from(stats.common),
-        };
-        scheme.finalize(
-            acc,
-            self.blocks_of(i).len(),
-            self.blocks_of(j).len(),
+        weight_from_lists(
+            self.blocks_of(i),
+            self.blocks_of(j),
+            &self.cardinalities,
             self.total_blocks,
+            scheme,
         )
+    }
+
+    /// Freezes the growable index into the packed CSR [`ProfileIndex`]
+    /// (identical query results, sequential memory).
+    pub fn freeze(&self) -> ProfileIndex {
+        let mut offsets = Vec::with_capacity(self.block_lists.len() + 1);
+        offsets.push(0u32);
+        let total: usize = self.block_lists.iter().map(Vec::len).sum();
+        let mut block_ids = Vec::with_capacity(total);
+        for list in &self.block_lists {
+            block_ids.extend_from_slice(list);
+            offsets.push(crate::block::csr_offset(block_ids.len()));
+        }
+        ProfileIndex {
+            offsets,
+            block_ids,
+            cardinalities: self.cardinalities.clone(),
+            total_blocks: self.total_blocks,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::block::Block;
+    use crate::block::{Block, BlockCollection};
     use crate::fixtures::fig3_profiles;
     use crate::token_blocking::TokenBlocking;
     use sper_model::ErKind;
+    use sper_text::TokenInterner;
 
     fn pid(i: u32) -> ProfileId {
         ProfileId(i)
@@ -297,11 +421,12 @@ mod tests {
 
     #[test]
     fn intersect_disjoint_profiles() {
+        let it = TokenInterner::shared();
         let blocks = vec![
-            Block::new_dirty("a", vec![pid(0), pid(1)]),
-            Block::new_dirty("b", vec![pid(2), pid(3)]),
+            Block::new_dirty(it.intern("a"), vec![pid(0), pid(1)]),
+            Block::new_dirty(it.intern("b"), vec![pid(2), pid(3)]),
         ];
-        let coll = BlockCollection::new(ErKind::Dirty, 4, blocks);
+        let coll = BlockCollection::new(ErKind::Dirty, 4, it, blocks);
         let index = ProfileIndex::build(&coll);
         let stats = index.intersect(pid(0), pid(2));
         assert_eq!(stats.common, 0);
@@ -312,9 +437,11 @@ mod tests {
     #[test]
     fn incremental_append_matches_batch_build() {
         // Grow an index block by block / member by member; it must agree
-        // with the batch `build` on the same final collection.
+        // with the batch `build` on the same final collection — and so must
+        // its frozen CSR form.
         let (blocks, batch) = fig3_index();
-        let mut inc = ProfileIndex::new_empty(0);
+        let it = blocks.interner();
+        let mut inc = IncrementalProfileIndex::new_empty(0);
         inc.add_profiles(blocks.n_profiles());
         let kind = sper_model::ErKind::Dirty;
         for block in blocks.iter() {
@@ -325,13 +452,19 @@ mod tests {
             let mut so_far = vec![members[0]];
             for &p in &members[1..] {
                 so_far.push(p);
-                let tmp = Block::new_dirty("k", so_far.clone());
+                let tmp = Block::new_dirty(it.intern("k"), so_far.clone());
                 inc.add_member(id, p, tmp.cardinality(kind));
             }
         }
         assert_eq!(inc.total_blocks(), batch.total_blocks());
+        let frozen = inc.freeze();
+        assert_eq!(frozen.total_blocks(), batch.total_blocks());
         for p in 0..blocks.n_profiles() {
             assert_eq!(inc.blocks_of(pid(p as u32)), batch.blocks_of(pid(p as u32)));
+            assert_eq!(
+                frozen.blocks_of(pid(p as u32)),
+                batch.blocks_of(pid(p as u32))
+            );
         }
         for b in 0..blocks.len() as u32 {
             assert_eq!(inc.cardinality(BlockId(b)), batch.cardinality(BlockId(b)));
@@ -339,13 +472,15 @@ mod tests {
         // Derived queries agree too.
         let a = inc.intersect(pid(0), pid(1));
         let b = batch.intersect(pid(0), pid(1));
+        let f = frozen.intersect(pid(0), pid(1));
         assert_eq!(a, b);
+        assert_eq!(f, b);
     }
 
     #[test]
     #[should_panic(expected = "non-decreasing")]
     fn out_of_order_append_panics() {
-        let mut inc = ProfileIndex::new_empty(2);
+        let mut inc = IncrementalProfileIndex::new_empty(2);
         let b0 = inc.push_block(&[pid(0)], 0);
         inc.push_block(&[pid(0)], 0);
         inc.add_member(b0, pid(0), 1);
@@ -364,24 +499,29 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use crate::block::Block;
+    use crate::block::{Block, BlockCollection};
     use proptest::prelude::*;
     use sper_model::ErKind;
+    use sper_text::TokenInterner;
     use std::collections::BTreeSet;
 
     fn arbitrary_blocks() -> impl Strategy<Value = BlockCollection> {
         proptest::collection::vec(proptest::collection::btree_set(0u32..12, 2..6), 1..12).prop_map(
             |sets: Vec<BTreeSet<u32>>| {
+                let it = TokenInterner::shared();
                 let mut blocks: Vec<Block> = sets
                     .into_iter()
                     .enumerate()
                     .map(|(i, s)| {
-                        Block::new_dirty(format!("k{i}"), s.into_iter().map(ProfileId).collect())
+                        Block::new_dirty(
+                            it.intern(&format!("k{i}")),
+                            s.into_iter().map(ProfileId).collect(),
+                        )
                     })
                     .collect();
                 // Mimic block scheduling so LeCoBI semantics hold.
                 blocks.sort_by_key(|b| b.cardinality(ErKind::Dirty));
-                BlockCollection::new(ErKind::Dirty, 12, blocks)
+                BlockCollection::new(ErKind::Dirty, 12, it, blocks)
             },
         )
     }
@@ -421,6 +561,26 @@ mod proptests {
                 let w2 = index.weight(ProfileId(j), ProfileId(i), scheme);
                 prop_assert!((w1 - w2).abs() < 1e-12);
                 prop_assert!(w1 >= 0.0);
+            }
+        }
+
+        /// The frozen CSR index and the growable index agree on every
+        /// query for every collection.
+        #[test]
+        fn freeze_preserves_queries(blocks in arbitrary_blocks(), i in 0u32..12, j in 0u32..12) {
+            prop_assume!(i != j);
+            let batch = ProfileIndex::build(&blocks);
+            let mut inc = IncrementalProfileIndex::new_empty(blocks.n_profiles());
+            for block in blocks.iter() {
+                inc.push_block(block.profiles(), block.cardinality(ErKind::Dirty));
+            }
+            let frozen = inc.freeze();
+            let (i, j) = (ProfileId(i), ProfileId(j));
+            prop_assert_eq!(batch.blocks_of(i), frozen.blocks_of(i));
+            prop_assert_eq!(batch.intersect(i, j), inc.intersect(i, j));
+            prop_assert_eq!(batch.intersect(i, j), frozen.intersect(i, j));
+            for scheme in WeightingScheme::ALL {
+                prop_assert!((batch.weight(i, j, scheme) - frozen.weight(i, j, scheme)).abs() < 1e-12);
             }
         }
     }

@@ -35,17 +35,12 @@ impl BlockPurger {
         ((self.ratio * n_profiles as f64).floor() as usize).max(2)
     }
 
-    /// Applies purging, preserving block order.
-    pub fn purge(&self, blocks: BlockCollection) -> BlockCollection {
-        let kind = blocks.kind();
-        let n = blocks.n_profiles();
-        let max = self.max_block_size(n);
-        let kept: Vec<_> = blocks
-            .into_blocks()
-            .into_iter()
-            .filter(|b| b.size() <= max)
-            .collect();
-        BlockCollection::new(kind, n, kept)
+    /// Applies purging, preserving block order — an in-place CSR
+    /// compaction, no block is rebuilt.
+    pub fn purge(&self, mut blocks: BlockCollection) -> BlockCollection {
+        let max = self.max_block_size(blocks.n_profiles());
+        blocks.retain(|b| b.size() <= max);
+        blocks
     }
 }
 
@@ -54,6 +49,7 @@ mod tests {
     use super::*;
     use crate::block::Block;
     use sper_model::{ErKind, ProfileId};
+    use sper_text::TokenInterner;
 
     fn pid(i: u32) -> ProfileId {
         ProfileId(i)
@@ -61,15 +57,16 @@ mod tests {
 
     #[test]
     fn purges_stop_word_blocks() {
+        let it = TokenInterner::shared();
         // 20 profiles; ratio 0.1 → threshold max(2, 2) = 2.
         let blocks = vec![
-            Block::new_dirty("rare", vec![pid(0), pid(1)]),
-            Block::new_dirty("the", (0..15).map(pid).collect()),
+            Block::new_dirty(it.intern("rare"), vec![pid(0), pid(1)]),
+            Block::new_dirty(it.intern("the"), (0..15).map(pid).collect()),
         ];
-        let coll = BlockCollection::new(ErKind::Dirty, 20, blocks);
+        let coll = BlockCollection::new(ErKind::Dirty, 20, it, blocks);
         let purged = BlockPurger::paper_default().purge(coll);
         assert_eq!(purged.len(), 1);
-        assert_eq!(purged.get(crate::BlockId(0)).key, "rare");
+        assert_eq!(&*purged.key_str(crate::BlockId(0)), "rare");
     }
 
     #[test]
@@ -83,8 +80,9 @@ mod tests {
 
     #[test]
     fn ratio_one_keeps_everything() {
-        let blocks = vec![Block::new_dirty("k", (0..10).map(pid).collect())];
-        let coll = BlockCollection::new(ErKind::Dirty, 10, blocks);
+        let it = TokenInterner::shared();
+        let blocks = vec![Block::new_dirty(it.intern("k"), (0..10).map(pid).collect())];
+        let coll = BlockCollection::new(ErKind::Dirty, 10, it, blocks);
         let purged = BlockPurger::new(1.0).purge(coll);
         assert_eq!(purged.len(), 1);
     }

@@ -8,17 +8,22 @@
 //! SA-PSAB processes the forest *leaves first, root last*: nodes are
 //! scheduled by decreasing suffix length (layer) and, within a layer, by
 //! increasing number of comparisons (§4.2).
+//!
+//! Suffixes are interned: each distinct suffix string becomes one
+//! [`TokenId`], the suffix → members index is a flat id-indexed `Vec`, and
+//! per-profile dedup is a `u32` sort. `SuffixIter` yields borrowed slices,
+//! so no suffix ever allocates a `String`.
 
 use crate::block::{Block, BlockCollection};
 use sper_model::{ErKind, ProfileCollection, ProfileId, SourceId};
-use sper_text::{SuffixIter, Tokenizer};
-use std::collections::HashMap;
+use sper_text::{SuffixIter, TokenId, TokenInterner, Tokenizer};
+use std::sync::Arc;
 
 /// One node of the suffix forest: a suffix key with its block of profiles.
 #[derive(Debug, Clone)]
 pub struct SuffixNode {
-    /// The suffix this node indexes.
-    pub key: String,
+    /// The interned suffix this node indexes.
+    pub key: TokenId,
     /// Suffix length in characters (= layer; larger is deeper).
     pub suffix_len: u32,
     /// The block of profiles containing a token with this suffix.
@@ -30,7 +35,8 @@ pub struct SuffixNode {
 pub struct SuffixForest {
     kind: ErKind,
     n_profiles: usize,
-    /// Nodes sorted by (suffix_len desc, cardinality asc, key asc).
+    interner: Arc<TokenInterner>,
+    /// Nodes sorted by (suffix_len desc, cardinality asc, key string asc).
     nodes: Vec<SuffixNode>,
 }
 
@@ -38,9 +44,20 @@ impl SuffixForest {
     /// Builds the forest with minimum suffix length `lmin` (SA-PSAB's only
     /// configuration parameter).
     pub fn build(profiles: &ProfileCollection, lmin: usize) -> Self {
+        Self::build_with_interner(profiles, lmin, TokenInterner::shared())
+    }
+
+    /// Like [`Self::build`] with an existing (possibly shared) interner.
+    pub fn build_with_interner(
+        profiles: &ProfileCollection,
+        lmin: usize,
+        interner: Arc<TokenInterner>,
+    ) -> Self {
         let tokenizer = Tokenizer::default();
-        let mut index: HashMap<String, Vec<(ProfileId, SourceId)>> = HashMap::new();
+        // suffix id → members, flat-indexed.
+        let mut index: Vec<Vec<(ProfileId, SourceId)>> = Vec::new();
         let mut tokens: Vec<String> = Vec::new();
+        let mut suffix_ids: Vec<TokenId> = Vec::new();
         for p in profiles.iter() {
             tokens.clear();
             for attr in &p.attributes {
@@ -49,26 +66,34 @@ impl SuffixForest {
             tokens.sort_unstable();
             tokens.dedup();
             // Every (profile, suffix) membership is recorded once.
-            let mut suffixes: Vec<String> = Vec::new();
+            suffix_ids.clear();
             for t in &tokens {
                 for s in SuffixIter::new(t, lmin) {
-                    suffixes.push(s.to_string());
+                    suffix_ids.push(interner.intern(s));
                 }
             }
-            suffixes.sort_unstable();
-            suffixes.dedup();
-            for s in suffixes {
-                index.entry(s).or_default().push((p.id, p.source));
+            suffix_ids.sort_unstable();
+            suffix_ids.dedup();
+            if let Some(&max) = suffix_ids.last() {
+                if max.index() >= index.len() {
+                    index.resize_with(max.index() + 1, Vec::new);
+                }
+            }
+            for &s in &suffix_ids {
+                index[s.index()].push((p.id, p.source));
             }
         }
 
         let kind = profiles.kind();
         let mut nodes: Vec<SuffixNode> = index
             .into_iter()
-            .map(|(key, members)| {
-                let suffix_len = key.chars().count() as u32;
+            .enumerate()
+            .filter(|(_, members)| !members.is_empty())
+            .map(|(id, members)| {
+                let key = TokenId(id as u32);
+                let suffix_len = interner.resolve(key).chars().count() as u32;
                 SuffixNode {
-                    block: Block::new(key.clone(), members),
+                    block: Block::new(key, members),
                     key,
                     suffix_len,
                 }
@@ -77,17 +102,20 @@ impl SuffixForest {
             .collect();
 
         // Leaves first (longest suffixes), then increasing comparisons
-        // inside each layer; key for determinism.
+        // inside each layer; key string for determinism (interning order
+        // must stay unobservable).
+        let rank = interner.rank();
         nodes.sort_by(|a, b| {
             b.suffix_len
                 .cmp(&a.suffix_len)
                 .then_with(|| a.block.cardinality(kind).cmp(&b.block.cardinality(kind)))
-                .then_with(|| a.key.cmp(&b.key))
+                .then_with(|| rank[a.key.index()].cmp(&rank[b.key.index()]))
         });
 
         Self {
             kind,
             n_profiles: profiles.len(),
+            interner,
             nodes,
         }
     }
@@ -95,6 +123,16 @@ impl SuffixForest {
     /// The task kind.
     pub fn kind(&self) -> ErKind {
         self.kind
+    }
+
+    /// The interner resolving the suffix keys.
+    pub fn interner(&self) -> &Arc<TokenInterner> {
+        &self.interner
+    }
+
+    /// The suffix string of a node.
+    pub fn key_str(&self, node: &SuffixNode) -> Arc<str> {
+        self.interner.resolve(node.key)
     }
 
     /// Number of nodes (suffix blocks) in processing order.
@@ -116,7 +154,7 @@ impl SuffixForest {
     /// preserved), e.g. to feed block-based analyses.
     pub fn into_block_collection(self) -> BlockCollection {
         let blocks = self.nodes.into_iter().map(|n| n.block).collect();
-        BlockCollection::new(self.kind, self.n_profiles, blocks)
+        BlockCollection::new(self.kind, self.n_profiles, self.interner, blocks)
     }
 
     /// Total comparisons entailed by the forest (with cross-node repeats).
@@ -143,13 +181,20 @@ mod tests {
         b.build()
     }
 
+    fn keys(forest: &SuffixForest) -> Vec<String> {
+        forest
+            .nodes()
+            .iter()
+            .map(|n| forest.key_str(n).to_string())
+            .collect()
+    }
+
     #[test]
     fn fig5_suffix_tree_layers() {
         let forest = SuffixForest::build(&fig5_profiles(), 2);
         // Shared suffixes: ain{gain,pain}, oin{join,coin}, in{all 4}.
         // The 4-char suffixes are singletons → dropped.
-        let keys: Vec<&str> = forest.nodes().iter().map(|n| n.key.as_str()).collect();
-        assert_eq!(keys, vec!["ain", "oin", "in"]);
+        assert_eq!(keys(&forest), vec!["ain", "oin", "in"]);
         // Leaves (len 3) come before the root (len 2).
         let lens: Vec<u32> = forest.nodes().iter().map(|n| n.suffix_len).collect();
         assert_eq!(lens, vec![3, 3, 2]);
@@ -165,11 +210,11 @@ mod tests {
         b.add_profile([("w", "yoin")]);
         b.add_profile([("w", "woin")]);
         let forest = SuffixForest::build(&b.build(), 3);
-        let layer3: Vec<&str> = forest
+        let layer3: Vec<String> = forest
             .nodes()
             .iter()
             .filter(|n| n.suffix_len == 3)
-            .map(|n| n.key.as_str())
+            .map(|n| forest.key_str(n).to_string())
             .collect();
         assert_eq!(layer3, vec!["oin", "ain"], "smaller node processed first");
     }
@@ -182,7 +227,7 @@ mod tests {
         let forest = SuffixForest::build(&b.build(), 2);
         // coin, oin, in all shared by both profiles.
         assert_eq!(forest.len(), 3);
-        assert_eq!(forest.nodes()[0].key, "coin");
+        assert_eq!(&*forest.key_str(&forest.nodes()[0]), "coin");
         assert_eq!(forest.total_comparisons(), 3);
     }
 
@@ -199,15 +244,15 @@ mod tests {
             assert!(node.block.cardinality(ErKind::CleanClean) > 0);
         }
         // "ain" spans sources; "in" too.
-        assert!(forest.nodes().iter().any(|n| n.key == "ain"));
+        assert!(keys(&forest).iter().any(|k| k == "ain"));
     }
 
     #[test]
     fn into_block_collection_preserves_order() {
         let forest = SuffixForest::build(&fig5_profiles(), 2);
-        let expected: Vec<String> = forest.nodes().iter().map(|n| n.key.clone()).collect();
+        let expected = keys(&forest);
         let blocks = forest.into_block_collection();
-        let got: Vec<String> = blocks.iter().map(|b| b.key.clone()).collect();
+        let got: Vec<String> = blocks.iter().map(|b| b.key_str().to_string()).collect();
         assert_eq!(got, expected);
     }
 
@@ -219,7 +264,11 @@ mod tests {
         b.add_profile([("w", "main gain")]);
         b.add_profile([("w", "pain")]);
         let forest = SuffixForest::build(&b.build(), 2);
-        let ain = forest.nodes().iter().find(|n| n.key == "ain").unwrap();
+        let ain = forest
+            .nodes()
+            .iter()
+            .find(|n| &*forest.key_str(n) == "ain")
+            .unwrap();
         assert_eq!(ain.block.size(), 2);
     }
 }

@@ -4,11 +4,17 @@
 //! least two profiles (Dirty ER) or from both sources (Clean-clean ER) —
 //! disregarding attribute names entirely, which is what makes the approach
 //! schema-agnostic.
+//!
+//! The build is fully interned: tokens go straight from the normalization
+//! buffer into [`TokenId`]s (no per-token `String`), per-profile dedup is a
+//! `u32` sort, and the token → members index is a flat `Vec` indexed by id
+//! instead of a string-keyed hash map. Output order (lexicographic by key)
+//! and contents are identical to the historical string-keyed build.
 
 use crate::block::{Block, BlockCollection};
-use sper_model::{ProfileCollection, ProfileId, SourceId};
-use sper_text::{Tokenizer, TokenizerConfig};
-use std::collections::HashMap;
+use sper_model::{ProfileCollection, ProfileId};
+use sper_text::{TokenId, TokenInterner, Tokenizer, TokenizerConfig};
+use std::sync::Arc;
 
 /// Token Blocking builder.
 #[derive(Debug, Clone, Default)]
@@ -24,36 +30,65 @@ impl TokenBlocking {
         }
     }
 
-    /// Builds the block collection for `profiles`.
+    /// Builds the block collection for `profiles` with a fresh interner.
     ///
     /// Blocks that cannot yield a valid comparison are dropped: singleton
     /// blocks in Dirty ER, single-source blocks in Clean-clean ER.
     pub fn build(&self, profiles: &ProfileCollection) -> BlockCollection {
-        let mut index: HashMap<String, Vec<(ProfileId, SourceId)>> = HashMap::new();
-        let mut tokens: Vec<String> = Vec::new();
+        self.build_with_interner(profiles, TokenInterner::shared())
+    }
+
+    /// Like [`Self::build`] with an existing (possibly shared) interner —
+    /// ids already interned elsewhere are reused, new tokens append.
+    pub fn build_with_interner(
+        &self,
+        profiles: &ProfileCollection,
+        interner: Arc<TokenInterner>,
+    ) -> BlockCollection {
+        // token id → member profile ids, flat-indexed; grown as the
+        // vocabulary grows. Profiles are visited in id order with all P1
+        // profiles before P2 (the ProfileCollection invariant), so every
+        // bucket is born deduplicated, ascending and source-partitioned.
+        let mut index: Vec<Vec<ProfileId>> = Vec::new();
+        let mut ids: Vec<TokenId> = Vec::new();
         for p in profiles.iter() {
-            tokens.clear();
+            ids.clear();
             for attr in &p.attributes {
-                self.tokenizer.tokenize_into(&attr.value, &mut tokens);
+                self.tokenizer
+                    .tokenize_ids_into(&attr.value, &interner, &mut ids);
             }
             // A profile enters each token block once, regardless of how many
-            // attributes repeat the token.
-            tokens.sort_unstable();
-            tokens.dedup();
-            for tok in &tokens {
-                index.entry(tok.clone()).or_default().push((p.id, p.source));
+            // attributes repeat the token. Dense ids make the dedup free:
+            // all of this profile's pushes happen now, so a repeated token's
+            // bucket already ends with this profile — no sort needed.
+            if index.len() < interner.len() {
+                index.resize_with(interner.len(), Vec::new);
+            }
+            for &tok in &ids {
+                let bucket = &mut index[tok.index()];
+                if bucket.last() != Some(&p.id) {
+                    bucket.push(p.id);
+                }
             }
         }
 
         let kind = profiles.kind();
-        let mut blocks: Vec<Block> = index
+        // First id of `P2`; every member below it belongs to `P1`.
+        let boundary = ProfileId(profiles.len_first() as u32);
+        let blocks: Vec<Block> = index
             .into_iter()
-            .map(|(key, members)| Block::new(key, members))
+            .enumerate()
+            .filter(|(_, members)| !members.is_empty())
+            .map(|(id, members)| {
+                let n_first = members.partition_point(|&p| p < boundary) as u32;
+                Block::from_partitioned(TokenId(id as u32), members, n_first)
+            })
             .filter(|b| b.cardinality(kind) > 0)
             .collect();
-        // HashMap iteration order is unspecified; fix a deterministic order.
-        blocks.sort_by(|a, b| a.key.cmp(&b.key));
-        BlockCollection::new(kind, profiles.len(), blocks)
+        let mut coll = BlockCollection::new(kind, profiles.len(), interner, blocks);
+        // Deterministic lexicographic order, independent of interning order.
+        coll.sort_by_key_str();
+        coll
     }
 }
 
@@ -71,7 +106,7 @@ pub(crate) mod tests {
         let find = |key: &str| {
             blocks
                 .iter()
-                .find(|b| b.key == key)
+                .find(|b| &*b.key_str() == key)
                 .unwrap_or_else(|| panic!("missing block {key}"))
         };
         // Fig. 3(b): carl → {p1,p2}; ny → {p1,p2,p3}; tailor → {p1,p2,p3,p6};
@@ -84,7 +119,7 @@ pub(crate) mod tests {
         assert_eq!(find("white").size(), 6);
         // Singleton tokens (carl_white, ellen, emma, hellen, karl_white,
         // wi) are dropped; exactly the six blocks of Fig. 3(b) remain.
-        let mut keys: Vec<_> = blocks.iter().map(|b| b.key.as_str()).collect();
+        let mut keys: Vec<String> = blocks.iter().map(|b| b.key_str().to_string()).collect();
         keys.sort_unstable();
         assert_eq!(keys, vec!["carl", "ml", "ny", "tailor", "teacher", "white"]);
     }
@@ -109,8 +144,8 @@ pub(crate) mod tests {
         let coll = b.build();
         let blocks = TokenBlocking::default().build(&coll);
         // "alpha" appears only in P1 → no block; "shared" spans sources.
-        assert!(!blocks.iter().any(|b| b.key == "alpha"));
-        assert!(blocks.iter().any(|b| b.key == "shared"));
+        assert!(!blocks.iter().any(|b| &*b.key_str() == "alpha"));
+        assert!(blocks.iter().any(|b| &*b.key_str() == "shared"));
     }
 
     #[test]
@@ -118,9 +153,25 @@ pub(crate) mod tests {
         let coll = fig3_profiles();
         let b1 = TokenBlocking::default().build(&coll);
         let b2 = TokenBlocking::default().build(&coll);
-        let keys1: Vec<_> = b1.iter().map(|b| b.key.clone()).collect();
-        let keys2: Vec<_> = b2.iter().map(|b| b.key.clone()).collect();
+        let keys1: Vec<String> = b1.iter().map(|b| b.key_str().to_string()).collect();
+        let keys2: Vec<String> = b2.iter().map(|b| b.key_str().to_string()).collect();
         assert_eq!(keys1, keys2);
+        // Blocks come out in lexicographic key order.
+        let mut sorted = keys1.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys1, sorted);
+    }
+
+    #[test]
+    fn shared_interner_reuses_ids() {
+        let coll = fig3_profiles();
+        let interner = TokenInterner::shared();
+        let b1 = TokenBlocking::default().build_with_interner(&coll, Arc::clone(&interner));
+        let b2 = TokenBlocking::default().build_with_interner(&coll, Arc::clone(&interner));
+        // Same vocabulary interned once; key ids stable across builds.
+        let k1: Vec<_> = b1.iter().map(|b| b.key).collect();
+        let k2: Vec<_> = b2.iter().map(|b| b.key).collect();
+        assert_eq!(k1, k2);
     }
 
     #[test]

@@ -109,7 +109,7 @@ mod tests {
     fn empty_blocks_metrics() {
         let profiles = fig3_profiles();
         let truth = fig3_ground_truth();
-        let empty = BlockCollection::new(profiles.kind(), profiles.len(), Vec::new());
+        let empty = BlockCollection::empty(profiles.kind(), profiles.len());
         let q = blocking_quality(&empty, &profiles, &truth);
         assert_eq!(q.pc, 0.0);
         assert_eq!(q.pq, 0.0);

@@ -9,11 +9,22 @@
 //! independent of how the ingest was split into batches (property-tested
 //! below). This is what makes the `ProgressiveSession` equivalence to the
 //! batch methods possible at all.
+//!
+//! Both share one append-only [`TokenInterner`] *across epochs*: a token
+//! seen in epoch 1 keeps its [`TokenId`] forever, so per-epoch work is
+//! `u32`-keyed throughout and snapshots never re-hash token text. The
+//! interner's concurrency guarantees make the same sharing safe when
+//! ingest and snapshotting move to different threads.
 
-use sper_blocking::{Block, BlockCollection, BlockId, NeighborList, ProfileIndex};
+use sper_blocking::{
+    Block, BlockCollection, BlockId, IncrementalProfileIndex, NeighborList, TokenId, TokenInterner,
+};
 use sper_model::{ErKind, Profile, ProfileCollection, ProfileId};
-use sper_text::Tokenizer;
-use std::collections::{BTreeMap, HashMap};
+use sper_text::{FxHashMap, Tokenizer};
+use std::sync::Arc;
+
+/// Sentinel for "token has no block yet" in the id-indexed block map.
+const NO_BLOCK: u32 = u32::MAX;
 
 /// Deterministic 64-bit FNV-1a — used to derive per-run shuffle seeds that
 /// are stable across processes and rustc versions (unlike
@@ -30,9 +41,10 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 /// Updatable schema-agnostic Token Blocking (§3): one block per
 /// attribute-value token, maintained under profile appends.
 ///
-/// * [`Self::add_profile`] tokenizes one new profile and updates the block
-///   map and the live [`ProfileIndex`] in `O(|tokens| · log)` amortized —
-///   no other profile is touched.
+/// * [`Self::add_profile`] tokenizes one new profile straight into interned
+///   ids and updates the id-indexed block map and the live
+///   [`IncrementalProfileIndex`] in `O(|tokens| · log)` amortized — no
+///   other profile is touched, no `String` is allocated.
 /// * [`Self::snapshot`] materializes a [`BlockCollection`] identical to
 ///   `TokenBlocking::default().build(..)` on the current collection (same
 ///   keys, same members, same key-sorted order), so every downstream
@@ -46,24 +58,35 @@ pub struct IncrementalTokenBlocking {
     kind: ErKind,
     n_profiles: usize,
     tokenizer: Tokenizer,
-    /// token → insertion-order block position in `blocks`.
-    by_key: HashMap<String, u32>,
+    interner: Arc<TokenInterner>,
+    /// token id → insertion-order block position in `blocks` (`NO_BLOCK`
+    /// when the token has none yet); flat-indexed, grown with the
+    /// vocabulary.
+    block_of_token: Vec<u32>,
     /// Blocks in insertion order (including not-yet-comparable singletons).
     blocks: Vec<Block>,
     /// Live profile → block-ids index over insertion-order ids.
-    index: ProfileIndex,
+    index: IncrementalProfileIndex,
 }
 
 impl IncrementalTokenBlocking {
-    /// An empty substrate for a task of the given kind.
+    /// An empty substrate for a task of the given kind, with its own
+    /// interner.
     pub fn new(kind: ErKind) -> Self {
+        Self::with_interner(kind, TokenInterner::shared())
+    }
+
+    /// An empty substrate sharing an existing interner (cross-substrate /
+    /// cross-epoch id stability).
+    pub fn with_interner(kind: ErKind, interner: Arc<TokenInterner>) -> Self {
         Self {
             kind,
             n_profiles: 0,
             tokenizer: Tokenizer::default(),
-            by_key: HashMap::new(),
+            interner,
+            block_of_token: Vec::new(),
             blocks: Vec::new(),
-            index: ProfileIndex::new_empty(0),
+            index: IncrementalProfileIndex::new_empty(0),
         }
     }
 
@@ -81,6 +104,11 @@ impl IncrementalTokenBlocking {
         self.kind
     }
 
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<TokenInterner> {
+        &self.interner
+    }
+
     /// Number of profiles ingested.
     pub fn n_profiles(&self) -> usize {
         self.n_profiles
@@ -93,8 +121,13 @@ impl IncrementalTokenBlocking {
     }
 
     /// The live profile → blocks index (insertion-order block ids).
-    pub fn profile_index(&self) -> &ProfileIndex {
+    pub fn profile_index(&self) -> &IncrementalProfileIndex {
         &self.index
+    }
+
+    /// The live blocks in insertion order (inspection/tests).
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
     }
 
     /// Ingests one profile. Ids must arrive densely (`0, 1, 2, …`) — the
@@ -112,19 +145,28 @@ impl IncrementalTokenBlocking {
         self.n_profiles += 1;
         self.index.add_profiles(1);
 
-        let mut tokens = profile.tokens(&self.tokenizer);
+        let mut tokens: Vec<TokenId> = Vec::new();
+        for attr in &profile.attributes {
+            self.tokenizer
+                .tokenize_ids_into(&attr.value, &self.interner, &mut tokens);
+        }
         tokens.sort_unstable();
         tokens.dedup();
+        if let Some(&max) = tokens.last() {
+            if max.index() >= self.block_of_token.len() {
+                self.block_of_token.resize(max.index() + 1, NO_BLOCK);
+            }
+        }
 
         // Existing blocks must be updated in ascending insertion id so the
         // new profile's block list stays sorted; new keys then append with
         // ever-larger ids.
         let mut existing: Vec<u32> = Vec::new();
-        let mut fresh: Vec<String> = Vec::new();
+        let mut fresh: Vec<TokenId> = Vec::new();
         for tok in tokens {
-            match self.by_key.get(&tok) {
-                Some(&id) => existing.push(id),
-                None => fresh.push(tok),
+            match self.block_of_token[tok.index()] {
+                NO_BLOCK => fresh.push(tok),
+                id => existing.push(id),
             }
         }
         existing.sort_unstable();
@@ -136,9 +178,9 @@ impl IncrementalTokenBlocking {
         }
         for tok in fresh {
             let id = self.blocks.len() as u32;
-            let mut block = Block::new(tok.clone(), Vec::new());
+            let mut block = Block::new(tok, Vec::new());
             block.push_member(profile.id, profile.source);
-            self.by_key.insert(tok, id);
+            self.block_of_token[tok.index()] = id;
             self.index.push_block(&[profile.id], 0);
             self.blocks.push(block);
         }
@@ -152,18 +194,19 @@ impl IncrementalTokenBlocking {
     }
 
     /// Materializes the current blocks as a batch-identical
-    /// [`BlockCollection`]: comparable blocks only, sorted by key — exactly
-    /// what `TokenBlocking::default().build(..)` produces on the same
-    /// collection.
+    /// [`BlockCollection`]: comparable blocks only, sorted by key string —
+    /// exactly what `TokenBlocking::default().build(..)` produces on the
+    /// same collection.
     pub fn snapshot(&self) -> BlockCollection {
-        let mut blocks: Vec<Block> = self
-            .blocks
-            .iter()
-            .filter(|b| b.cardinality(self.kind) > 0)
-            .cloned()
-            .collect();
-        blocks.sort_by(|a, b| a.key.cmp(&b.key));
-        BlockCollection::new(self.kind, self.n_profiles, blocks)
+        // Pack straight from the live blocks — no intermediate owned Vec.
+        let mut coll = BlockCollection::from_borrowed(
+            self.kind,
+            self.n_profiles,
+            Arc::clone(&self.interner),
+            self.blocks.iter().filter(|b| b.cardinality(self.kind) > 0),
+        );
+        coll.sort_by_key_str();
+        coll
     }
 }
 
@@ -188,23 +231,35 @@ struct Run {
 /// (The batch [`NeighborList::build`] threads one RNG through all runs
 /// instead; both are valid coincidental orders, and every set-level
 /// guarantee of the similarity-based methods is order-independent.)
+///
+/// Runs are keyed by [`TokenId`] in a flat hash map; the alphabetical
+/// order the Neighbor List requires is recovered at
+/// [`snapshot`](Self::snapshot) time from one interner rank table.
 #[derive(Debug, Clone)]
 pub struct IncrementalNeighborList {
     seed: u64,
     tokenizer: Tokenizer,
+    interner: Arc<TokenInterner>,
     n_profiles: usize,
-    runs: BTreeMap<String, Run>,
+    runs: FxHashMap<TokenId, Run>,
     total_placements: usize,
 }
 
 impl IncrementalNeighborList {
-    /// An empty list with the given tie-shuffling seed.
+    /// An empty list with the given tie-shuffling seed and its own
+    /// interner.
     pub fn new(seed: u64) -> Self {
+        Self::with_interner(seed, TokenInterner::shared())
+    }
+
+    /// An empty list sharing an existing interner.
+    pub fn with_interner(seed: u64, interner: Arc<TokenInterner>) -> Self {
         Self {
             seed,
             tokenizer: Tokenizer::default(),
+            interner,
             n_profiles: 0,
-            runs: BTreeMap::new(),
+            runs: FxHashMap::default(),
             total_placements: 0,
         }
     }
@@ -216,6 +271,11 @@ impl IncrementalNeighborList {
             this.add_profile(p);
         }
         this
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<TokenInterner> {
+        &self.interner
     }
 
     /// Number of profiles ingested.
@@ -234,7 +294,7 @@ impl IncrementalNeighborList {
     }
 
     /// Ingests one profile: one placement per distinct token, appended to
-    /// that token's run. `O(|tokens| · log)` amortized; the run's cached
+    /// that token's run. `O(|tokens|)` amortized; the run's cached
     /// permutation is invalidated lazily.
     ///
     /// # Panics
@@ -247,7 +307,11 @@ impl IncrementalNeighborList {
             "profiles must be ingested in dense id order"
         );
         self.n_profiles += 1;
-        let mut tokens = profile.tokens(&self.tokenizer);
+        let mut tokens: Vec<TokenId> = Vec::new();
+        for attr in &profile.attributes {
+            self.tokenizer
+                .tokenize_ids_into(&attr.value, &self.interner, &mut tokens);
+        }
         tokens.sort_unstable();
         tokens.dedup();
         for tok in tokens {
@@ -272,29 +336,41 @@ impl IncrementalNeighborList {
     /// Materializes the current placements as a [`NeighborList`]. Stale
     /// runs recompute their canonical permutation (amortized: a run is
     /// reshuffled only after it changed); assembling the flat list is
-    /// `O(placements)` with no re-tokenization or global sort.
+    /// `O(placements)` plus one vocabulary-sized rank sort — no
+    /// re-tokenization and no placement-level sort.
     pub fn snapshot(&mut self) -> NeighborList {
         let seed = self.seed;
-        let mut placements: Vec<(String, ProfileId)> = Vec::with_capacity(self.total_placements);
-        for (key, run) in self.runs.iter_mut() {
+        let rank = self.interner.rank();
+        let mut keys: Vec<TokenId> = self.runs.keys().copied().collect();
+        keys.sort_unstable_by_key(|t| rank[t.index()]);
+        let mut placements: Vec<(TokenId, ProfileId)> = Vec::with_capacity(self.total_placements);
+        for key in keys {
+            let run = self.runs.get_mut(&key).expect("run exists");
             if run.dirty {
                 use rand::seq::SliceRandom;
                 use rand::SeedableRng;
+                // Only stale runs pay the key resolution for their seed.
+                let key_str = self.interner.resolve(key);
                 run.order = run.members.clone();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ fnv1a(key.as_bytes()));
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ fnv1a(key_str.as_bytes()));
                 run.order.shuffle(&mut rng);
                 run.dirty = false;
             }
-            placements.extend(run.order.iter().map(|&p| (key.clone(), p)));
+            placements.extend(run.order.iter().map(|&p| (key, p)));
         }
-        NeighborList::from_sorted_placements(placements, self.n_profiles, false)
+        NeighborList::from_sorted_placements(
+            placements,
+            Arc::clone(&self.interner),
+            self.n_profiles,
+            false,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sper_blocking::TokenBlocking;
+    use sper_blocking::{ProfileIndex, TokenBlocking};
     use sper_model::{Attribute, ProfileCollectionBuilder};
 
     fn collection(n: u32) -> ProfileCollection {
@@ -312,7 +388,7 @@ mod tests {
     fn keys_and_members(blocks: &BlockCollection) -> Vec<(String, Vec<ProfileId>)> {
         blocks
             .iter()
-            .map(|b| (b.key.clone(), b.profiles().to_vec()))
+            .map(|b| (b.key_str().to_string(), b.profiles().to_vec()))
             .collect()
     }
 
@@ -351,7 +427,7 @@ mod tests {
             for &bid in index.blocks_of(p.id) {
                 // Insertion-order ids address `blocks` directly.
                 assert!(
-                    inc.blocks[bid as usize].profiles().contains(&p.id),
+                    inc.blocks()[bid as usize].profiles().contains(&p.id),
                     "block {bid} should contain {}",
                     p.id
                 );
@@ -362,7 +438,8 @@ mod tests {
         let rebuilt = ProfileIndex::build(&BlockCollection::new(
             ErKind::Dirty,
             coll.len(),
-            inc.blocks.clone(),
+            Arc::clone(inc.interner()),
+            inc.blocks().to_vec(),
         ));
         for a in 0..coll.len() as u32 {
             for b in (a + 1)..coll.len() as u32 {
@@ -415,6 +492,26 @@ mod tests {
     }
 
     #[test]
+    fn shared_interner_across_substrates() {
+        let coll = collection(12);
+        let interner = TokenInterner::shared();
+        let mut blocks =
+            IncrementalTokenBlocking::with_interner(ErKind::Dirty, Arc::clone(&interner));
+        let mut nl = IncrementalNeighborList::with_interner(7, Arc::clone(&interner));
+        for p in coll.iter() {
+            blocks.add_profile(p);
+            nl.add_profile(p);
+        }
+        // One vocabulary: every block key resolves through the shared
+        // interner, and the NL snapshot reuses the same ids.
+        assert_eq!(blocks.interner().len(), interner.len());
+        let snap = blocks.snapshot();
+        assert!(std::sync::Arc::ptr_eq(snap.interner(), &interner));
+        let list = nl.snapshot();
+        assert!(std::sync::Arc::ptr_eq(list.interner(), &interner));
+    }
+
+    #[test]
     fn clean_clean_streaming_into_second_source() {
         let mut b = ProfileCollectionBuilder::clean_clean();
         b.add_profile([("n", "acme corp")]);
@@ -428,7 +525,7 @@ mod tests {
         let batch = TokenBlocking::default().build(&coll);
         assert_eq!(keys_and_members(&snap), keys_and_members(&batch));
         // The "acme" block now yields exactly the one cross-source pair.
-        let acme = snap.iter().find(|b| b.key == "acme").unwrap();
+        let acme = snap.iter().find(|b| &*b.key_str() == "acme").unwrap();
         assert_eq!(acme.cardinality(ErKind::CleanClean), 1);
     }
 
@@ -471,7 +568,7 @@ mod proptests {
             let snap = inc.snapshot();
             prop_assert_eq!(snap.len(), batch.len());
             for (a, b) in snap.iter().zip(batch.iter()) {
-                prop_assert_eq!(&a.key, &b.key);
+                prop_assert_eq!(a.key_str(), b.key_str());
                 prop_assert_eq!(a.profiles(), b.profiles());
             }
         }

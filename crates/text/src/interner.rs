@@ -1,0 +1,234 @@
+//! Token interning: the string ↔ dense-id boundary of the columnar core.
+//!
+//! Every blocking substrate in the workspace (token blocks, suffix blocks,
+//! Neighbor List placements) is keyed by attribute-value tokens. Interning
+//! each distinct token string to a dense [`TokenId`] once moves every hot
+//! path from string hashing/cloning to `u32` arithmetic, and lets the block
+//! index be a flat `Vec` indexed by id — the same compact-integer idiom the
+//! paper prescribes for profile ids (§5.1.1, §5.2.1), applied to tokens.
+//!
+//! The interner is **append-only** and **concurrent**: ids are never
+//! reassigned or removed, so readers can cache ids across calls, the
+//! parallel blocking workers (`sper-blocking::parallel`) can intern from
+//! many threads, and the streaming substrates (`sper-stream`) can share one
+//! interner across ingest epochs. Id assignment order is an implementation
+//! detail (first-come); nothing observable may depend on it — ordered
+//! outputs sort by the *resolved string*, for which [`TokenInterner::rank`]
+//! provides a dense lexicographic rank table.
+
+use crate::fxhash::FxHashMap;
+use std::sync::{Arc, RwLock};
+
+/// Dense identifier of an interned token string.
+///
+/// Ids are dense (`0..len`), so token-keyed indexes are flat arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TokenId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Fx-hashed: tokens are trusted in-process data, hashed once per
+    /// intern call — the fast hash is the point of the exercise.
+    map: FxHashMap<Arc<str>, TokenId>,
+    strings: Vec<Arc<str>>,
+}
+
+/// Append-only concurrent string interner.
+///
+/// * [`intern`](Self::intern) takes `&self` — a read-lock fast path for
+///   already-known tokens (the overwhelmingly common case after warm-up),
+///   a short write-lock only for genuinely new tokens.
+/// * [`resolve`](Self::resolve) returns the shared `Arc<str>`, so callers
+///   keep zero-copy handles to token text.
+///
+/// Shared as `Arc<TokenInterner>` between every structure built over the
+/// same vocabulary (block collections, neighbor lists, streaming epochs).
+#[derive(Debug, Default)]
+pub struct TokenInterner {
+    inner: RwLock<Inner>,
+    /// Memoized lexicographic rank table, keyed by the vocabulary size it
+    /// was computed for — append-only interning means equal size ⇒
+    /// identical table, so steady-state `rank()` calls (e.g. one per
+    /// streaming snapshot) are a read-lock and an `Arc` clone.
+    rank_cache: RwLock<(usize, Arc<Vec<u32>>)>,
+}
+
+impl TokenInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner behind an [`Arc`], ready to share.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Interns `token`, returning its dense id (allocating a new one for a
+    /// first sighting).
+    pub fn intern(&self, token: &str) -> TokenId {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").map.get(token) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        // Re-check: another writer may have interned it between the locks.
+        if let Some(&id) = inner.map.get(token) {
+            return id;
+        }
+        let id = TokenId(inner.strings.len() as u32);
+        let s: Arc<str> = Arc::from(token);
+        inner.strings.push(Arc::clone(&s));
+        inner.map.insert(s, id);
+        id
+    }
+
+    /// The id of `token` if it has been interned.
+    pub fn get(&self, token: &str) -> Option<TokenId> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .map
+            .get(token)
+            .copied()
+    }
+
+    /// The string of an interned id (zero-copy shared handle).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not produced by this interner.
+    pub fn resolve(&self, id: TokenId) -> Arc<str> {
+        Arc::clone(&self.inner.read().expect("interner poisoned").strings[id.index()])
+    }
+
+    /// Number of distinct tokens interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all interned strings, indexed by id.
+    pub fn strings(&self) -> Vec<Arc<str>> {
+        self.inner
+            .read()
+            .expect("interner poisoned")
+            .strings
+            .clone()
+    }
+
+    /// Lexicographic rank table: `rank[id] = r` iff the id's string is the
+    /// `r`-th smallest interned string. One vocabulary-sized sort that lets
+    /// every downstream "order by token text" be a `u32` comparison.
+    /// Memoized per vocabulary size: repeated calls with no intervening
+    /// interning return the cached table.
+    pub fn rank(&self) -> Arc<Vec<u32>> {
+        {
+            let cache = self.rank_cache.read().expect("interner poisoned");
+            if cache.0 == self.len() {
+                return Arc::clone(&cache.1);
+            }
+        }
+        // Compute outside any lock on `inner`-adjacent state; the snapshot
+        // fixes the vocabulary this table is valid for.
+        let strings = self.strings();
+        let mut order: Vec<u32> = (0..strings.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| strings[a as usize].cmp(&strings[b as usize]));
+        let mut rank = vec![0u32; strings.len()];
+        for (r, &id) in order.iter().enumerate() {
+            rank[id as usize] = r as u32;
+        }
+        let rank = Arc::new(rank);
+        let mut cache = self.rank_cache.write().expect("interner poisoned");
+        // Keep whichever table covers more of the vocabulary.
+        if strings.len() >= cache.0 {
+            *cache = (strings.len(), Arc::clone(&rank));
+        }
+        rank
+    }
+
+    /// Compares two ids by their resolved strings (for deterministic,
+    /// text-ordered output without materializing a rank table).
+    pub fn cmp_str(&self, a: TokenId, b: TokenId) -> std::cmp::Ordering {
+        let inner = self.inner.read().expect("interner poisoned");
+        inner.strings[a.index()].cmp(&inner.strings[b.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let it = TokenInterner::new();
+        let a = it.intern("carl");
+        let b = it.intern("white");
+        assert_eq!(a, TokenId(0));
+        assert_eq!(b, TokenId(1));
+        assert_eq!(it.intern("carl"), a);
+        assert_eq!(it.len(), 2);
+        assert_eq!(&*it.resolve(a), "carl");
+        assert_eq!(it.get("white"), Some(b));
+        assert_eq!(it.get("absent"), None);
+    }
+
+    #[test]
+    fn rank_orders_by_string() {
+        let it = TokenInterner::new();
+        let z = it.intern("zeta");
+        let a = it.intern("alpha");
+        let m = it.intern("mid");
+        let rank = it.rank();
+        assert_eq!(rank[a.index()], 0);
+        assert_eq!(rank[m.index()], 1);
+        assert_eq!(rank[z.index()], 2);
+        assert_eq!(it.cmp_str(a, z), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let it = TokenInterner::shared();
+        let tokens: Vec<String> = (0..200).map(|i| format!("tok{}", i % 50)).collect();
+        std::thread::scope(|scope| {
+            for chunk in tokens.chunks(50) {
+                let it = Arc::clone(&it);
+                scope.spawn(move || {
+                    for t in chunk {
+                        it.intern(t);
+                    }
+                });
+            }
+        });
+        assert_eq!(it.len(), 50);
+        // Every token maps to the id whose resolution round-trips.
+        for t in &tokens {
+            let id = it.get(t).expect("interned");
+            assert_eq!(&*it.resolve(id), t.as_str());
+        }
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = TokenInterner::new();
+        assert!(it.is_empty());
+        assert!(it.rank().is_empty());
+    }
+}

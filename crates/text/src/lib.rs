@@ -10,6 +10,8 @@
 //! and reusable buffers where it matters, following the Rust Performance Book
 //! guidance on heap allocations.
 
+pub mod fxhash;
+pub mod interner;
 pub mod jaccard;
 pub mod levenshtein;
 pub mod normalize;
@@ -18,6 +20,8 @@ pub mod soundex;
 pub mod suffixes;
 pub mod tokenize;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use interner::{TokenId, TokenInterner};
 pub use jaccard::{jaccard_similarity, jaccard_similarity_sorted};
 pub use levenshtein::{
     damerau_levenshtein, levenshtein, levenshtein_bounded, normalized_levenshtein,

@@ -1,9 +1,14 @@
 //! Character q-grams: an auxiliary similarity used by the synthetic data
 //! calibration and available as an alternative cheap match function.
+//!
+//! Grams are **borrowed slices of the input** — a q-gram of `s` is
+//! `&s[i..j]` over char boundaries, so counting the grams of a string
+//! performs zero per-gram allocations.
 
 use std::collections::HashMap;
 
-/// Returns the multiset of character `q`-grams of `s` as a count map.
+/// Returns the multiset of character `q`-grams of `s` as a count map keyed
+/// by borrowed slices of `s`.
 ///
 /// Strings shorter than `q` yield a single gram equal to the whole string
 /// (so very short values still compare meaningfully).
@@ -16,19 +21,23 @@ use std::collections::HashMap;
 /// assert_eq!(g.get("ab"), Some(&2));
 /// assert_eq!(g.get("ba"), Some(&1));
 /// ```
-pub fn qgrams(s: &str, q: usize) -> HashMap<String, u32> {
+pub fn qgrams(s: &str, q: usize) -> HashMap<&str, u32> {
     assert!(q > 0, "q must be positive");
-    let chars: Vec<char> = s.chars().collect();
     let mut map = HashMap::new();
-    if chars.is_empty() {
+    if s.is_empty() {
         return map;
     }
-    if chars.len() < q {
-        *map.entry(s.to_string()).or_insert(0) += 1;
+    // Char-boundary byte offsets, with the end sentinel: gram i spans
+    // bytes `bounds[i]..bounds[i + q]`.
+    let mut bounds: Vec<usize> = s.char_indices().map(|(i, _)| i).collect();
+    bounds.push(s.len());
+    let n = bounds.len() - 1; // number of chars
+    if n < q {
+        *map.entry(s).or_insert(0) += 1;
         return map;
     }
-    for w in chars.windows(q) {
-        let gram: String = w.iter().collect();
+    for i in 0..=n - q {
+        let gram = &s[bounds[i]..bounds[i + q]];
         *map.entry(gram).or_insert(0) += 1;
     }
     map
@@ -78,6 +87,25 @@ mod tests {
         let g = qgrams("hello", 2);
         assert_eq!(g.len(), 4);
         assert!(g.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn grams_borrow_from_input() {
+        let s = String::from("hello");
+        let g = qgrams(&s, 2);
+        for gram in g.keys() {
+            // Each gram points into the original string's buffer.
+            let offset = gram.as_ptr() as usize - s.as_ptr() as usize;
+            assert!(offset + gram.len() <= s.len());
+        }
+    }
+
+    #[test]
+    fn multibyte_grams_respect_char_boundaries() {
+        let g = qgrams("héllo", 2);
+        assert_eq!(g.get("hé"), Some(&1));
+        assert_eq!(g.get("él"), Some(&1));
+        assert_eq!(g.len(), 4);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! extremely frequent tokens that Block Purging later removes — exactly the
 //! noise mechanism the paper describes for freebase (§7.2).
 
+use crate::interner::{TokenId, TokenInterner};
 use crate::normalize::normalize_token_into;
 
 /// Configuration for [`Tokenizer`].
@@ -75,9 +76,11 @@ impl Tokenizer {
         out
     }
 
-    /// Tokenizes `value` appending into `out` (which is *not* cleared), so a
-    /// profile's tokens across all attributes can accumulate in one buffer.
-    pub fn tokenize_into(&self, value: &str, out: &mut Vec<String>) {
+    /// Calls `f` with every normalized token of `value`, in order of
+    /// appearance, without allocating per token — the primitive the owned
+    /// and interned tokenization paths are built on. The `&str` argument
+    /// is a reused buffer; callers must copy or intern what they keep.
+    pub fn for_each_token(&self, value: &str, mut f: impl FnMut(&str)) {
         let mut buf = String::new();
         for raw in value.split(|c: char| !c.is_ascii_alphanumeric()) {
             if raw.is_empty() {
@@ -92,8 +95,22 @@ impl Tokenizer {
             if !self.config.keep_numeric && buf.bytes().all(|b| b.is_ascii_digit()) {
                 continue;
             }
-            out.push(buf.clone());
+            f(&buf);
         }
+    }
+
+    /// Tokenizes `value` appending into `out` (which is *not* cleared), so a
+    /// profile's tokens across all attributes can accumulate in one buffer.
+    pub fn tokenize_into(&self, value: &str, out: &mut Vec<String>) {
+        self.for_each_token(value, |tok| out.push(tok.to_string()));
+    }
+
+    /// Tokenizes `value` straight into interned ids, appending to `out`
+    /// (which is *not* cleared). The allocation-free hot path of the
+    /// columnar core: each raw token is normalized into one reusable buffer
+    /// and interned — no per-token `String` is ever created.
+    pub fn tokenize_ids_into(&self, value: &str, interner: &TokenInterner, out: &mut Vec<TokenId>) {
+        self.for_each_token(value, |tok| out.push(interner.intern(tok)));
     }
 }
 
