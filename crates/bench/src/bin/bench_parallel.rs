@@ -1,0 +1,239 @@
+//! Parallel-engine perf harness: times the sharded execution paths against
+//! their sequential counterparts at 1/2/4/8 worker threads and emits
+//! `BENCH_parallel.json` — the scaling-trajectory baseline future PRs
+//! compare against.
+//!
+//! ```text
+//! cargo run -q --release -p sper-bench --bin bench_parallel            # full run
+//! cargo run -q --release -p sper-bench --bin bench_parallel -- --quick # CI smoke
+//! cargo run -q --release -p sper-bench --bin bench_parallel -- --out x.json
+//! ```
+//!
+//! Each measurement is the median of `iters` wall-clock runs (quick: 3,
+//! full: 7) on the movies twin. The curves cover the three parallelized
+//! layers of the engine:
+//!
+//! * **weight computation** — `parallel_blocking_graph` (LeCoBI-sharded
+//!   meta-blocking edge weighting) vs `BlockingGraph::build`;
+//! * **neighbor-list construction** — `NeighborList::par_build` (sharded
+//!   tokenize/sort + tournament merge) vs `NeighborList::build`;
+//! * **top-k scheduling** — `Pps::from_blocks_par` (parallel Algorithm-5
+//!   initialization) vs the sequential constructor.
+//!
+//! Every parallel path is bit-identical to its sequential twin, so the
+//! JSON also records a cheap identity check per curve. Note that speedups
+//! only materialize on multi-core hosts: the JSON records the measuring
+//! machine's available parallelism so a 1-core CI container's flat curve
+//! is not mistaken for a regression.
+
+use serde::Serialize;
+use sper_blocking::{
+    parallel_blocking_graph, BlockingGraph, NeighborList, Parallelism, TokenBlocking,
+    WeightingScheme,
+};
+use sper_core::pps::Pps;
+use sper_datagen::{DatasetKind, DatasetSpec};
+use std::time::Instant;
+
+const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+#[derive(Serialize)]
+struct Point {
+    threads: usize,
+    ms: f64,
+    /// Sequential-baseline time / this time.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Curve {
+    name: String,
+    baseline: String,
+    baseline_ms: f64,
+    /// Results verified identical to the sequential path at every point.
+    identical: bool,
+    points: Vec<Point>,
+}
+
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    n_profiles: usize,
+    iters: usize,
+    /// Worker threads the measuring machine can actually run — scaling is
+    /// bounded by this, not by the requested thread count.
+    host_parallelism: usize,
+    curves: Vec<Curve>,
+}
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn curve(
+    name: &str,
+    baseline: &str,
+    baseline_ms: f64,
+    identical: bool,
+    mut at_threads: impl FnMut(usize) -> f64,
+) -> Curve {
+    let points = THREAD_STEPS
+        .iter()
+        .map(|&threads| {
+            let ms = at_threads(threads);
+            Point {
+                threads,
+                ms,
+                speedup: baseline_ms / ms,
+            }
+        })
+        .collect();
+    Curve {
+        name: name.into(),
+        baseline: baseline.into(),
+        baseline_ms,
+        identical,
+        points,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_parallel.json")
+        .to_string();
+    let iters = if quick { 3 } else { 7 };
+    // Quick mode still needs enough volume for per-thread scaling to mean
+    // anything — spawn/join overhead dominates tiny inputs.
+    let scale = if quick { 0.1 } else { 0.5 };
+
+    let data = DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(scale)
+        .generate();
+    let profiles = &data.profiles;
+    eprintln!(
+        "bench_parallel: movies twin, |P| = {}, {iters} iters/measurement, host parallelism {}",
+        profiles.len(),
+        Parallelism::available()
+    );
+
+    let mut curves = Vec::new();
+
+    // --- Meta-blocking edge weighting (the acceptance-bar curve) ---
+    let mut blocks = TokenBlocking::default().build(profiles);
+    blocks.sort_by_cardinality();
+    let sequential_graph = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
+    let baseline_ms = median_ms(iters, || {
+        std::hint::black_box(BlockingGraph::build(&blocks, WeightingScheme::Arcs));
+    });
+    let identical = THREAD_STEPS.iter().all(|&t| {
+        let g = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, t).expect("threads > 0");
+        g.edges().zip(sequential_graph.edges()).all(|(a, b)| a == b)
+            && g.num_edges() == sequential_graph.num_edges()
+    });
+    curves.push(curve(
+        "edge_weighting",
+        "sequential BlockingGraph::build",
+        baseline_ms,
+        identical,
+        |threads| {
+            median_ms(iters, || {
+                std::hint::black_box(
+                    parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap(),
+                );
+            })
+        },
+    ));
+
+    // --- Neighbor-list construction ---
+    let sequential_nl = NeighborList::build(profiles, 42);
+    let baseline_ms = median_ms(iters, || {
+        std::hint::black_box(NeighborList::build(profiles, 42));
+    });
+    let identical = THREAD_STEPS.iter().all(|&t| {
+        NeighborList::par_build(profiles, 42, t).unwrap().as_slice() == sequential_nl.as_slice()
+    });
+    curves.push(curve(
+        "neighbor_list_build",
+        "sequential NeighborList::build",
+        baseline_ms,
+        identical,
+        |threads| {
+            median_ms(iters, || {
+                std::hint::black_box(NeighborList::par_build(profiles, 42, threads).unwrap());
+            })
+        },
+    ));
+
+    // --- PPS top-k scheduling (Algorithm-5 initialization) ---
+    // Token blocking is built once outside the timed closures; the clone
+    // per iteration is three memcpys of the CSR arrays, so the curve
+    // isolates the (parallelized) scheduling init itself.
+    let pps_blocks = TokenBlocking::default().build(profiles);
+    let scheduled =
+        || Pps::from_blocks(pps_blocks.clone(), WeightingScheme::Arcs, Pps::DEFAULT_KMAX);
+    let sequential_order: Vec<_> = scheduled().sorted_profile_list().to_vec();
+    let baseline_ms = median_ms(iters, || {
+        std::hint::black_box(scheduled());
+    });
+    let identical = THREAD_STEPS.iter().all(|&t| {
+        let pps = Pps::from_blocks_par(
+            pps_blocks.clone(),
+            WeightingScheme::Arcs,
+            Pps::DEFAULT_KMAX,
+            Parallelism::new(t).unwrap(),
+        );
+        pps.sorted_profile_list() == sequential_order.as_slice()
+    });
+    curves.push(curve(
+        "pps_scheduling_init",
+        "sequential Pps::from_blocks",
+        baseline_ms,
+        identical,
+        |threads| {
+            median_ms(iters, || {
+                std::hint::black_box(Pps::from_blocks_par(
+                    pps_blocks.clone(),
+                    WeightingScheme::Arcs,
+                    Pps::DEFAULT_KMAX,
+                    Parallelism::new(threads).unwrap(),
+                ));
+            })
+        },
+    ));
+
+    let report = Report {
+        dataset: "movies".into(),
+        n_profiles: profiles.len(),
+        iters,
+        host_parallelism: Parallelism::available().get(),
+        curves,
+    };
+    for c in &report.curves {
+        println!(
+            "{:<22} baseline {:>9.3} ms   identical {}",
+            c.name, c.baseline_ms, c.identical
+        );
+        for p in &c.points {
+            println!(
+                "    {:>2} threads  {:>9.3} ms   speedup {:>5.2}x",
+                p.threads, p.ms, p.speedup
+            );
+        }
+    }
+    std::fs::write(&out, serde::json::to_string(&report)).expect("write report");
+    eprintln!("wrote {out}");
+}

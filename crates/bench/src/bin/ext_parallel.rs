@@ -32,7 +32,7 @@ fn main() {
     ]);
     for threads in [2, 4, 8] {
         let t0 = Instant::now();
-        let parallel = parallel_token_blocking(&data.profiles, threads);
+        let parallel = parallel_token_blocking(&data.profiles, threads).expect("threads > 0");
         let time = t0.elapsed();
         // Ids are interner-local; identity is judged on resolved key
         // strings and member lists.
@@ -66,7 +66,8 @@ fn main() {
     ]);
     for threads in [2, 4, 8] {
         let t0 = Instant::now();
-        let par_graph = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads);
+        let par_graph =
+            parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).expect("threads > 0");
         let time = t0.elapsed();
         assert_eq!(par_graph.num_edges(), seq_graph.num_edges());
         table.add_row([

@@ -133,7 +133,7 @@ impl Block {
     /// Builds a block from members that are **already** deduplicated,
     /// ascending within each source partition, with all `P1` members
     /// before any `P2` member — the invariant bucket construction over a
-    /// [`ProfileCollection`]'s id order produces naturally (its P1
+    /// [`ProfileCollection`](sper_model::ProfileCollection)'s id order produces naturally (its P1
     /// profiles precede its P2 profiles). Checked in debug builds.
     pub fn from_partitioned(key: TokenId, profiles: Vec<ProfileId>, n_first: u32) -> Self {
         debug_assert!(n_first as usize <= profiles.len());
@@ -160,7 +160,7 @@ impl Block {
 
     /// Appends one member to a live block — the streaming ingest path
     /// (`sper-stream`), where profiles arrive in ascending id order and all
-    /// `P1` profiles precede all `P2` profiles (the [`ProfileCollection`]
+    /// `P1` profiles precede all `P2` profiles (the [`ProfileCollection`](sper_model::ProfileCollection)
     /// id-density invariant). Duplicate ids are ignored.
     ///
     /// # Panics
@@ -304,6 +304,23 @@ impl<'a> BlockRef<'a> {
 /// One contiguous member array instead of `|B|` separate `Vec`s: iteration
 /// and cardinality math are sequential scans, clones are three `memcpy`s,
 /// and reordering (block scheduling) is a gather pass.
+///
+/// ```
+/// use sper_blocking::TokenBlocking;
+/// use sper_model::ProfileCollectionBuilder;
+///
+/// let mut b = ProfileCollectionBuilder::dirty();
+/// b.add_profile([("name", "carl white")]);
+/// b.add_profile([("name", "karl white")]);
+/// let blocks = TokenBlocking::default().build(&b.build());
+/// // "carl"/"karl" are singletons (no comparison → dropped); the shared
+/// // token "white" blocks both profiles together.
+/// assert_eq!(blocks.len(), 1);
+/// assert_eq!(blocks.total_comparisons(), 1);
+/// let white = blocks.iter().next().unwrap();
+/// assert_eq!(&*white.key_str(), "white");
+/// assert_eq!(white.size(), 2);
+/// ```
 #[derive(Debug, Clone)]
 pub struct BlockCollection {
     kind: ErKind,

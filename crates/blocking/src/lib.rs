@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # sper-blocking
 //!
 //! The blocking substrates of schema-agnostic progressive ER:
@@ -37,9 +38,9 @@ pub mod weights;
 pub use block::{Block, BlockCollection, BlockId, BlockRef};
 pub use filtering::BlockFilter;
 pub use graph::BlockingGraph;
-pub use metablocking::{prune, PruningScheme};
+pub use metablocking::{par_prune, prune, PruningScheme};
 pub use neighbor_list::{NeighborList, PositionIndex};
-pub use parallel::{parallel_blocking_graph, parallel_token_blocking};
+pub use parallel::{parallel_blocking_graph, parallel_token_blocking, Parallelism, ZeroThreads};
 pub use profile_index::{IncrementalProfileIndex, IntersectStats, ProfileIndex};
 pub use purging::BlockPurger;
 pub use suffix_forest::{SuffixForest, SuffixNode};

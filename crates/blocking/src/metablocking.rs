@@ -20,6 +20,7 @@
 //!   `k = Σ|b|/|P|` by convention.
 
 use crate::graph::BlockingGraph;
+use crate::parallel::{Parallelism, ZeroThreads};
 use sper_model::Pair;
 
 /// Which meta-blocking pruning algorithm to apply.
@@ -53,6 +54,56 @@ impl PruningScheme {
     }
 }
 
+/// Non-increasing weight, ties by pair id — the output order of every
+/// pruning scheme.
+fn weight_desc(a: &(Pair, f64), b: &(Pair, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// One node's retained edges under a node-centric scheme (WNP/CNP),
+/// inserted into `keep` — the single definition both the sequential
+/// [`prune`] and the sharded [`par_prune`] run, so the two paths cannot
+/// drift apart.
+fn keep_for_node(
+    graph: &BlockingGraph,
+    scheme: PruningScheme,
+    node: sper_model::ProfileId,
+    keep: &mut std::collections::HashSet<Pair>,
+) {
+    match scheme {
+        PruningScheme::Wnp => {
+            let neighborhood: Vec<(sper_model::ProfileId, f64)> = graph.neighbors(node).collect();
+            if neighborhood.is_empty() {
+                return;
+            }
+            let mean: f64 =
+                neighborhood.iter().map(|&(_, w)| w).sum::<f64>() / neighborhood.len() as f64;
+            for (other, w) in neighborhood {
+                if w >= mean {
+                    keep.insert(Pair::new(node, other));
+                }
+            }
+        }
+        PruningScheme::Cnp { k } => {
+            let mut neighborhood: Vec<(sper_model::ProfileId, f64)> =
+                graph.neighbors(node).collect();
+            neighborhood.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            for (other, _) in neighborhood.into_iter().take(k) {
+                keep.insert(Pair::new(node, other));
+            }
+        }
+        PruningScheme::Wep | PruningScheme::Cep { .. } => {
+            unreachable!("edge-centric schemes have no per-node pass")
+        }
+    }
+}
+
 /// Applies `scheme` to the blocking graph, returning the retained
 /// comparisons sorted by non-increasing weight (ties by pair id).
 pub fn prune(graph: &BlockingGraph, scheme: PruningScheme) -> Vec<(Pair, f64)> {
@@ -67,57 +118,61 @@ pub fn prune(graph: &BlockingGraph, scheme: PruningScheme) -> Vec<(Pair, f64)> {
         }
         PruningScheme::Cep { k } => {
             let mut edges: Vec<(Pair, f64)> = graph.edges().collect();
-            edges.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
+            edges.sort_by(weight_desc);
             edges.truncate(k);
             edges
         }
-        PruningScheme::Wnp => {
+        PruningScheme::Wnp | PruningScheme::Cnp { .. } => {
             let mut keep: std::collections::HashSet<Pair> = std::collections::HashSet::new();
             for node in 0..graph.num_nodes() {
-                let node = sper_model::ProfileId(node as u32);
-                let neighborhood: Vec<(sper_model::ProfileId, f64)> =
-                    graph.neighbors(node).collect();
-                if neighborhood.is_empty() {
-                    continue;
-                }
-                let mean: f64 =
-                    neighborhood.iter().map(|&(_, w)| w).sum::<f64>() / neighborhood.len() as f64;
-                for (other, w) in neighborhood {
-                    if w >= mean {
-                        keep.insert(Pair::new(node, other));
-                    }
-                }
-            }
-            graph.edges().filter(|(p, _)| keep.contains(p)).collect()
-        }
-        PruningScheme::Cnp { k } => {
-            let mut keep: std::collections::HashSet<Pair> = std::collections::HashSet::new();
-            for node in 0..graph.num_nodes() {
-                let node = sper_model::ProfileId(node as u32);
-                let mut neighborhood: Vec<(sper_model::ProfileId, f64)> =
-                    graph.neighbors(node).collect();
-                neighborhood.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then_with(|| a.0.cmp(&b.0))
-                });
-                for (other, _) in neighborhood.into_iter().take(k) {
-                    keep.insert(Pair::new(node, other));
-                }
+                keep_for_node(graph, scheme, sper_model::ProfileId(node as u32), &mut keep);
             }
             graph.edges().filter(|(p, _)| keep.contains(p)).collect()
         }
     };
-    kept.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.0.cmp(&b.0))
-    });
+    kept.sort_by(weight_desc);
     kept
+}
+
+/// [`prune`] with the per-node sweeps of the node-centric schemes (WNP,
+/// CNP) fanned out over `threads` workers.
+///
+/// Each worker prunes a contiguous node range into a local keep-set; the
+/// union of keep-sets is order-independent, and the final weight sort makes
+/// the output deterministic — identical to the sequential [`prune`] for
+/// every scheme. The edge-centric schemes (WEP, CEP) are a single cheap
+/// pass and simply delegate to the sequential path (a chunked float sum
+/// would change rounding, and with it borderline mean-threshold decisions).
+///
+/// # Errors
+///
+/// Returns [`ZeroThreads`] when `threads == 0`.
+pub fn par_prune(
+    graph: &BlockingGraph,
+    scheme: PruningScheme,
+    threads: usize,
+) -> Result<Vec<(Pair, f64)>, ZeroThreads> {
+    let par = Parallelism::new(threads)?;
+    let nodes = graph.num_nodes();
+    if par.is_sequential()
+        || nodes == 0
+        || matches!(scheme, PruningScheme::Wep | PruningScheme::Cep { .. })
+    {
+        return Ok(prune(graph, scheme));
+    }
+
+    let keep_sets = par.map_ranges(nodes, |range| {
+        let mut keep = std::collections::HashSet::new();
+        for node in range {
+            keep_for_node(graph, scheme, sper_model::ProfileId(node as u32), &mut keep);
+        }
+        keep
+    });
+
+    let keep: std::collections::HashSet<Pair> = keep_sets.into_iter().flatten().collect();
+    let mut kept: Vec<(Pair, f64)> = graph.edges().filter(|(p, _)| keep.contains(p)).collect();
+    kept.sort_by(weight_desc);
+    Ok(kept)
 }
 
 #[cfg(test)]
@@ -210,5 +265,28 @@ mod tests {
         let g = BlockingGraph::from_edges(4, Vec::new());
         assert!(prune(&g, PruningScheme::Wep).is_empty());
         assert!(prune(&g, PruningScheme::Cep { k: 5 }).is_empty());
+    }
+
+    #[test]
+    fn par_prune_matches_sequential_for_every_scheme() {
+        let g = fig3_graph();
+        for scheme in [
+            PruningScheme::Wep,
+            PruningScheme::Cep { k: 7 },
+            PruningScheme::Wnp,
+            PruningScheme::Cnp { k: 2 },
+        ] {
+            let sequential = prune(&g, scheme);
+            for threads in [1, 2, 4] {
+                let parallel = par_prune(&g, scheme, threads).expect("threads > 0");
+                assert_eq!(
+                    parallel,
+                    sequential,
+                    "{} at {threads} threads",
+                    scheme.name()
+                );
+            }
+        }
+        assert!(par_prune(&g, PruningScheme::Wnp, 0).is_err());
     }
 }

@@ -22,12 +22,65 @@
 //! bit-identical to the historical string-sorted build (the rank order *is*
 //! the string order, and the run shuffles consume the RNG identically).
 
+use crate::parallel::{Parallelism, ZeroThreads};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use sper_model::{ProfileCollection, ProfileId};
-use sper_text::{TokenId, TokenInterner, Tokenizer};
+use sper_text::{FxHashMap, TokenId, TokenInterner, Tokenizer};
 use std::sync::Arc;
+
+/// Shuffles every equal-key run of rank-sorted placements with a seeded
+/// RNG — the *coincidental proximity* of §4.1, shared verbatim by the
+/// sequential and parallel builds so both consume the RNG identically.
+fn shuffle_equal_runs(placements: &mut [(TokenId, ProfileId)], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut start = 0;
+    while start < placements.len() {
+        let mut end = start + 1;
+        while end < placements.len() && placements[end].0 == placements[start].0 {
+            end += 1;
+        }
+        if end - start > 1 {
+            placements[start..end].shuffle(&mut rng);
+        }
+        start = end;
+    }
+}
+
+/// Deterministic k-way tournament merge of rank-sorted placement runs.
+///
+/// The tournament key is `(rank, run index)`: distinct token strings have
+/// distinct ranks, and equal-rank ties resolve in run order — which is
+/// global profile order, because runs hold contiguous profile ranges. The
+/// output therefore equals a single stable sort of the concatenated runs.
+fn merge_ranked_runs(
+    runs: Vec<Vec<(TokenId, ProfileId)>>,
+    rank: &[u32],
+) -> Vec<(TokenId, ProfileId)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out: Vec<(TokenId, ProfileId)> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; runs.len()];
+    // Min-heap over run fronts: the tournament of the k candidates.
+    let mut heap: BinaryHeap<Reverse<(u32, usize)>> = runs
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(i, r)| Reverse((rank[r[0].0.index()], i)))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let run = &runs[i];
+        let at = cursors[i];
+        out.push(run[at]);
+        cursors[i] = at + 1;
+        if at + 1 < run.len() {
+            heap.push(Reverse((rank[run[at + 1].0.index()], i)));
+        }
+    }
+    out
+}
 
 /// Inverted index: profile id → ascending Neighbor List positions.
 #[derive(Debug, Clone)]
@@ -87,6 +140,54 @@ impl NeighborList {
         Self::build_inner(profiles, seed, true)
     }
 
+    /// Builds the Neighbor List on `threads` worker threads, **bit-identical**
+    /// to the sequential [`Self::build`] with the same `seed`.
+    ///
+    /// The parallel build shards the profile range into contiguous chunks:
+    /// each worker tokenizes its chunk through the shared interner and
+    /// stable-sorts its placements by precomputed lexicographic rank; the
+    /// sorted runs are then fused by a deterministic k-way tournament merge
+    /// keyed on `(rank, chunk index)`. Because distinct strings have
+    /// distinct ranks and the tie-break follows chunk order (= global
+    /// profile order), the merged placement sequence equals the sequential
+    /// stable sort exactly — so the equal-key run shuffle consumes the RNG
+    /// identically and the final list matches position for position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroThreads`] when `threads == 0`.
+    pub fn par_build(
+        profiles: &ProfileCollection,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, ZeroThreads> {
+        let par = Parallelism::new(threads)?;
+        Ok(if par.is_sequential() {
+            Self::build_inner(profiles, seed, false)
+        } else {
+            Self::par_build_inner(profiles, seed, false, par)
+        })
+    }
+
+    /// Like [`Self::par_build`] but also retains the blocking key of every
+    /// position, for inspection and tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ZeroThreads`] when `threads == 0`.
+    pub fn par_build_with_keys(
+        profiles: &ProfileCollection,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self, ZeroThreads> {
+        let par = Parallelism::new(threads)?;
+        Ok(if par.is_sequential() {
+            Self::build_inner(profiles, seed, true)
+        } else {
+            Self::par_build_inner(profiles, seed, true, par)
+        })
+    }
+
     fn build_inner(profiles: &ProfileCollection, seed: u64, keep_keys: bool) -> Self {
         let interner = TokenInterner::shared();
         let tokenizer = Tokenizer::default();
@@ -110,21 +211,91 @@ impl NeighborList {
         let rank = interner.rank();
         placements.sort_by_key(|&(t, _)| rank[t.index()]);
 
-        // Shuffle every equal-key run: coincidental proximity.
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut start = 0;
-        while start < placements.len() {
-            let mut end = start + 1;
-            while end < placements.len() && placements[end].0 == placements[start].0 {
-                end += 1;
-            }
-            if end - start > 1 {
-                placements[start..end].shuffle(&mut rng);
-            }
-            start = end;
-        }
-
+        shuffle_equal_runs(&mut placements, seed);
         Self::from_parts(placements, interner, profiles.len(), keep_keys)
+    }
+
+    fn par_build_inner(
+        profiles: &ProfileCollection,
+        seed: u64,
+        keep_keys: bool,
+        par: Parallelism,
+    ) -> Self {
+        let interner = TokenInterner::shared();
+        let n = profiles.len();
+        if n == 0 {
+            return Self::from_parts(Vec::new(), interner, 0, keep_keys);
+        }
+        let threads = par.capped(n).get();
+        let chunk = n.div_ceil(threads);
+        let all: &[sper_model::Profile] = profiles.profiles();
+
+        // Map phase: each worker tokenizes a contiguous profile range into
+        // its own placement run (run-local order = profile order).
+        let mut runs: Vec<Vec<(TokenId, ProfileId)>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = all
+                .chunks(chunk)
+                .map(|profiles_chunk| {
+                    let interner = Arc::clone(&interner);
+                    scope.spawn(move |_| {
+                        let tokenizer = Tokenizer::default();
+                        let mut placements: Vec<(TokenId, ProfileId)> = Vec::new();
+                        let mut ids: Vec<TokenId> = Vec::new();
+                        // Worker-local token → id cache (see
+                        // `parallel_token_blocking`): one interner-lock
+                        // touch per distinct token per worker.
+                        let mut cache: FxHashMap<Box<str>, TokenId> = FxHashMap::default();
+                        for p in profiles_chunk {
+                            ids.clear();
+                            for attr in &p.attributes {
+                                tokenizer.for_each_token(&attr.value, |tok| {
+                                    let id = match cache.get(tok) {
+                                        Some(&id) => id,
+                                        None => {
+                                            let id = interner.intern(tok);
+                                            cache.insert(Box::from(tok), id);
+                                            id
+                                        }
+                                    };
+                                    ids.push(id);
+                                });
+                            }
+                            ids.sort_unstable();
+                            ids.dedup();
+                            for &t in &ids {
+                                placements.push((t, p.id));
+                            }
+                        }
+                        placements
+                    })
+                })
+                .collect();
+            runs = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        })
+        .expect("neighbor-list map phase panicked");
+
+        // Sort phase: the rank table is computed once over the complete
+        // vocabulary, then every run stable-sorts in parallel. Ranks are a
+        // pure function of the token *strings* (not of the concurrent id
+        // assignment order), so this order is reproducible run to run.
+        let rank = interner.rank();
+        crossbeam::thread::scope(|scope| {
+            for run in runs.iter_mut() {
+                let rank = &rank;
+                scope.spawn(move |_| {
+                    run.sort_by_key(|&(t, _)| rank[t.index()]);
+                });
+            }
+        })
+        .expect("neighbor-list sort phase panicked");
+
+        // Merge + shuffle: deterministic tournament merge restores the
+        // global stable order, then the run shuffle consumes the RNG
+        // exactly as the sequential build does.
+        let mut placements = merge_ranked_runs(runs, &rank);
+        shuffle_equal_runs(&mut placements, seed);
+        Self::from_parts(placements, interner, n, keep_keys)
     }
 
     /// Builds a Neighbor List from placements that are already in final
@@ -334,5 +505,49 @@ mod tests {
         let nl = NeighborList::build(&profiles, 0);
         assert_eq!(nl.key_at(0), None);
         assert_eq!(nl.key_id_at(0), None);
+    }
+
+    #[test]
+    fn par_build_is_bit_identical_to_sequential() {
+        // Larger than fig3 so chunks are non-trivial and equal-key runs
+        // span chunk boundaries.
+        let mut b = sper_model::ProfileCollectionBuilder::dirty();
+        for i in 0..97u32 {
+            let base = i % 31;
+            b.add_profile([("t", format!("tok{} shared{} common", base, base % 5))]);
+        }
+        let profiles = b.build();
+        for seed in [0u64, 7, 42] {
+            let sequential = NeighborList::build_with_keys(&profiles, seed);
+            for threads in [1usize, 2, 3, 5, 8] {
+                let parallel = NeighborList::par_build_with_keys(&profiles, seed, threads)
+                    .expect("threads > 0");
+                assert_eq!(
+                    parallel.as_slice(),
+                    sequential.as_slice(),
+                    "seed {seed}, threads {threads}"
+                );
+                for i in 0..sequential.len() {
+                    assert_eq!(parallel.key_at(i), sequential.key_at(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_build_edge_cases() {
+        // Empty collection.
+        let empty = sper_model::ProfileCollectionBuilder::dirty().build();
+        let nl = NeighborList::par_build(&empty, 1, 4).unwrap();
+        assert!(nl.is_empty());
+        // Single profile.
+        let mut b = sper_model::ProfileCollectionBuilder::dirty();
+        b.add_profile([("t", "lonely profile tokens")]);
+        let one = b.build();
+        let seq = NeighborList::build(&one, 3);
+        let par = NeighborList::par_build(&one, 3, 8).unwrap();
+        assert_eq!(par.as_slice(), seq.as_slice());
+        // Zero threads: typed error, no panic.
+        assert!(NeighborList::par_build(&one, 3, 0).is_err());
     }
 }

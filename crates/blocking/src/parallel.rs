@@ -1,33 +1,169 @@
 //! Shared-memory parallelization of the blocking substrates — the paper's
 //! future-work direction (§8: "massive parallelization of our approach
 //! based on existing methods for parallelizing Sorted Neighborhood \[31,32\]
-//! and Meta-blocking \[33\]"), realized here as a MapReduce-shaped
-//! multi-threaded implementation on crossbeam scoped threads.
+//! and Meta-blocking \[33\]"), realized as deterministic sharded execution
+//! on crossbeam scoped threads.
 //!
-//! Both entry points are *observationally identical* to their sequential
-//! counterparts (property-tested below): parallelism changes wall-clock
-//! time, never results.
+//! Every entry point is **bit-identical** to its sequential counterpart
+//! (property-tested here and in `tests/parallel_equivalence.rs`):
+//! parallelism changes wall-clock time, never results. Three ingredients
+//! make that possible:
 //!
-//! Sharding is by `TokenId % shards` over the shared concurrent
-//! [`TokenInterner`] — fully deterministic partitioning, with none of the
-//! platform/release instability of `DefaultHasher` (whose SipHash keys are
-//! explicitly not guaranteed stable), and no re-hashing of token text.
+//! 1. **Deterministic shard layout.** Work is split either by
+//!    `TokenId % shards` (token emissions) or by contiguous ranges of the
+//!    token-keyed block/placement arrays — both are pure functions of the
+//!    input, with none of the platform/release instability of
+//!    `DefaultHasher` (whose SipHash keys are explicitly not guaranteed
+//!    stable).
+//! 2. **Independent per-shard dedup.** Edge weighting dedups repeated
+//!    comparisons with the LeCoBI condition (§5.2.1), which each shard can
+//!    evaluate locally from the shared [`ProfileIndex`] — no cross-shard
+//!    `seen` set, no merge-order sensitivity.
+//! 3. **Order-restoring merges.** Shard outputs are concatenated in shard
+//!    order (ranges) or re-sorted by key string (token blocking), so the
+//!    merged result reproduces the sequential iteration order exactly.
 //!
-//! Note on scale: since the interned columnar refactor, the *sequential*
-//! Token Blocking build is fast enough that this MapReduce-shaped version
-//! only wins on collections large enough to amortize per-worker caches and
-//! the merge (the `ext_parallel` bench shows break-even around the
-//! bench-twin sizes). It earns its keep as the result-identity testbed for
-//! the sharding direction (distributed/out-of-core blocking) the ROADMAP
-//! names, where partitioned token streams are mandatory, not optional.
+//! Thread counts are validated at the API boundary: every parallel entry
+//! point takes a raw `usize` and returns [`ZeroThreads`] instead of
+//! panicking when it is zero. Use [`Parallelism`] to carry a validated
+//! count through configuration layers.
 
-use crate::block::{Block, BlockCollection};
+use crate::block::{Block, BlockCollection, BlockId};
 use crate::graph::BlockingGraph;
 use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
 use sper_model::{Pair, ProfileCollection, ProfileId, SourceId};
 use sper_text::{FxHashMap, TokenId, TokenInterner, Tokenizer};
+use std::num::NonZeroUsize;
 use std::sync::Arc;
+
+/// The typed error of the parallel entry points: zero worker threads were
+/// requested. (Seed versions of this API `assert!`ed instead; a zero
+/// thread count is a configuration mistake, not a programming bug, so it
+/// is reported as a value.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ZeroThreads;
+
+impl std::fmt::Display for ZeroThreads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("parallel execution needs at least one worker thread")
+    }
+}
+
+impl std::error::Error for ZeroThreads {}
+
+/// A validated worker-thread count for the parallel engine.
+///
+/// Construction is the only place a thread count can be zero, so every
+/// consumer past [`Parallelism::new`] works with a guaranteed-positive
+/// count — the engine never has to re-check.
+///
+/// ```
+/// use sper_blocking::Parallelism;
+///
+/// assert_eq!(Parallelism::new(4).unwrap().get(), 4);
+/// assert!(Parallelism::new(0).is_err());
+/// assert!(Parallelism::SEQUENTIAL.is_sequential());
+/// assert!(Parallelism::available().get() >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// One worker: the sequential engine.
+    pub const SEQUENTIAL: Parallelism = Parallelism(NonZeroUsize::MIN);
+
+    /// Validates a worker-thread count.
+    pub fn new(threads: usize) -> Result<Self, ZeroThreads> {
+        NonZeroUsize::new(threads).map(Self).ok_or(ZeroThreads)
+    }
+
+    /// The machine's available parallelism (≥ 1; falls back to 1 when the
+    /// runtime cannot report it). The CLI default for `--threads`.
+    pub fn available() -> Self {
+        Self(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The validated thread count.
+    #[inline]
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// True for a single worker (the engine takes the sequential paths).
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        self.get() == 1
+    }
+
+    /// Caps the worker count at `items` (spawning more workers than work
+    /// items only adds join overhead) while staying ≥ 1.
+    #[inline]
+    pub fn capped(self, items: usize) -> Parallelism {
+        Parallelism(NonZeroUsize::new(self.get().min(items)).unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// Splits `0..len` into one contiguous range per worker and runs `f`
+    /// on each concurrently (scoped threads — `f` may borrow), returning
+    /// the results **in range order**. With one effective worker, `f` runs
+    /// inline on the calling thread — no spawn.
+    ///
+    /// This is the shared fan-out shape of the whole parallel engine:
+    /// deterministic ranges in, order-preserving concatenation out. Sites
+    /// that need per-worker `&mut` scratch keep their own scopes.
+    pub fn map_ranges<T, F>(self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        let workers = self.capped(len.max(1)).get();
+        if workers == 1 {
+            return vec![f(0..len)];
+        }
+        let chunk = len.div_ceil(workers);
+        let f = &f;
+        let mut results: Vec<T> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|k| {
+                    // Both bounds clamp to `len`: when `chunk` overshoots
+                    // (workers does not divide len), trailing workers get
+                    // an empty `len..len` range, never a backwards one —
+                    // callers slice with these ranges.
+                    let start = (k * chunk).min(len);
+                    let end = ((k + 1) * chunk).min(len);
+                    scope.spawn(move |_| f(start..end))
+                })
+                .collect();
+            results.extend(handles.into_iter().map(|h| h.join().unwrap()));
+        })
+        .expect("parallel range map panicked");
+        results
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::SEQUENTIAL`] — opting *in* to threads is
+    /// explicit, so libraries embedding the engine never surprise their
+    /// host with a thread pool.
+    fn default() -> Self {
+        Self::SEQUENTIAL
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+impl TryFrom<usize> for Parallelism {
+    type Error = ZeroThreads;
+
+    fn try_from(threads: usize) -> Result<Self, ZeroThreads> {
+        Self::new(threads)
+    }
+}
 
 /// Parallel Token Blocking: the *map* phase tokenizes disjoint profile
 /// ranges through the shared interner and partitions `(token, profile)`
@@ -36,17 +172,25 @@ use std::sync::Arc;
 /// [`TokenBlocking`](crate::token_blocking::TokenBlocking) (blocks sorted
 /// by key string).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics when `threads == 0`.
-pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> BlockCollection {
-    assert!(threads > 0, "need at least one thread");
+/// Returns [`ZeroThreads`] when `threads == 0`.
+pub fn parallel_token_blocking(
+    profiles: &ProfileCollection,
+    threads: usize,
+) -> Result<BlockCollection, ZeroThreads> {
+    let par = Parallelism::new(threads)?;
     let n = profiles.len();
     let interner = TokenInterner::shared();
     if n == 0 {
-        return BlockCollection::new(profiles.kind(), 0, interner, Vec::new());
+        return Ok(BlockCollection::new(
+            profiles.kind(),
+            0,
+            interner,
+            Vec::new(),
+        ));
     }
-    let threads = threads.min(n);
+    let threads = par.capped(n).get();
     let chunk = n.div_ceil(threads);
     let all: &[sper_model::Profile] = profiles.profiles();
 
@@ -128,62 +272,57 @@ pub fn parallel_token_blocking(profiles: &ProfileCollection, threads: usize) -> 
     let blocks: Vec<Block> = shard_blocks.into_iter().flatten().collect();
     let mut coll = BlockCollection::new(profiles.kind(), n, interner, blocks);
     coll.sort_by_key_str();
-    coll
+    Ok(coll)
 }
 
-/// Parallel Meta-blocking edge weighting: materializes the blocking graph
-/// with the distinct-pair discovery done sequentially (cheap) and the
-/// weight computation — the dominant cost — fanned out over `threads`.
-/// Identical to [`BlockingGraph::build`].
+/// Parallel Meta-blocking edge weighting, sharded over contiguous ranges
+/// of the token-keyed block array.
 ///
-/// # Panics
+/// Each shard walks its block range, keeps a comparison only in its least
+/// common block (the LeCoBI condition — evaluable per shard from the
+/// shared [`ProfileIndex`], so no cross-shard `seen` set is needed) and
+/// weights it there. Concatenating the shard outputs in shard order
+/// reproduces the sequential first-occurrence edge order exactly: the
+/// resulting graph is **bit-identical** to [`BlockingGraph::build`],
+/// including the internal edge order (not merely set-equal).
 ///
-/// Panics when `threads == 0`.
+/// This is the engine behind the progressive methods' parallel weighting:
+/// the dominant cost of meta-blocking fans out `threads`-wide while the
+/// emission order stays pinned.
+///
+/// # Errors
+///
+/// Returns [`ZeroThreads`] when `threads == 0`.
 pub fn parallel_blocking_graph(
     blocks: &BlockCollection,
     scheme: WeightingScheme,
     threads: usize,
-) -> BlockingGraph {
-    assert!(threads > 0, "need at least one thread");
+) -> Result<BlockingGraph, ZeroThreads> {
+    let par = Parallelism::new(threads)?;
     let index = ProfileIndex::build(blocks);
     let kind = blocks.kind();
-
-    // Discover distinct pairs (deterministic order).
-    let mut seen: sper_text::FxHashSet<Pair> = sper_text::FxHashSet::default();
-    let mut pairs: Vec<Pair> = Vec::new();
-    for block in blocks.iter() {
-        for pair in block.comparisons(kind) {
-            if seen.insert(pair) {
-                pairs.push(pair);
-            }
-        }
+    if blocks.is_empty() {
+        return Ok(BlockingGraph::from_edges(blocks.n_profiles(), Vec::new()));
     }
 
-    // Weight in parallel chunks.
-    let chunk = pairs.len().div_ceil(threads).max(1);
-    let mut weights: Vec<Vec<f64>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let index = &index;
-        let handles: Vec<_> = pairs
-            .chunks(chunk)
-            .map(|chunk_pairs| {
-                scope.spawn(move |_| {
-                    chunk_pairs
-                        .iter()
-                        .map(|p| index.weight(p.first, p.second, scheme))
-                        .collect::<Vec<f64>>()
-                })
-            })
-            .collect();
-        weights = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    })
-    .expect("weighting phase panicked");
+    let shard_edges = par.map_ranges(blocks.len(), |range| {
+        let mut edges: Vec<(Pair, f64)> = Vec::new();
+        for bid in range {
+            let block = blocks.get(BlockId(bid as u32));
+            for pair in block.comparisons(kind) {
+                // LeCoBI: the pair belongs to this shard iff this block is
+                // its least common block.
+                if index.is_new_comparison(pair.first, pair.second, BlockId(bid as u32)) {
+                    let w = index.weight(pair.first, pair.second, scheme);
+                    edges.push((pair, w));
+                }
+            }
+        }
+        edges
+    });
 
-    let weighted: Vec<(Pair, f64)> = pairs
-        .into_iter()
-        .zip(weights.into_iter().flatten())
-        .collect();
-    BlockingGraph::from_edges(blocks.n_profiles(), weighted)
+    let edges: Vec<(Pair, f64)> = shard_edges.into_iter().flatten().collect();
+    Ok(BlockingGraph::from_edges(blocks.n_profiles(), edges))
 }
 
 #[cfg(test)]
@@ -214,11 +353,50 @@ mod tests {
     }
 
     #[test]
+    fn parallelism_boundary() {
+        assert!(Parallelism::new(0).is_err());
+        assert_eq!(Parallelism::new(3).unwrap().get(), 3);
+        assert_eq!(Parallelism::default(), Parallelism::SEQUENTIAL);
+        assert_eq!(Parallelism::new(8).unwrap().capped(2).get(), 2);
+        assert_eq!(Parallelism::new(2).unwrap().capped(0).get(), 1);
+        assert_eq!(Parallelism::try_from(5).unwrap().to_string(), "5");
+        assert_eq!(
+            ZeroThreads.to_string(),
+            "parallel execution needs at least one worker thread"
+        );
+    }
+
+    #[test]
+    fn map_ranges_covers_exactly_once_for_awkward_worker_counts() {
+        // Regression: with chunk = div_ceil(len, workers), trailing workers
+        // can overshoot len (e.g. len 2069, 47 workers → chunk 45, worker
+        // 46 would start at 2070). Ranges must stay well-formed (never
+        // backwards — callers slice with them) and partition 0..len.
+        for (len, workers) in [(2069usize, 47usize), (5, 4), (1, 8), (0, 3), (2049, 64)] {
+            let ranges = Parallelism::new(workers)
+                .unwrap()
+                .map_ranges(len, |range| range);
+            let mut covered = 0;
+            let mut next = 0;
+            for r in &ranges {
+                assert!(r.start <= r.end, "backwards range {r:?} at len {len}");
+                assert!(r.end <= len);
+                if !r.is_empty() {
+                    assert_eq!(r.start, next, "gap/overlap at len {len}");
+                    next = r.end;
+                }
+                covered += r.len();
+            }
+            assert_eq!(covered, len, "len {len}, workers {workers}");
+        }
+    }
+
+    #[test]
     fn parallel_blocking_equals_sequential() {
         let coll = medium_collection();
         let sequential = TokenBlocking::default().build(&coll);
         for threads in [1, 2, 4, 7] {
-            let parallel = parallel_token_blocking(&coll, threads);
+            let parallel = parallel_token_blocking(&coll, threads).unwrap();
             assert_eq!(
                 keys_and_sizes(&parallel),
                 keys_and_sizes(&sequential),
@@ -230,38 +408,63 @@ mod tests {
     #[test]
     fn parallel_blocking_on_fig3() {
         let coll = fig3_profiles();
-        let parallel = parallel_token_blocking(&coll, 3);
+        let parallel = parallel_token_blocking(&coll, 3).unwrap();
         let mut keys: Vec<String> = parallel.iter().map(|b| b.key_str().to_string()).collect();
         keys.sort_unstable();
         assert_eq!(keys, vec!["carl", "ml", "ny", "tailor", "teacher", "white"]);
     }
 
     #[test]
-    fn parallel_graph_equals_sequential() {
+    fn parallel_graph_is_bit_identical_to_sequential() {
         let coll = medium_collection();
         let mut blocks = TokenBlocking::default().build(&coll);
         blocks.sort_by_cardinality();
         let sequential = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
-        let parallel = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, 4);
-        assert_eq!(parallel.num_edges(), sequential.num_edges());
-        for (pair, w) in sequential.edges() {
-            let pw = parallel
-                .weight_of(pair.first, pair.second)
-                .expect("edge missing in parallel graph");
-            assert!((pw - w).abs() < 1e-12);
+        for threads in [1, 2, 4, 7] {
+            let parallel = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads)
+                .expect("threads > 0");
+            // Not merely the same edge *set*: the same edge *sequence* —
+            // the internal order every downstream consumer observes.
+            let seq_edges: Vec<(Pair, f64)> = sequential.edges().collect();
+            let par_edges: Vec<(Pair, f64)> = parallel.edges().collect();
+            assert_eq!(par_edges.len(), seq_edges.len(), "threads = {threads}");
+            for (a, b) in par_edges.iter().zip(&seq_edges) {
+                assert_eq!(a.0, b.0, "edge order diverged at threads = {threads}");
+                assert!((a.1 - b.1).abs() < 1e-12);
+            }
         }
+    }
+
+    #[test]
+    fn parallel_graph_without_cardinality_sort() {
+        // LeCoBI sharding must agree with the seen-set dedup in *any*
+        // block order, not just the scheduled one.
+        let coll = medium_collection();
+        let blocks = TokenBlocking::default().build(&coll); // key order
+        let sequential = BlockingGraph::build(&blocks, WeightingScheme::Cbs);
+        let parallel = parallel_blocking_graph(&blocks, WeightingScheme::Cbs, 4).unwrap();
+        let seq_edges: Vec<(Pair, f64)> = sequential.edges().collect();
+        let par_edges: Vec<(Pair, f64)> = parallel.edges().collect();
+        assert_eq!(seq_edges, par_edges);
     }
 
     #[test]
     fn empty_collection() {
         let coll = ProfileCollectionBuilder::dirty().build();
-        let blocks = parallel_token_blocking(&coll, 4);
+        let blocks = parallel_token_blocking(&coll, 4).unwrap();
         assert!(blocks.is_empty());
+        let graph = parallel_blocking_graph(&blocks, WeightingScheme::Arcs, 4).unwrap();
+        assert_eq!(graph.num_edges(), 0);
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_panics() {
-        parallel_token_blocking(&fig3_profiles(), 0);
+    fn zero_threads_is_a_typed_error() {
+        let err = parallel_token_blocking(&fig3_profiles(), 0).unwrap_err();
+        assert_eq!(err, ZeroThreads);
+        let blocks = TokenBlocking::default().build(&fig3_profiles());
+        assert_eq!(
+            parallel_blocking_graph(&blocks, WeightingScheme::Arcs, 0).unwrap_err(),
+            ZeroThreads
+        );
     }
 }

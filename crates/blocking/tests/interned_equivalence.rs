@@ -78,7 +78,7 @@ proptest! {
         let legacy = string_token_blocking(&coll);
         let interned = TokenBlocking::default().build(&coll);
         assert_blocks_equal(&interned, &legacy)?;
-        let parallel = parallel_token_blocking(&coll, threads);
+        let parallel = parallel_token_blocking(&coll, threads).expect("threads > 0");
         assert_blocks_equal(&parallel, &legacy)?;
     }
 

@@ -7,16 +7,57 @@
 //! the extra parameter `wmax` and `O(wmax · |p̄| · |P|)` space for the
 //! precomputed Comparison List.
 
-use crate::emitter::ComparisonList;
+use crate::emitter::EmissionList;
 use crate::rcf::NeighborWeighting;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::neighbor_list::NeighborList;
-use sper_model::{ErKind, Pair, ProfileCollection, ProfileId, SourceId};
+use sper_blocking::Parallelism;
+use sper_model::{Pair, ProfileCollection, ProfileId};
+
+/// Accumulates co-occurrence frequencies over every window in `[1, wmax]`
+/// for the profiles of `range` — the unit of work of both the sequential
+/// and the sharded initialization.
+fn weight_all_windows_range(
+    profiles: &ProfileCollection,
+    nl: &NeighborList,
+    wmax: usize,
+    weighting: NeighborWeighting,
+    range: std::ops::Range<u32>,
+) -> Vec<Comparison> {
+    let pi = nl.position_index();
+    let mut freq: Vec<u32> = vec![0; profiles.len()];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut batch: Vec<Comparison> = Vec::new();
+    for i in range {
+        let i = ProfileId(i);
+        touched.clear();
+        for &pos in pi.positions_of(i) {
+            for w in 1..=wmax as isize {
+                for probe in [pos as isize + w, pos as isize - w] {
+                    let Some(j) = nl.get(probe) else { continue };
+                    if j != i && crate::is_valid_similarity_neighbor(profiles, i, j) {
+                        if freq[j.index()] == 0 {
+                            touched.push(j.0);
+                        }
+                        freq[j.index()] += 1;
+                    }
+                }
+            }
+        }
+        for &j in &touched {
+            let j = ProfileId(j);
+            let f = std::mem::take(&mut freq[j.index()]);
+            let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
+            batch.push(Comparison::new(Pair::new(i, j), weight));
+        }
+    }
+    batch
+}
 
 /// The advanced similarity-based method with a global execution order.
 #[derive(Debug)]
 pub struct GsPsn {
-    list: ComparisonList,
+    list: EmissionList,
     wmax: usize,
     nl_len: usize,
 }
@@ -29,6 +70,18 @@ impl GsPsn {
 
     /// Initialization phase: one weighting pass accumulating co-occurrences
     /// over every window size in `[1, wmax]`, followed by a global sort.
+    ///
+    /// ```
+    /// use sper_core::gs_psn::GsPsn;
+    /// use sper_model::ProfileCollectionBuilder;
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white ny tailor")]);
+    /// b.add_profile([("name", "karl white ny tailor")]);
+    /// let profiles = b.build();
+    /// let best = GsPsn::new(&profiles, 42, 5).next().expect("one pair exists");
+    /// assert!(best.weight > 0.0);
+    /// ```
     pub fn new(profiles: &ProfileCollection, seed: u64, wmax: usize) -> Self {
         Self::with_weighting(profiles, seed, wmax, NeighborWeighting::default())
     }
@@ -48,6 +101,21 @@ impl GsPsn {
         )
     }
 
+    /// Parallel initialization: builds the Neighbor List and runs the
+    /// all-window accumulation on `par` worker threads, emitting the exact
+    /// sequence of the sequential engine.
+    pub fn with_weighting_par(
+        profiles: &ProfileCollection,
+        seed: u64,
+        wmax: usize,
+        weighting: NeighborWeighting,
+        par: Parallelism,
+    ) -> Self {
+        let nl = NeighborList::par_build(profiles, seed, par.get())
+            .expect("Parallelism is validated non-zero");
+        Self::from_neighbor_list_par(profiles, nl, wmax, weighting, par)
+    }
+
     /// Builds GS-PSN over an externally maintained Neighbor List — the
     /// streaming path (`sper-stream`).
     pub fn from_neighbor_list(
@@ -56,55 +124,44 @@ impl GsPsn {
         wmax: usize,
         weighting: NeighborWeighting,
     ) -> Self {
+        Self::from_neighbor_list_par(profiles, nl, wmax, weighting, Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::from_neighbor_list`], accumulating the `[1, wmax]`
+    /// window weights over contiguous profile ranges on `par` worker
+    /// threads (per-worker frequency scratch) and emitting through the
+    /// sharded tournament list. Emission order is identical to the
+    /// sequential engine.
+    pub fn from_neighbor_list_par(
+        profiles: &ProfileCollection,
+        nl: NeighborList,
+        wmax: usize,
+        weighting: NeighborWeighting,
+        par: Parallelism,
+    ) -> Self {
         assert!(wmax >= 1, "wmax must be at least 1");
         assert_eq!(
             nl.position_index().n_profiles(),
             profiles.len(),
             "Neighbor List indexes a different profile count"
         );
-        let pi = nl.position_index();
-        let n = profiles.len();
         let wmax = wmax.min(nl.len().saturating_sub(1).max(1));
 
-        let iterated: std::ops::Range<u32> = match profiles.kind() {
-            ErKind::Dirty => 0..n as u32,
-            ErKind::CleanClean => 0..profiles.len_first() as u32,
-        };
-        let is_valid = |i: ProfileId, j: ProfileId| -> bool {
-            match profiles.kind() {
-                ErKind::Dirty => j < i,
-                ErKind::CleanClean => profiles.source_of(j) == SourceId::SECOND,
-            }
-        };
+        let iterated = crate::iterated_profile_range(profiles);
+        let nl_ref = &nl;
+        let batch: Vec<Comparison> = par
+            .map_ranges(iterated.len(), |range| {
+                weight_all_windows_range(
+                    profiles,
+                    nl_ref,
+                    wmax,
+                    weighting,
+                    range.start as u32..range.end as u32,
+                )
+            })
+            .concat();
 
-        let mut freq: Vec<u32> = vec![0; n];
-        let mut touched: Vec<u32> = Vec::new();
-        let mut batch: Vec<Comparison> = Vec::new();
-        for i in iterated {
-            let i = ProfileId(i);
-            touched.clear();
-            for &pos in pi.positions_of(i) {
-                for w in 1..=wmax as isize {
-                    for probe in [pos as isize + w, pos as isize - w] {
-                        let Some(j) = nl.get(probe) else { continue };
-                        if j != i && is_valid(i, j) {
-                            if freq[j.index()] == 0 {
-                                touched.push(j.0);
-                            }
-                            freq[j.index()] += 1;
-                        }
-                    }
-                }
-            }
-            for &j in &touched {
-                let j = ProfileId(j);
-                let f = std::mem::take(&mut freq[j.index()]);
-                let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
-                batch.push(Comparison::new(Pair::new(i, j), weight));
-            }
-        }
-
-        let mut list = ComparisonList::new();
+        let mut list = EmissionList::new(par);
         let nl_len = nl.len();
         list.refill(batch);
         Self { list, wmax, nl_len }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # sper-core
 //!
 //! The paper's primary contribution: schema-agnostic **Progressive Entity
@@ -35,11 +36,40 @@ pub mod rcf;
 pub mod sa_psab;
 pub mod sa_psn;
 
-pub use emitter::ComparisonList;
+pub use emitter::{emission_order, ComparisonList, EmissionList, ShardedComparisonList};
 pub use method::{build_method, MethodConfig, ProgressiveMethod};
 pub use rcf::{rcf_weight, NeighborWeighting};
+// The thread-count boundary of the parallel engine, re-exported so method
+// consumers don't need a direct sper-blocking dependency.
+pub use sper_blocking::{Parallelism, ZeroThreads};
 
-use sper_model::Pair;
+use sper_model::{ErKind, Pair, ProfileCollection, ProfileId, SourceId};
+
+/// Whether `j` is a valid neighbor for the *iterated* profile `i` in the
+/// similarity-based weighting passes (Algorithm 1 lines 10/14): Dirty ER
+/// counts each pair from its larger endpoint only (`j < i`); Clean-clean
+/// ER iterates `P1` profiles and accepts `P2` neighbors only.
+#[inline]
+pub(crate) fn is_valid_similarity_neighbor(
+    profiles: &ProfileCollection,
+    i: ProfileId,
+    j: ProfileId,
+) -> bool {
+    match profiles.kind() {
+        ErKind::Dirty => j < i,
+        ErKind::CleanClean => profiles.source_of(j) == SourceId::SECOND,
+    }
+}
+
+/// Profiles iterated by the similarity-based weighting passes: all of them
+/// for Dirty ER, only `P1` for Clean-clean ER.
+#[inline]
+pub(crate) fn iterated_profile_range(profiles: &ProfileCollection) -> std::ops::Range<u32> {
+    match profiles.kind() {
+        ErKind::Dirty => 0..profiles.len() as u32,
+        ErKind::CleanClean => 0..profiles.len_first() as u32,
+    }
+}
 
 /// A comparison emitted by a progressive method: the profile pair plus the
 /// method's estimate of its matching likelihood (0 for the naïve methods,

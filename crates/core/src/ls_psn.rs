@@ -13,11 +13,59 @@
 //! paper ("a hash index … would increase both the space and the time
 //! complexity").
 
-use crate::emitter::ComparisonList;
+use crate::emitter::EmissionList;
 use crate::rcf::NeighborWeighting;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::neighbor_list::NeighborList;
-use sper_model::{ErKind, Pair, ProfileCollection, ProfileId, SourceId};
+use sper_blocking::Parallelism;
+use sper_model::{Pair, ProfileCollection, ProfileId};
+
+/// Per-worker scratch of the window weighting pass.
+#[derive(Debug, Clone, Default)]
+struct WindowScratch {
+    /// Co-occurrence frequency per candidate neighbor id.
+    freq: Vec<u32>,
+    /// Neighbor ids with non-zero frequency.
+    touched: Vec<u32>,
+}
+
+/// One weighting pass over `range` at window size `w` (Algorithm 1 lines
+/// 5–20) — the unit of work of both the sequential and the sharded engine.
+fn weight_window_range(
+    profiles: &ProfileCollection,
+    nl: &NeighborList,
+    weighting: NeighborWeighting,
+    w: isize,
+    range: std::ops::Range<u32>,
+    scratch: &mut WindowScratch,
+) -> Vec<Comparison> {
+    let pi = nl.position_index();
+    let mut batch: Vec<Comparison> = Vec::new();
+    for i in range {
+        let i = ProfileId(i);
+        scratch.touched.clear();
+        for &pos in pi.positions_of(i) {
+            for probe in [pos as isize + w, pos as isize - w] {
+                let Some(j) = nl.get(probe) else {
+                    continue;
+                };
+                if j != i && crate::is_valid_similarity_neighbor(profiles, i, j) {
+                    if scratch.freq[j.index()] == 0 {
+                        scratch.touched.push(j.0);
+                    }
+                    scratch.freq[j.index()] += 1;
+                }
+            }
+        }
+        for t in 0..scratch.touched.len() {
+            let j = ProfileId(scratch.touched[t]);
+            let f = std::mem::take(&mut scratch.freq[j.index()]);
+            let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
+            batch.push(Comparison::new(Pair::new(i, j), weight));
+        }
+    }
+    batch
+}
 
 /// The advanced similarity-based method with per-window (local) ordering.
 #[derive(Debug)]
@@ -26,16 +74,27 @@ pub struct LsPsn<'a> {
     nl: NeighborList,
     weighting: NeighborWeighting,
     window: usize,
-    list: ComparisonList,
-    /// Scratch: co-occurrence frequency per candidate neighbor id.
-    freq: Vec<u32>,
-    /// Scratch: neighbor ids with non-zero frequency.
-    touched: Vec<u32>,
+    list: EmissionList,
+    /// One scratch buffer per worker (a single one for the sequential
+    /// engine), reused across window refills.
+    scratch: Vec<WindowScratch>,
 }
 
 impl<'a> LsPsn<'a> {
     /// Initialization phase (Algorithm 1): builds `NL` and `PI`, weights the
     /// window-1 comparisons and sorts them into the Comparison List.
+    ///
+    /// ```
+    /// use sper_core::ls_psn::LsPsn;
+    /// use sper_model::ProfileCollectionBuilder;
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white ny tailor")]);
+    /// b.add_profile([("name", "karl white ny tailor")]);
+    /// let profiles = b.build();
+    /// let best = LsPsn::new(&profiles, 42).next().expect("one pair exists");
+    /// assert!(best.weight > 0.0);
+    /// ```
     pub fn new(profiles: &'a ProfileCollection, seed: u64) -> Self {
         Self::with_weighting(profiles, seed, NeighborWeighting::default())
     }
@@ -49,6 +108,20 @@ impl<'a> LsPsn<'a> {
         Self::from_neighbor_list(profiles, NeighborList::build(profiles, seed), weighting)
     }
 
+    /// Parallel initialization: builds the Neighbor List and weights every
+    /// window on `par` worker threads, emitting the exact sequence of the
+    /// sequential engine.
+    pub fn with_weighting_par(
+        profiles: &'a ProfileCollection,
+        seed: u64,
+        weighting: NeighborWeighting,
+        par: Parallelism,
+    ) -> Self {
+        let nl = NeighborList::par_build(profiles, seed, par.get())
+            .expect("Parallelism is validated non-zero");
+        Self::from_neighbor_list_par(profiles, nl, weighting, par)
+    }
+
     /// Builds LS-PSN over an externally maintained Neighbor List — the
     /// streaming path (`sper-stream`), where the list is kept up to date
     /// incrementally instead of being rebuilt per run. The list must index
@@ -57,6 +130,19 @@ impl<'a> LsPsn<'a> {
         profiles: &'a ProfileCollection,
         nl: NeighborList,
         weighting: NeighborWeighting,
+    ) -> Self {
+        Self::from_neighbor_list_par(profiles, nl, weighting, Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::from_neighbor_list`], weighting each window's
+    /// comparisons on `par` worker threads (per-worker scratch, contiguous
+    /// profile ranges) and emitting through the sharded tournament list.
+    /// Emission order is identical to the sequential engine.
+    pub fn from_neighbor_list_par(
+        profiles: &'a ProfileCollection,
+        nl: NeighborList,
+        weighting: NeighborWeighting,
+        par: Parallelism,
     ) -> Self {
         assert_eq!(
             nl.position_index().n_profiles(),
@@ -69,9 +155,14 @@ impl<'a> LsPsn<'a> {
             nl,
             weighting,
             window: 1,
-            list: ComparisonList::new(),
-            freq: vec![0; n],
-            touched: Vec::new(),
+            list: EmissionList::new(par),
+            scratch: vec![
+                WindowScratch {
+                    freq: vec![0; n],
+                    touched: Vec::new(),
+                };
+                par.get()
+            ],
         };
         this.fill_window();
         this
@@ -82,57 +173,49 @@ impl<'a> LsPsn<'a> {
         self.window
     }
 
-    /// Whether `j` is a valid neighbor for the *iterated* profile `i`
-    /// (Algorithm 1 lines 10/14): Dirty ER counts each pair from its larger
-    /// endpoint only (`j < i`); Clean-clean ER iterates `P1` profiles and
-    /// accepts `P2` neighbors only.
-    #[inline]
-    fn is_valid_neighbor(&self, i: ProfileId, j: ProfileId) -> bool {
-        match self.profiles.kind() {
-            ErKind::Dirty => j < i,
-            ErKind::CleanClean => self.profiles.source_of(j) == SourceId::SECOND,
-        }
-    }
-
-    /// Profiles iterated by the weighting pass: all of them for Dirty ER,
-    /// only `P1` for Clean-clean ER.
-    fn iterated_profiles(&self) -> std::ops::Range<u32> {
-        match self.profiles.kind() {
-            ErKind::Dirty => 0..self.profiles.len() as u32,
-            ErKind::CleanClean => 0..self.profiles.len_first() as u32,
-        }
-    }
-
-    /// One weighting pass over the current window (Algorithm 1 lines 5–20).
+    /// One weighting pass over the current window (Algorithm 1 lines 5–20),
+    /// fanned out over the configured workers.
     fn fill_window(&mut self) {
         let w = self.window as isize;
-        let pi = self.nl.position_index();
-        let mut batch: Vec<Comparison> = Vec::new();
-        for i in self.iterated_profiles() {
-            let i = ProfileId(i);
-            self.touched.clear();
-            for &pos in pi.positions_of(i) {
-                for probe in [pos as isize + w, pos as isize - w] {
-                    let Some(j) = self.nl.get(probe) else {
-                        continue;
-                    };
-                    if j != i && self.is_valid_neighbor(i, j) {
-                        if self.freq[j.index()] == 0 {
-                            self.touched.push(j.0);
-                        }
-                        self.freq[j.index()] += 1;
-                    }
-                }
-            }
-            for &j in &self.touched {
-                let j = ProfileId(j);
-                let f = std::mem::take(&mut self.freq[j.index()]);
-                let weight = self
-                    .weighting
-                    .weight(f, pi.num_positions(i), pi.num_positions(j));
-                batch.push(Comparison::new(Pair::new(i, j), weight));
-            }
-        }
+        let iterated = crate::iterated_profile_range(self.profiles);
+        // One fill per window growth: below the spawn break-even, keep the
+        // pass on the calling thread (per-worker scratch stays warm).
+        let par = if iterated.len() < crate::emitter::MIN_PARALLEL_BATCH {
+            sper_blocking::Parallelism::SEQUENTIAL
+        } else {
+            self.list.parallelism().capped(iterated.len())
+        };
+        let batch: Vec<Comparison> = if par.is_sequential() {
+            weight_window_range(
+                self.profiles,
+                &self.nl,
+                self.weighting,
+                w,
+                iterated,
+                &mut self.scratch[0],
+            )
+        } else {
+            let workers = par.get();
+            let chunk = (iterated.len().div_ceil(workers)) as u32;
+            let (profiles, nl, weighting) = (self.profiles, &self.nl, self.weighting);
+            let mut results: Vec<Vec<Comparison>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self.scratch[..workers]
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, scratch)| {
+                        let start = iterated.start + (k as u32) * chunk;
+                        let end = (start + chunk).min(iterated.end);
+                        scope.spawn(move |_| {
+                            weight_window_range(profiles, nl, weighting, w, start..end, scratch)
+                        })
+                    })
+                    .collect();
+                results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            })
+            .expect("window weighting panicked");
+            results.concat()
+        };
         self.list.refill(batch);
     }
 }

@@ -10,7 +10,7 @@ use crate::rcf::NeighborWeighting;
 use crate::sa_psab::SaPsab;
 use crate::sa_psn::SaPsn;
 use crate::ProgressiveEr;
-use sper_blocking::{TokenBlockingWorkflow, WeightingScheme};
+use sper_blocking::{NeighborList, Parallelism, TokenBlockingWorkflow, WeightingScheme};
 use sper_model::ProfileCollection;
 
 /// The progressive methods of the paper (Fig. 2 taxonomy).
@@ -97,6 +97,10 @@ pub struct MethodConfig {
     pub workflow: TokenBlockingWorkflow,
     /// Optional bound on SA-PSN's maximum window (None = exhaustive).
     pub max_window: Option<usize>,
+    /// Worker threads of the parallel engine (1 = sequential). All methods
+    /// emit the exact same comparison sequence at any thread count; threads
+    /// only change initialization/refill wall-clock time.
+    pub threads: Parallelism,
 }
 
 impl Default for MethodConfig {
@@ -110,6 +114,7 @@ impl Default for MethodConfig {
             neighbor_weighting: NeighborWeighting::Rcf,
             workflow: TokenBlockingWorkflow::default(),
             max_window: None,
+            threads: Parallelism::SEQUENTIAL,
         }
     }
 }
@@ -122,6 +127,12 @@ impl MethodConfig {
             wmax: GsPsn::WMAX_HETEROGENEOUS,
             ..Self::default()
         }
+    }
+
+    /// Sets the worker-thread count of the parallel engine.
+    pub fn with_threads(mut self, threads: Parallelism) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -139,6 +150,12 @@ pub fn build_method<'a>(
     config: &MethodConfig,
     schema_keys: Option<&[String]>,
 ) -> Box<dyn ProgressiveEr + 'a> {
+    let par = config.threads;
+    // The schema-agnostic similarity methods share the (parallel) Neighbor
+    // List build; equality methods fan out inside their own initialization.
+    let par_nl = |seed: u64| {
+        NeighborList::par_build(profiles, seed, par.get()).expect("Parallelism is validated")
+    };
     match method {
         ProgressiveMethod::Psn => {
             let keys =
@@ -146,34 +163,36 @@ pub fn build_method<'a>(
             Box::new(Psn::new(profiles, keys, config.seed))
         }
         ProgressiveMethod::SaPsn => {
-            let mut m = SaPsn::new(profiles, config.seed);
+            let mut m = SaPsn::from_neighbor_list(profiles, par_nl(config.seed));
             if let Some(mw) = config.max_window {
                 m = m.with_max_window(mw);
             }
             Box::new(m)
         }
         ProgressiveMethod::SaPsab => Box::new(SaPsab::new(profiles, config.lmin)),
-        ProgressiveMethod::LsPsn => Box::new(LsPsn::with_weighting(
+        ProgressiveMethod::LsPsn => Box::new(LsPsn::from_neighbor_list_par(
             profiles,
-            config.seed,
+            par_nl(config.seed),
             config.neighbor_weighting,
+            par,
         )),
-        ProgressiveMethod::GsPsn => Box::new(GsPsn::with_weighting(
+        ProgressiveMethod::GsPsn => Box::new(GsPsn::from_neighbor_list_par(
             profiles,
-            config.seed,
+            par_nl(config.seed),
             config.wmax,
             config.neighbor_weighting,
+            par,
         )),
-        ProgressiveMethod::Pbs => Box::new(Pbs::with_workflow(
-            profiles,
+        ProgressiveMethod::Pbs => Box::new(Pbs::from_blocks_par(
+            config.workflow.run(profiles),
             config.scheme,
-            &config.workflow,
+            par,
         )),
-        ProgressiveMethod::Pps => Box::new(Pps::with_workflow(
-            profiles,
+        ProgressiveMethod::Pps => Box::new(Pps::from_blocks_par(
+            config.workflow.run(profiles),
             config.scheme,
-            &config.workflow,
             config.kmax,
+            par,
         )),
     }
 }

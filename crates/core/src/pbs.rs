@@ -10,12 +10,12 @@
 //!    **LeCoBI** condition, weight the new ones from the Blocking Graph via
 //!    the Profile Index, and emit them in non-increasing weight.
 
-use crate::emitter::ComparisonList;
+use crate::emitter::EmissionList;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::{
-    BlockCollection, BlockId, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
+    BlockCollection, BlockId, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
 };
-use sper_model::ProfileCollection;
+use sper_model::{Pair, ProfileCollection};
 
 /// The advanced equality-based method with block-level scheduling.
 #[derive(Debug)]
@@ -24,12 +24,27 @@ pub struct Pbs {
     index: ProfileIndex,
     scheme: WeightingScheme,
     next_block: usize,
-    list: ComparisonList,
+    list: EmissionList,
 }
 
 impl Pbs {
     /// Initialization phase (Algorithm 3): runs the Token Blocking Workflow,
     /// schedules the blocks and prepares the first block's comparisons.
+    ///
+    /// ```
+    /// use sper_blocking::WeightingScheme;
+    /// use sper_core::pbs::Pbs;
+    /// use sper_model::ProfileCollectionBuilder;
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white ny tailor")]);
+    /// b.add_profile([("name", "karl white ny tailor")]);
+    /// let profiles = b.build();
+    /// let best = Pbs::new(&profiles, WeightingScheme::Arcs)
+    ///     .next()
+    ///     .expect("the pair shares blocks");
+    /// assert!(best.weight > 0.0);
+    /// ```
     pub fn new(profiles: &ProfileCollection, scheme: WeightingScheme) -> Self {
         Self::with_workflow(profiles, scheme, &TokenBlockingWorkflow::default())
     }
@@ -45,7 +60,20 @@ impl Pbs {
 
     /// Builds PBS from an existing redundancy-positive block collection
     /// (any schema-agnostic blocking method works, §5.2).
-    pub fn from_blocks(mut blocks: BlockCollection, scheme: WeightingScheme) -> Self {
+    pub fn from_blocks(blocks: BlockCollection, scheme: WeightingScheme) -> Self {
+        Self::from_blocks_par(blocks, scheme, Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::from_blocks`], weighting each scheduled block's
+    /// comparisons on `par` worker threads and emitting through the sharded
+    /// tournament list. Emission order is identical to the sequential
+    /// engine: the LeCoBI dedup is a per-pair predicate and the batch
+    /// concatenation preserves the block's comparison order.
+    pub fn from_blocks_par(
+        mut blocks: BlockCollection,
+        scheme: WeightingScheme,
+        par: Parallelism,
+    ) -> Self {
         blocks.retain_comparable();
         blocks.sort_by_cardinality(); // Block Scheduling
         let index = ProfileIndex::build(&blocks);
@@ -54,7 +82,7 @@ impl Pbs {
             index,
             scheme,
             next_block: 0,
-            list: ComparisonList::new(),
+            list: EmissionList::new(par),
         };
         this.fill_next_block();
         this
@@ -70,21 +98,48 @@ impl Pbs {
         self.next_block
     }
 
+    /// LeCoBI-filters and weights one block's comparison slice — the unit
+    /// of work of both the sequential and the sharded refill.
+    fn weigh_pairs(
+        index: &ProfileIndex,
+        scheme: WeightingScheme,
+        bid: BlockId,
+        pairs: &[Pair],
+    ) -> Vec<Comparison> {
+        pairs
+            .iter()
+            // LeCoBI: keep the comparison only in its least common block.
+            .filter(|pair| index.is_new_comparison(pair.first, pair.second, bid))
+            .map(|&pair| {
+                let w = index.weight(pair.first, pair.second, scheme);
+                Comparison::new(pair, w)
+            })
+            .collect()
+    }
+
     /// Loads the next block's non-repeated comparisons into the Comparison
-    /// List (Algorithm 3 lines 4–12). Returns false when no block is left.
+    /// List (Algorithm 3 lines 4–12), fanning the LeCoBI filter and the
+    /// edge weighting out over the configured workers. Returns false when
+    /// no block is left.
     fn fill_next_block(&mut self) -> bool {
         let kind = self.blocks.kind();
         while self.next_block < self.blocks.len() {
             let bid = BlockId(self.next_block as u32);
             let block = self.blocks.get(bid);
-            let mut batch: Vec<Comparison> = Vec::new();
-            for pair in block.comparisons(kind) {
-                // LeCoBI: keep the comparison only in its least common block.
-                if self.index.is_new_comparison(pair.first, pair.second, bid) {
-                    let w = self.index.weight(pair.first, pair.second, self.scheme);
-                    batch.push(Comparison::new(pair, w));
-                }
-            }
+            let pairs = block.comparisons(kind);
+            let par = self.list.parallelism();
+            // Most token blocks are tiny; below the spawn break-even the
+            // fan-out would cost more than the weighting it distributes.
+            let batch: Vec<Comparison> =
+                if par.is_sequential() || pairs.len() < crate::emitter::MIN_PARALLEL_BATCH {
+                    Self::weigh_pairs(&self.index, self.scheme, bid, &pairs)
+                } else {
+                    let (index, scheme) = (&self.index, self.scheme);
+                    par.map_ranges(pairs.len(), |range| {
+                        Self::weigh_pairs(index, scheme, bid, &pairs[range])
+                    })
+                    .concat()
+                };
             self.next_block += 1;
             if !batch.is_empty() {
                 self.list.refill(batch);

@@ -12,13 +12,125 @@
 //! endpoint — "the previously examined profile's higher duplication
 //! likelihood provides more reliable evidence" (§5.2.2).
 
-use crate::emitter::ComparisonList;
+use crate::emitter::EmissionList;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::{
-    BlockCollection, BlockId, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
+    BlockCollection, BlockId, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
 };
 use sper_model::{Pair, ProfileCollection, ProfileId};
 use std::collections::HashMap;
+
+/// Accumulates `scheme.per_block` contributions from every valid
+/// co-occurring neighbor of `i` into the scratch arrays; optionally skips
+/// already-checked entities (emission phase, Alg. 6 lines 10–12). A free
+/// function so the parallel initialization can run it with per-worker
+/// scratch.
+fn accumulate_neighbors_into(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    i: ProfileId,
+    checked: Option<&[bool]>,
+    weights: &mut [f64],
+    touched: &mut Vec<u32>,
+) {
+    touched.clear();
+    let kind = blocks.kind();
+    for &bid in index.blocks_of(i) {
+        let block = blocks.get(BlockId(bid));
+        let contribution = scheme.per_block(block.cardinality(kind));
+        // Valid co-occurrences: Dirty — everyone else in the block;
+        // Clean-clean — the opposite source partition.
+        let partition: &[ProfileId] = match kind {
+            sper_model::ErKind::Dirty => block.profiles(),
+            sper_model::ErKind::CleanClean => {
+                if block.first_source().binary_search(&i).is_ok() {
+                    block.second_source()
+                } else {
+                    block.first_source()
+                }
+            }
+        };
+        for &j in partition {
+            if j == i || checked.is_some_and(|c| c[j.index()]) {
+                continue;
+            }
+            if weights[j.index()] == 0.0 {
+                touched.push(j.0);
+            }
+            weights[j.index()] += contribution;
+        }
+    }
+}
+
+/// Finalizes an accumulated neighbor weight (Algorithm 5 line 8).
+#[inline]
+fn finalize_weight_with(
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    i: ProfileId,
+    j: ProfileId,
+    acc: f64,
+) -> f64 {
+    scheme.finalize(
+        acc,
+        index.blocks_of(i).len(),
+        index.blocks_of(j).len(),
+        index.total_blocks(),
+    )
+}
+
+/// One initialization shard's output: `(profile, duplication likelihood)`
+/// entries in profile order plus the per-profile top comparisons.
+type InitShard = (Vec<(ProfileId, f64)>, Vec<Comparison>);
+
+/// Algorithm 5 over one contiguous profile range — the unit of work of
+/// both the sequential and the sharded initialization.
+fn init_range(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    range: std::ops::Range<u32>,
+) -> InitShard {
+    let n = blocks.n_profiles();
+    let mut weights: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut likelihood: Vec<(ProfileId, f64)> = Vec::new();
+    let mut tops: Vec<Comparison> = Vec::new();
+    for i in range {
+        let i = ProfileId(i);
+        accumulate_neighbors_into(blocks, index, scheme, i, None, &mut weights, &mut touched);
+        if touched.is_empty() {
+            continue;
+        }
+        let mut dup = 0.0;
+        let mut top: Option<Comparison> = None;
+        // Finalize weights, pick the best, reset scratch.
+        for &jt in touched.iter() {
+            let j = ProfileId(jt);
+            let w = finalize_weight_with(index, scheme, i, j, weights[j.index()]);
+            dup += w;
+            let cand = Comparison::new(Pair::new(i, j), w);
+            let better = match &top {
+                None => true,
+                Some(best) => w > best.weight || (w == best.weight && cand.pair < best.pair),
+            };
+            if better {
+                top = Some(cand);
+            }
+        }
+        dup /= touched.len() as f64;
+        for &j in &touched {
+            weights[j as usize] = 0.0;
+        }
+        touched.clear();
+        likelihood.push((i, dup));
+        if let Some(best) = top {
+            tops.push(best);
+        }
+    }
+    (likelihood, tops)
+}
 
 /// The advanced equality-based method with profile-level scheduling.
 #[derive(Debug)]
@@ -31,7 +143,7 @@ pub struct Pps {
     sorted_profiles: Vec<ProfileId>,
     profile_cursor: usize,
     checked: Vec<bool>,
-    list: ComparisonList,
+    list: EmissionList,
     /// Scratch: accumulated per-neighbor weight.
     weights: Vec<f64>,
     /// Scratch: ids of touched neighbors.
@@ -48,6 +160,21 @@ impl Pps {
 
     /// Initialization phase (Algorithm 5) with the default Token Blocking
     /// Workflow.
+    ///
+    /// ```
+    /// use sper_blocking::WeightingScheme;
+    /// use sper_core::pps::Pps;
+    /// use sper_model::ProfileCollectionBuilder;
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white ny tailor")]);
+    /// b.add_profile([("name", "karl white ny tailor")]);
+    /// let profiles = b.build();
+    /// let best = Pps::new(&profiles, WeightingScheme::Arcs)
+    ///     .next()
+    ///     .expect("the pair shares blocks");
+    /// assert!(best.weight > 0.0);
+    /// ```
     pub fn new(profiles: &ProfileCollection, scheme: WeightingScheme) -> Self {
         Self::with_workflow(
             profiles,
@@ -68,7 +195,21 @@ impl Pps {
     }
 
     /// Builds PPS from an existing redundancy-positive block collection.
-    pub fn from_blocks(mut blocks: BlockCollection, scheme: WeightingScheme, kmax: usize) -> Self {
+    pub fn from_blocks(blocks: BlockCollection, scheme: WeightingScheme, kmax: usize) -> Self {
+        Self::from_blocks_par(blocks, scheme, kmax, Parallelism::SEQUENTIAL)
+    }
+
+    /// Like [`Self::from_blocks`], running the Algorithm-5 initialization
+    /// (the top-k scheduling pass — PPS's dominant cost) over contiguous
+    /// profile ranges on `par` worker threads with per-worker scratch, and
+    /// emitting through the sharded tournament list. The Sorted Profile
+    /// List and the emission order are identical to the sequential engine.
+    pub fn from_blocks_par(
+        mut blocks: BlockCollection,
+        scheme: WeightingScheme,
+        kmax: usize,
+        par: Parallelism,
+    ) -> Self {
         assert!(kmax >= 1, "kmax must be at least 1");
         blocks.retain_comparable();
         // Deterministic block order (cardinality) keeps runs reproducible;
@@ -85,7 +226,7 @@ impl Pps {
             sorted_profiles: Vec::new(),
             profile_cursor: 0,
             checked: vec![false; n],
-            list: ComparisonList::new(),
+            list: EmissionList::new(par),
             weights: vec![0.0; n],
             touched: Vec::new(),
         };
@@ -94,40 +235,22 @@ impl Pps {
     }
 
     /// Algorithm 5: per profile, accumulate neighborhood weights, record the
-    /// duplication likelihood and the top comparison.
+    /// duplication likelihood and the top comparison — over contiguous
+    /// profile ranges on the configured workers.
     fn initialize(&mut self) {
         let n = self.checked.len();
+        let par = self.list.parallelism();
+        let (blocks, index, scheme) = (&self.blocks, &self.index, self.scheme);
+        let shards: Vec<InitShard> = par.map_ranges(n, |range| {
+            init_range(blocks, index, scheme, range.start as u32..range.end as u32)
+        });
+        // Concatenating in range order restores the sequential profile
+        // order of both outputs.
         let mut likelihood: Vec<(ProfileId, f64)> = Vec::with_capacity(n);
-        let mut top_comparisons: HashMap<Pair, f64> = HashMap::new();
-
-        for i in 0..n as u32 {
-            let i = ProfileId(i);
-            self.accumulate_neighbors(i, false);
-            if self.touched.is_empty() {
-                continue;
-            }
-            let mut dup = 0.0;
-            let mut top: Option<Comparison> = None;
-            // Finalize weights, pick the best, reset scratch.
-            for t in 0..self.touched.len() {
-                let j = ProfileId(self.touched[t]);
-                let w = self.finalize_weight(i, j);
-                dup += w;
-                let cand = Comparison::new(Pair::new(i, j), w);
-                let better = match &top {
-                    None => true,
-                    Some(best) => w > best.weight || (w == best.weight && cand.pair < best.pair),
-                };
-                if better {
-                    top = Some(cand);
-                }
-            }
-            dup /= self.touched.len() as f64;
-            self.reset_scratch();
-            likelihood.push((i, dup));
-            if let Some(best) = top {
-                top_comparisons.insert(best.pair, best.weight);
-            }
+        let mut tops: Vec<Comparison> = Vec::new();
+        for (l, t) in shards {
+            likelihood.extend(l);
+            tops.extend(t);
         }
 
         likelihood.sort_by(|a, b| {
@@ -137,62 +260,15 @@ impl Pps {
         });
         self.sorted_profiles = likelihood.into_iter().map(|(p, _)| p).collect();
 
+        // Deduplicate the per-profile top comparisons (a pair can be the
+        // top of both endpoints, with the same symmetric weight).
+        let top_comparisons: HashMap<Pair, f64> =
+            tops.into_iter().map(|c| (c.pair, c.weight)).collect();
         let batch: Vec<Comparison> = top_comparisons
             .into_iter()
             .map(|(pair, w)| Comparison::new(pair, w))
             .collect();
         self.list.refill(batch);
-    }
-
-    /// Accumulates `scheme.per_block` contributions from every valid
-    /// co-occurring neighbor of `i` into the scratch arrays; optionally
-    /// skips already-checked entities (emission phase, Alg. 6 lines 10–12).
-    fn accumulate_neighbors(&mut self, i: ProfileId, skip_checked: bool) {
-        self.touched.clear();
-        let kind = self.blocks.kind();
-        for &bid in self.index.blocks_of(i) {
-            let block = self.blocks.get(BlockId(bid));
-            let contribution = self.scheme.per_block(block.cardinality(kind));
-            // Valid co-occurrences: Dirty — everyone else in the block;
-            // Clean-clean — the opposite source partition.
-            let partition: &[ProfileId] = match kind {
-                sper_model::ErKind::Dirty => block.profiles(),
-                sper_model::ErKind::CleanClean => {
-                    if block.first_source().binary_search(&i).is_ok() {
-                        block.second_source()
-                    } else {
-                        block.first_source()
-                    }
-                }
-            };
-            for &j in partition {
-                if j == i || (skip_checked && self.checked[j.index()]) {
-                    continue;
-                }
-                if self.weights[j.index()] == 0.0 {
-                    self.touched.push(j.0);
-                }
-                self.weights[j.index()] += contribution;
-            }
-        }
-    }
-
-    /// Finalizes the accumulated weight of neighbor `j` of `i`.
-    #[inline]
-    fn finalize_weight(&self, i: ProfileId, j: ProfileId) -> f64 {
-        self.scheme.finalize(
-            self.weights[j.index()],
-            self.index.blocks_of(i).len(),
-            self.index.blocks_of(j).len(),
-            self.index.total_blocks(),
-        )
-    }
-
-    fn reset_scratch(&mut self) {
-        for &j in &self.touched {
-            self.weights[j as usize] = 0.0;
-        }
-        self.touched.clear();
     }
 
     /// Algorithm 6 lines 4–19: schedule the next profile and gather its
@@ -203,24 +279,31 @@ impl Pps {
             self.profile_cursor += 1;
             self.checked[i.index()] = true;
 
-            self.accumulate_neighbors(i, true);
+            accumulate_neighbors_into(
+                &self.blocks,
+                &self.index,
+                self.scheme,
+                i,
+                Some(&self.checked),
+                &mut self.weights,
+                &mut self.touched,
+            );
             if self.touched.is_empty() {
                 continue;
             }
             let mut batch: Vec<Comparison> = Vec::with_capacity(self.touched.len());
             for t in 0..self.touched.len() {
                 let j = ProfileId(self.touched[t]);
-                let w = self.finalize_weight(i, j);
+                let w =
+                    finalize_weight_with(&self.index, self.scheme, i, j, self.weights[j.index()]);
                 batch.push(Comparison::new(Pair::new(i, j), w));
             }
-            self.reset_scratch();
+            for &j in &self.touched {
+                self.weights[j as usize] = 0.0;
+            }
+            self.touched.clear();
             // SortedStack semantics: keep only the Kmax best.
-            batch.sort_by(|a, b| {
-                b.weight
-                    .partial_cmp(&a.weight)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.pair.cmp(&b.pair))
-            });
+            batch.sort_by(crate::emission_order);
             batch.truncate(self.kmax);
             self.list.refill(batch);
             return true;

@@ -31,6 +31,23 @@ impl<'a> Psn<'a> {
     /// profile, indexed by id). Equal keys are shuffled with `seed` —
     /// coincidental proximity affects PSN too (§4.1).
     ///
+    /// ```
+    /// use sper_core::psn::Psn;
+    /// use sper_model::{ProfileCollectionBuilder, ProfileId};
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white")]);
+    /// b.add_profile([("name", "zoe black")]);
+    /// b.add_profile([("name", "carla white")]);
+    /// let profiles = b.build();
+    /// // Schema-based keys: here, the name itself.
+    /// let keys = vec!["carl".into(), "zoe".into(), "carla".into()];
+    /// let first = Psn::new(&profiles, &keys, 42).next().unwrap();
+    /// // The key-adjacent Carls are compared first (window 1).
+    /// assert_eq!(first.pair.first, ProfileId(0));
+    /// assert_eq!(first.pair.second, ProfileId(2));
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when `keys.len() != profiles.len()`.

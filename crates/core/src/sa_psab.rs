@@ -28,6 +28,20 @@ impl SaPsab {
 
     /// Initialization phase: extracts every suffix of length ≥ `lmin` from
     /// every attribute-value token and schedules the suffix forest.
+    ///
+    /// ```
+    /// use sper_core::sa_psab::SaPsab;
+    /// use sper_model::{Pair, ProfileCollectionBuilder, ProfileId};
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "montgomery")]);
+    /// b.add_profile([("name", "montgomery")]);
+    /// b.add_profile([("name", "unrelated")]);
+    /// let profiles = b.build();
+    /// // The long shared suffix puts the duplicate pair first.
+    /// let first = SaPsab::new(&profiles, 3).next().unwrap();
+    /// assert_eq!(first.pair, Pair::new(ProfileId(0), ProfileId(1)));
+    /// ```
     pub fn new(profiles: &ProfileCollection, lmin: usize) -> Self {
         Self {
             forest: SuffixForest::build(profiles, lmin),

@@ -25,6 +25,19 @@ pub struct SaPsn<'a> {
 impl<'a> SaPsn<'a> {
     /// Initialization phase: builds the Neighbor List (equal-key runs
     /// shuffled with `seed`) and starts at window size 1.
+    ///
+    /// ```
+    /// use sper_core::sa_psn::SaPsn;
+    /// use sper_model::{Pair, ProfileCollectionBuilder, ProfileId};
+    ///
+    /// let mut b = ProfileCollectionBuilder::dirty();
+    /// b.add_profile([("name", "carl white")]);
+    /// b.add_profile([("name", "karl white")]);
+    /// let profiles = b.build();
+    /// let pairs: Vec<Pair> = SaPsn::new(&profiles, 42).map(|c| c.pair).collect();
+    /// // Both profiles share "white": the pair surfaces at window 1.
+    /// assert!(pairs.contains(&Pair::new(ProfileId(0), ProfileId(1))));
+    /// ```
     pub fn new(profiles: &'a ProfileCollection, seed: u64) -> Self {
         Self::from_neighbor_list(profiles, NeighborList::build(profiles, seed))
     }

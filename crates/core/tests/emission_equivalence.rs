@@ -27,7 +27,7 @@ use sper_core::pbs::Pbs;
 use sper_core::pps::Pps;
 use sper_core::psn::Psn;
 use sper_core::sa_psn::SaPsn;
-use sper_core::Comparison;
+use sper_core::{build_method, Comparison, MethodConfig, Parallelism, ProgressiveMethod};
 use sper_model::{ErKind, Pair, ProfileCollection, ProfileCollectionBuilder};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -202,5 +202,135 @@ proptest! {
         let a: Vec<Comparison> = Psn::new(&coll, &keys, seed).collect();
         let b: Vec<Comparison> = Psn::new(&coll, &keys, seed).collect();
         prop_assert_eq!(pairs_of(&a), pairs_of(&b));
+    }
+
+    /// The parallel engine pins the sequential emission order for **all
+    /// seven methods**: at any thread count in 1–8, `build_method` with
+    /// `threads = t` produces the exact comparison sequence (pairs *and*
+    /// weights) of the sequential engine. This is the property that makes
+    /// `--threads` safe to default to the machine's parallelism.
+    /// (These proptest collections sit below the spawn-threshold, so the
+    /// per-refill fan-outs take their inline path here; the dedicated
+    /// `parallel_paths_engage_above_spawn_threshold` test below covers the
+    /// genuinely sharded execution.)
+    #[test]
+    fn all_methods_emit_identically_at_any_thread_count(
+        coll in any_collection(),
+        seed in 0u64..50,
+        threads in 2usize..9,
+    ) {
+        // Raw token blocks (no purging/filtering) keep the equality-based
+        // methods exhaustive on these tiny collections; small wmax keeps
+        // GS-PSN bounded. PSN needs schema keys.
+        let keys: Vec<String> =
+            coll.iter().map(|p| p.concat_values().to_lowercase()).collect();
+        let config_at = |t: usize| {
+            let mut c = MethodConfig {
+                seed,
+                wmax: 4,
+                ..MethodConfig::default()
+            };
+            c.workflow.purge_ratio = 1.0;
+            c.workflow.filter_ratio = 1.0;
+            c.threads = Parallelism::new(t).unwrap();
+            c
+        };
+        for method in [
+            ProgressiveMethod::Psn,
+            ProgressiveMethod::SaPsn,
+            ProgressiveMethod::SaPsab,
+            ProgressiveMethod::LsPsn,
+            ProgressiveMethod::GsPsn,
+            ProgressiveMethod::Pbs,
+            ProgressiveMethod::Pps,
+        ] {
+            if method.is_schema_based() && coll.kind() != ErKind::Dirty {
+                continue;
+            }
+            let schema_keys = method.is_schema_based().then_some(&keys[..]);
+            // Cap the naive exhaustive methods: their tails are long and
+            // order-equivalence of a long prefix is the property we need.
+            let budget = 500;
+            let sequential: Vec<Comparison> =
+                build_method(method, &coll, &config_at(1), schema_keys)
+                    .take(budget)
+                    .collect();
+            let parallel: Vec<Comparison> =
+                build_method(method, &coll, &config_at(threads), schema_keys)
+                    .take(budget)
+                    .collect();
+            prop_assert_eq!(
+                sequential.len(),
+                parallel.len(),
+                "{} length diverged at {} threads", method, threads
+            );
+            for (s, p) in sequential.iter().zip(&parallel) {
+                prop_assert_eq!(s.pair, p.pair, "{} order diverged at {} threads", method, threads);
+                prop_assert!(
+                    (s.weight - p.weight).abs() < 1e-12,
+                    "{} weight diverged at {} threads: {} vs {}",
+                    method, threads, s.weight, p.weight
+                );
+            }
+        }
+    }
+}
+
+/// Above the spawn break-even (`MIN_PARALLEL_BATCH`) the advanced methods
+/// genuinely shard — parallel window weighting, per-block fan-out, sharded
+/// refills — and the emission sequence must still match the sequential
+/// engine exactly. 2 600 profiles put the iterated range, the hub block's
+/// pair list (C(70,2) = 2 415 pairs) and the refill batches all above the
+/// threshold.
+#[test]
+fn parallel_paths_engage_above_spawn_threshold() {
+    let mut b = ProfileCollectionBuilder::dirty();
+    for i in 0..2_600u32 {
+        let mut text = format!("t{}", i % 1_300);
+        if i < 70 {
+            text.push_str(" hub");
+        }
+        b.add_profile([("t", text)]);
+    }
+    let coll = b.build();
+    let config_at = |t: usize| {
+        let mut c = MethodConfig {
+            wmax: 3,
+            ..MethodConfig::default()
+        };
+        c.workflow.purge_ratio = 1.0;
+        c.workflow.filter_ratio = 1.0;
+        c.threads = Parallelism::new(t).unwrap();
+        c
+    };
+    for method in [
+        ProgressiveMethod::LsPsn,
+        ProgressiveMethod::GsPsn,
+        ProgressiveMethod::Pbs,
+        ProgressiveMethod::Pps,
+    ] {
+        // Past 1 300 singleton-block emissions so PBS reaches the hub
+        // block's parallel refill inside the budget.
+        let budget = 2_000;
+        let sequential: Vec<Comparison> = build_method(method, &coll, &config_at(1), None)
+            .take(budget)
+            .collect();
+        for threads in [2usize, 4] {
+            let parallel: Vec<Comparison> = build_method(method, &coll, &config_at(threads), None)
+                .take(budget)
+                .collect();
+            assert_eq!(
+                sequential.len(),
+                parallel.len(),
+                "{method} length diverged at {threads} threads"
+            );
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(
+                    s.pair, p.pair,
+                    "{method} order diverged at {threads} threads"
+                );
+                assert!((s.weight - p.weight).abs() < 1e-12);
+            }
+        }
     }
 }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # sper-stream
 //!
 //! Incremental **ingest-while-resolving** sessions: the long-lived service

@@ -73,6 +73,16 @@ impl SessionConfig {
         config.wmax = usize::MAX / 2;
         Self { method, config }
     }
+
+    /// Runs the epoch re-prioritization of the advanced methods (LS-PSN,
+    /// GS-PSN, PBS, PPS) on `threads` worker threads; the naïve methods
+    /// (SA-PSN, SA-PSAB) have no parallel phase and ignore the knob.
+    /// Emission order (and therefore every recall curve) is identical to
+    /// the sequential engine at any thread count.
+    pub fn with_threads(mut self, threads: sper_core::Parallelism) -> Self {
+        self.config.threads = threads;
+        self
+    }
 }
 
 /// Statistics of one `ingest → reprioritize → emit` epoch.
@@ -109,6 +119,23 @@ pub struct EpochOutcome {
 }
 
 /// A long-lived ingest-while-resolving session.
+///
+/// ```
+/// use sper_core::ProgressiveMethod;
+/// use sper_model::{Attribute, ProfileCollectionBuilder};
+/// use sper_stream::{ProgressiveSession, SessionConfig};
+///
+/// let mut session = ProgressiveSession::new(
+///     ProfileCollectionBuilder::dirty().build(),
+///     SessionConfig::exhaustive(ProgressiveMethod::Pps),
+/// );
+/// session.ingest(vec![Attribute::new("name", "carl white ny tailor")]);
+/// session.ingest(vec![Attribute::new("name", "karl white ny tailor")]);
+/// let epoch = session.emit_epoch(None);
+/// assert_eq!(epoch.report.new_emissions, 1, "the one valid pair");
+/// // A later epoch never re-emits it.
+/// assert_eq!(session.emit_epoch(None).report.new_emissions, 0);
+/// ```
 #[derive(Debug)]
 pub struct ProgressiveSession {
     method: ProgressiveMethod,
@@ -222,6 +249,10 @@ impl ProgressiveSession {
             let snap = BlockPurger::new(self.config.workflow.purge_ratio).purge(snap);
             BlockFilter::new(self.config.workflow.filter_ratio).filter(snap)
         });
+        // Epoch re-prioritization runs on the configured worker threads
+        // (`MethodConfig::threads`); the emitted sequence is identical to
+        // the sequential engine at any thread count.
+        let par = self.config.threads;
         let mut method: Box<dyn ProgressiveEr + '_> = match self.method {
             ProgressiveMethod::SaPsn => {
                 let mut m = SaPsn::from_neighbor_list(&self.profiles, nl_snapshot.unwrap());
@@ -230,25 +261,29 @@ impl ProgressiveSession {
                 }
                 Box::new(m)
             }
-            ProgressiveMethod::LsPsn => Box::new(LsPsn::from_neighbor_list(
+            ProgressiveMethod::LsPsn => Box::new(LsPsn::from_neighbor_list_par(
                 &self.profiles,
                 nl_snapshot.unwrap(),
                 self.config.neighbor_weighting,
+                par,
             )),
-            ProgressiveMethod::GsPsn => Box::new(GsPsn::from_neighbor_list(
+            ProgressiveMethod::GsPsn => Box::new(GsPsn::from_neighbor_list_par(
                 &self.profiles,
                 nl_snapshot.unwrap(),
                 self.config.wmax,
                 self.config.neighbor_weighting,
+                par,
             )),
-            ProgressiveMethod::Pbs => Box::new(Pbs::from_blocks(
+            ProgressiveMethod::Pbs => Box::new(Pbs::from_blocks_par(
                 block_snapshot.unwrap(),
                 self.config.scheme,
+                par,
             )),
-            ProgressiveMethod::Pps => Box::new(Pps::from_blocks(
+            ProgressiveMethod::Pps => Box::new(Pps::from_blocks_par(
                 block_snapshot.unwrap(),
                 self.config.scheme,
                 self.config.kmax,
+                par,
             )),
             // No incremental substrate for the suffix forest (SA-PSAB):
             // full rebuild per epoch.
@@ -437,6 +472,45 @@ mod tests {
     #[should_panic(expected = "schema-based")]
     fn psn_is_rejected() {
         ProgressiveSession::new(empty_dirty(), SessionConfig::new(ProgressiveMethod::Psn));
+    }
+
+    #[test]
+    fn parallel_epochs_emit_identical_sequences() {
+        // Every epoch's emission sequence (pairs *and* weights, in order)
+        // must be independent of the thread count.
+        for method in [
+            ProgressiveMethod::LsPsn,
+            ProgressiveMethod::GsPsn,
+            ProgressiveMethod::Pbs,
+            ProgressiveMethod::Pps,
+        ] {
+            let run = |threads: usize| {
+                let config = SessionConfig::exhaustive(method)
+                    .with_threads(sper_core::Parallelism::new(threads).unwrap());
+                let mut session = ProgressiveSession::new(empty_dirty(), config);
+                let mut emissions: Vec<Vec<(Pair, f64)>> = Vec::new();
+                for chunk in toy().chunks(2) {
+                    session.ingest_batch(chunk.to_vec());
+                    let outcome = session.emit_epoch(None);
+                    emissions.push(
+                        outcome
+                            .comparisons
+                            .iter()
+                            .map(|c| (c.pair, c.weight))
+                            .collect(),
+                    );
+                }
+                emissions
+            };
+            let sequential = run(1);
+            for threads in [2, 4] {
+                assert_eq!(
+                    run(threads),
+                    sequential,
+                    "{method:?} diverged at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

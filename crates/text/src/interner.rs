@@ -57,6 +57,19 @@ struct Inner {
 ///
 /// Shared as `Arc<TokenInterner>` between every structure built over the
 /// same vocabulary (block collections, neighbor lists, streaming epochs).
+///
+/// ```
+/// use sper_text::TokenInterner;
+///
+/// let interner = TokenInterner::shared();
+/// let carl = interner.intern("carl");
+/// assert_eq!(interner.intern("carl"), carl, "idempotent");
+/// assert_eq!(&*interner.resolve(carl), "carl");
+/// // The rank table orders ids by their string, for text-ordered output.
+/// let white = interner.intern("white");
+/// let rank = interner.rank();
+/// assert!(rank[carl.index()] < rank[white.index()]);
+/// ```
 #[derive(Debug, Default)]
 pub struct TokenInterner {
     inner: RwLock<Inner>,

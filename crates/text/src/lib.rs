@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # sper-text
 //!
 //! Text-processing substrate for schema-agnostic entity resolution:

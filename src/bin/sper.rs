@@ -39,17 +39,36 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   sper resolve  <profiles.csv> [--method psn|sa-psn|sa-psab|ls-psn|gs-psn|pbs|pps]
-                [--budget N] [--threshold T]
-  sper evaluate <profiles.csv> <matches.csv> [--method M] [--ec-star X]
+                [--budget N] [--threshold T] [--threads N]
+  sper evaluate <profiles.csv> <matches.csv> [--method M] [--ec-star X] [--threads N]
   sper generate <census|restaurant|cora|cddb|movies|dbpedia|freebase>
                 [--scale S] [--out FILE] [--truth FILE]
   sper stream   <dataset|profiles.csv> [--method M] [--batches N]
-                [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]";
+                [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]
+                [--threads N]
+
+--threads defaults to the machine's available parallelism; results are
+bit-identical at any thread count.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// `--threads N` (validated ≥ 1), defaulting to the machine's available
+/// parallelism. Emission order does not depend on the choice.
+fn parse_threads(args: &[String]) -> Result<Parallelism, String> {
+    match args.iter().position(|a| a == "--threads") {
+        None => Ok(Parallelism::available()),
+        Some(i) => {
+            // A present flag must have a value: silently falling back to
+            // the default would mask a misconfiguration.
+            let s = args.get(i + 1).ok_or("--threads needs a value")?;
+            let n: usize = s.parse().map_err(|e| format!("--threads: {e}"))?;
+            Parallelism::new(n).map_err(|e| format!("--threads: {e}"))
+        }
+    }
 }
 
 fn parse_method(s: &str) -> Result<ProgressiveMethod, String> {
@@ -103,12 +122,13 @@ fn resolve(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0.5);
 
+    let threads = parse_threads(args)?;
     eprintln!(
-        "{} profiles; method {}; budget {budget} comparisons; jaccard ≥ {threshold}",
+        "{} profiles; method {}; budget {budget} comparisons; jaccard ≥ {threshold}; {threads} threads",
         profiles.len(),
         method.name()
     );
-    let config = MethodConfig::default();
+    let config = MethodConfig::default().with_threads(threads);
     let text = ProfileText::extract(&profiles);
     let matcher = JaccardMatcher::new(&text, threshold);
     let m = sper::core::build_method(method, &profiles, &config, None);
@@ -164,7 +184,7 @@ fn evaluate(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(10.0);
 
-    let config = MethodConfig::default();
+    let config = MethodConfig::default().with_threads(parse_threads(args)?);
     let result = run_progressive(
         || sper::core::build_method(method, &profiles, &config, None),
         &truth,
@@ -231,7 +251,8 @@ fn stream(args: &[String]) -> Result<(), String> {
         SessionConfig::exhaustive(method)
     } else {
         SessionConfig::new(method)
-    };
+    }
+    .with_threads(parse_threads(args)?);
     // Dirty tasks stream every profile into an empty base. Clean-clean
     // tasks fix `P1` as the session base and stream only `P2` — appends to
     // a Clean-clean collection join the second source, so ids (and the

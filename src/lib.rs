@@ -30,7 +30,7 @@ pub mod prelude {
     };
     pub use sper_core::{
         gs_psn::GsPsn, ls_psn::LsPsn, pbs::Pbs, pps::Pps, psn::Psn, sa_psab::SaPsab, sa_psn::SaPsn,
-        Comparison, MethodConfig, ProgressiveEr, ProgressiveMethod,
+        Comparison, MethodConfig, Parallelism, ProgressiveEr, ProgressiveMethod, ZeroThreads,
     };
     pub use sper_datagen::{DatasetKind, DatasetSpec, GeneratedDataset};
     pub use sper_eval::{
