@@ -159,6 +159,9 @@ fn main() {
             m.name, m.interned_ms, m.baseline_ms, m.speedup, m.baseline
         );
     }
-    std::fs::write(&out, serde::json::to_string(&report)).expect("write report");
+    if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {out}");
 }

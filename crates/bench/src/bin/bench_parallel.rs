@@ -234,6 +234,9 @@ fn main() {
             );
         }
     }
-    std::fs::write(&out, serde::json::to_string(&report)).expect("write report");
+    if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
     eprintln!("wrote {out}");
 }

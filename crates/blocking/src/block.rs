@@ -565,6 +565,66 @@ impl BlockCollection {
         let kind = self.kind;
         self.retain(|b| b.cardinality(kind) > 0);
     }
+
+    /// Borrowed views of the raw CSR arrays, in layout order — the
+    /// persistence boundary (`sper-store`) serializes exactly these.
+    pub fn raw_parts(&self) -> BlockCsrParts<'_> {
+        BlockCsrParts {
+            kind: self.kind,
+            n_profiles: self.n_profiles,
+            keys: &self.keys,
+            offsets: &self.offsets,
+            members: &self.members,
+            n_firsts: &self.n_firsts,
+        }
+    }
+
+    /// Reassembles a collection from raw CSR arrays — the inverse of
+    /// [`raw_parts`](Self::raw_parts). Callers (the persistence layer)
+    /// must validate untrusted input first; invariants are only
+    /// debug-asserted here.
+    pub fn from_raw_parts(
+        kind: ErKind,
+        n_profiles: usize,
+        interner: Arc<TokenInterner>,
+        keys: Vec<TokenId>,
+        offsets: Vec<u32>,
+        members: Vec<ProfileId>,
+        n_firsts: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(offsets.len(), keys.len() + 1);
+        debug_assert_eq!(n_firsts.len(), keys.len());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(members.len() as u32));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            kind,
+            n_profiles,
+            interner,
+            keys,
+            offsets,
+            members,
+            n_firsts,
+        }
+    }
+}
+
+/// Borrowed raw CSR arrays of a [`BlockCollection`] (see
+/// [`BlockCollection::raw_parts`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCsrParts<'a> {
+    /// The task kind.
+    pub kind: ErKind,
+    /// Number of profiles in the underlying collection.
+    pub n_profiles: usize,
+    /// Block key per block id.
+    pub keys: &'a [TokenId],
+    /// CSR offsets into `members` (`|B| + 1` entries).
+    pub offsets: &'a [u32],
+    /// Packed members, `P1` partition first within each block.
+    pub members: &'a [ProfileId],
+    /// `|b ∩ P1|` per block id.
+    pub n_firsts: &'a [u32],
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub mod suffix_forest;
 pub mod token_blocking;
 pub mod weights;
 
-pub use block::{Block, BlockCollection, BlockId, BlockRef};
+pub use block::{Block, BlockCollection, BlockCsrParts, BlockId, BlockRef};
 pub use filtering::BlockFilter;
 pub use graph::BlockingGraph;
 pub use metablocking::{par_prune, prune, PruningScheme};

@@ -384,6 +384,36 @@ impl NeighborList {
         &self.interner
     }
 
+    /// The retained per-position keys (see [`Self::build_with_keys`]),
+    /// when any.
+    pub fn keys(&self) -> Option<&[TokenId]> {
+        self.keys.as_deref()
+    }
+
+    /// Reassembles a list from its raw arrays — the inverse of
+    /// [`as_slice`](Self::as_slice) + [`keys`](Self::keys), used by the
+    /// persistence layer (`sper-store`). The Position Index is rebuilt
+    /// deterministically from the list, so a round-trip is bit-identical.
+    /// Callers must validate untrusted input first (every profile id `<
+    /// n_profiles`, `keys` — when kept — as long as `nl`); invariants are
+    /// only debug-asserted here.
+    pub fn from_raw_parts(
+        nl: Vec<ProfileId>,
+        keys: Option<Vec<TokenId>>,
+        interner: Arc<TokenInterner>,
+        n_profiles: usize,
+    ) -> Self {
+        debug_assert!(nl.iter().all(|p| p.index() < n_profiles));
+        debug_assert!(keys.as_ref().is_none_or(|k| k.len() == nl.len()));
+        let position_index = PositionIndex::build(&nl, n_profiles);
+        Self {
+            nl,
+            position_index,
+            interner,
+            keys,
+        }
+    }
+
     /// The interned blocking key at `position`, when keys were retained.
     pub fn key_id_at(&self, position: usize) -> Option<TokenId> {
         self.keys.as_ref().map(|k| k[position])

@@ -202,6 +202,35 @@ impl ProfileIndex {
             scheme,
         )
     }
+
+    /// Borrowed views of the raw CSR arrays `(offsets, block_ids,
+    /// cardinalities)` — the persistence boundary (`sper-store`)
+    /// serializes exactly these plus [`total_blocks`](Self::total_blocks).
+    pub fn raw_parts(&self) -> (&[u32], &[u32], &[u64]) {
+        (&self.offsets, &self.block_ids, &self.cardinalities)
+    }
+
+    /// Reassembles an index from raw CSR arrays — the inverse of
+    /// [`raw_parts`](Self::raw_parts). Callers (the persistence layer)
+    /// must validate untrusted input first; invariants are only
+    /// debug-asserted here.
+    pub fn from_raw_parts(
+        offsets: Vec<u32>,
+        block_ids: Vec<u32>,
+        cardinalities: Vec<u64>,
+        total_blocks: usize,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets.first().copied(), Some(0));
+        debug_assert_eq!(offsets.last().copied(), Some(block_ids.len() as u32));
+        debug_assert_eq!(cardinalities.len(), total_blocks);
+        Self {
+            offsets,
+            block_ids,
+            cardinalities,
+            total_blocks,
+        }
+    }
 }
 
 /// Growable inverted index for streaming ingest: per-profile `Vec`s that
@@ -318,6 +347,37 @@ impl IncrementalProfileIndex {
             self.total_blocks,
             scheme,
         )
+    }
+
+    /// The per-profile block lists, in profile-id order — the persistence
+    /// boundary (`sper-store`) serializes these (packed as CSR) plus the
+    /// cardinality table.
+    pub fn block_lists(&self) -> &[Vec<u32>] {
+        &self.block_lists
+    }
+
+    /// Reassembles a growable index from its parts — the inverse of
+    /// [`block_lists`](Self::block_lists) +
+    /// [`cardinality`](Self::cardinality). Callers (the persistence layer)
+    /// must validate untrusted input first; invariants are only
+    /// debug-asserted here.
+    pub fn from_parts(
+        block_lists: Vec<Vec<u32>>,
+        cardinalities: Vec<u64>,
+        total_blocks: usize,
+    ) -> Self {
+        debug_assert_eq!(cardinalities.len(), total_blocks);
+        debug_assert!(block_lists
+            .iter()
+            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(block_lists
+            .iter()
+            .all(|l| l.iter().all(|&b| (b as usize) < total_blocks)));
+        Self {
+            block_lists,
+            cardinalities,
+            total_blocks,
+        }
     }
 
     /// Freezes the growable index into the packed CSR [`ProfileIndex`]

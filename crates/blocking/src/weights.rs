@@ -38,6 +38,23 @@ impl WeightingScheme {
         WeightingScheme::Ecbs,
     ];
 
+    /// Stable wire code of the scheme — the persistence format
+    /// (`sper-store`) stores this byte; codes are append-only and never
+    /// reassigned.
+    pub fn code(self) -> u8 {
+        match self {
+            WeightingScheme::Arcs => 0,
+            WeightingScheme::Cbs => 1,
+            WeightingScheme::Js => 2,
+            WeightingScheme::Ecbs => 3,
+        }
+    }
+
+    /// The scheme with the given wire code, if any.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.code() == code)
+    }
+
     /// Contribution of one shared block with the given cardinality `‖b‖`.
     ///
     /// ARCS adds the reciprocal cardinality; all counting-based schemes add

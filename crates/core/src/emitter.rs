@@ -147,7 +147,7 @@ pub(crate) const MIN_PARALLEL_BATCH: usize = 2048;
 /// each on its own scoped worker thread; emission then costs
 /// `O(log threads)` per comparison (one heap pop + push) instead of the
 /// sequential engine's `O(1)` cursor — the price of sorting
-/// `threads`-wide. Batches under [`MIN_PARALLEL_BATCH`] sort inline (one
+/// `threads`-wide. Batches under `MIN_PARALLEL_BATCH` sort inline (one
 /// shard, no spawn). The emitted sequence is **identical** to
 /// [`ComparisonList`] on the same batch.
 #[derive(Debug, Clone, Default)]

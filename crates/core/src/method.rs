@@ -68,6 +68,29 @@ impl ProgressiveMethod {
     pub fn is_schema_based(self) -> bool {
         self == ProgressiveMethod::Psn
     }
+
+    /// Stable wire code of the method — the persistence format
+    /// (`sper-store`) stores this byte; codes are append-only and never
+    /// reassigned.
+    pub fn code(self) -> u8 {
+        match self {
+            ProgressiveMethod::Psn => 0,
+            ProgressiveMethod::SaPsn => 1,
+            ProgressiveMethod::SaPsab => 2,
+            ProgressiveMethod::LsPsn => 3,
+            ProgressiveMethod::GsPsn => 4,
+            ProgressiveMethod::Pbs => 5,
+            ProgressiveMethod::Pps => 6,
+        }
+    }
+
+    /// The method with the given wire code, if any.
+    pub fn from_code(code: u8) -> Option<Self> {
+        [ProgressiveMethod::Psn]
+            .into_iter()
+            .chain(Self::SCHEMA_AGNOSTIC)
+            .find(|m| m.code() == code)
+    }
 }
 
 impl std::fmt::Display for ProgressiveMethod {

@@ -50,6 +50,25 @@ impl NeighborWeighting {
             NeighborWeighting::Frequency => "CF",
         }
     }
+
+    /// Stable wire code of the weighting — the persistence format
+    /// (`sper-store`) stores this byte; codes are append-only and never
+    /// reassigned.
+    pub fn code(self) -> u8 {
+        match self {
+            NeighborWeighting::Rcf => 0,
+            NeighborWeighting::Frequency => 1,
+        }
+    }
+
+    /// The weighting with the given wire code, if any.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(NeighborWeighting::Rcf),
+            1 => Some(NeighborWeighting::Frequency),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -221,6 +221,20 @@ mod tests {
     fn too_many_matches_panic() {
         RecallCurve::new(1, 10, vec![1, 2]);
     }
+
+    #[test]
+    fn json_round_trips() {
+        let c = RecallCurve::new(4, 10, vec![2, 3, 7]);
+        let text = serde::json::to_string(&c);
+        let back: RecallCurve = serde::json::from_str(&text).expect("round-trip parses");
+        assert_eq!(back.num_matches(), c.num_matches());
+        assert_eq!(back.emissions(), c.emissions());
+        assert_eq!(back.match_indices(), c.match_indices());
+        for e in 0..=10u64 {
+            assert_eq!(back.recall_at(e), c.recall_at(e));
+            assert_eq!(back.auc_raw(e), c.auc_raw(e));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -35,10 +35,14 @@ impl RunOptions {
 }
 
 /// The outcome of one progressive run.
-#[derive(Debug, Clone, serde::Serialize)]
+///
+/// Round-trips through JSON (`Serialize` + `Deserialize`), so resumed
+/// sessions and trajectory tooling can merge previously exported results
+/// with fresh ones.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunResult {
     /// Method acronym.
-    pub method: &'static str,
+    pub method: String,
     /// The recall curve.
     pub curve: RecallCurve,
     /// Time spent constructing the method (the initialization phase).
@@ -91,7 +95,7 @@ pub fn run_prepared(
     let emission_time = start.elapsed();
 
     RunResult {
-        method: name,
+        method: name.to_string(),
         curve: RecallCurve::new(truth.num_matches(), emitted, match_indices),
         init_time,
         emission_time,
@@ -170,6 +174,27 @@ mod tests {
             result.curve.emissions() <= 4,
             "|DP| = 4 → at most 4 emissions"
         );
+    }
+
+    #[test]
+    fn run_result_json_round_trips() {
+        let profiles = fig3_profiles();
+        let truth = fig3_ground_truth();
+        let result = run_progressive(
+            || {
+                let blocks = TokenBlocking::default().build(&profiles);
+                Box::new(Pbs::from_blocks(blocks, WeightingScheme::Arcs))
+            },
+            &truth,
+            RunOptions::default(),
+        );
+        let text = serde::json::to_string(&result);
+        let back: RunResult = serde::json::from_str(&text).expect("round-trip parses");
+        assert_eq!(back.method, result.method);
+        assert_eq!(back.curve.emissions(), result.curve.emissions());
+        assert_eq!(back.curve.match_indices(), result.curve.match_indices());
+        assert_eq!(back.repeated_emissions, result.repeated_emissions);
+        assert!((back.auc(5.0) - result.auc(5.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -27,12 +27,15 @@ impl Default for TimingOptions {
 }
 
 /// Result of a timed run: the recall trajectory over wall-clock time.
-#[derive(Debug, Clone, serde::Serialize)]
+///
+/// Round-trips through JSON (`Serialize` + `Deserialize`) for trajectory
+/// merging across runs.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct TimedResult {
     /// Method acronym.
-    pub method: &'static str,
+    pub method: String,
     /// Match function name.
-    pub match_function: &'static str,
+    pub match_function: String,
     /// Initialization time (constructing the method).
     pub init_time: Duration,
     /// `(elapsed since start incl. init, recall)` checkpoints.
@@ -120,8 +123,8 @@ where
     }
 
     TimedResult {
-        method: method.method_name(),
-        match_function: matcher.name(),
+        method: method.method_name().to_string(),
+        match_function: matcher.name().to_string(),
         init_time,
         trajectory,
         emissions: emitted,
@@ -163,5 +166,32 @@ mod tests {
         }
         assert!(result.time_to_recall(0.5).is_some());
         assert!(result.time_to_recall(2.0).is_none());
+    }
+
+    #[test]
+    fn timed_result_json_round_trips() {
+        let result = TimedResult {
+            method: "PBS".into(),
+            match_function: "jaccard".into(),
+            init_time: Duration::from_micros(1500),
+            trajectory: vec![
+                (Duration::from_micros(1500), 0.0),
+                (Duration::from_millis(2), 0.75),
+            ],
+            emissions: 42,
+            declared_matches: 3,
+        };
+        let text = serde::json::to_string(&result);
+        let back: TimedResult = serde::json::from_str(&text).expect("round-trip parses");
+        assert_eq!(back.method, result.method);
+        assert_eq!(back.match_function, result.match_function);
+        assert_eq!(back.emissions, result.emissions);
+        assert_eq!(back.declared_matches, result.declared_matches);
+        assert_eq!(back.trajectory.len(), result.trajectory.len());
+        assert!((back.final_recall() - result.final_recall()).abs() < 1e-12);
+        assert!(
+            (back.init_time.as_secs_f64() - result.init_time.as_secs_f64()).abs() < 1e-9,
+            "durations survive the fractional-second encoding"
+        );
     }
 }

@@ -143,6 +143,27 @@ pub enum ErKind {
     CleanClean,
 }
 
+impl ErKind {
+    /// Stable wire code of the kind — the persistence format
+    /// (`sper-store`) stores this byte; codes are append-only and never
+    /// reassigned.
+    pub fn code(self) -> u8 {
+        match self {
+            ErKind::Dirty => 0,
+            ErKind::CleanClean => 1,
+        }
+    }
+
+    /// The kind with the given wire code, if any.
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(ErKind::Dirty),
+            1 => Some(ErKind::CleanClean),
+            _ => None,
+        }
+    }
+}
+
 /// The input of an ER task: the profiles plus the task kind.
 ///
 /// Invariants (enforced by [`ProfileCollectionBuilder`]):

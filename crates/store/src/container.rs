@@ -1,0 +1,299 @@
+//! The sectioned file container: magic, format version, and a sequence of
+//! independently checksummed sections.
+//!
+//! ```text
+//! file    = header section*
+//! header  = "SPER" version:u32 section_count:u32          (12 bytes)
+//! section = tag:[u8;4] payload_len:u64 crc32:u32 payload  (16-byte prologue)
+//! ```
+//!
+//! All integers little-endian. Each section's CRC-32 covers its payload
+//! only, so one flipped bit is attributed to the section it corrupts.
+//! Readers gate on the exact format version: the format evolves by
+//! bumping [`FORMAT_VERSION`] and teaching the new reader to migrate old
+//! layouts explicitly — silent best-effort parsing of unknown versions is
+//! how corruption stops being detectable.
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+
+/// The four-byte file magic.
+pub const MAGIC: [u8; 4] = *b"SPER";
+
+/// The store format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A section tag: four ASCII bytes naming the payload's codec.
+pub type Tag = [u8; 4];
+
+/// Renders a tag for error messages (`INTR`, or hex for non-ASCII).
+pub(crate) fn tag_name(tag: Tag) -> String {
+    if tag.iter().all(|b| b.is_ascii_graphic()) {
+        String::from_utf8_lossy(&tag).into_owned()
+    } else {
+        format!("{tag:02x?}")
+    }
+}
+
+/// An in-memory store: an ordered list of `(tag, payload)` sections.
+///
+/// This is the transport layer only — it knows nothing about substrates.
+/// The codecs in [`crate::substrates`] fill and read sections; [`crate::Snapshot`]
+/// and [`crate::SessionCheckpoint`] define which sections make up which
+/// on-disk structure.
+#[derive(Debug, Default)]
+pub struct Store {
+    sections: Vec<(Tag, Vec<u8>)>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section. Order is preserved; duplicate tags are allowed
+    /// by the container (readers take the first).
+    pub fn push(&mut self, tag: Tag, payload: Vec<u8>) {
+        self.sections.push((tag, payload));
+    }
+
+    /// The payload of the first section with `tag`, if present.
+    pub fn get(&self, tag: Tag) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, p)| p.as_slice())
+    }
+
+    /// Like [`get`](Self::get) but a missing section is a typed error.
+    pub(crate) fn require(&self, tag: Tag, name: &'static str) -> Result<&[u8], StoreError> {
+        self.get(tag)
+            .ok_or(StoreError::MissingSection { section: name })
+    }
+
+    /// The section tags, in file order.
+    pub fn tags(&self) -> impl Iterator<Item = Tag> + '_ {
+        self.sections.iter().map(|(t, _)| *t)
+    }
+
+    /// Serializes the store to its byte layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let total: usize = 12
+            + self
+                .sections
+                .iter()
+                .map(|(_, p)| 16 + p.len())
+                .sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+
+    /// Parses a store from bytes, verifying magic, version and every
+    /// section checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StoreError> {
+        // Checked arithmetic throughout: a crafted length near
+        // `u64::MAX` must be a typed error, never an overflow (wrap in
+        // release, panic in debug).
+        let need = |at: usize, n: usize| -> Result<(), StoreError> {
+            match at.checked_add(n) {
+                Some(end) if end <= bytes.len() => Ok(()),
+                _ => Err(StoreError::Truncated {
+                    expected: n,
+                    available: bytes.len().saturating_sub(at),
+                }),
+            }
+        };
+        need(0, 12)?;
+        let magic: [u8; 4] = bytes[0..4].try_into().expect("4 bytes");
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let mut at = 12;
+        let mut sections = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            need(at, 16)?;
+            let tag: Tag = bytes[at..at + 4].try_into().expect("4 bytes");
+            let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+            let recorded = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().expect("4 bytes"));
+            let len = usize::try_from(len).map_err(|_| StoreError::Truncated {
+                expected: usize::MAX,
+                available: bytes.len() - at - 16,
+            })?;
+            at += 16;
+            need(at, len)?;
+            let payload = &bytes[at..at + len];
+            let computed = crc32(payload);
+            if computed != recorded {
+                return Err(StoreError::ChecksumMismatch {
+                    section: tag_name(tag),
+                    recorded,
+                    computed,
+                });
+            }
+            sections.push((tag, payload.to_vec()));
+            at += len;
+        }
+        if at != bytes.len() {
+            return Err(StoreError::Corrupt {
+                section: "container".into(),
+                detail: format!("{} trailing bytes after last section", bytes.len() - at),
+            });
+        }
+        Ok(Self { sections })
+    }
+
+    /// Writes the store to a file. The write goes through a sibling
+    /// temporary file that is fsynced before the rename, so neither a
+    /// crash mid-write nor a power loss right after the rename leaves a
+    /// half-written store at `path` — the previous file survives intact
+    /// until the new bytes are durable.
+    pub fn write_to_path(&self, path: &std::path::Path) -> Result<(), StoreError> {
+        use std::io::Write as _;
+        let bytes = self.to_bytes();
+        // Derive the temp name by appending (not replacing an extension):
+        // sibling outputs like `run.v1` and `run.v2` must not collide on
+        // one temp path.
+        let mut tmp_name = path
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "store".into());
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a store file.
+    pub fn read_from_path(path: &std::path::Path) -> Result<Self, StoreError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_store_round_trips() {
+        let bytes = Store::new().to_bytes();
+        assert_eq!(bytes.len(), 12);
+        let back = Store::from_bytes(&bytes).unwrap();
+        assert_eq!(back.tags().count(), 0);
+    }
+
+    #[test]
+    fn sections_round_trip_in_order() {
+        let mut s = Store::new();
+        s.push(*b"AAAA", vec![1, 2, 3]);
+        s.push(*b"BBBB", vec![]);
+        s.push(*b"AAAA", vec![9]);
+        let back = Store::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(
+            back.tags().collect::<Vec<_>>(),
+            vec![*b"AAAA", *b"BBBB", *b"AAAA"]
+        );
+        assert_eq!(back.get(*b"AAAA"), Some(&[1u8, 2, 3][..]), "first wins");
+        assert_eq!(back.get(*b"BBBB"), Some(&[][..]));
+        assert_eq!(back.get(*b"CCCC"), None);
+    }
+
+    #[test]
+    fn bad_magic() {
+        let mut bytes = Store::new().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Store::from_bytes(&bytes),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version() {
+        let mut bytes = Store::new().to_bytes();
+        bytes[4] = 99;
+        match Store::from_bytes(&bytes) {
+            Err(StoreError::UnsupportedVersion { found, supported }) => {
+                assert_eq!(found, 99);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed() {
+        let mut s = Store::new();
+        s.push(*b"DATA", vec![5; 32]);
+        let bytes = s.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Store::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_huge_section_length_is_typed_not_a_panic() {
+        // Regression: a section header declaring a payload length near
+        // `u64::MAX` used to overflow the bounds arithmetic and panic on
+        // the payload slice; it must be a typed Truncated error.
+        for len in [u64::MAX, u64::MAX - 15, (usize::MAX as u64), 1 << 60] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(b"DATA");
+            bytes.extend_from_slice(&len.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes());
+            bytes.extend_from_slice(&[0u8; 8]); // a few payload bytes
+            assert!(
+                matches!(Store::from_bytes(&bytes), Err(StoreError::Truncated { .. })),
+                "len {len:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_checksum_mismatch() {
+        let mut s = Store::new();
+        s.push(*b"DATA", (0..64).collect());
+        let clean = s.to_bytes();
+        let payload_start = 12 + 16;
+        for i in payload_start..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            assert!(
+                matches!(
+                    Store::from_bytes(&bytes),
+                    Err(StoreError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {i} undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The typed error surface of the persistence layer.
+//!
+//! Every failure mode of reading an untrusted store file maps to one
+//! variant — corrupted input must surface as a [`StoreError`], never as a
+//! panic (property-tested in `tests/corruption.rs`).
+
+/// Any failure of writing or reading a `.sper` store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `SPER` magic — not a store file.
+    BadMagic {
+        /// The four bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The file's format version is not readable by this build.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The file ends before the declared layout does (truncated download,
+    /// partial write, …).
+    Truncated {
+        /// Bytes the layout still required.
+        expected: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// A section's payload does not hash to its recorded CRC32 — bit rot
+    /// or tampering.
+    ChecksumMismatch {
+        /// The section's tag, as text.
+        section: String,
+        /// The CRC32 recorded in the file.
+        recorded: u32,
+        /// The CRC32 of the payload as read.
+        computed: u32,
+    },
+    /// A section the requested structure needs is absent from the file.
+    MissingSection {
+        /// The absent section's tag, as text.
+        section: &'static str,
+    },
+    /// A section decoded structurally but violates a data invariant
+    /// (out-of-range id, non-monotone offsets, duplicate key, …).
+    Corrupt {
+        /// The section being decoded.
+        section: String,
+        /// What was violated.
+        detail: String,
+    },
+    /// Two structures that must share one token interner do not — the
+    /// snapshot would resolve keys through the wrong vocabulary.
+    InternerMismatch {
+        /// Which structure disagreed with the snapshot's interner.
+        structure: &'static str,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a sper store (magic {:02x?})", found)
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported store format version {found} (this build reads {supported})"
+            ),
+            StoreError::Truncated {
+                expected,
+                available,
+            } => write!(
+                f,
+                "truncated store: {expected} more bytes declared, {available} available"
+            ),
+            StoreError::ChecksumMismatch {
+                section,
+                recorded,
+                computed,
+            } => write!(
+                f,
+                "section {section}: checksum mismatch (recorded {recorded:08x}, computed {computed:08x})"
+            ),
+            StoreError::MissingSection { section } => {
+                write!(f, "store has no {section} section")
+            }
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "section {section}: {detail}")
+            }
+            StoreError::InternerMismatch { structure } => write!(
+                f,
+                "{structure} does not share the snapshot's token interner"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}

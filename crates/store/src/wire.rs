@@ -1,0 +1,244 @@
+//! Little-endian wire primitives shared by every section codec.
+//!
+//! An [`Encoder`] appends fixed-width scalars, length-prefixed strings and
+//! length-prefixed integer arrays to a growing byte buffer; a [`Decoder`]
+//! reads them back with typed errors (never panicking on short or
+//! malformed input). All multi-byte values are little-endian; lengths are
+//! `u64` so the format does not inherit a 32-bit size ceiling.
+
+use crate::error::StoreError;
+
+/// Hard ceiling on any single decoded array/string length: a corrupt
+/// length prefix must fail fast, not trigger a multi-terabyte allocation.
+/// The cap is per-element-count; it comfortably exceeds every substrate
+/// the workspace can hold in memory.
+const MAX_LEN: u64 = 1 << 40;
+
+/// Append-only byte-buffer writer.
+#[derive(Debug, Default)]
+pub(crate) struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bit-exact float encoding (NaN payloads and signed zeros survive).
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `u32` array.
+    pub(crate) fn slice_u32(&mut self, values: &[u32]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed `u64` array.
+    pub(crate) fn slice_u64(&mut self, values: &[u64]) {
+        self.u64(values.len() as u64);
+        for &v in values {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Cursor over a section payload with typed decode errors.
+#[derive(Debug)]
+pub(crate) struct Decoder<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    /// Section name, for error attribution.
+    section: &'static str,
+}
+
+impl<'a> Decoder<'a> {
+    pub(crate) fn new(bytes: &'a [u8], section: &'static str) -> Self {
+        Self {
+            bytes,
+            at: 0,
+            section,
+        }
+    }
+
+    pub(crate) fn corrupt(&self, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            section: self.section.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                self.corrupt(format!(
+                    "payload ends early ({} of {n} bytes left at offset {})",
+                    self.bytes.len() - self.at,
+                    self.at
+                ))
+            })?;
+        let out = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` the host must be able to address (array lengths, counts).
+    pub(crate) fn len(&mut self) -> Result<usize, StoreError> {
+        let v = self.u64()?;
+        if v > MAX_LEN {
+            return Err(self.corrupt(format!("implausible length {v}")));
+        }
+        usize::try_from(v).map_err(|_| self.corrupt(format!("length {v} exceeds address space")))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, StoreError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| self.corrupt(format!("invalid UTF-8 string: {e}")))
+    }
+
+    pub(crate) fn vec_u32(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.len()?;
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| self.corrupt("length overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    pub(crate) fn vec_u64(&mut self) -> Result<Vec<u64>, StoreError> {
+        let n = self.len()?;
+        let bytes = self.take(
+            n.checked_mul(8)
+                .ok_or_else(|| self.corrupt("length overflow"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), StoreError> {
+        if self.at != self.bytes.len() {
+            return Err(self.corrupt(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(u64::MAX);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.str("héllo\n");
+        e.slice_u32(&[1, 2, 3]);
+        e.slice_u64(&[u64::MAX, 0]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "test");
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(d.f64().unwrap().is_nan());
+        assert_eq!(d.str().unwrap(), "héllo\n");
+        assert_eq!(d.vec_u32().unwrap(), vec![1, 2, 3]);
+        assert_eq!(d.vec_u64().unwrap(), vec![u64::MAX, 0]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn short_input_is_typed_error() {
+        let mut d = Decoder::new(&[1, 2], "test");
+        assert!(matches!(d.u32(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn implausible_length_rejected() {
+        let mut e = Encoder::new();
+        e.u64(u64::MAX); // an array "length"
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes, "test");
+        assert!(matches!(d.vec_u32(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let d = Decoder::new(&[0], "test");
+        assert!(matches!(d.finish(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.u64(2);
+        let mut bytes = e.into_bytes();
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut d = Decoder::new(&bytes, "test");
+        assert!(matches!(d.str(), Err(StoreError::Corrupt { .. })));
+    }
+}

@@ -1,0 +1,187 @@
+//! Golden-file compatibility: a committed `.sper` fixture written by the
+//! format's first release must keep loading, bit-identically, on every
+//! build — the regression gate for accidental format drift. CI runs this
+//! on every push.
+//!
+//! The fixture bundles a snapshot *and* a session checkpoint in one store
+//! (their section tags are disjoint), built from a fixed toy collection.
+//! If the format ever needs to change, bump `FORMAT_VERSION`, teach the
+//! reader the migration, and regenerate with:
+//!
+//! ```text
+//! cargo test -p sper-store --test golden -- --ignored regenerate
+//! ```
+
+use sper_blocking::{BlockingGraph, NeighborList, ProfileIndex, TokenBlocking, WeightingScheme};
+use sper_core::ProgressiveMethod;
+use sper_model::{Attribute, ProfileCollection, ProfileCollectionBuilder};
+use sper_store::{SessionCheckpoint, Snapshot, Store};
+use sper_stream::{ProgressiveSession, SessionConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("golden-v1.sper")
+}
+
+/// The fixed collection the fixture is built from. Changing this breaks
+/// the fixture by construction — regenerate if you must, and say why in
+/// the commit.
+fn golden_profiles() -> ProfileCollection {
+    let mut b = ProfileCollectionBuilder::dirty();
+    for v in [
+        "carl white ny tailor",
+        "karl white ny tailor",
+        "hellen white ml teacher",
+        "ellen white ml teacher",
+        "emma white wi tailor",
+        "frank black la baker",
+    ] {
+        b.add_profile([("text", v)]);
+    }
+    b.build()
+}
+
+const GOLDEN_SEED: u64 = 7;
+const GOLDEN_EPOCH_BUDGET: u64 = 3;
+
+/// Builds the exact store the fixture holds.
+fn build_golden_store() -> Store {
+    let coll = golden_profiles();
+    let mut blocks = TokenBlocking::default().build(&coll);
+    blocks.sort_by_cardinality();
+    let index = ProfileIndex::build(&blocks);
+    let graph = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
+    let nl = NeighborList::build(&coll, GOLDEN_SEED);
+
+    let mut snapshot = Snapshot::new(Arc::clone(blocks.interner()));
+    snapshot.profiles = Some(coll.clone());
+    snapshot.blocks = Some(blocks);
+    snapshot.profile_index = Some(index);
+    snapshot.graph = Some(graph);
+    snapshot.neighbor_list = Some(nl);
+    let mut store = snapshot.to_store().expect("one interner");
+
+    // A mid-stream PPS session: 2 epochs done, dedup filter non-empty.
+    let mut session = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps),
+    );
+    let rows: Vec<Vec<Attribute>> = coll.iter().map(|p| p.attributes.clone()).collect();
+    session.ingest_batch(rows[..3].to_vec());
+    session.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+    session.ingest_batch(rows[3..].to_vec());
+    session.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+    // Append the checkpoint's sections to the same store (its tags are
+    // unique within the checkpoint; the duplicated INTR/PROF payloads are
+    // byte-identical to the snapshot's — both tokenize the same profiles
+    // in the same order — so first-wins lookups resolve correctly).
+    let ck = SessionCheckpoint::of(&session).to_store();
+    for tag in ck.tags() {
+        store.push(tag, ck.get(tag).expect("just listed").to_vec());
+    }
+    store
+}
+
+/// Regenerates the committed fixture. Run explicitly (`--ignored`) after
+/// a deliberate format-version bump — never as part of a normal test run.
+#[test]
+#[ignore = "writes the committed fixture; run only on deliberate format changes"]
+fn regenerate() {
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
+    build_golden_store()
+        .write_to_path(&path)
+        .expect("fixture writes");
+    eprintln!("regenerated {}", path.display());
+}
+
+/// The committed fixture still parses, validates, and reproduces the
+/// exact structures it was built from.
+#[test]
+fn golden_fixture_loads_bit_identically() {
+    let path = golden_path();
+    let store = Store::read_from_path(&path).unwrap_or_else(|e| {
+        panic!(
+            "committed fixture {} failed to load: {e}\n\
+             (format drift? see the module docs for the migration policy)",
+            path.display()
+        )
+    });
+
+    // --- Snapshot half: arrays equal a fresh build of the same inputs ---
+    let snapshot = Snapshot::from_store(&store).expect("snapshot half validates");
+    let coll = golden_profiles();
+    let mut blocks = TokenBlocking::default().build(&coll);
+    blocks.sort_by_cardinality();
+    let index = ProfileIndex::build(&blocks);
+    let graph = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
+    let nl = NeighborList::build(&coll, GOLDEN_SEED);
+
+    let loaded = snapshot.blocks.as_ref().expect("blocks stored");
+    let (a, b) = (blocks.raw_parts(), loaded.raw_parts());
+    assert_eq!(a.keys, b.keys);
+    assert_eq!(a.offsets, b.offsets);
+    assert_eq!(a.members, b.members);
+    assert_eq!(a.n_firsts, b.n_firsts);
+    // Key ids resolve to the same strings through the stored interner.
+    for &k in a.keys {
+        assert_eq!(
+            &*blocks.interner().resolve(k),
+            &*snapshot.interner().resolve(k)
+        );
+    }
+    assert_eq!(
+        snapshot.profile_index.as_ref().expect("stored").raw_parts(),
+        index.raw_parts()
+    );
+    let loaded_graph = snapshot.graph.as_ref().expect("stored");
+    assert_eq!(loaded_graph.num_edges(), graph.num_edges());
+    for ((pa, wa), (pb, wb)) in graph.edges().zip(loaded_graph.edges()) {
+        assert_eq!(pa, pb);
+        assert_eq!(wa.to_bits(), wb.to_bits());
+    }
+    assert_eq!(
+        snapshot.neighbor_list.as_ref().expect("stored").as_slice(),
+        nl.as_slice()
+    );
+    let stored_profiles = snapshot.profiles.as_ref().expect("stored");
+    assert_eq!(stored_profiles.len(), coll.len());
+    for (pa, pb) in coll.iter().zip(stored_profiles.iter()) {
+        assert_eq!(pa, pb);
+    }
+
+    // --- Checkpoint half: the session resumes and finishes exactly as an
+    // uninterrupted run does ---
+    let restored = SessionCheckpoint::from_store(&store).expect("checkpoint half validates");
+    assert_eq!(restored.state.reports.len(), 2);
+    let mut resumed = restored.resume();
+
+    let rows: Vec<Vec<Attribute>> = coll.iter().map(|p| p.attributes.clone()).collect();
+    let mut baseline = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps),
+    );
+    baseline.ingest_batch(rows[..3].to_vec());
+    baseline.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+    baseline.ingest_batch(rows[3..].to_vec());
+    baseline.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+
+    let a = resumed.emit_epoch(None);
+    let b = baseline.emit_epoch(None);
+    assert_eq!(
+        a.comparisons
+            .iter()
+            .map(|c| (c.pair, c.weight))
+            .collect::<Vec<_>>(),
+        b.comparisons
+            .iter()
+            .map(|c| (c.pair, c.weight))
+            .collect::<Vec<_>>(),
+        "fixture-resumed session diverged from the uninterrupted run"
+    );
+    assert_eq!(a.report.epoch, 3);
+}

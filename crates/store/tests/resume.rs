@@ -1,0 +1,253 @@
+//! Kill/resume equivalence: a budgeted streaming run killed at an
+//! arbitrary epoch boundary and resumed from its checkpoint **file**
+//! emits, epoch for epoch, exactly the `(pair, weight)` sequences the
+//! uninterrupted run emits — for every streamable method, both ER kinds,
+//! arbitrary batch splits and arbitrary kill points.
+//!
+//! (PSN is schema-based and cannot stream — `ProgressiveSession` rejects
+//! it by construction — so "all methods" here is the six schema-agnostic
+//! ones; the seventh is covered by the batch equivalence suite in
+//! `sper-core`.)
+
+use proptest::prelude::*;
+use sper_core::ProgressiveMethod;
+use sper_model::{Attribute, Pair, ProfileCollection, ProfileCollectionBuilder};
+use sper_store::{SessionCheckpoint, Store};
+use sper_stream::{ProgressiveSession, SessionConfig};
+
+const STREAMABLE: [ProgressiveMethod; 6] = [
+    ProgressiveMethod::SaPsn,
+    ProgressiveMethod::SaPsab,
+    ProgressiveMethod::LsPsn,
+    ProgressiveMethod::GsPsn,
+    ProgressiveMethod::Pbs,
+    ProgressiveMethod::Pps,
+];
+
+/// One epoch's emissions, fully observable.
+type Emissions = Vec<(Pair, f64)>;
+
+fn emissions(outcome: &sper_stream::EpochOutcome) -> Emissions {
+    outcome
+        .comparisons
+        .iter()
+        .map(|c| (c.pair, c.weight))
+        .collect()
+}
+
+/// Runs `batches` through a fresh session, one epoch per batch, with the
+/// given per-epoch budget; kills the run after `kill_after` epochs by
+/// round-tripping a checkpoint through actual file bytes, then finishes
+/// on the resumed session. Returns every epoch's emissions.
+fn run_with_kill(
+    initial: ProfileCollection,
+    batches: &[Vec<Vec<Attribute>>],
+    config: SessionConfig,
+    budget: Option<u64>,
+    kill_after: Option<usize>,
+) -> Vec<Emissions> {
+    let mut session = ProgressiveSession::new(initial, config);
+    let mut out = Vec::new();
+    for (i, batch) in batches.iter().enumerate() {
+        session.ingest_batch(batch.clone());
+        out.push(emissions(&session.emit_epoch(budget)));
+        if kill_after == Some(i + 1) {
+            // The full death-and-rebirth cycle: state → sections → bytes
+            // → parse → validate → state.
+            let bytes = SessionCheckpoint::of(&session).to_store().to_bytes();
+            let restored = SessionCheckpoint::from_store(
+                &Store::from_bytes(&bytes).expect("container parses"),
+            )
+            .expect("checkpoint validates");
+            session = restored.resume();
+        }
+    }
+    // A final drain epoch with no ingest, so the tail after the last
+    // batch is compared too.
+    out.push(emissions(&session.emit_epoch(budget)));
+    out
+}
+
+fn toy_rows(n: usize) -> Vec<Vec<Attribute>> {
+    [
+        "carl white ny tailor",
+        "karl white ny tailor",
+        "hellen white ml teacher",
+        "ellen white ml teacher",
+        "emma white wi tailor",
+        "frank black la baker",
+        "frances black la baker",
+        "joe green sf cook",
+    ]
+    .iter()
+    .cycle()
+    .take(n)
+    .enumerate()
+    .map(|(i, v)| vec![Attribute::new("text", format!("{v} row{}", i % 5))])
+    .collect()
+}
+
+/// Exhaustive sweep on a fixed collection: every streamable method ×
+/// every kill epoch, budgeted so emissions straddle epochs.
+#[test]
+fn every_method_every_kill_point_is_bit_identical() {
+    let rows = toy_rows(8);
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(2).map(|c| c.to_vec()).collect();
+    for method in STREAMABLE {
+        let config = SessionConfig::exhaustive(method);
+        let baseline = run_with_kill(
+            ProfileCollectionBuilder::dirty().build(),
+            &batches,
+            config.clone(),
+            Some(3),
+            None,
+        );
+        for kill_after in 1..=batches.len() {
+            let resumed = run_with_kill(
+                ProfileCollectionBuilder::dirty().build(),
+                &batches,
+                config.clone(),
+                Some(3),
+                Some(kill_after),
+            );
+            assert_eq!(
+                resumed, baseline,
+                "{method:?} diverged when killed after epoch {kill_after}"
+            );
+        }
+    }
+}
+
+/// Clean-clean sessions (fixed `P1` base, streamed `P2`) resume
+/// identically too.
+#[test]
+fn clean_clean_kill_resume_is_bit_identical() {
+    let mut b = ProfileCollectionBuilder::clean_clean();
+    b.add_profile([("n", "carl white ny tailor")]);
+    b.add_profile([("n", "hellen white ml teacher")]);
+    b.add_profile([("n", "frank black la baker")]);
+    b.start_second_source();
+    let base = b.build();
+    let rows: Vec<Vec<Attribute>> = [
+        "karl white ny tailor",
+        "ellen white ml teacher",
+        "frances black la baker",
+        "emma white wi tailor",
+    ]
+    .iter()
+    .map(|v| vec![Attribute::new("n", *v)])
+    .collect();
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(1).map(|c| c.to_vec()).collect();
+    for method in [ProgressiveMethod::Pps, ProgressiveMethod::GsPsn] {
+        let config = SessionConfig::exhaustive(method);
+        let baseline = run_with_kill(base.clone(), &batches, config.clone(), Some(2), None);
+        for kill_after in 1..=batches.len() {
+            let resumed = run_with_kill(
+                base.clone(),
+                &batches,
+                config.clone(),
+                Some(2),
+                Some(kill_after),
+            );
+            assert_eq!(
+                resumed, baseline,
+                "{method:?} (clean-clean) diverged at kill {kill_after}"
+            );
+        }
+    }
+}
+
+/// Paper-default (pruned) configurations checkpoint exactly too: the
+/// restored substrate is the same object, so even non-monotone pruning
+/// decisions replay identically.
+#[test]
+fn paper_default_config_kill_resume_is_bit_identical() {
+    let rows = toy_rows(10);
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(3).map(|c| c.to_vec()).collect();
+    for method in STREAMABLE {
+        let config = SessionConfig::new(method);
+        let baseline = run_with_kill(
+            ProfileCollectionBuilder::dirty().build(),
+            &batches,
+            config.clone(),
+            Some(4),
+            None,
+        );
+        for kill_after in 1..=batches.len() {
+            let resumed = run_with_kill(
+                ProfileCollectionBuilder::dirty().build(),
+                &batches,
+                config.clone(),
+                Some(4),
+                Some(kill_after),
+            );
+            assert_eq!(
+                resumed, baseline,
+                "{method:?} (paper defaults) diverged at kill {kill_after}"
+            );
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary collections, batch splits, budgets and kill points: the
+    /// killed-and-resumed run's concatenated emission sequence equals the
+    /// uninterrupted run's, for every streamable method.
+    #[test]
+    fn kill_resume_property(
+        values in proptest::collection::vec("[a-e ]{1,8}", 2..14),
+        split in 1usize..5,
+        budget in 1u64..6,
+        kill_seed in 0usize..1000,
+        method_idx in 0usize..6,
+    ) {
+        let method = STREAMABLE[method_idx];
+        let rows: Vec<Vec<Attribute>> = values
+            .iter()
+            .map(|v| vec![Attribute::new("t", v.clone())])
+            .collect();
+        let batches: Vec<Vec<Vec<Attribute>>> =
+            rows.chunks(split).map(|c| c.to_vec()).collect();
+        let kill_after = 1 + kill_seed % batches.len();
+        let config = SessionConfig::exhaustive(method);
+        let baseline = run_with_kill(
+            ProfileCollectionBuilder::dirty().build(),
+            &batches,
+            config.clone(),
+            Some(budget),
+            None,
+        );
+        let resumed = run_with_kill(
+            ProfileCollectionBuilder::dirty().build(),
+            &batches,
+            config,
+            Some(budget),
+            Some(kill_after),
+        );
+        prop_assert_eq!(resumed, baseline);
+    }
+}
+
+/// The checkpoint also persists the *reports* cursor: the resumed session
+/// numbers its next epoch exactly where the original stopped.
+#[test]
+fn emission_cursor_survives_the_file() {
+    let rows = toy_rows(6);
+    let mut session = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps),
+    );
+    session.ingest_batch(rows[..3].to_vec());
+    session.emit_epoch(Some(2));
+    session.ingest_batch(rows[3..].to_vec());
+    session.emit_epoch(Some(2));
+
+    let bytes = SessionCheckpoint::of(&session).to_store().to_bytes();
+    let restored = SessionCheckpoint::from_store(&Store::from_bytes(&bytes).unwrap()).unwrap();
+    assert_eq!(restored.state.reports.len(), 2);
+    assert_eq!(restored.state.emitted.len(), session.emitted().len());
+    let mut resumed = restored.resume();
+    assert_eq!(resumed.reports().len(), 2);
+    let outcome = resumed.emit_epoch(None);
+    assert_eq!(outcome.report.epoch, 3, "epoch numbering continues");
+}

@@ -193,6 +193,43 @@ impl IncrementalTokenBlocking {
         }
     }
 
+    /// Reassembles a substrate from its live blocks and index — the
+    /// inverse of [`blocks`](Self::blocks) +
+    /// [`profile_index`](Self::profile_index), used by the persistence
+    /// layer (`sper-store`) to restore checkpoints. The token → block map
+    /// is rebuilt from the blocks' keys. Callers must validate untrusted
+    /// input first (block keys resolvable by `interner`, index consistent
+    /// with `blocks`); invariants are only debug-asserted here.
+    pub fn from_parts(
+        kind: ErKind,
+        n_profiles: usize,
+        interner: Arc<TokenInterner>,
+        blocks: Vec<Block>,
+        index: IncrementalProfileIndex,
+    ) -> Self {
+        debug_assert_eq!(index.total_blocks(), blocks.len());
+        debug_assert_eq!(index.n_profiles(), n_profiles);
+        let max_token = blocks.iter().map(|b| b.key.index()).max();
+        let mut block_of_token = vec![NO_BLOCK; max_token.map_or(0, |m| m + 1)];
+        for (i, b) in blocks.iter().enumerate() {
+            debug_assert_eq!(
+                block_of_token[b.key.index()],
+                NO_BLOCK,
+                "one block per token"
+            );
+            block_of_token[b.key.index()] = i as u32;
+        }
+        Self {
+            kind,
+            n_profiles,
+            tokenizer: Tokenizer::default(),
+            interner,
+            block_of_token,
+            blocks,
+            index,
+        }
+    }
+
     /// Materializes the current blocks as a batch-identical
     /// [`BlockCollection`]: comparable blocks only, sorted by key string —
     /// exactly what `TokenBlocking::default().build(..)` produces on the
@@ -273,14 +310,68 @@ impl IncrementalNeighborList {
         this
     }
 
+    /// Reassembles a list from its per-token runs — the inverse of
+    /// [`runs`](Self::runs), used by the persistence layer (`sper-store`)
+    /// to restore checkpoints. Every run starts stale: its coincidental-
+    /// proximity permutation is recomputed at the next
+    /// [`snapshot`](Self::snapshot) — a pure function of the member set
+    /// and `seed`, so restored snapshots are bit-identical to the
+    /// uninterrupted session's. Callers must validate untrusted input
+    /// first; invariants are only debug-asserted here.
+    pub fn from_parts(
+        seed: u64,
+        n_profiles: usize,
+        interner: Arc<TokenInterner>,
+        runs: impl IntoIterator<Item = (TokenId, Vec<ProfileId>)>,
+    ) -> Self {
+        let mut total_placements = 0;
+        let runs: FxHashMap<TokenId, Run> = runs
+            .into_iter()
+            .map(|(token, members)| {
+                debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+                total_placements += members.len();
+                (
+                    token,
+                    Run {
+                        members,
+                        order: Vec::new(),
+                        dirty: true,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            seed,
+            tokenizer: Tokenizer::default(),
+            interner,
+            n_profiles,
+            runs,
+            total_placements,
+        }
+    }
+
     /// The shared interner.
     pub fn interner(&self) -> &Arc<TokenInterner> {
         &self.interner
     }
 
+    /// The tie-shuffling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of profiles ingested.
     pub fn n_profiles(&self) -> usize {
         self.n_profiles
+    }
+
+    /// The per-token equal-key runs (token, members in ascending id
+    /// order), in unspecified iteration order — the persistence boundary
+    /// (`sper-store`) serializes these.
+    pub fn runs(&self) -> impl Iterator<Item = (TokenId, &[ProfileId])> {
+        self.runs
+            .iter()
+            .map(|(&t, run)| (t, run.members.as_slice()))
     }
 
     /// Total placements (the Neighbor List length).

@@ -51,5 +51,6 @@ pub mod session;
 
 pub use incremental::{IncrementalNeighborList, IncrementalTokenBlocking};
 pub use session::{
-    run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession, SessionConfig,
+    run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession,
+    SessionConfig, SessionState,
 };

@@ -85,6 +85,40 @@ impl SessionConfig {
     }
 }
 
+/// The complete transferable state of a [`ProgressiveSession`] — what a
+/// checkpoint must capture so a resumed session emits exactly the suffix
+/// an uninterrupted run would have emitted.
+///
+/// Produced by [`ProgressiveSession::dehydrate`], consumed by
+/// [`ProgressiveSession::rehydrate`]; the persistence layer (`sper-store`)
+/// serializes this to the checkpoint file format. The substrate fields are
+/// optional both because each method maintains only one of them and so the
+/// compact "profiles-only" checkpoint stays expressible — rehydration
+/// rebuilds any substrate the method needs but the state lacks, and
+/// batching invariance makes the rebuilt substrate identical to the one a
+/// never-interrupted session would hold.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    /// The progressive method the session runs.
+    pub method: ProgressiveMethod,
+    /// Shared method parameters.
+    pub config: MethodConfig,
+    /// The full collection ingested so far.
+    pub profiles: ProfileCollection,
+    /// The live token-blocking substrate (PBS/PPS sessions).
+    pub blocks: Option<IncrementalTokenBlocking>,
+    /// The live Neighbor List substrate (SA-PSN/LS-PSN/GS-PSN sessions).
+    pub nl: Option<IncrementalNeighborList>,
+    /// Every pair emitted so far — the cross-epoch dedup filter — in
+    /// ascending order.
+    pub emitted: Vec<Pair>,
+    /// Profiles ingested since the last epoch.
+    pub pending_ingest: usize,
+    /// Per-epoch reports so far (the emission cursor: `reports.len()`
+    /// numbers the next epoch).
+    pub reports: Vec<EpochReport>,
+}
+
 /// Statistics of one `ingest → reprioritize → emit` epoch.
 #[derive(Debug, Clone)]
 pub struct EpochReport {
@@ -116,6 +150,23 @@ pub struct EpochOutcome {
     pub report: EpochReport,
     /// The comparisons emitted for the first time this epoch.
     pub comparisons: Vec<Comparison>,
+}
+
+/// Whether `method` consumes the incremental token-blocking substrate.
+/// Shared by [`ProgressiveSession::new`] and
+/// [`ProgressiveSession::rehydrate`], which must agree or resumed
+/// sessions would drop (or fail to rebuild) the method's substrate.
+fn uses_blocks(method: ProgressiveMethod) -> bool {
+    matches!(method, ProgressiveMethod::Pbs | ProgressiveMethod::Pps)
+}
+
+/// Whether `method` consumes the incremental Neighbor List substrate
+/// (see [`uses_blocks`]).
+fn uses_nl(method: ProgressiveMethod) -> bool {
+    matches!(
+        method,
+        ProgressiveMethod::SaPsn | ProgressiveMethod::LsPsn | ProgressiveMethod::GsPsn
+    )
 }
 
 /// A long-lived ingest-while-resolving session.
@@ -166,13 +217,10 @@ impl ProgressiveSession {
         let SessionConfig { method, config } = session;
         // Maintain only the substrate the method consumes; the fallback
         // methods (SA-PSAB's suffix forest) rebuild from the collection.
-        let uses_blocks = matches!(method, ProgressiveMethod::Pbs | ProgressiveMethod::Pps);
-        let uses_nl = matches!(
-            method,
-            ProgressiveMethod::SaPsn | ProgressiveMethod::LsPsn | ProgressiveMethod::GsPsn
-        );
-        let blocks = uses_blocks.then(|| IncrementalTokenBlocking::from_collection(&initial));
-        let nl = uses_nl.then(|| IncrementalNeighborList::from_collection(&initial, config.seed));
+        let blocks =
+            uses_blocks(method).then(|| IncrementalTokenBlocking::from_collection(&initial));
+        let nl = uses_nl(method)
+            .then(|| IncrementalNeighborList::from_collection(&initial, config.seed));
         Self {
             method,
             config,
@@ -190,6 +238,87 @@ impl ProgressiveSession {
     /// The method this session runs.
     pub fn method(&self) -> ProgressiveMethod {
         self.method
+    }
+
+    /// The session's configuration (method + parameters) — the
+    /// save-side half of the checkpoint hooks.
+    pub fn config(&self) -> SessionConfig {
+        SessionConfig {
+            method: self.method,
+            config: self.config.clone(),
+        }
+    }
+
+    /// Extracts the session's complete transferable state — the save hook
+    /// of the checkpoint/resume cycle (see [`SessionState`]).
+    pub fn dehydrate(&self) -> SessionState {
+        let mut emitted: Vec<Pair> = self.emitted.iter().copied().collect();
+        emitted.sort_unstable();
+        SessionState {
+            method: self.method,
+            config: self.config.clone(),
+            profiles: self.profiles.clone(),
+            blocks: self.blocks.clone(),
+            nl: self.nl.clone(),
+            emitted,
+            pending_ingest: self.pending_ingest,
+            reports: self.reports.clone(),
+        }
+    }
+
+    /// Reconstructs a session from a [`SessionState`] — the restore hook
+    /// of the checkpoint/resume cycle.
+    ///
+    /// Every epoch the restored session emits is **bit-identical** to
+    /// what the uninterrupted session would have emitted: the substrates
+    /// round-trip exactly (or are rebuilt from the collection, which
+    /// batching invariance makes equivalent), and the emitted-pair filter
+    /// is order-insensitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`ProgressiveMethod::Psn`] states, like
+    /// [`ProgressiveSession::new`].
+    pub fn rehydrate(state: SessionState) -> Self {
+        assert!(
+            !state.method.is_schema_based(),
+            "PSN is schema-based; streaming sessions are schema-agnostic"
+        );
+        let SessionState {
+            method,
+            config,
+            profiles,
+            mut blocks,
+            mut nl,
+            emitted,
+            pending_ingest,
+            reports,
+        } = state;
+        // Rebuild whichever substrate the method consumes but the state
+        // lacks; drop any the method does not use.
+        if !uses_blocks(method) {
+            blocks = None;
+        } else if blocks.is_none() {
+            blocks = Some(IncrementalTokenBlocking::from_collection(&profiles));
+        }
+        if !uses_nl(method) {
+            nl = None;
+        } else if nl.is_none() {
+            nl = Some(IncrementalNeighborList::from_collection(
+                &profiles,
+                config.seed,
+            ));
+        }
+        Self {
+            method,
+            config,
+            profiles,
+            blocks,
+            nl,
+            emitted: emitted.into_iter().collect(),
+            pending_ingest,
+            reports,
+        }
     }
 
     /// The current collection.
@@ -511,6 +640,64 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rehydrated_session_emits_identical_suffix() {
+        // Checkpoint after epoch 1; the resumed session's remaining epochs
+        // must match the uninterrupted session's bit for bit.
+        for method in [
+            ProgressiveMethod::SaPsn,
+            ProgressiveMethod::LsPsn,
+            ProgressiveMethod::GsPsn,
+            ProgressiveMethod::Pbs,
+            ProgressiveMethod::Pps,
+            ProgressiveMethod::SaPsab,
+        ] {
+            let chunks: Vec<Vec<Vec<Attribute>>> = toy().chunks(2).map(|c| c.to_vec()).collect();
+            let mut baseline =
+                ProgressiveSession::new(empty_dirty(), SessionConfig::exhaustive(method));
+            baseline.ingest_batch(chunks[0].clone());
+            let first = baseline.emit_epoch(Some(2));
+            let state = baseline.dehydrate();
+            let mut resumed = ProgressiveSession::rehydrate(state);
+            assert_eq!(resumed.emitted().len(), first.comparisons.len());
+            for chunk in &chunks[1..] {
+                baseline.ingest_batch(chunk.clone());
+                resumed.ingest_batch(chunk.clone());
+                let a = baseline.emit_epoch(Some(3));
+                let b = resumed.emit_epoch(Some(3));
+                let pairs = |o: &EpochOutcome| -> Vec<(Pair, f64)> {
+                    o.comparisons.iter().map(|c| (c.pair, c.weight)).collect()
+                };
+                assert_eq!(pairs(&a), pairs(&b), "{method:?} diverged after resume");
+                assert_eq!(a.report.epoch, b.report.epoch);
+            }
+        }
+    }
+
+    #[test]
+    fn rehydrate_rebuilds_missing_substrates() {
+        // A profiles-only state (substrates dropped) must rebuild to the
+        // exact substrate an uninterrupted session holds — batching
+        // invariance makes the two indistinguishable.
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+        );
+        session.ingest_batch(toy().into_iter().take(4));
+        let full = session.emit_epoch(Some(1));
+        let mut state = session.dehydrate();
+        state.blocks = None;
+        state.nl = None;
+        let mut resumed = ProgressiveSession::rehydrate(state);
+        let a = session.emit_epoch(None);
+        let b = resumed.emit_epoch(None);
+        assert_eq!(
+            a.comparisons.iter().map(|c| c.pair).collect::<Vec<_>>(),
+            b.comparisons.iter().map(|c| c.pair).collect::<Vec<_>>(),
+        );
+        assert!(full.report.new_emissions > 0);
     }
 
     #[test]

@@ -80,6 +80,28 @@ pub struct TokenInterner {
     rank_cache: RwLock<(usize, Arc<Vec<u32>>)>,
 }
 
+/// Error of [`TokenInterner::from_strings`]: the input listed the same
+/// token twice, which would make id lookups ambiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateToken {
+    /// The repeated token text.
+    pub token: String,
+    /// Index (= would-be id) of the second occurrence.
+    pub index: usize,
+}
+
+impl std::fmt::Display for DuplicateToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "duplicate token {:?} at index {}",
+            self.token, self.index
+        )
+    }
+}
+
+impl std::error::Error for DuplicateToken {}
+
 impl TokenInterner {
     /// An empty interner.
     pub fn new() -> Self {
@@ -89,6 +111,35 @@ impl TokenInterner {
     /// An empty interner behind an [`Arc`], ready to share.
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// Rebuilds an interner from its id-ordered vocabulary — the inverse
+    /// of [`strings`](Self::strings), used by the persistence layer
+    /// (`sper-store`) to restore snapshots with every id preserved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateToken`] when the same string appears twice: ids
+    /// could no longer round-trip through [`get`](Self::get).
+    pub fn from_strings<S: AsRef<str>>(
+        strings: impl IntoIterator<Item = S>,
+    ) -> Result<Self, DuplicateToken> {
+        let mut inner = Inner::default();
+        for (i, s) in strings.into_iter().enumerate() {
+            let s: Arc<str> = Arc::from(s.as_ref());
+            if inner.map.contains_key(&s) {
+                return Err(DuplicateToken {
+                    token: s.to_string(),
+                    index: i,
+                });
+            }
+            inner.map.insert(Arc::clone(&s), TokenId(i as u32));
+            inner.strings.push(s);
+        }
+        Ok(Self {
+            inner: RwLock::new(inner),
+            rank_cache: RwLock::default(),
+        })
     }
 
     /// Interns `token`, returning its dense id (allocating a new one for a
@@ -236,6 +287,31 @@ mod tests {
             let id = it.get(t).expect("interned");
             assert_eq!(&*it.resolve(id), t.as_str());
         }
+    }
+
+    #[test]
+    fn from_strings_preserves_ids() {
+        let original = TokenInterner::new();
+        for t in ["zeta", "alpha", "mid"] {
+            original.intern(t);
+        }
+        let strings = original.strings();
+        let restored = TokenInterner::from_strings(strings.iter().map(|s| &**s)).unwrap();
+        assert_eq!(restored.len(), original.len());
+        for (i, s) in strings.iter().enumerate() {
+            assert_eq!(restored.get(s), Some(TokenId(i as u32)));
+            assert_eq!(&*restored.resolve(TokenId(i as u32)), &**s);
+        }
+        assert_eq!(restored.rank(), original.rank());
+        // Restored interners keep interning with the next dense id.
+        assert_eq!(restored.intern("new-token"), TokenId(3));
+    }
+
+    #[test]
+    fn from_strings_rejects_duplicates() {
+        let err = TokenInterner::from_strings(["a", "b", "a"]).unwrap_err();
+        assert_eq!(err.token, "a");
+        assert_eq!(err.index, 2);
     }
 
     #[test]

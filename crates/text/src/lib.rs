@@ -22,7 +22,7 @@ pub mod suffixes;
 pub mod tokenize;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use interner::{TokenId, TokenInterner};
+pub use interner::{DuplicateToken, TokenId, TokenInterner};
 pub use jaccard::{jaccard_similarity, jaccard_similarity_sorted};
 pub use levenshtein::{
     damerau_levenshtein, levenshtein, levenshtein_bounded, normalized_levenshtein,

@@ -1,11 +1,14 @@
 //! `sper` — command-line progressive entity resolution over CSV files.
 //!
 //! ```text
-//! sper resolve <profiles.csv> [--method pps] [--budget 5000] [--threshold 0.5]
+//! sper resolve  <profiles.csv> [--method pps] [--budget 5000] [--threshold 0.5]
 //! sper evaluate <profiles.csv> <matches.csv> [--method pps] [--ec-star 10]
 //! sper generate <dataset> [--scale 1.0] [--out profiles.csv --truth matches.csv]
 //! sper stream   <dataset|profiles.csv> [--method pps] [--batches 5]
 //!               [--epoch-budget N] [--truth matches.csv] [--exhaustive]
+//!               [--checkpoint run.sper] [--checkpoint-every N]
+//! sper snapshot <dataset|profiles.csv> [--out snapshot.sper] [--with-graph]
+//! sper resume   <run.sper> [--epoch-budget N] [--checkpoint run.sper]
 //! ```
 //!
 //! * `resolve` — emit likely matches best-first, scored with the Jaccard
@@ -15,25 +18,85 @@
 //! * `generate` — write one of the seven synthetic twins to CSV.
 //! * `stream` — ingest-while-resolving: feed the profiles to a
 //!   [`ProgressiveSession`] in batches and report each `ingest →
-//!   reprioritize → emit` epoch (plus per-epoch recall when a ground truth
-//!   is available).
+//!   reprioritize → emit` epoch; `--checkpoint` persists the session
+//!   every `--checkpoint-every` epochs so a later `sper resume` continues
+//!   exactly where the run stopped.
+//! * `snapshot` — build the columnar substrates (blocks, profile index,
+//!   neighbor list, optionally the materialized blocking graph) and write
+//!   them to a versioned, checksummed `.sper` store for instant reload.
+//! * `resume` — rehydrate a checkpointed session and drain its remaining
+//!   emissions, bit-identical to what the original run would have emitted.
+//!
+//! Every failure path reports a typed error and a nonzero exit code:
+//! usage errors exit 2, runtime errors (IO, corrupt stores, bad data)
+//! exit 1.
 
 use sper::prelude::*;
 use sper_model::io as model_io;
 use sper_model::{Attribute, JaccardMatcher, ProfileText};
 use std::io::Write;
+use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Every way a `sper` invocation can fail, with the exit code it maps to.
+#[derive(Debug)]
+enum CliError {
+    /// Bad command line (unknown subcommand, missing operand, bad flag
+    /// value). Exit code 2, with usage.
+    Usage(String),
+    /// A filesystem operation failed. Exit code 1.
+    Io {
+        path: String,
+        source: std::io::Error,
+    },
+    /// A `.sper` store failed to parse, validate, or write. Exit code 1.
+    Store { path: String, source: StoreError },
+    /// Input data (CSV, ground truth) failed to parse. Exit code 1.
+    Data { path: String, detail: String },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Io { path, source } => write!(f, "{path}: {source}"),
+            CliError::Store { path, source } => write!(f, "{path}: {source}"),
+            CliError::Data { path, detail } => write!(f, "{path}: {detail}"),
+        }
+    }
+}
+
+impl CliError {
+    fn io(path: impl Into<String>) -> impl FnOnce(std::io::Error) -> Self {
+        let path = path.into();
+        move |source| CliError::Io { path, source }
+    }
+
+    fn store(path: impl Into<String>) -> impl FnOnce(StoreError) -> Self {
+        let path = path.into();
+        move |source| CliError::Store { path, source }
+    }
+
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError::Usage(msg.into())
     }
 }
 
@@ -45,10 +108,16 @@ const USAGE: &str = "usage:
                 [--scale S] [--out FILE] [--truth FILE]
   sper stream   <dataset|profiles.csv> [--method M] [--batches N]
                 [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]
-                [--threads N]
+                [--threads N] [--checkpoint FILE] [--checkpoint-every N]
+  sper snapshot <dataset|profiles.csv> [--scale S] [--seed N] [--out FILE]
+                [--with-graph]
+  sper resume   <checkpoint.sper> [--epoch-budget N] [--threads N]
+                [--checkpoint FILE]
 
 --threads defaults to the machine's available parallelism; results are
-bit-identical at any thread count.";
+bit-identical at any thread count. Checkpoints and snapshots are versioned,
+checksummed binary stores (magic SPER); `sper resume` continues a
+checkpointed stream bit-identically.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -56,22 +125,38 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    flag(args, name)
+        .map(|s| {
+            s.parse()
+                .map_err(|e| CliError::usage(format!("{name}: {e}")))
+        })
+        .transpose()
+}
+
 /// `--threads N` (validated ≥ 1), defaulting to the machine's available
 /// parallelism. Emission order does not depend on the choice.
-fn parse_threads(args: &[String]) -> Result<Parallelism, String> {
+fn parse_threads(args: &[String]) -> Result<Parallelism, CliError> {
     match args.iter().position(|a| a == "--threads") {
         None => Ok(Parallelism::available()),
         Some(i) => {
             // A present flag must have a value: silently falling back to
             // the default would mask a misconfiguration.
-            let s = args.get(i + 1).ok_or("--threads needs a value")?;
-            let n: usize = s.parse().map_err(|e| format!("--threads: {e}"))?;
-            Parallelism::new(n).map_err(|e| format!("--threads: {e}"))
+            let s = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::usage("--threads needs a value"))?;
+            let n: usize = s
+                .parse()
+                .map_err(|e| CliError::usage(format!("--threads: {e}")))?;
+            Parallelism::new(n).map_err(|e| CliError::usage(format!("--threads: {e}")))
         }
     }
 }
 
-fn parse_method(s: &str) -> Result<ProgressiveMethod, String> {
+fn parse_method(s: &str) -> Result<ProgressiveMethod, CliError> {
     Ok(match s.to_ascii_lowercase().as_str() {
         "psn" => ProgressiveMethod::Psn,
         "sa-psn" => ProgressiveMethod::SaPsn,
@@ -80,47 +165,84 @@ fn parse_method(s: &str) -> Result<ProgressiveMethod, String> {
         "gs-psn" => ProgressiveMethod::GsPsn,
         "pbs" => ProgressiveMethod::Pbs,
         "pps" => ProgressiveMethod::Pps,
-        other => return Err(format!("unknown method '{other}'")),
+        other => return Err(CliError::usage(format!("unknown method '{other}'"))),
     })
 }
 
-fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
+fn method_flag(args: &[String]) -> Result<ProgressiveMethod, CliError> {
+    parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))
+}
+
+fn parse_dataset(s: &str) -> Result<DatasetKind, CliError> {
     DatasetKind::ALL
         .into_iter()
         .find(|k| k.name() == s.to_ascii_lowercase())
-        .ok_or_else(|| format!("unknown dataset '{s}'"))
+        .ok_or_else(|| CliError::usage(format!("unknown dataset '{s}'")))
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     match args.first().map(String::as_str) {
         Some("resolve") => resolve(args),
         Some("evaluate") => evaluate(args),
         Some("generate") => generate(args),
         Some("stream") => stream(args),
-        _ => Err("missing or unknown subcommand".into()),
+        Some("snapshot") => snapshot(args),
+        Some("resume") => resume(args),
+        _ => Err(CliError::usage("missing or unknown subcommand")),
     }
 }
 
-fn load_profiles(path: &str) -> Result<ProfileCollection, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    model_io::read_csv(&text).map_err(|e| format!("{path}: {e}"))
+fn load_profiles(path: &str) -> Result<ProfileCollection, CliError> {
+    let text = std::fs::read_to_string(path).map_err(CliError::io(path))?;
+    model_io::read_csv(&text).map_err(|e| CliError::Data {
+        path: path.into(),
+        detail: e.to_string(),
+    })
 }
 
-fn resolve(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("resolve needs a CSV path")?;
+fn load_truth(path: &str, n_profiles: usize) -> Result<GroundTruth, CliError> {
+    let text = std::fs::read(path).map_err(CliError::io(path))?;
+    model_io::read_matches(&text[..], n_profiles).map_err(|e| CliError::Data {
+        path: path.into(),
+        detail: e.to_string(),
+    })
+}
+
+/// Loads a dataset operand: a known twin name (generated, truth included)
+/// or a CSV path (truth via `--truth`).
+fn load_source(
+    args: &[String],
+    source: &str,
+) -> Result<(ProfileCollection, Option<GroundTruth>), CliError> {
+    match parse_dataset(source) {
+        Ok(kind) => {
+            let scale: f64 = parse_flag(args, "--scale")?.unwrap_or(1.0);
+            let data = DatasetSpec::paper(kind).with_scale(scale).generate();
+            Ok((data.profiles, Some(data.truth)))
+        }
+        Err(_) => {
+            let profiles = load_profiles(source)?;
+            let truth = flag(args, "--truth")
+                .map(|p| load_truth(&p, profiles.len()))
+                .transpose()?;
+            Ok((profiles, truth))
+        }
+    }
+}
+
+fn resolve(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::usage("resolve needs a CSV path"))?;
     let profiles = load_profiles(path)?;
-    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
+    let method = method_flag(args)?;
     if method.is_schema_based() {
-        return Err("PSN needs schema keys; use a schema-agnostic method".into());
+        return Err(CliError::usage(
+            "PSN needs schema keys; use a schema-agnostic method",
+        ));
     }
-    let budget: u64 = flag(args, "--budget")
-        .map(|s| s.parse().map_err(|e| format!("--budget: {e}")))
-        .transpose()?
-        .unwrap_or(10 * profiles.len() as u64);
-    let threshold: f64 = flag(args, "--threshold")
-        .map(|s| s.parse().map_err(|e| format!("--threshold: {e}")))
-        .transpose()?
-        .unwrap_or(0.5);
+    let budget: u64 = parse_flag(args, "--budget")?.unwrap_or(10 * profiles.len() as u64);
+    let threshold: f64 = parse_flag(args, "--threshold")?.unwrap_or(0.5);
 
     let threads = parse_threads(args)?;
     eprintln!(
@@ -137,11 +259,14 @@ fn resolve(args: &[String]) -> Result<(), String> {
     let mut out = stdout.lock();
     // A closed downstream pipe (e.g. `| head`) is a normal way to stop a
     // progressive run early — treat it as success.
-    let write_row = |out: &mut dyn Write, line: String| -> Result<bool, String> {
+    let write_row = |out: &mut dyn Write, line: String| -> Result<bool, CliError> {
         match writeln!(out, "{line}") {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(false),
-            Err(e) => Err(e.to_string()),
+            Err(e) => Err(CliError::Io {
+                path: "<stdout>".into(),
+                source: e,
+            }),
         }
     };
     let mut emitted = 0u64;
@@ -171,18 +296,17 @@ fn resolve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn evaluate(args: &[String]) -> Result<(), String> {
-    let path = args.get(1).ok_or("evaluate needs a profiles CSV path")?;
-    let matches_path = args.get(2).ok_or("evaluate needs a matches CSV path")?;
+fn evaluate(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::usage("evaluate needs a profiles CSV path"))?;
+    let matches_path = args
+        .get(2)
+        .ok_or_else(|| CliError::usage("evaluate needs a matches CSV path"))?;
     let profiles = load_profiles(path)?;
-    let truth_text = std::fs::read(matches_path).map_err(|e| format!("{matches_path}: {e}"))?;
-    let truth = model_io::read_matches(&truth_text[..], profiles.len())
-        .map_err(|e| format!("{matches_path}: {e}"))?;
-    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
-    let ec_star: f64 = flag(args, "--ec-star")
-        .map(|s| s.parse().map_err(|e| format!("--ec-star: {e}")))
-        .transpose()?
-        .unwrap_or(10.0);
+    let truth = load_truth(matches_path, profiles.len())?;
+    let method = method_flag(args)?;
+    let ec_star: f64 = parse_flag(args, "--ec-star")?.unwrap_or(10.0);
 
     let config = MethodConfig::default().with_threads(parse_threads(args)?);
     let result = run_progressive(
@@ -204,48 +328,53 @@ fn evaluate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Prints the per-epoch CSV row every streaming-shaped subcommand shares.
+fn print_epoch_row(outcome: &EpochOutcome) {
+    let r = &outcome.report;
+    println!(
+        "{},{},{},{},{},{},{}",
+        r.epoch,
+        r.ingested,
+        r.profiles_total,
+        r.new_emissions,
+        r.suppressed,
+        r.init_time.as_micros(),
+        r.emission_time.as_micros(),
+    );
+}
+
 /// Ingest-while-resolving over a dataset name (generated twin, ground
-/// truth included) or a profiles CSV (ground truth via `--truth`).
-fn stream(args: &[String]) -> Result<(), String> {
+/// truth included) or a profiles CSV (ground truth via `--truth`). With
+/// `--checkpoint FILE`, the session is persisted every
+/// `--checkpoint-every N` epochs (default every epoch), so `sper resume`
+/// can continue the run bit-identically after a crash or budget stop.
+fn stream(args: &[String]) -> Result<(), CliError> {
     let source = args
         .get(1)
-        .ok_or("stream needs a dataset name or CSV path")?;
-    let method = parse_method(&flag(args, "--method").unwrap_or_else(|| "pps".into()))?;
+        .ok_or_else(|| CliError::usage("stream needs a dataset name or CSV path"))?;
+    let method = method_flag(args)?;
     if method.is_schema_based() {
-        return Err("PSN needs schema keys; streaming is schema-agnostic".into());
+        return Err(CliError::usage(
+            "PSN needs schema keys; streaming is schema-agnostic",
+        ));
     }
-    let n_batches: usize = flag(args, "--batches")
-        .map(|s| s.parse().map_err(|e| format!("--batches: {e}")))
-        .transpose()?
-        .unwrap_or(5);
+    let n_batches: usize = parse_flag(args, "--batches")?.unwrap_or(5);
     if n_batches == 0 {
-        return Err("--batches must be ≥ 1".into());
+        return Err(CliError::usage("--batches must be ≥ 1"));
     }
-    let epoch_budget: Option<u64> = flag(args, "--epoch-budget")
-        .map(|s| s.parse().map_err(|e| format!("--epoch-budget: {e}")))
-        .transpose()?;
+    let epoch_budget: Option<u64> = parse_flag(args, "--epoch-budget")?;
+    let checkpoint_path = flag(args, "--checkpoint");
+    let checkpoint_every: usize = parse_flag(args, "--checkpoint-every")?.unwrap_or(1);
+    if checkpoint_every == 0 {
+        return Err(CliError::usage("--checkpoint-every must be ≥ 1"));
+    }
+    if checkpoint_path.is_none() && flag(args, "--checkpoint-every").is_some() {
+        return Err(CliError::usage(
+            "--checkpoint-every needs --checkpoint FILE",
+        ));
+    }
 
-    let (profiles, truth) = match parse_dataset(source) {
-        Ok(kind) => {
-            let scale: f64 = flag(args, "--scale")
-                .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
-                .transpose()?
-                .unwrap_or(1.0);
-            let data = DatasetSpec::paper(kind).with_scale(scale).generate();
-            (data.profiles, Some(data.truth))
-        }
-        Err(_) => {
-            let profiles = load_profiles(source)?;
-            let truth = flag(args, "--truth")
-                .map(|p| {
-                    let text = std::fs::read(&p).map_err(|e| format!("{p}: {e}"))?;
-                    model_io::read_matches(&text[..], profiles.len())
-                        .map_err(|e| format!("{p}: {e}"))
-                })
-                .transpose()?;
-            (profiles, truth)
-        }
-    };
+    let (profiles, truth) = load_source(args, source)?;
 
     let session_config = if args.iter().any(|a| a == "--exhaustive") {
         SessionConfig::exhaustive(method)
@@ -290,28 +419,41 @@ fn stream(args: &[String]) -> Result<(), String> {
     let chunk = rows.len().div_ceil(n_batches).max(1);
     let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(chunk).map(|c| c.to_vec()).collect();
     println!("epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us");
-    let (recall, _reports) = run_streaming_with(
-        initial,
-        batches,
-        session_config,
-        epoch_budget,
-        truth.as_ref(),
-        |outcome| {
-            let r = &outcome.report;
-            println!(
-                "{},{},{},{},{},{},{}",
-                r.epoch,
-                r.ingested,
-                r.profiles_total,
-                r.new_emissions,
-                r.suppressed,
-                r.init_time.as_micros(),
-                r.emission_time.as_micros(),
-            );
-        },
-    );
 
-    if let Some(recall) = recall {
+    let mut session = ProgressiveSession::new(initial, session_config);
+    let mut epochs: Vec<sper::eval::StreamEpoch> = Vec::new();
+    let mut checkpointed_epoch = 0usize;
+    for batch in batches {
+        session.ingest_batch(batch);
+        let outcome = session.emit_epoch(epoch_budget);
+        print_epoch_row(&outcome);
+        epochs.push(sper::eval::StreamEpoch {
+            profiles_total: outcome.report.profiles_total,
+            pairs: outcome.comparisons.iter().map(|c| c.pair).collect(),
+        });
+        if let Some(path) = &checkpoint_path {
+            if outcome.report.epoch.is_multiple_of(checkpoint_every) {
+                SessionCheckpoint::of(&session)
+                    .write_to_path(Path::new(path))
+                    .map_err(CliError::store(path))?;
+                checkpointed_epoch = outcome.report.epoch;
+                eprintln!("checkpoint → {path} (epoch {})", outcome.report.epoch);
+            }
+        }
+    }
+    // The final state is always persisted, whatever the cadence — unless
+    // the last epoch already was.
+    if let Some(path) = &checkpoint_path {
+        if checkpointed_epoch != session.reports().len() {
+            SessionCheckpoint::of(&session)
+                .write_to_path(Path::new(path))
+                .map_err(CliError::store(path))?;
+            eprintln!("final checkpoint → {path}");
+        }
+    }
+
+    if let Some(truth) = truth {
+        let recall = sper::eval::streaming_recall(&epochs, &truth);
         eprintln!();
         eprintln!("epoch  profiles  emissions  new_matches  recall");
         for m in &recall.epochs {
@@ -332,12 +474,109 @@ fn stream(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn generate(args: &[String]) -> Result<(), String> {
-    let kind = parse_dataset(args.get(1).ok_or("generate needs a dataset name")?)?;
-    let scale: f64 = flag(args, "--scale")
-        .map(|s| s.parse().map_err(|e| format!("--scale: {e}")))
-        .transpose()?
-        .unwrap_or(1.0);
+/// Builds the columnar substrates for a collection and writes them to a
+/// `.sper` snapshot: interner, profiles, cardinality-scheduled blocks,
+/// profile index, neighbor list, and (with `--with-graph`) the
+/// materialized blocking graph. Loading the file reproduces every array
+/// bit for bit, skipping tokenization and sorting entirely.
+fn snapshot(args: &[String]) -> Result<(), CliError> {
+    let source = args
+        .get(1)
+        .ok_or_else(|| CliError::usage("snapshot needs a dataset name or CSV path"))?;
+    let out = flag(args, "--out").unwrap_or_else(|| "snapshot.sper".into());
+    let seed: u64 = parse_flag(args, "--seed")?.unwrap_or(42);
+    let (profiles, _truth) = load_source(args, source)?;
+
+    let t0 = Instant::now();
+    let mut blocks = TokenBlocking::default().build(&profiles);
+    blocks.sort_by_cardinality();
+    let index = ProfileIndex::build(&blocks);
+    let nl = NeighborList::build(&profiles, seed);
+    let build_time = t0.elapsed();
+
+    let mut snapshot = Snapshot::new(std::sync::Arc::clone(blocks.interner()));
+    if args.iter().any(|a| a == "--with-graph") {
+        snapshot.graph = Some(BlockingGraph::build(&blocks, WeightingScheme::Arcs));
+    }
+    snapshot.profiles = Some(profiles);
+    snapshot.blocks = Some(blocks);
+    snapshot.profile_index = Some(index);
+    snapshot.neighbor_list = Some(nl);
+
+    let t1 = Instant::now();
+    snapshot
+        .write_to_path(Path::new(&out))
+        .map_err(CliError::store(&out))?;
+    let write_time = t1.elapsed();
+    let size = std::fs::metadata(&out).map_err(CliError::io(&out))?.len();
+    eprintln!(
+        "snapshot → {out} ({size} bytes; sections: {}; build {build_time:?}, write {write_time:?})",
+        snapshot.describe().join(", "),
+    );
+    Ok(())
+}
+
+/// Rehydrates a checkpointed session and drains its remaining emissions —
+/// bit-identical to what the uninterrupted run would have emitted. With
+/// `--epoch-budget N` the drain runs budgeted epochs until the method is
+/// exhausted; `--checkpoint FILE` re-persists the final state.
+fn resume(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .get(1)
+        .ok_or_else(|| CliError::usage("resume needs a checkpoint path"))?;
+    let epoch_budget: Option<u64> = parse_flag(args, "--epoch-budget")?;
+    let checkpoint_out = flag(args, "--checkpoint");
+
+    let t0 = Instant::now();
+    let checkpoint = SessionCheckpoint::read_from_path(Path::new(path))
+        .map_err(CliError::store(path.as_str()))?;
+    let load_time = t0.elapsed();
+    let mut state = checkpoint.state;
+    if args.iter().any(|a| a == "--threads") {
+        state.config.threads = parse_threads(args)?;
+    }
+    eprintln!(
+        "resumed {} session: {} profiles, {} pairs emitted, {} epochs done (loaded in {load_time:?})",
+        state.method.name(),
+        state.profiles.len(),
+        state.emitted.len(),
+        state.reports.len(),
+    );
+    let mut session = ProgressiveSession::rehydrate(state);
+
+    println!("epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us");
+    loop {
+        let outcome = session.emit_epoch(epoch_budget);
+        print_epoch_row(&outcome);
+        // An unbudgeted epoch is already exhaustive. A budgeted drain
+        // loops while epochs fill their budget; the first epoch that
+        // falls short ran the method dry (a rebuilt method re-emits
+        // suppressed repeats forever, so `raw > 0` is not progress).
+        let exhausted = epoch_budget.is_none_or(|b| outcome.report.new_emissions < b);
+        if exhausted {
+            break;
+        }
+    }
+    eprintln!(
+        "{} pairs emitted in total across {} epochs",
+        session.emitted().len(),
+        session.reports().len(),
+    );
+    if let Some(out) = checkpoint_out {
+        SessionCheckpoint::of(&session)
+            .write_to_path(Path::new(&out))
+            .map_err(CliError::store(&out))?;
+        eprintln!("checkpoint → {out}");
+    }
+    Ok(())
+}
+
+fn generate(args: &[String]) -> Result<(), CliError> {
+    let kind = parse_dataset(
+        args.get(1)
+            .ok_or_else(|| CliError::usage("generate needs a dataset name"))?,
+    )?;
+    let scale: f64 = parse_flag(args, "--scale")?.unwrap_or(1.0);
     let data = DatasetSpec::paper(kind).with_scale(scale).generate();
     eprintln!(
         "{}: {} profiles, {} matches",
@@ -347,18 +586,19 @@ fn generate(args: &[String]) -> Result<(), String> {
     );
     match flag(args, "--out") {
         Some(path) => {
-            let mut f = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-            model_io::write_csv(&data.profiles, &mut f).map_err(|e| e.to_string())?;
+            let mut f = std::fs::File::create(&path).map_err(CliError::io(&path))?;
+            model_io::write_csv(&data.profiles, &mut f).map_err(CliError::io(&path))?;
             eprintln!("profiles → {path}");
         }
         None => {
             let stdout = std::io::stdout();
-            model_io::write_csv(&data.profiles, &mut stdout.lock()).map_err(|e| e.to_string())?;
+            model_io::write_csv(&data.profiles, &mut stdout.lock())
+                .map_err(CliError::io("<stdout>"))?;
         }
     }
     if let Some(path) = flag(args, "--truth") {
-        let mut f = std::fs::File::create(&path).map_err(|e| format!("{path}: {e}"))?;
-        model_io::write_matches(&data.truth, &mut f).map_err(|e| e.to_string())?;
+        let mut f = std::fs::File::create(&path).map_err(CliError::io(&path))?;
+        model_io::write_matches(&data.truth, &mut f).map_err(CliError::io(&path))?;
         eprintln!("truth → {path}");
     }
     Ok(())

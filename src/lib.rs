@@ -18,6 +18,7 @@ pub use sper_core as core;
 pub use sper_datagen as datagen;
 pub use sper_eval as eval;
 pub use sper_model as model;
+pub use sper_store as store;
 pub use sper_stream as stream;
 pub use sper_text as text;
 
@@ -43,8 +44,9 @@ pub mod prelude {
         ErKind, GroundTruth, MatchFunction, Pair, Profile, ProfileCollection,
         ProfileCollectionBuilder, ProfileId, SourceId,
     };
+    pub use sper_store::{SessionCheckpoint, Snapshot, StoreError};
     pub use sper_stream::{
         run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession,
-        SessionConfig,
+        SessionConfig, SessionState,
     };
 }

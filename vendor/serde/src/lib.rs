@@ -5,10 +5,10 @@
 //!
 //! * [`Serialize`] — JSON emission, implementable by hand or via
 //!   `#[derive(Serialize)]` (from the vendored `serde_derive`),
-//! * [`Deserialize`] — a marker trait so `#[derive(Deserialize)]` sites
-//!   keep compiling (nothing in the workspace parses JSON back),
-//! * [`json::to_string`] — the `serde_json::to_string` stand-in used by
-//!   the bench exporters.
+//! * [`Deserialize`] — JSON parsing from a [`json::Value`] tree, via
+//!   `#[derive(Deserialize)]` or hand-written impls,
+//! * [`json::to_string`] / [`json::from_str`] — the `serde_json`
+//!   stand-ins used by the bench exporters and the resume/merge paths.
 
 // Lets the derive expansion's `serde::` paths resolve inside this crate's
 // own tests as well.
@@ -22,8 +22,17 @@ pub trait Serialize {
     fn serialize_json(&self, out: &mut String);
 }
 
-/// Marker trait backing `#[derive(Deserialize)]`.
-pub trait Deserialize {}
+/// Types that can reconstruct themselves from a parsed [`json::Value`].
+///
+/// The derive supports the same item shapes as `#[derive(Serialize)]`:
+/// braced structs (JSON objects), tuple structs (newtypes transparent,
+/// wider tuples as arrays, unit structs as `null`) and unit-only enums
+/// (variant-name strings). Round-trips `to_string` → `from_str` exactly
+/// for every shape the workspace serializes.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a parsed JSON value.
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error>;
+}
 
 /// Serialization helpers used by the derive expansion.
 pub mod ser {
@@ -47,15 +56,447 @@ pub mod ser {
     }
 }
 
-/// `serde_json`-shaped entry points.
+/// Deserialization helpers used by the derive expansion.
+pub mod de {
+    use super::json::{Error, Value};
+    use super::Deserialize;
+
+    /// Builds a deserialization error.
+    pub fn err(msg: impl Into<String>) -> Error {
+        Error::msg(msg)
+    }
+
+    /// The value as an object's field list, or a type error.
+    pub fn as_object<'a>(value: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        match value {
+            Value::Object(fields) => Ok(fields),
+            other => Err(err(format!(
+                "{ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an array's element list, or a type error.
+    pub fn as_array<'a>(value: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+        match value {
+            Value::Array(items) => Ok(items),
+            other => Err(err(format!("{ty}: expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// Deserializes the field `name` of an object. A missing field is
+    /// handed to `T` as `null`, so `Option` fields tolerate omission
+    /// while every other type reports it — with one deliberate
+    /// exception: float fields deserialize `null` (and therefore a
+    /// missing field) to `NaN`, because the Serialize side has no other
+    /// encoding for non-finite floats and the round-trip wins.
+    pub fn field<T: Deserialize>(
+        fields: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let value = fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .unwrap_or(&Value::Null);
+        T::deserialize_value(value).map_err(|e| err(format!("{ty}.{name}: {e}")))
+    }
+
+    /// Deserializes element `i` of a fixed-arity array (tuple structs).
+    pub fn element<T: Deserialize>(items: &[Value], i: usize, ty: &str) -> Result<T, Error> {
+        let value = items
+            .get(i)
+            .ok_or_else(|| err(format!("{ty}: missing element {i}")))?;
+        T::deserialize_value(value).map_err(|e| err(format!("{ty}[{i}]: {e}")))
+    }
+
+    /// The value as an enum variant name, or a type error.
+    pub fn variant<'a>(value: &'a Value, ty: &str) -> Result<&'a str, Error> {
+        match value {
+            Value::String(s) => Ok(s),
+            other => Err(err(format!(
+                "{ty}: expected variant string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Error for a variant string naming no variant of `ty`.
+    pub fn unknown_variant(found: &str, ty: &str) -> Error {
+        err(format!("{ty}: unknown variant \"{found}\""))
+    }
+
+    /// Expects `null` (unit structs), or reports a type error.
+    pub fn expect_null(value: &Value, ty: &str) -> Result<(), Error> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(err(format!("{ty}: expected null, found {}", other.kind()))),
+        }
+    }
+}
+
+/// `serde_json`-shaped entry points: JSON emission, a small value-tree
+/// parser and [`from_str`] deserialization.
 pub mod json {
-    use super::Serialize;
+    use super::{Deserialize, Serialize};
 
     /// The JSON encoding of `value`.
     pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
         let mut out = String::new();
         value.serialize_json(&mut out);
         out
+    }
+
+    /// Parses `text` and deserializes a `T` from it.
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::deserialize_value(&parse(text)?)
+    }
+
+    /// A parse or deserialization error (message plus, for syntax errors,
+    /// the byte offset).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+        /// Byte offset of a syntax error, when known.
+        pub offset: Option<usize>,
+    }
+
+    impl Error {
+        pub(crate) fn msg(msg: impl Into<String>) -> Self {
+            Self {
+                msg: msg.into(),
+                offset: None,
+            }
+        }
+
+        fn at(msg: impl Into<String>, offset: usize) -> Self {
+            Self {
+                msg: msg.into(),
+                offset: Some(offset),
+            }
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self.offset {
+                Some(at) => write!(f, "{} (at byte {at})", self.msg),
+                None => f.write_str(&self.msg),
+            }
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// A JSON number, kept as its raw text so integers round-trip without
+    /// a detour through `f64`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Number {
+        raw: String,
+    }
+
+    impl Number {
+        /// The number as `f64`.
+        pub fn as_f64(&self) -> Result<f64, Error> {
+            self.raw
+                .parse()
+                .map_err(|_| Error::msg(format!("invalid number \"{}\"", self.raw)))
+        }
+
+        /// The number as a signed 128-bit integer (floats are rejected).
+        pub fn as_i128(&self) -> Result<i128, Error> {
+            self.raw
+                .parse()
+                .map_err(|_| Error::msg(format!("expected integer, found \"{}\"", self.raw)))
+        }
+    }
+
+    /// A parsed JSON document.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (raw text retained).
+        Number(Number),
+        /// A string literal (escapes resolved).
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object; field order preserved, duplicate keys kept as-is
+        /// (lookups take the first).
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The value's JSON type name, for error messages.
+        pub fn kind(&self) -> &'static str {
+            match self {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::Number(_) => "number",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            }
+        }
+
+        /// The field `name` of an object value, if present.
+        pub fn get(&self, name: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Maximum nesting depth the parser accepts — a stack-overflow guard,
+    /// far above anything the workspace emits.
+    const MAX_DEPTH: usize = 128;
+
+    /// Parses a JSON document into a [`Value`] tree.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(Error::at("trailing characters after document", p.at));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        at: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.at) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.at += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.at).copied()
+        }
+
+        fn eat(&mut self, token: &str) -> bool {
+            if self.bytes[self.at..].starts_with(token.as_bytes()) {
+                self.at += token.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self, depth: usize) -> Result<Value, Error> {
+            if depth > MAX_DEPTH {
+                return Err(Error::at("nesting too deep", self.at));
+            }
+            match self.peek() {
+                None => Err(Error::at("unexpected end of document", self.at)),
+                Some(b'n') if self.eat("null") => Ok(Value::Null),
+                Some(b't') if self.eat("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat("false") => Ok(Value::Bool(false)),
+                Some(b'"') => Ok(Value::String(self.string()?)),
+                Some(b'[') => self.array(depth),
+                Some(b'{') => self.object(depth),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+                Some(b) => Err(Error::at(
+                    format!("unexpected character '{}'", b as char),
+                    self.at,
+                )),
+            }
+        }
+
+        fn array(&mut self, depth: usize) -> Result<Value, Error> {
+            self.at += 1; // '['
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.at += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b']') => {
+                        self.at += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::at("expected ',' or ']'", self.at)),
+                }
+            }
+        }
+
+        fn object(&mut self, depth: usize) -> Result<Value, Error> {
+            self.at += 1; // '{'
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.at += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                self.skip_ws();
+                if self.peek() != Some(b'"') {
+                    return Err(Error::at("expected object key string", self.at));
+                }
+                let key = self.string()?;
+                self.skip_ws();
+                if self.peek() != Some(b':') {
+                    return Err(Error::at("expected ':'", self.at));
+                }
+                self.at += 1;
+                self.skip_ws();
+                let value = self.value(depth + 1)?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.at += 1,
+                    Some(b'}') => {
+                        self.at += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(Error::at("expected ',' or '}'", self.at)),
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.at;
+            if self.peek() == Some(b'-') {
+                self.at += 1;
+            }
+            let digits_start = self.at;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.at += 1;
+            }
+            if self.at == digits_start {
+                return Err(Error::at("expected digits", self.at));
+            }
+            if self.peek() == Some(b'.') {
+                self.at += 1;
+                let frac_start = self.at;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.at += 1;
+                }
+                if self.at == frac_start {
+                    return Err(Error::at("expected fraction digits", self.at));
+                }
+            }
+            if matches!(self.peek(), Some(b'e' | b'E')) {
+                self.at += 1;
+                if matches!(self.peek(), Some(b'+' | b'-')) {
+                    self.at += 1;
+                }
+                let exp_start = self.at;
+                while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                    self.at += 1;
+                }
+                if self.at == exp_start {
+                    return Err(Error::at("expected exponent digits", self.at));
+                }
+            }
+            let raw = std::str::from_utf8(&self.bytes[start..self.at])
+                .expect("number bytes are ASCII")
+                .to_string();
+            Ok(Value::Number(Number { raw }))
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.at += 1; // opening '"'
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(Error::at("unterminated string", self.at)),
+                    Some(b'"') => {
+                        self.at += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.at += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                self.at += 1;
+                                let hi = self.hex4()?;
+                                let c = if (0xD800..0xDC00).contains(&hi) {
+                                    // Surrogate pair: a following \uXXXX low
+                                    // surrogate completes the scalar.
+                                    if !self.eat("\\u") {
+                                        return Err(Error::at("lone high surrogate", self.at));
+                                    }
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(Error::at("invalid low surrogate", self.at));
+                                    }
+                                    let scalar = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(scalar)
+                                        .ok_or_else(|| Error::at("invalid scalar", self.at))?
+                                } else {
+                                    char::from_u32(hi)
+                                        .ok_or_else(|| Error::at("invalid scalar", self.at))?
+                                };
+                                out.push(c);
+                                // hex4 advanced past the digits already.
+                                continue;
+                            }
+                            _ => return Err(Error::at("invalid escape", self.at)),
+                        }
+                        self.at += 1;
+                    }
+                    Some(b) if b < 0x20 => {
+                        return Err(Error::at("control character in string", self.at))
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is a &str, so the
+                        // encoding is valid by construction).
+                        let rest =
+                            std::str::from_utf8(&self.bytes[self.at..]).expect("input was a &str");
+                        let c = rest.chars().next().expect("peeked non-empty");
+                        out.push(c);
+                        self.at += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        /// Reads exactly four hex digits, advancing past them.
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let end = self.at + 4;
+            if end > self.bytes.len() {
+                return Err(Error::at("truncated \\u escape", self.at));
+            }
+            let hex = std::str::from_utf8(&self.bytes[self.at..end])
+                .map_err(|_| Error::at("invalid \\u escape", self.at))?;
+            let v = u32::from_str_radix(hex, 16)
+                .map_err(|_| Error::at("invalid \\u escape", self.at))?;
+            self.at = end;
+            Ok(v)
+        }
     }
 }
 
@@ -66,10 +507,39 @@ macro_rules! impl_int {
                 out.push_str(&self.to_string());
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+                match value {
+                    json::Value::Number(n) => <$t>::try_from(n.as_i128()?)
+                        .map_err(|_| de::err(concat!("out of range for ", stringify!($t)))),
+                    other => Err(de::err(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
     )*};
 }
-impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, i128, isize);
+
+// `u128` exceeds `i128` range; parse its raw text directly.
+impl Serialize for u128 {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(&self.to_string());
+    }
+}
+impl Deserialize for u128 {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        match value {
+            json::Value::Number(n) => {
+                let as_i = n.as_i128()?;
+                u128::try_from(as_i).map_err(|_| de::err("out of range for u128"))
+            }
+            other => Err(de::err(format!("expected u128, found {}", other.kind()))),
+        }
+    }
+}
 
 macro_rules! impl_float {
     ($($t:ty),*) => {$(
@@ -83,7 +553,23 @@ macro_rules! impl_float {
                 }
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+                match value {
+                    json::Value::Number(n) => Ok(n.as_f64()? as $t),
+                    // The Serialize side writes non-finite floats as
+                    // null, so null must parse back to NaN for the
+                    // round-trip. Side effect (documented on de::field):
+                    // a *missing* non-Option float field also reads as
+                    // NaN instead of erroring.
+                    json::Value::Null => Ok(<$t>::NAN),
+                    other => Err(de::err(format!(
+                        concat!("expected ", stringify!($t), ", found {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
     )*};
 }
 impl_float!(f32, f64);
@@ -93,14 +579,33 @@ impl Serialize for bool {
         out.push_str(if *self { "true" } else { "false" });
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        match value {
+            json::Value::Bool(b) => Ok(*b),
+            other => Err(de::err(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
 
 impl Serialize for char {
     fn serialize_json(&self, out: &mut String) {
         ser::write_json_str(&self.to_string(), out);
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        match value {
+            json::Value::String(s) if s.chars().count() == 1 => {
+                Ok(s.chars().next().expect("length checked"))
+            }
+            other => Err(de::err(format!(
+                "expected single-character string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
 
 impl Serialize for str {
     fn serialize_json(&self, out: &mut String) {
@@ -113,7 +618,14 @@ impl Serialize for String {
         ser::write_json_str(self, out);
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        match value {
+            json::Value::String(s) => Ok(s.clone()),
+            other => Err(de::err(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize_json(&self, out: &mut String) {
@@ -126,6 +638,11 @@ impl<T: Serialize> Serialize for Box<T> {
         (**self).serialize_json(out);
     }
 }
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        T::deserialize_value(value).map(Box::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize_json(&self, out: &mut String) {
@@ -135,7 +652,14 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        match value {
+            json::Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn serialize_json(&self, out: &mut String) {
@@ -155,7 +679,14 @@ impl<T: Serialize> Serialize for Vec<T> {
         self.as_slice().serialize_json(out);
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        de::as_array(value, "Vec")?
+            .iter()
+            .map(T::deserialize_value)
+            .collect()
+    }
+}
 
 macro_rules! impl_tuple {
     ($(($($n:tt $t:ident),+)),+) => {$(
@@ -172,6 +703,19 @@ macro_rules! impl_tuple {
                 out.push(']');
             }
         }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+                let items = de::as_array(value, "tuple")?;
+                let arity = [$($n),+].len();
+                if items.len() != arity {
+                    return Err(de::err(format!(
+                        "expected {arity}-element array, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($(de::element::<$t>(items, $n, "tuple")?,)+))
+            }
+        }
     )+};
 }
 impl_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
@@ -182,7 +726,15 @@ impl Serialize for std::time::Duration {
         self.as_secs_f64().serialize_json(out);
     }
 }
-impl Deserialize for std::time::Duration {}
+impl Deserialize for std::time::Duration {
+    fn deserialize_value(value: &json::Value) -> Result<Self, json::Error> {
+        let secs = f64::deserialize_value(value)?;
+        if !secs.is_finite() || secs < 0.0 {
+            return Err(de::err(format!("invalid duration {secs}")));
+        }
+        Ok(std::time::Duration::from_secs_f64(secs))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -232,5 +784,128 @@ mod tests {
         assert_eq!(json::to_string(&Newtype(9)), "9");
         assert_eq!(json::to_string(&E::X), "\"X\"");
         assert_eq!(json::to_string(&E::Y), "\"Y\"");
+    }
+
+    #[test]
+    fn parse_documents() {
+        use json::Value;
+        let v = json::parse(r#" {"a": [1, -2.5, null], "b": "xé\n", "c": true} "#).unwrap();
+        let a = v.get("a").unwrap();
+        assert_eq!(a.kind(), "array");
+        assert_eq!(v.get("b"), Some(&Value::String("xé\n".into())));
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"k\" 1}",
+            "12 34",
+            "nul",
+            "+1",
+        ] {
+            assert!(json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Deep nesting is rejected, not a stack overflow.
+        let deep = "[".repeat(4000) + &"]".repeat(4000);
+        assert!(json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        let v = json::parse(r#""🦀""#).unwrap();
+        assert_eq!(v, json::Value::String("🦀".into()));
+        assert!(json::parse(r#""\ud83e""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct S {
+            a: u32,
+            b: String,
+            c: Option<f64>,
+            d: Vec<(u64, f64)>,
+        }
+        let s = S {
+            a: 7,
+            b: "hi \"there\"".into(),
+            c: None,
+            d: vec![(1, 0.5), (2, 1.25)],
+        };
+        let text = json::to_string(&s);
+        assert_eq!(json::from_str::<S>(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn from_str_newtype_and_enum() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Id(u32);
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum E {
+            X,
+            Y,
+        }
+        assert_eq!(json::from_str::<Id>("9").unwrap(), Id(9));
+        assert_eq!(json::from_str::<E>("\"Y\"").unwrap(), E::Y);
+        assert!(json::from_str::<E>("\"Z\"")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown variant"));
+        assert!(json::from_str::<Id>("\"x\"").is_err());
+    }
+
+    #[test]
+    fn integer_bounds_checked() {
+        assert_eq!(json::from_str::<u8>("255").unwrap(), 255);
+        assert!(json::from_str::<u8>("256").is_err());
+        assert!(json::from_str::<u32>("-1").is_err());
+        assert!(
+            json::from_str::<u64>("1.5").is_err(),
+            "floats are not integers"
+        );
+        assert!(json::from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn missing_fields_only_tolerated_for_option() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct S {
+            a: u32,
+            b: Option<u32>,
+        }
+        assert_eq!(
+            json::from_str::<S>("{\"a\":1}").unwrap(),
+            S { a: 1, b: None }
+        );
+        assert!(json::from_str::<S>("{\"b\":2}").is_err());
+    }
+
+    #[test]
+    fn missing_float_field_is_nan_by_design() {
+        // The documented exception to the strict-missing-field rule:
+        // floats read null (and absence) as NaN, the price of exact
+        // non-finite round-trips.
+        #[derive(Debug, Serialize, Deserialize)]
+        struct F {
+            x: f64,
+        }
+        assert!(json::from_str::<F>("{}").unwrap().x.is_nan());
+        let text = json::to_string(&F { x: f64::INFINITY });
+        assert!(json::from_str::<F>(&text).unwrap().x.is_nan());
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = std::time::Duration::from_micros(1_234_567);
+        let text = json::to_string(&d);
+        let back: std::time::Duration = json::from_str(&text).unwrap();
+        assert!((back.as_secs_f64() - d.as_secs_f64()).abs() < 1e-9);
+        assert!(json::from_str::<std::time::Duration>("-1").is_err());
     }
 }

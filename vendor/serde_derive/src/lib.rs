@@ -3,8 +3,9 @@
 //! The build environment has no access to crates.io, so the workspace
 //! vendors a small serde-compatible surface: `#[derive(Serialize)]`
 //! generates an implementation of the vendored `serde::Serialize` trait
-//! (JSON emission), `#[derive(Deserialize)]` an implementation of the
-//! `serde::Deserialize` marker trait.
+//! (JSON emission), `#[derive(Deserialize)]` the mirror-image
+//! `serde::Deserialize` implementation (construction from a parsed
+//! `serde::json::Value`, exactly inverting the emitted shape).
 //!
 //! Supported item shapes — exactly what the workspace uses:
 //!
@@ -19,9 +20,21 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// A parsed `struct` / `enum` definition.
 enum Item {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    UnitEnum { name: String, variants: Vec<String> },
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+        /// Distinguishes `struct S(...)` (constructed as `S(..)`) from the
+        /// fieldless `struct S;` (constructed as plain `S`).
+        parens: bool,
+    },
+    UnitEnum {
+        name: String,
+        variants: Vec<String>,
+    },
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -66,9 +79,14 @@ fn parse_item(input: TokenStream) -> Item {
             Some(g) if g.delimiter() == Delimiter::Parenthesis => Item::TupleStruct {
                 name,
                 arity: count_tuple_fields(g.stream()),
+                parens: true,
             },
             // `struct Unit;`
-            _ => Item::TupleStruct { name, arity: 0 },
+            _ => Item::TupleStruct {
+                name,
+                arity: 0,
+                parens: false,
+            },
         },
         "enum" => {
             let g = body.expect("enum without a body");
@@ -191,12 +209,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             body.push_str("out.push('}');");
             impl_block(&name, &body)
         }
-        Item::TupleStruct { name, arity: 0 } => impl_block(&name, "out.push_str(\"null\");"),
+        Item::TupleStruct { name, arity: 0, .. } => impl_block(&name, "out.push_str(\"null\");"),
         // Newtypes serialize transparently, as serde does.
-        Item::TupleStruct { name, arity: 1 } => {
+        Item::TupleStruct { name, arity: 1, .. } => {
             impl_block(&name, "serde::Serialize::serialize_json(&self.0, out);")
         }
-        Item::TupleStruct { name, arity } => {
+        Item::TupleStruct { name, arity, .. } => {
             let mut body = String::from("out.push('[');\n");
             for i in 0..arity {
                 if i > 0 {
@@ -226,13 +244,59 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = match parse_item(input) {
-        Item::NamedStruct { name, .. }
-        | Item::TupleStruct { name, .. }
-        | Item::UnitEnum { name, .. } => name,
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let mut body =
+                format!("let fields = serde::de::as_object(value, \"{name}\")?;\nOk(Self {{\n");
+            for f in &fields {
+                body.push_str(&format!(
+                    "{f}: serde::de::field(fields, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            body.push_str("})");
+            de_impl_block(&name, &body)
+        }
+        Item::TupleStruct {
+            name,
+            arity: 0,
+            parens,
+        } => {
+            let construct = if parens { "Self()" } else { "Self" };
+            de_impl_block(
+                &name,
+                &format!("serde::de::expect_null(value, \"{name}\")?;\nOk({construct})"),
+            )
+        }
+        // Newtypes deserialize transparently, as serde does.
+        Item::TupleStruct { name, arity: 1, .. } => de_impl_block(
+            &name,
+            "Ok(Self(serde::Deserialize::deserialize_value(value)?))",
+        ),
+        Item::TupleStruct { name, arity, .. } => {
+            let mut body = format!(
+                "let items = serde::de::as_array(value, \"{name}\")?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(serde::de::err(\"{name}: wrong tuple arity\"));\n\
+                 }}\nOk(Self(\n"
+            );
+            for i in 0..arity {
+                body.push_str(&format!("serde::de::element(items, {i}, \"{name}\")?,\n"));
+            }
+            body.push_str("))");
+            de_impl_block(&name, &body)
+        }
+        Item::UnitEnum { name, variants } => {
+            let mut body = format!("match serde::de::variant(value, \"{name}\")? {{\n");
+            for v in &variants {
+                body.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+            }
+            body.push_str(&format!(
+                "other => Err(serde::de::unknown_variant(other, \"{name}\")),\n}}"
+            ));
+            de_impl_block(&name, &body)
+        }
     };
-    format!("impl serde::Deserialize for {name} {{}}")
-        .parse()
+    out.parse()
         .expect("derive(Deserialize) generated invalid code")
 }
 
@@ -240,6 +304,15 @@ fn impl_block(name: &str, body: &str) -> String {
     format!(
         "impl serde::Serialize for {name} {{\n\
              fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn de_impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_value(value: &serde::json::Value) \
+                 -> Result<Self, serde::json::Error> {{\n{body}\n}}\n\
          }}"
     )
 }
