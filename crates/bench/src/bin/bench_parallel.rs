@@ -239,4 +239,16 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("wrote {out}");
+    // The per-curve identity checks are a CI gate: a bit-identity
+    // regression must fail the build, not merely write `false` into JSON.
+    let broken: Vec<&str> = report
+        .curves
+        .iter()
+        .filter(|c| !c.identical)
+        .map(|c| c.name.as_str())
+        .collect();
+    if !broken.is_empty() {
+        eprintln!("error: identity check failed for: {}", broken.join(", "));
+        std::process::exit(1);
+    }
 }

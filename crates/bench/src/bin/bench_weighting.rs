@@ -1,0 +1,292 @@
+//! Sparse-accumulator weighting perf harness: times the kernel
+//! (`sper_blocking::spacc`) against the legacy seen-set + merge-intersect
+//! edge-list builder for every weighting scheme at 1/2/4/8 worker
+//! threads, tracking **peak bytes allocated** per path, and emits
+//! `BENCH_weighting.json` — the weighting-curve baseline future PRs
+//! compare against.
+//!
+//! ```text
+//! cargo run -q --release -p sper-bench --bin bench_weighting            # full run
+//! cargo run -q --release -p sper-bench --bin bench_weighting -- --quick # CI smoke
+//! cargo run -q --release -p sper-bench --bin bench_weighting -- --out x.json
+//! ```
+//!
+//! Each measurement is the median of `iters` wall-clock runs (quick: 3,
+//! full: 5) on the movies twin. Per scheme the JSON records:
+//!
+//! * **baseline** — [`sper_blocking::legacy::legacy_graph_edges`], the
+//!   pre-kernel builder (hashed `seen` set, `O(|B_i| + |B_j|)` merge per
+//!   pair), with its peak allocation;
+//! * **points** — the kernel edge list at 1/2/4/8 threads
+//!   ([`sper_blocking::spacc::weighted_edge_list`] through
+//!   `parallel_blocking_graph`'s entry shape), each with speedup and peak
+//!   allocation;
+//! * **identical** — edge-sequence equality (pairs and weight bits) of the
+//!   kernel output against the legacy builder at every thread count;
+//!
+//! plus one `methods` section asserting that all seven progressive methods
+//! emit identical `(pair, weight)` sequences at 1 vs 4 worker threads now
+//! that PBS/PPS run on the kernel.
+//!
+//! Speedups only materialize on multi-core hosts; the JSON records the
+//! measuring machine's available parallelism, and the *sequential* (1
+//! thread) point is the honest single-core kernel-vs-legacy comparison.
+
+use serde::Serialize;
+use sper_blocking::legacy::legacy_graph_edges;
+use sper_blocking::spacc::weighted_edge_list;
+use sper_blocking::{Parallelism, ProfileIndex, TokenBlocking, WeightingScheme};
+use sper_core::{build_method, MethodConfig, ProgressiveMethod};
+use sper_datagen::{DatasetKind, DatasetSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A counting wrapper around the system allocator: tracks live bytes and
+/// the high-water mark, so each build path's peak allocation is measured
+/// directly instead of estimated.
+struct PeakAlloc {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+unsafe impl GlobalAlloc for PeakAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = self.live.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        self.live.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+}
+
+#[global_allocator]
+static ALLOC: PeakAlloc = PeakAlloc {
+    live: AtomicUsize::new(0),
+    peak: AtomicUsize::new(0),
+};
+
+/// Runs `f` once and returns its peak allocation delta in bytes: the
+/// high-water mark above the bytes already live when it started.
+fn peak_bytes<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOC.live.load(Ordering::Relaxed);
+    ALLOC.peak.store(before, Ordering::Relaxed);
+    let out = f();
+    let peak = ALLOC.peak.load(Ordering::Relaxed);
+    (out, peak.saturating_sub(before))
+}
+
+#[derive(Serialize)]
+struct Point {
+    threads: usize,
+    ms: f64,
+    /// Legacy-baseline time / this time.
+    speedup: f64,
+    /// High-water allocation of one build, bytes.
+    peak_bytes: usize,
+}
+
+#[derive(Serialize)]
+struct SchemeCurve {
+    scheme: String,
+    baseline: String,
+    baseline_ms: f64,
+    baseline_peak_bytes: usize,
+    /// Kernel edge sequence equals the legacy builder's (pairs and weight
+    /// bits) at every thread count.
+    identical: bool,
+    points: Vec<Point>,
+}
+
+#[derive(Serialize)]
+struct MethodCheck {
+    method: String,
+    /// First `emissions` comparisons are identical at 1 vs 4 threads.
+    identical: bool,
+    emissions: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    dataset: String,
+    n_profiles: usize,
+    iters: usize,
+    host_parallelism: usize,
+    schemes: Vec<SchemeCurve>,
+    methods: Vec<MethodCheck>,
+}
+
+const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_weighting.json")
+        .to_string();
+    let iters = if quick { 3 } else { 5 };
+    let scale = if quick { 0.1 } else { 0.5 };
+
+    let data = DatasetSpec::paper(DatasetKind::Movies)
+        .with_scale(scale)
+        .generate();
+    let profiles = &data.profiles;
+    eprintln!(
+        "bench_weighting: movies twin, |P| = {}, {iters} iters/measurement, host parallelism {}",
+        profiles.len(),
+        Parallelism::available()
+    );
+
+    let mut blocks = TokenBlocking::default().build(profiles);
+    blocks.sort_by_cardinality();
+    let index = ProfileIndex::build(&blocks);
+
+    let mut schemes = Vec::new();
+    for scheme in WeightingScheme::ALL {
+        let (reference, baseline_peak) = peak_bytes(|| legacy_graph_edges(&blocks, scheme));
+        let baseline_ms = median_ms(iters, || {
+            std::hint::black_box(legacy_graph_edges(&blocks, scheme));
+        });
+
+        let mut identical = true;
+        let mut points = Vec::new();
+        for &threads in &THREAD_STEPS {
+            let par = Parallelism::new(threads).expect("threads > 0");
+            let (edges, peak) = peak_bytes(|| weighted_edge_list(&blocks, &index, scheme, par));
+            identical &= edges.len() == reference.len()
+                && edges
+                    .iter()
+                    .zip(&reference)
+                    .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+            let ms = median_ms(iters, || {
+                std::hint::black_box(weighted_edge_list(&blocks, &index, scheme, par));
+            });
+            points.push(Point {
+                threads,
+                ms,
+                speedup: baseline_ms / ms,
+                peak_bytes: peak,
+            });
+        }
+        schemes.push(SchemeCurve {
+            scheme: scheme.name().into(),
+            baseline: "legacy seen-set + merge-intersect edge list".into(),
+            baseline_ms,
+            baseline_peak_bytes: baseline_peak,
+            identical,
+            points,
+        });
+    }
+
+    // Method identity: every progressive method emits the same (pair,
+    // weight-bits) sequence at 1 vs 4 worker threads on the kernel-backed
+    // engine. Bounded drain keeps the harness fast; `remaining` is not
+    // compared because similarity methods size their windows lazily.
+    let emissions = if quick { 20_000 } else { 100_000 };
+    let mut methods = Vec::new();
+    // PSN needs one schema key per profile; the movies twin carries none,
+    // so derive the usual concatenated-values key.
+    let schema_keys: Vec<String> = data.schema_keys.clone().unwrap_or_else(|| {
+        profiles
+            .iter()
+            .map(|p| p.concat_values().to_lowercase())
+            .collect()
+    });
+    let all_methods = [ProgressiveMethod::Psn]
+        .into_iter()
+        .chain(ProgressiveMethod::SCHEMA_AGNOSTIC);
+    for method in all_methods {
+        let drain = |threads: usize| {
+            let config = MethodConfig::default()
+                .with_threads(Parallelism::new(threads).expect("threads > 0"));
+            build_method(method, profiles, &config, Some(&schema_keys))
+                .take(emissions)
+                .collect::<Vec<_>>()
+        };
+        let (seq, par) = (drain(1), drain(4));
+        let identical = seq.len() == par.len()
+            && seq
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.pair == b.pair && a.weight.to_bits() == b.weight.to_bits());
+        methods.push(MethodCheck {
+            method: method.name().into(),
+            identical,
+            emissions: seq.len(),
+        });
+    }
+
+    let report = Report {
+        dataset: "movies".into(),
+        n_profiles: profiles.len(),
+        iters,
+        host_parallelism: Parallelism::available().get(),
+        schemes,
+        methods,
+    };
+    for c in &report.schemes {
+        println!(
+            "{:<5} baseline {:>9.3} ms  peak {:>6.1} MiB   identical {}",
+            c.scheme,
+            c.baseline_ms,
+            c.baseline_peak_bytes as f64 / (1024.0 * 1024.0),
+            c.identical
+        );
+        for p in &c.points {
+            println!(
+                "    {:>2} threads  {:>9.3} ms   speedup {:>6.2}x   peak {:>6.1} MiB",
+                p.threads,
+                p.ms,
+                p.speedup,
+                p.peak_bytes as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
+    for m in &report.methods {
+        println!(
+            "{:<8} identical {}  ({} emissions)",
+            m.method, m.identical, m.emissions
+        );
+    }
+    if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+    // The identity checks are a CI gate, not just a record: a determinism
+    // regression must fail the build, not merely write `false` into JSON.
+    let broken = report
+        .schemes
+        .iter()
+        .map(|c| (&c.scheme, c.identical))
+        .chain(report.methods.iter().map(|m| (&m.method, m.identical)))
+        .filter(|&(_, ok)| !ok)
+        .map(|(name, _)| name.as_str())
+        .collect::<Vec<_>>();
+    if !broken.is_empty() {
+        eprintln!("error: identity check failed for: {}", broken.join(", "));
+        std::process::exit(1);
+    }
+}

@@ -12,14 +12,22 @@
 //! Fig. 3(c) exactly) and as the reference implementation that the lazy
 //! paths are property-tested against.
 //!
+//! Construction runs on the sparse-accumulator kernel ([`crate::spacc`]):
+//! per-profile neighborhood sweeps produce every distinct weighted edge
+//! with `O(1)` amortized work per co-occurrence, and a stable counting
+//! sort by least-common-block id restores the historical block-major
+//! first-occurrence edge order bit for bit (the seed seen-set builder is
+//! preserved as [`crate::legacy::legacy_graph_edges`] and property-tested
+//! against this one).
+//!
 //! The adjacency is stored in CSR form (offsets + one packed edge-index
 //! array) — neighborhood sweeps are sequential scans over one allocation.
 
 use crate::block::BlockCollection;
+use crate::parallel::Parallelism;
 use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
 use sper_model::{Pair, ProfileId};
-use sper_text::FxHashSet;
 
 /// A materialized blocking graph.
 #[derive(Debug, Clone)]
@@ -42,19 +50,11 @@ impl BlockingGraph {
     /// shared blocks, it does not duplicate edges).
     pub fn build(blocks: &BlockCollection, scheme: WeightingScheme) -> Self {
         let index = ProfileIndex::build(blocks);
-        let kind = blocks.kind();
-        // Fx-hashed: pair discovery visits ‖B‖ comparisons — at millions of
-        // pairs the hash is the dominant cost of materialization.
-        let mut seen: FxHashSet<Pair> = FxHashSet::default();
-        let mut edges: Vec<(Pair, f64)> = Vec::new();
-        for block in blocks.iter() {
-            for pair in block.comparisons(kind) {
-                if seen.insert(pair) {
-                    let w = index.weight(pair.first, pair.second, scheme);
-                    edges.push((pair, w));
-                }
-            }
-        }
+        // Sparse-accumulator sweeps instead of per-pair merges: no hashed
+        // `seen` set, no `O(|B_i| + |B_j|)` intersection per pair — and the
+        // counting sort inside restores the seed builder's edge order.
+        let edges =
+            crate::spacc::weighted_edge_list(blocks, &index, scheme, Parallelism::SEQUENTIAL);
         Self::from_edges(blocks.n_profiles(), edges)
     }
 

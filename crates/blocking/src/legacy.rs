@@ -8,19 +8,22 @@
 //!    is observationally identical to these seed semantics: same blocks,
 //!    same edge weights, same Neighbor List.
 //! 2. **Benchmarking** — the criterion group `interning` and the
-//!    `bench_interning` harness measure the interned paths against these
-//!    baselines, giving the repo a tracked perf trajectory
-//!    (`BENCH_interning.json`).
+//!    `bench_interning` / `bench_weighting` harnesses measure the interned
+//!    and sparse-accumulator paths against these baselines, giving the repo
+//!    a tracked perf trajectory (`BENCH_interning.json`,
+//!    `BENCH_weighting.json`).
 //!
 //! Nothing in the production pipeline calls into this module.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use sper_model::{ErKind, ProfileCollection, ProfileId, SourceId};
-use sper_text::Tokenizer;
+use sper_model::{ErKind, Pair, ProfileCollection, ProfileId, SourceId};
+use sper_text::{FxHashSet, Tokenizer};
 use std::collections::HashMap;
 
+use crate::block::BlockCollection;
+use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
 
 /// A string-keyed block: the pre-interning representation.
@@ -121,6 +124,30 @@ pub fn string_weight(
         .map(|&bid| scheme.per_block(blocks[bid as usize].cardinality(kind)))
         .sum();
     scheme.finalize(acc, a.len(), b.len(), blocks.len())
+}
+
+/// The pre-kernel edge-list builder: visit every comparison of every
+/// block, dedup repeats through a hashed `seen` set, and merge-intersect
+/// the two profiles' block lists per new pair (`O(|B_i| + |B_j|)` each).
+///
+/// This was `BlockingGraph::build` until the sparse-accumulator kernel
+/// ([`crate::spacc`]) replaced it; it is kept as the order-and-weight
+/// reference the kernel is property-tested against, and as the baseline of
+/// the `bench_weighting` harness.
+pub fn legacy_graph_edges(blocks: &BlockCollection, scheme: WeightingScheme) -> Vec<(Pair, f64)> {
+    let index = ProfileIndex::build(blocks);
+    let kind = blocks.kind();
+    let mut seen: FxHashSet<Pair> = FxHashSet::default();
+    let mut edges: Vec<(Pair, f64)> = Vec::new();
+    for block in blocks.iter() {
+        for pair in block.comparisons(kind) {
+            if seen.insert(pair) {
+                let w = index.weight(pair.first, pair.second, scheme);
+                edges.push((pair, w));
+            }
+        }
+    }
+    edges
 }
 
 /// The seed's Neighbor List build: string placements, stable string sort,

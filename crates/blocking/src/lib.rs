@@ -18,6 +18,10 @@
 //!   Index of §3.2/§5.1.
 //! * [`suffix_forest`] — the suffix forest of Suffix Arrays Blocking,
 //!   scheduled leaves-first for SA-PSAB (§4.2).
+//! * [`spacc`] — the sparse-accumulator weighting kernel: per-profile
+//!   neighborhood sweeps over a dense reusable scratch with a touched-list
+//!   reset, producing every meta-blocking edge weight without a
+//!   materialized edge list or per-pair merge intersections.
 //! * [`parallel`] — multi-threaded Token Blocking and edge weighting (the
 //!   §8 future-work direction), result-identical to the sequential paths.
 
@@ -31,6 +35,7 @@ pub mod neighbor_list;
 pub mod parallel;
 pub mod profile_index;
 pub mod purging;
+pub mod spacc;
 pub mod suffix_forest;
 pub mod token_blocking;
 pub mod weights;
@@ -38,11 +43,14 @@ pub mod weights;
 pub use block::{Block, BlockCollection, BlockCsrParts, BlockId, BlockRef};
 pub use filtering::BlockFilter;
 pub use graph::BlockingGraph;
-pub use metablocking::{par_prune, prune, PruningScheme};
+pub use metablocking::{par_prune, par_prune_blocks, prune, prune_blocks, PruningScheme};
 pub use neighbor_list::{NeighborList, PositionIndex};
-pub use parallel::{parallel_blocking_graph, parallel_token_blocking, Parallelism, ZeroThreads};
+pub use parallel::{
+    parallel_blocking_graph, parallel_token_blocking, Parallelism, ZeroThreads, MIN_PARALLEL_BATCH,
+};
 pub use profile_index::{IncrementalProfileIndex, IntersectStats, ProfileIndex};
 pub use purging::BlockPurger;
+pub use spacc::{BlockIndex, BlockMembers, WeightAccumulator};
 pub use suffix_forest::{SuffixForest, SuffixNode};
 pub use token_blocking::TokenBlocking;
 // The string ↔ id boundary of the columnar core, re-exported so consumers

@@ -18,10 +18,21 @@
 //!   mean; an edge survives if either endpoint keeps it (redefined-WNP).
 //! * **CNP** — Cardinality Node Pruning: per node, keep the top-`k` edges,
 //!   `k = Σ|b|/|P|` by convention.
+//!
+//! The node-centric schemes have a **zero-materialization** route:
+//! [`prune_blocks`] / [`par_prune_blocks`] run per-node sparse-accumulator
+//! sweeps ([`crate::spacc`]) directly on the block collection — identical
+//! output to pruning a materialized [`BlockingGraph`], at `O(|P|)` peak
+//! memory instead of `O(|E|)`.
 
+use crate::block::BlockCollection;
 use crate::graph::BlockingGraph;
 use crate::parallel::{Parallelism, ZeroThreads};
-use sper_model::Pair;
+use crate::profile_index::ProfileIndex;
+use crate::spacc::WeightAccumulator;
+use crate::weights::WeightingScheme;
+use sper_model::{Pair, ProfileId};
+use sper_text::FxHashMap;
 
 /// Which meta-blocking pruning algorithm to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,54 +65,70 @@ impl PruningScheme {
     }
 }
 
-/// Non-increasing weight, ties by pair id — the output order of every
-/// pruning scheme.
-fn weight_desc(a: &(Pair, f64), b: &(Pair, f64)) -> std::cmp::Ordering {
+/// Non-increasing weight, ties by ascending id — the single comparator
+/// behind every pruning order (global output sort, CNP's per-node top-`k`,
+/// both the graph-based and the streaming path). The graph and streaming
+/// routes must tie-break identically for their equivalence to hold, so
+/// there is exactly one definition.
+fn weight_desc<T: Ord>(a: &(T, f64), b: &(T, f64)) -> std::cmp::Ordering {
     b.1.partial_cmp(&a.1)
         .unwrap_or(std::cmp::Ordering::Equal)
         .then_with(|| a.0.cmp(&b.0))
 }
 
-/// One node's retained edges under a node-centric scheme (WNP/CNP),
-/// inserted into `keep` — the single definition both the sequential
-/// [`prune`] and the sharded [`par_prune`] run, so the two paths cannot
-/// drift apart.
-fn keep_for_node(
-    graph: &BlockingGraph,
+/// Applies a node-centric scheme's retention rule to one node's weighted
+/// neighborhood (in adjacency enumeration order — WNP's mean is an
+/// order-sensitive float sum), handing every kept `(neighbor, weight)` to
+/// `keep`. The **single** definition of the WNP mean threshold and the
+/// CNP top-`k` selection: the graph-based and streaming pruning routes
+/// both run it, so their equivalence cannot drift.
+fn select_node_edges(
     scheme: PruningScheme,
-    node: sper_model::ProfileId,
-    keep: &mut std::collections::HashSet<Pair>,
+    neighborhood: &mut [(ProfileId, f64)],
+    mut keep: impl FnMut(ProfileId, f64),
 ) {
+    if neighborhood.is_empty() {
+        return;
+    }
     match scheme {
         PruningScheme::Wnp => {
-            let neighborhood: Vec<(sper_model::ProfileId, f64)> = graph.neighbors(node).collect();
-            if neighborhood.is_empty() {
-                return;
-            }
             let mean: f64 =
                 neighborhood.iter().map(|&(_, w)| w).sum::<f64>() / neighborhood.len() as f64;
-            for (other, w) in neighborhood {
+            for &(other, w) in neighborhood.iter() {
                 if w >= mean {
-                    keep.insert(Pair::new(node, other));
+                    keep(other, w);
                 }
             }
         }
         PruningScheme::Cnp { k } => {
-            let mut neighborhood: Vec<(sper_model::ProfileId, f64)> =
-                graph.neighbors(node).collect();
-            neighborhood.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            for (other, _) in neighborhood.into_iter().take(k) {
-                keep.insert(Pair::new(node, other));
+            neighborhood.sort_by(weight_desc);
+            for &(other, w) in neighborhood.iter().take(k) {
+                keep(other, w);
             }
         }
         PruningScheme::Wep | PruningScheme::Cep { .. } => {
             unreachable!("edge-centric schemes have no per-node pass")
         }
     }
+}
+
+/// One node's retained edges under a node-centric scheme (WNP/CNP),
+/// inserted into `keep` — the definition both the sequential [`prune`]
+/// and the sharded [`par_prune`] run. `neighborhood` is a reusable
+/// per-caller buffer (cleared here) so the per-node loop allocates
+/// nothing.
+fn keep_for_node(
+    graph: &BlockingGraph,
+    scheme: PruningScheme,
+    node: ProfileId,
+    neighborhood: &mut Vec<(ProfileId, f64)>,
+    keep: &mut std::collections::HashSet<Pair>,
+) {
+    neighborhood.clear();
+    neighborhood.extend(graph.neighbors(node));
+    select_node_edges(scheme, neighborhood, |other, _| {
+        keep.insert(Pair::new(node, other));
+    });
 }
 
 /// Applies `scheme` to the blocking graph, returning the retained
@@ -124,14 +151,135 @@ pub fn prune(graph: &BlockingGraph, scheme: PruningScheme) -> Vec<(Pair, f64)> {
         }
         PruningScheme::Wnp | PruningScheme::Cnp { .. } => {
             let mut keep: std::collections::HashSet<Pair> = std::collections::HashSet::new();
+            let mut neighborhood: Vec<(ProfileId, f64)> = Vec::new();
             for node in 0..graph.num_nodes() {
-                keep_for_node(graph, scheme, sper_model::ProfileId(node as u32), &mut keep);
+                keep_for_node(
+                    graph,
+                    scheme,
+                    ProfileId(node as u32),
+                    &mut neighborhood,
+                    &mut keep,
+                );
             }
             graph.edges().filter(|(p, _)| keep.contains(p)).collect()
         }
     };
     kept.sort_by(weight_desc);
     kept
+}
+
+/// One node's retained edges under a node-centric scheme, computed
+/// **without a materialized graph**: the sparse-accumulator sweep produces
+/// the node's full weighted neighborhood, sorted into the exact order the
+/// materialized adjacency would enumerate it (so WNP's mean is the same
+/// float sum bit for bit), and the kept `(pair, weight)` entries land in
+/// `keep` — the weight is recorded alongside because there is no edge
+/// list to look it up from later.
+// Private per-node unit of the two public entry points; the extra
+// parameters are the reusable buffers.
+#[allow(clippy::too_many_arguments)]
+fn keep_for_node_streaming(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    weighting: WeightingScheme,
+    scheme: PruningScheme,
+    node: ProfileId,
+    acc: &mut WeightAccumulator,
+    neighborhood: &mut Vec<(ProfileId, f64)>,
+    keep: &mut FxHashMap<Pair, f64>,
+) {
+    acc.sweep(blocks.kind(), blocks, index, weighting, node, None);
+    if acc.is_empty() {
+        return;
+    }
+    // The materialized graph stores edges block-major (first occurrence)
+    // and a node's partners within one block appear in ascending id order;
+    // sorting by (least common block, id) therefore reproduces the
+    // adjacency enumeration order exactly.
+    acc.sort_touched_by_adjacency();
+    // Finalize each neighbor once, in adjacency order (the order the mean
+    // must be summed in).
+    neighborhood.clear();
+    neighborhood.extend(acc.touched().iter().map(|&j| {
+        let j = ProfileId(j);
+        (j, acc.finalize(index, weighting, node, j))
+    }));
+    select_node_edges(scheme, neighborhood, |other, w| {
+        keep.insert(Pair::new(node, other), w);
+    });
+    acc.reset();
+}
+
+/// Applies `scheme` to the blocking graph of `blocks` under `weighting`
+/// **without materializing it**: the node-centric schemes (WNP, CNP) run
+/// per-node sparse-accumulator sweeps directly on the block collection, so
+/// peak memory is `O(|P| + |kept|)` instead of `O(|E|)`. The edge-centric
+/// schemes (WEP, CEP) need every edge weight at once by definition and
+/// delegate to [`prune`] over a kernel-built graph.
+///
+/// Output is identical to `prune(&BlockingGraph::build(blocks, weighting),
+/// scheme)` — same comparisons, same weights, same order.
+pub fn prune_blocks(
+    blocks: &BlockCollection,
+    weighting: WeightingScheme,
+    scheme: PruningScheme,
+) -> Vec<(Pair, f64)> {
+    par_prune_blocks(blocks, weighting, scheme, 1).expect("one thread is always valid")
+}
+
+/// [`prune_blocks`] with the per-node sweeps fanned out over `threads`
+/// workers (each with its own scratch and keep-map; the union is
+/// order-independent and the final weight sort pins the output).
+///
+/// # Errors
+///
+/// Returns [`ZeroThreads`] when `threads == 0`.
+pub fn par_prune_blocks(
+    blocks: &BlockCollection,
+    weighting: WeightingScheme,
+    scheme: PruningScheme,
+    threads: usize,
+) -> Result<Vec<(Pair, f64)>, ZeroThreads> {
+    let par = Parallelism::new(threads)?;
+    if matches!(scheme, PruningScheme::Wep | PruningScheme::Cep { .. }) {
+        // The materialization the edge-centric schemes force is itself the
+        // dominant cost — fan it out over the requested workers.
+        let graph = crate::parallel::parallel_blocking_graph(blocks, weighting, par.get())?;
+        return Ok(prune(&graph, scheme));
+    }
+    // Same break-even guard as the graph fan-out, gated on the comparison
+    // volume the sweeps distribute: bit-identical results, sequential path
+    // when the spawn would cost more than it distributes.
+    let par = par.break_even(blocks.total_comparisons().min(usize::MAX as u64) as usize);
+    let index = ProfileIndex::build(blocks);
+    let n = blocks.n_profiles();
+    let keep_maps = par.map_ranges(n, |range| {
+        let mut acc = WeightAccumulator::new(n);
+        let mut neighborhood: Vec<(ProfileId, f64)> = Vec::new();
+        let mut keep: FxHashMap<Pair, f64> = FxHashMap::default();
+        for node in range {
+            keep_for_node_streaming(
+                blocks,
+                &index,
+                weighting,
+                scheme,
+                ProfileId(node as u32),
+                &mut acc,
+                &mut neighborhood,
+                &mut keep,
+            );
+        }
+        keep
+    });
+    // An edge can be kept from both endpoints (possibly in different
+    // shards) with the same symmetric weight — the map union dedups it.
+    let mut kept: FxHashMap<Pair, f64> = FxHashMap::default();
+    for keep in keep_maps {
+        kept.extend(keep);
+    }
+    let mut kept: Vec<(Pair, f64)> = kept.into_iter().collect();
+    kept.sort_by(weight_desc);
+    Ok(kept)
 }
 
 /// [`prune`] with the per-node sweeps of the node-centric schemes (WNP,
@@ -163,8 +311,15 @@ pub fn par_prune(
 
     let keep_sets = par.map_ranges(nodes, |range| {
         let mut keep = std::collections::HashSet::new();
+        let mut neighborhood: Vec<(ProfileId, f64)> = Vec::new();
         for node in range {
-            keep_for_node(graph, scheme, sper_model::ProfileId(node as u32), &mut keep);
+            keep_for_node(
+                graph,
+                scheme,
+                ProfileId(node as u32),
+                &mut neighborhood,
+                &mut keep,
+            );
         }
         keep
     });
@@ -265,6 +420,36 @@ mod tests {
         let g = BlockingGraph::from_edges(4, Vec::new());
         assert!(prune(&g, PruningScheme::Wep).is_empty());
         assert!(prune(&g, PruningScheme::Cep { k: 5 }).is_empty());
+    }
+
+    #[test]
+    fn streaming_prune_matches_materialized_for_every_scheme() {
+        // The zero-materialization path must reproduce the graph-based
+        // pruning exactly: same comparisons, same weights, same order —
+        // dirty and (via the raw token blocks) arbitrary block orders.
+        let mut blocks = TokenBlocking::default().build(&fig3_profiles());
+        for sorted in [false, true] {
+            if sorted {
+                blocks.sort_by_cardinality();
+            }
+            let g = BlockingGraph::build(&blocks, WeightingScheme::Arcs);
+            for scheme in [
+                PruningScheme::Wep,
+                PruningScheme::Cep { k: 7 },
+                PruningScheme::Wnp,
+                PruningScheme::Cnp { k: 2 },
+            ] {
+                let reference = prune(&g, scheme);
+                let streamed = prune_blocks(&blocks, WeightingScheme::Arcs, scheme);
+                assert_eq!(streamed, reference, "{} (sorted {sorted})", scheme.name());
+                for threads in [2, 4] {
+                    let par = par_prune_blocks(&blocks, WeightingScheme::Arcs, scheme, threads)
+                        .expect("threads > 0");
+                    assert_eq!(par, reference, "{} at {threads}", scheme.name());
+                }
+            }
+        }
+        assert!(par_prune_blocks(&blocks, WeightingScheme::Arcs, PruningScheme::Wnp, 0).is_err());
     }
 
     #[test]

@@ -143,6 +143,13 @@ impl NeighborList {
     /// Builds the Neighbor List on `threads` worker threads, **bit-identical**
     /// to the sequential [`Self::build`] with the same `seed`.
     ///
+    /// The requested count passes through the spawn break-even guard
+    /// ([`Parallelism::break_even`]): collections smaller than
+    /// [`crate::MIN_PARALLEL_BATCH`] profiles and hosts whose available
+    /// parallelism is exhausted fall back to the sequential path — the
+    /// sharded tokenize/sort + tournament merge only pays for itself when
+    /// there are both enough placements and enough real cores.
+    ///
     /// The parallel build shards the profile range into contiguous chunks:
     /// each worker tokenizes its chunk through the shared interner and
     /// stable-sorts its placements by precomputed lexicographic rank; the
@@ -161,7 +168,7 @@ impl NeighborList {
         seed: u64,
         threads: usize,
     ) -> Result<Self, ZeroThreads> {
-        let par = Parallelism::new(threads)?;
+        let par = Parallelism::new(threads)?.break_even(profiles.len());
         Ok(if par.is_sequential() {
             Self::build_inner(profiles, seed, false)
         } else {
@@ -180,7 +187,7 @@ impl NeighborList {
         seed: u64,
         threads: usize,
     ) -> Result<Self, ZeroThreads> {
-        let par = Parallelism::new(threads)?;
+        let par = Parallelism::new(threads)?.break_even(profiles.len());
         Ok(if par.is_sequential() {
             Self::build_inner(profiles, seed, true)
         } else {
@@ -549,9 +556,13 @@ mod tests {
         let profiles = b.build();
         for seed in [0u64, 7, 42] {
             let sequential = NeighborList::build_with_keys(&profiles, seed);
-            for threads in [1usize, 2, 3, 5, 8] {
-                let parallel = NeighborList::par_build_with_keys(&profiles, seed, threads)
-                    .expect("threads > 0");
+            for threads in [2usize, 3, 5, 8] {
+                // Drive the sharded build directly: the public entry's
+                // break-even guard would route a 97-profile collection (or
+                // any run on a 1-core host) to the sequential path and
+                // leave the tournament merge untested.
+                let par = Parallelism::new(threads).unwrap();
+                let parallel = NeighborList::par_build_inner(&profiles, seed, true, par);
                 assert_eq!(
                     parallel.as_slice(),
                     sequential.as_slice(),
@@ -560,8 +571,26 @@ mod tests {
                 for i in 0..sequential.len() {
                     assert_eq!(parallel.key_at(i), sequential.key_at(i));
                 }
+                // The guarded public entry agrees (whatever path it takes).
+                let guarded = NeighborList::par_build_with_keys(&profiles, seed, threads)
+                    .expect("threads > 0");
+                assert_eq!(guarded.as_slice(), sequential.as_slice());
             }
         }
+    }
+
+    #[test]
+    fn par_build_break_even_guard_falls_back_to_sequential() {
+        // Small inputs collapse to one worker before any spawn happens;
+        // the guard also caps at the host's available parallelism, so the
+        // request below never oversubscribes regardless of machine.
+        let par = Parallelism::new(8).unwrap();
+        assert!(par.break_even(10).is_sequential());
+        assert!(par
+            .break_even(crate::MIN_PARALLEL_BATCH - 1)
+            .is_sequential());
+        let big = par.break_even(crate::MIN_PARALLEL_BATCH);
+        assert!(big.get() <= Parallelism::available().get());
     }
 
     #[test]

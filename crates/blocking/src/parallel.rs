@@ -11,31 +11,41 @@
 //!
 //! 1. **Deterministic shard layout.** Work is split either by
 //!    `TokenId % shards` (token emissions) or by contiguous ranges of the
-//!    token-keyed block/placement arrays — both are pure functions of the
-//!    input, with none of the platform/release instability of
-//!    `DefaultHasher` (whose SipHash keys are explicitly not guaranteed
-//!    stable).
-//! 2. **Independent per-shard dedup.** Edge weighting dedups repeated
-//!    comparisons with the LeCoBI condition (§5.2.1), which each shard can
-//!    evaluate locally from the shared [`ProfileIndex`] — no cross-shard
-//!    `seen` set, no merge-order sensitivity.
+//!    profile/placement arrays — both are pure functions of the input,
+//!    with none of the platform/release instability of `DefaultHasher`
+//!    (whose SipHash keys are explicitly not guaranteed stable).
+//! 2. **Independent per-shard dedup.** Edge weighting discovers each edge
+//!    exactly once, from its smaller endpoint, inside that endpoint's
+//!    profile-range shard (the sparse-accumulator sweep of
+//!    [`crate::spacc`]) — no cross-shard `seen` set, no merge-order
+//!    sensitivity.
 //! 3. **Order-restoring merges.** Shard outputs are concatenated in shard
-//!    order (ranges) or re-sorted by key string (token blocking), so the
-//!    merged result reproduces the sequential iteration order exactly.
+//!    order (ranges), re-sorted by key string (token blocking), or
+//!    counting-sorted by the recorded least-common-block tag (edge
+//!    weighting), so the merged result reproduces the sequential
+//!    iteration order exactly.
 //!
 //! Thread counts are validated at the API boundary: every parallel entry
 //! point takes a raw `usize` and returns [`ZeroThreads`] instead of
 //! panicking when it is zero. Use [`Parallelism`] to carry a validated
 //! count through configuration layers.
 
-use crate::block::{Block, BlockCollection, BlockId};
+use crate::block::{Block, BlockCollection};
 use crate::graph::BlockingGraph;
 use crate::profile_index::ProfileIndex;
 use crate::weights::WeightingScheme;
-use sper_model::{Pair, ProfileCollection, ProfileId, SourceId};
+use sper_model::{ProfileCollection, ProfileId, SourceId};
 use sper_text::{FxHashMap, TokenId, TokenInterner, Tokenizer};
 use std::num::NonZeroUsize;
 use std::sync::Arc;
+
+/// Below this work-item count the parallel engines run inline on the
+/// calling thread: an OS-thread spawn/join costs tens of microseconds,
+/// which dwarfs the sort/sweep/weighting of a small batch. Correctness is
+/// unaffected either way (the parallel paths are bit-identical); this is
+/// purely the spawn-overhead break-even guard, shared by every layer of
+/// the engine (blocking substrates and the `sper-core` emission lists).
+pub const MIN_PARALLEL_BATCH: usize = 2048;
 
 /// The typed error of the parallel entry points: zero worker threads were
 /// requested. (Seed versions of this API `assert!`ed instead; a zero
@@ -101,6 +111,21 @@ impl Parallelism {
     #[inline]
     pub fn capped(self, items: usize) -> Parallelism {
         Parallelism(NonZeroUsize::new(self.get().min(items)).unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The spawn break-even guard: collapses to [`Self::SEQUENTIAL`] when
+    /// `items` is below [`MIN_PARALLEL_BATCH`] (the fan-out would cost more
+    /// than the work it distributes), and otherwise caps the requested
+    /// count at the machine's [available parallelism](Self::available) —
+    /// on an oversubscribed host, extra workers only add contention and
+    /// join overhead without any speedup (results are bit-identical at
+    /// every count, so this is purely a wall-clock guard).
+    pub fn break_even(self, items: usize) -> Parallelism {
+        if items < MIN_PARALLEL_BATCH {
+            Self::SEQUENTIAL
+        } else {
+            self.capped(Self::available().get())
+        }
     }
 
     /// Splits `0..len` into one contiguous range per worker and runs `f`
@@ -275,16 +300,16 @@ pub fn parallel_token_blocking(
     Ok(coll)
 }
 
-/// Parallel Meta-blocking edge weighting, sharded over contiguous ranges
-/// of the token-keyed block array.
+/// Parallel Meta-blocking edge weighting: the sparse-accumulator kernel
+/// ([`crate::spacc`]) sharded over contiguous **profile** ranges.
 ///
-/// Each shard walks its block range, keeps a comparison only in its least
-/// common block (the LeCoBI condition — evaluable per shard from the
-/// shared [`ProfileIndex`], so no cross-shard `seen` set is needed) and
-/// weights it there. Concatenating the shard outputs in shard order
-/// reproduces the sequential first-occurrence edge order exactly: the
-/// resulting graph is **bit-identical** to [`BlockingGraph::build`],
-/// including the internal edge order (not merely set-equal).
+/// Each worker runs forward neighborhood sweeps over its range with its
+/// own reusable scratch — no cross-shard `seen` set, no per-pair merge
+/// intersections — and tags every discovered edge with its least common
+/// block (the LeCoBI witness, §5.2.1). A stable counting sort by that tag
+/// then restores the block-major first-occurrence order, so the resulting
+/// graph is **bit-identical** to [`BlockingGraph::build`], including the
+/// internal edge order (not merely set-equal), at every worker count.
 ///
 /// This is the engine behind the progressive methods' parallel weighting:
 /// the dominant cost of meta-blocking fans out `threads`-wide while the
@@ -298,30 +323,19 @@ pub fn parallel_blocking_graph(
     scheme: WeightingScheme,
     threads: usize,
 ) -> Result<BlockingGraph, ZeroThreads> {
-    let par = Parallelism::new(threads)?;
-    let index = ProfileIndex::build(blocks);
-    let kind = blocks.kind();
+    // The break-even guard routes small workloads and oversubscribed
+    // hosts to the sequential sweep — results are bit-identical either
+    // way, so only wall clock is at stake. The gate unit is the
+    // comparison volume ‖B‖ (what the sweeps actually distribute), not
+    // the profile count: a small dense collection can still carry
+    // millions of co-occurrences.
+    let par = Parallelism::new(threads)?
+        .break_even(blocks.total_comparisons().min(usize::MAX as u64) as usize);
     if blocks.is_empty() {
         return Ok(BlockingGraph::from_edges(blocks.n_profiles(), Vec::new()));
     }
-
-    let shard_edges = par.map_ranges(blocks.len(), |range| {
-        let mut edges: Vec<(Pair, f64)> = Vec::new();
-        for bid in range {
-            let block = blocks.get(BlockId(bid as u32));
-            for pair in block.comparisons(kind) {
-                // LeCoBI: the pair belongs to this shard iff this block is
-                // its least common block.
-                if index.is_new_comparison(pair.first, pair.second, BlockId(bid as u32)) {
-                    let w = index.weight(pair.first, pair.second, scheme);
-                    edges.push((pair, w));
-                }
-            }
-        }
-        edges
-    });
-
-    let edges: Vec<(Pair, f64)> = shard_edges.into_iter().flatten().collect();
+    let index = ProfileIndex::build(blocks);
+    let edges = crate::spacc::weighted_edge_list(blocks, &index, scheme, par);
     Ok(BlockingGraph::from_edges(blocks.n_profiles(), edges))
 }
 
@@ -330,7 +344,7 @@ mod tests {
     use super::*;
     use crate::fixtures::fig3_profiles;
     use crate::token_blocking::TokenBlocking;
-    use sper_model::ProfileCollectionBuilder;
+    use sper_model::{Pair, ProfileCollectionBuilder};
 
     fn medium_collection() -> ProfileCollection {
         // Deterministic mid-sized dirty collection with duplicates.

@@ -1,0 +1,649 @@
+//! The sparse-accumulator weighting kernel: meta-blocking edge weights
+//! without a materialized edge list.
+//!
+//! The batch route to edge weights — materialize every distinct comparison,
+//! dedup it through a hash set, and merge-intersect the two profiles' block
+//! lists per pair — is exactly the cost the paper argues progressive methods
+//! should not pay (§3.2: "materializing and sorting all edges is
+//! impractical for large datasets"). This module replaces it with the
+//! SpGEMM-style *sparse accumulator* sweep:
+//!
+//! for each profile `i`, walk its blocks through the Profile-Index CSR and
+//! scatter each block's `per_block` contribution into a **dense scratch
+//! array** indexed by neighbor id, recording first-touched neighbors in a
+//! **touched list**. After the walk, `scratch[j]` holds the full
+//! accumulated weight of edge `(i, j)` and the touched list enumerates the
+//! non-zero entries, so the reset costs `O(degree(i))` — no `HashMap`, no
+//! per-pair `seen` set, no re-hashing, and every edge weight is produced
+//! with `O(1)` amortized work per co-occurrence instead of an
+//! `O(|B_i| + |B_j|)` merge per pair.
+//!
+//! Determinism is free: for a pair `(i, j)` the sweep adds the shared
+//! blocks' contributions in ascending block-id order — the same order the
+//! sorted-list merge of [`ProfileIndex::intersect`] visits them — so the
+//! floating-point sums are **bit-identical** to the pairwise path, and the
+//! first touch of `j` happens at the pair's *least common block* (the
+//! LeCoBI witness, §5.2.1), which the kernel records per neighbor. That
+//! least-common-block tag is what lets [`weighted_edge_list`] restore the
+//! exact block-major first-occurrence edge order of the legacy builders
+//! with one stable counting sort, and consumers that never need a
+//! materialized graph (node-centric pruning, PBS block refills, PPS
+//! scheduling) drain the scratch directly.
+//!
+//! The kernel is substrate-agnostic: both the frozen CSR [`ProfileIndex`]
+//! and the growable [`IncrementalProfileIndex`] of the streaming ingest
+//! path implement [`BlockIndex`], and both [`BlockCollection`] and the
+//! live `[Block]` slice of `sper-stream` implement [`BlockMembers`], so
+//! batch and incremental epochs run the same sweep.
+
+use crate::block::{Block, BlockCollection, BlockId};
+use crate::profile_index::{IncrementalProfileIndex, ProfileIndex};
+use crate::weights::WeightingScheme;
+use sper_model::{ErKind, Pair, ProfileId};
+
+/// Read-only view of a profile→blocks inverted index, as the kernel needs
+/// it: the sorted block list of a profile, cached block cardinalities, and
+/// the total block count for finalization.
+pub trait BlockIndex {
+    /// `|B_i|`: the ids of the blocks containing `p`, ascending.
+    fn blocks_of(&self, p: ProfileId) -> &[u32];
+    /// `‖b‖` for a block id.
+    fn block_cardinality(&self, b: u32) -> u64;
+    /// `|B|`: number of blocks indexed.
+    fn total_blocks(&self) -> usize;
+}
+
+impl BlockIndex for ProfileIndex {
+    #[inline]
+    fn blocks_of(&self, p: ProfileId) -> &[u32] {
+        ProfileIndex::blocks_of(self, p)
+    }
+
+    #[inline]
+    fn block_cardinality(&self, b: u32) -> u64 {
+        ProfileIndex::cardinality(self, BlockId(b))
+    }
+
+    fn total_blocks(&self) -> usize {
+        ProfileIndex::total_blocks(self)
+    }
+}
+
+impl BlockIndex for IncrementalProfileIndex {
+    #[inline]
+    fn blocks_of(&self, p: ProfileId) -> &[u32] {
+        IncrementalProfileIndex::blocks_of(self, p)
+    }
+
+    #[inline]
+    fn block_cardinality(&self, b: u32) -> u64 {
+        IncrementalProfileIndex::cardinality(self, BlockId(b))
+    }
+
+    fn total_blocks(&self) -> usize {
+        IncrementalProfileIndex::total_blocks(self)
+    }
+}
+
+/// Read-only view of block membership, as the kernel needs it: the sorted
+/// member slice of a block and its `P1` partition size.
+pub trait BlockMembers {
+    /// Members of block `b`, `P1` partition first, each partition sorted
+    /// ascending.
+    fn members(&self, b: u32) -> &[ProfileId];
+    /// `|b ∩ P1|` for block `b`.
+    fn n_first(&self, b: u32) -> u32;
+}
+
+impl BlockMembers for BlockCollection {
+    #[inline]
+    fn members(&self, b: u32) -> &[ProfileId] {
+        self.get(BlockId(b)).profiles()
+    }
+
+    #[inline]
+    fn n_first(&self, b: u32) -> u32 {
+        self.get(BlockId(b)).first_source().len() as u32
+    }
+}
+
+/// The live insertion-order block array of the streaming substrates.
+impl BlockMembers for [Block] {
+    #[inline]
+    fn members(&self, b: u32) -> &[ProfileId] {
+        self[b as usize].profiles()
+    }
+
+    #[inline]
+    fn n_first(&self, b: u32) -> u32 {
+        self[b as usize].first_source().len() as u32
+    }
+}
+
+/// Which neighbors a sweep visits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepDir {
+    /// Every valid neighbor — node-centric consumers (PPS scheduling,
+    /// WNP/CNP pruning) see whole neighborhoods.
+    Full,
+    /// Only neighbors with a larger profile id — edge-producing consumers
+    /// discover each edge exactly once, from its smaller endpoint.
+    Forward,
+}
+
+/// The reusable sparse-accumulator scratch: one dense `f64` slot and one
+/// least-common-block tag per profile, plus the touched list that makes
+/// resets `O(degree)`.
+///
+/// Allocation happens once per worker; every sweep reuses the arrays. The
+/// scratch is **transient by design**: it holds no information that is not
+/// a pure function of the substrate it sweeps, so it is deliberately
+/// excluded from persistence (`sper-store` rebuilds it on rehydration —
+/// see DESIGN.md "Sparse-accumulator weighting").
+#[derive(Debug, Clone)]
+pub struct WeightAccumulator {
+    /// Accumulated per-shared-block contribution, by neighbor id. `0.0`
+    /// doubles as the "untouched" sentinel — every scheme's per-block
+    /// contribution is strictly positive.
+    acc: Vec<f64>,
+    /// Least common (first shared) block id, by neighbor id; only valid
+    /// for currently-touched neighbors.
+    lcb: Vec<u32>,
+    /// Ids of neighbors with non-zero accumulation, in discovery order
+    /// until [`Self::sort_touched`] is called.
+    touched: Vec<u32>,
+}
+
+impl WeightAccumulator {
+    /// A zeroed accumulator over `n_profiles` profiles.
+    pub fn new(n_profiles: usize) -> Self {
+        Self {
+            acc: vec![0.0; n_profiles],
+            lcb: vec![0; n_profiles],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of profiles the scratch covers.
+    pub fn n_profiles(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// Grows the scratch to cover `n_profiles` profiles — the streaming
+    /// ingest path (`sper-stream`) keeps **one** accumulator alive across
+    /// epochs and lets it follow the growing substrate instead of
+    /// re-allocating per epoch. Existing entries are untouched; new slots
+    /// start untouched.
+    pub fn ensure_profiles(&mut self, n_profiles: usize) {
+        if n_profiles > self.acc.len() {
+            self.acc.resize(n_profiles, 0.0);
+            self.lcb.resize(n_profiles, 0);
+        }
+    }
+
+    // Private kernel core — the two public wrappers (`sweep`,
+    // `sweep_forward`) are the real API, so the long parameter list never
+    // reaches callers.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_impl<M: BlockMembers + ?Sized, I: BlockIndex>(
+        &mut self,
+        kind: ErKind,
+        members: &M,
+        index: &I,
+        scheme: WeightingScheme,
+        i: ProfileId,
+        dir: SweepDir,
+        checked: Option<&[bool]>,
+    ) {
+        debug_assert!(self.touched.is_empty(), "sweep on a non-reset scratch");
+        for &bid in index.blocks_of(i) {
+            let contribution = scheme.per_block(index.block_cardinality(bid));
+            let mem = members.members(bid);
+            let n_first = members.n_first(bid) as usize;
+            // Valid co-occurrences: Dirty — everyone else in the block;
+            // Clean-clean — the opposite source partition. The forward
+            // sweep keeps only ids beyond `i`, exploiting the sorted
+            // member partitions (and, for Clean-clean, the collection
+            // invariant that every P1 id precedes every P2 id).
+            let partition: &[ProfileId] = match kind {
+                ErKind::Dirty => match dir {
+                    SweepDir::Full => mem,
+                    SweepDir::Forward => {
+                        let beyond = mem.partition_point(|&p| p <= i);
+                        &mem[beyond..]
+                    }
+                },
+                ErKind::CleanClean => {
+                    if mem[..n_first].binary_search(&i).is_ok() {
+                        &mem[n_first..]
+                    } else if dir == SweepDir::Forward {
+                        // `i` is a P2 profile: every cross-source partner
+                        // has a smaller id.
+                        &[]
+                    } else {
+                        &mem[..n_first]
+                    }
+                }
+            };
+            for &j in partition {
+                if j == i || checked.is_some_and(|c| c[j.index()]) {
+                    continue;
+                }
+                if self.acc[j.index()] == 0.0 {
+                    self.touched.push(j.0);
+                    self.lcb[j.index()] = bid;
+                }
+                self.acc[j.index()] += contribution;
+            }
+        }
+    }
+
+    /// Accumulates the full valid neighborhood of `i`, optionally skipping
+    /// already-`checked` profiles (PPS's emission phase, Alg. 6 lines
+    /// 10–12). The scratch must be reset (fresh or [`Self::reset`]).
+    pub fn sweep<M: BlockMembers + ?Sized, I: BlockIndex>(
+        &mut self,
+        kind: ErKind,
+        members: &M,
+        index: &I,
+        scheme: WeightingScheme,
+        i: ProfileId,
+        checked: Option<&[bool]>,
+    ) {
+        self.sweep_impl(kind, members, index, scheme, i, SweepDir::Full, checked);
+    }
+
+    /// Accumulates only the neighbors of `i` with a **larger id** — the
+    /// edge-discovery sweep: running it for every profile in ascending
+    /// order visits each distinct edge exactly once, from its smaller
+    /// endpoint, with the same accumulated weight either endpoint would
+    /// compute.
+    pub fn sweep_forward<M: BlockMembers + ?Sized, I: BlockIndex>(
+        &mut self,
+        kind: ErKind,
+        members: &M,
+        index: &I,
+        scheme: WeightingScheme,
+        i: ProfileId,
+    ) {
+        self.sweep_impl(kind, members, index, scheme, i, SweepDir::Forward, None);
+    }
+
+    /// Neighbors touched by the last sweep (discovery order until sorted).
+    #[inline]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// True when the last sweep touched nothing (or after a reset).
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Sorts the touched list ascending by neighbor id — the edge-emission
+    /// order of the graph builders.
+    pub fn sort_touched(&mut self) {
+        self.touched.sort_unstable();
+    }
+
+    /// Sorts the touched list by `(least common block, neighbor id)` — the
+    /// order in which a materialized graph's adjacency visits the
+    /// neighborhood (edges are stored in block-major first-occurrence
+    /// order, and within one block a node's partners appear in ascending id
+    /// order). Node-centric consumers that must reproduce the adjacency
+    /// float-summation order (WNP's local mean) sort with this.
+    pub fn sort_touched_by_adjacency(&mut self) {
+        let lcb = &self.lcb;
+        self.touched.sort_unstable_by_key(|&j| (lcb[j as usize], j));
+    }
+
+    /// The raw accumulated contribution sum of neighbor `j` (zero when
+    /// untouched).
+    #[inline]
+    pub fn raw(&self, j: ProfileId) -> f64 {
+        self.acc[j.index()]
+    }
+
+    /// The least common block of `(i, j)` found by the last sweep — the
+    /// LeCoBI witness. Only meaningful for touched neighbors.
+    #[inline]
+    pub fn least_common_block(&self, j: ProfileId) -> BlockId {
+        debug_assert!(self.acc[j.index()] != 0.0, "lcb of an untouched neighbor");
+        BlockId(self.lcb[j.index()])
+    }
+
+    /// Finalizes the accumulated sum of neighbor `j` into the edge weight
+    /// of `(i, j)` — identical to [`ProfileIndex::weight`] bit for bit.
+    #[inline]
+    pub fn finalize<I: BlockIndex>(
+        &self,
+        index: &I,
+        scheme: WeightingScheme,
+        i: ProfileId,
+        j: ProfileId,
+    ) -> f64 {
+        scheme.finalize(
+            self.acc[j.index()],
+            index.blocks_of(i).len(),
+            index.blocks_of(j).len(),
+            index.total_blocks(),
+        )
+    }
+
+    /// Clears the touched entries — `O(degree)`, leaving the dense arrays
+    /// zeroed for the next sweep.
+    pub fn reset(&mut self) {
+        for &j in &self.touched {
+            self.acc[j as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Streams every distinct weighted comparison of `blocks` to `emit` —
+/// **zero materialization**: the only allocation alive is the reusable
+/// scratch, so peak memory is `O(|P|)` regardless of how many edges the
+/// collection entails.
+///
+/// Edges arrive in per-profile discovery order (ascending smaller
+/// endpoint, then ascending larger endpoint), each tagged with its least
+/// common block. Consumers that aggregate, prune, or top-k per node do not
+/// care about the legacy block-major order; those that need it
+/// (materialized-graph parity) use [`weighted_edge_list`], which restores
+/// it with one counting pass over an edge buffer it must allocate anyway.
+pub fn for_each_weighted_edge(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    mut emit: impl FnMut(Pair, f64, BlockId),
+) {
+    let mut acc = WeightAccumulator::new(blocks.n_profiles());
+    emit_range(
+        blocks,
+        index,
+        scheme,
+        0..blocks.n_profiles(),
+        &mut acc,
+        &mut emit,
+    );
+}
+
+/// Forward-sweeps every profile of `range` and hands each discovered edge
+/// to `emit` in `(i, j)`-lexicographic order with its least-common-block
+/// witness — the one loop body behind both the streaming
+/// [`for_each_weighted_edge`] and the per-shard collection of
+/// [`weighted_edge_list`], so the two paths cannot drift apart on the
+/// order contract.
+fn emit_range(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    range: std::ops::Range<usize>,
+    acc: &mut WeightAccumulator,
+    emit: &mut impl FnMut(Pair, f64, BlockId),
+) {
+    let kind = blocks.kind();
+    for i in range {
+        let i = ProfileId(i as u32);
+        acc.sweep_forward(kind, blocks, index, scheme, i);
+        if acc.is_empty() {
+            continue;
+        }
+        acc.sort_touched();
+        for t in 0..acc.touched().len() {
+            let j = ProfileId(acc.touched()[t]);
+            emit(
+                Pair::new(i, j),
+                acc.finalize(index, scheme, i, j),
+                acc.least_common_block(j),
+            );
+        }
+        acc.reset();
+    }
+}
+
+/// The sparse-accumulator replacement of the legacy edge-list builder:
+/// produces every distinct weighted comparison of `blocks` in the exact
+/// edge order of the seed seen-set builder (block-major first occurrence,
+/// within a block in comparison-enumeration order), fanning the per-profile
+/// sweeps out over `par` worker ranges.
+///
+/// Two phases:
+///
+/// 1. **Sweep** — each worker runs forward sweeps over a contiguous profile
+///    range with its own reusable scratch, emitting `(pair, weight)` tagged
+///    with the pair's least common block, in `(smaller endpoint, larger
+///    endpoint)` order.
+/// 2. **Restore** — a stable counting sort by least-common-block id
+///    regroups the edges block-major. Stability keeps the per-block
+///    `(i, j)`-lexicographic arrival order, which equals the block's
+///    comparison-enumeration order — so the output sequence is
+///    bit-identical to the legacy builder's at any worker count.
+pub fn weighted_edge_list(
+    blocks: &BlockCollection,
+    index: &ProfileIndex,
+    scheme: WeightingScheme,
+    par: crate::Parallelism,
+) -> Vec<(Pair, f64)> {
+    /// One worker range's output: discovered edges plus their
+    /// least-common-block tags, in `(i, j)`-lexicographic order.
+    type Shard = (Vec<(Pair, f64)>, Vec<u32>);
+    let n = blocks.n_profiles();
+    let shards: Vec<Shard> = par.map_ranges(n, |range| {
+        let mut acc = WeightAccumulator::new(n);
+        let mut edges: Vec<(Pair, f64)> = Vec::new();
+        let mut lcbs: Vec<u32> = Vec::new();
+        emit_range(
+            blocks,
+            index,
+            scheme,
+            range,
+            &mut acc,
+            &mut |pair, w, lcb| {
+                edges.push((pair, w));
+                lcbs.push(lcb.0);
+            },
+        );
+        (edges, lcbs)
+    });
+
+    // Stable counting sort by least common block: concatenating the shard
+    // outputs in range order preserves the global (i, j) discovery order,
+    // and the scatter below preserves it within each block bucket.
+    let total: usize = shards.iter().map(|(e, _)| e.len()).sum();
+    let mut counts = vec![0u32; index.total_blocks()];
+    for (_, lcbs) in &shards {
+        for &b in lcbs {
+            counts[b as usize] += 1;
+        }
+    }
+    let offsets = crate::block::prefix_offsets(&counts);
+    let mut cursor = offsets;
+    let placeholder = (
+        Pair {
+            first: ProfileId(0),
+            second: ProfileId(u32::MAX),
+        },
+        0.0,
+    );
+    let mut out: Vec<(Pair, f64)> = vec![placeholder; total];
+    for (edges, lcbs) in &shards {
+        for (edge, &b) in edges.iter().zip(lcbs) {
+            let at = &mut cursor[b as usize];
+            out[*at as usize] = *edge;
+            *at += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::fig3_profiles;
+    use crate::token_blocking::TokenBlocking;
+
+    fn pid(i: u32) -> ProfileId {
+        ProfileId(i)
+    }
+
+    fn fig3_setup() -> (BlockCollection, ProfileIndex) {
+        let mut blocks = TokenBlocking::default().build(&fig3_profiles());
+        blocks.sort_by_cardinality();
+        let index = ProfileIndex::build(&blocks);
+        (blocks, index)
+    }
+
+    #[test]
+    fn sweep_weights_match_pairwise_merge() {
+        let (blocks, index) = fig3_setup();
+        let kind = blocks.kind();
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        for scheme in WeightingScheme::ALL {
+            for i in 0..blocks.n_profiles() as u32 {
+                let i = pid(i);
+                acc.sweep(kind, &blocks, &index, scheme, i, None);
+                for t in 0..acc.touched().len() {
+                    let j = pid(acc.touched()[t]);
+                    let sweep_w = acc.finalize(&index, scheme, i, j);
+                    let merge_w = index.weight(i, j, scheme);
+                    assert_eq!(
+                        sweep_w.to_bits(),
+                        merge_w.to_bits(),
+                        "scheme {scheme}, pair ({i:?}, {j:?})"
+                    );
+                }
+                acc.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn lcb_matches_intersect_witness() {
+        let (blocks, index) = fig3_setup();
+        let kind = blocks.kind();
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        for i in 0..blocks.n_profiles() as u32 {
+            let i = pid(i);
+            acc.sweep(kind, &blocks, &index, WeightingScheme::Arcs, i, None);
+            for t in 0..acc.touched().len() {
+                let j = pid(acc.touched()[t]);
+                let expected = index.intersect(i, j).least_common.unwrap();
+                assert_eq!(acc.least_common_block(j), expected);
+            }
+            acc.reset();
+        }
+    }
+
+    #[test]
+    fn forward_sweep_sees_only_larger_ids() {
+        let (blocks, index) = fig3_setup();
+        let kind = blocks.kind();
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        for i in 0..blocks.n_profiles() as u32 {
+            let i = pid(i);
+            acc.sweep_forward(kind, &blocks, &index, WeightingScheme::Cbs, i);
+            for &j in acc.touched() {
+                assert!(j > i.0, "forward sweep of {i:?} touched {j}");
+                // Forward and full sweeps agree on the shared neighbors.
+                assert_eq!(
+                    acc.raw(pid(j)),
+                    index.weight(i, pid(j), WeightingScheme::Cbs)
+                );
+            }
+            acc.reset();
+        }
+    }
+
+    #[test]
+    fn reset_clears_scratch() {
+        let (blocks, index) = fig3_setup();
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        acc.sweep(
+            blocks.kind(),
+            &blocks,
+            &index,
+            WeightingScheme::Arcs,
+            pid(0),
+            None,
+        );
+        assert!(!acc.is_empty());
+        acc.reset();
+        assert!(acc.is_empty());
+        for j in 0..acc.n_profiles() as u32 {
+            assert_eq!(acc.raw(pid(j)), 0.0);
+        }
+    }
+
+    #[test]
+    fn checked_filter_suppresses_neighbors() {
+        let (blocks, index) = fig3_setup();
+        let mut checked = vec![false; blocks.n_profiles()];
+        checked[1] = true;
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        acc.sweep(
+            blocks.kind(),
+            &blocks,
+            &index,
+            WeightingScheme::Arcs,
+            pid(0),
+            Some(&checked),
+        );
+        assert!(!acc.touched().contains(&1));
+        acc.reset();
+    }
+
+    #[test]
+    fn edge_list_covers_all_distinct_comparisons() {
+        let (blocks, index) = fig3_setup();
+        let edges = weighted_edge_list(
+            &blocks,
+            &index,
+            WeightingScheme::Arcs,
+            crate::Parallelism::SEQUENTIAL,
+        );
+        // Fig. 3: complete graph over 6 nodes.
+        assert_eq!(edges.len(), 15);
+        // The zero-materialization stream covers the same edge set with the
+        // same weights (different order: discovery vs block-major).
+        let mut streamed = Vec::new();
+        for_each_weighted_edge(&blocks, &index, WeightingScheme::Arcs, |p, w, lcb| {
+            assert_eq!(index.intersect(p.first, p.second).least_common, Some(lcb));
+            streamed.push((p, w));
+        });
+        let sort = |mut v: Vec<(Pair, f64)>| {
+            v.sort_by_key(|e| e.0);
+            v
+        };
+        assert_eq!(sort(streamed), sort(edges.clone()));
+    }
+
+    #[test]
+    fn incremental_index_runs_the_same_kernel() {
+        // The growable streaming index and the live block array drive the
+        // sweep to the same weights as the frozen CSR pair.
+        let (blocks, index) = fig3_setup();
+        let kind = blocks.kind();
+        let mut inc = IncrementalProfileIndex::new_empty(blocks.n_profiles());
+        for block in blocks.iter() {
+            inc.push_block(block.profiles(), block.cardinality(kind));
+        }
+        let owned: Vec<Block> = blocks.clone().into_blocks();
+        let mut a = WeightAccumulator::new(blocks.n_profiles());
+        let mut b = WeightAccumulator::new(blocks.n_profiles());
+        for i in 0..blocks.n_profiles() as u32 {
+            let i = pid(i);
+            a.sweep(kind, &blocks, &index, WeightingScheme::Js, i, None);
+            b.sweep(kind, owned.as_slice(), &inc, WeightingScheme::Js, i, None);
+            assert_eq!(a.touched(), b.touched());
+            for &j in a.touched() {
+                assert_eq!(
+                    a.finalize(&index, WeightingScheme::Js, i, pid(j)).to_bits(),
+                    b.finalize(&inc, WeightingScheme::Js, i, pid(j)).to_bits()
+                );
+            }
+            a.reset();
+            b.reset();
+        }
+    }
+}

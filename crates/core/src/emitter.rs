@@ -132,12 +132,10 @@ impl Ord for ShardFront {
     }
 }
 
-/// Below this work-item count the parallel engines run inline on the
-/// calling thread: an OS-thread spawn/join costs tens of microseconds,
-/// which dwarfs the sort/weighting of a small batch. Correctness is
-/// unaffected either way (the parallel paths are bit-identical); this is
-/// purely the spawn-overhead break-even guard.
-pub(crate) const MIN_PARALLEL_BATCH: usize = 2048;
+/// The spawn break-even guard, shared with the blocking substrates (see
+/// [`sper_blocking::MIN_PARALLEL_BATCH`]): below this work-item count the
+/// parallel engines run inline on the calling thread.
+pub(crate) const MIN_PARALLEL_BATCH: usize = sper_blocking::MIN_PARALLEL_BATCH;
 
 /// The sharded best-first scheduler: per-shard sorted runs drained through
 /// a deterministic tournament merge.

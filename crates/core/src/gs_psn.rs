@@ -9,6 +9,7 @@
 
 use crate::emitter::EmissionList;
 use crate::rcf::NeighborWeighting;
+use crate::scratch::CooccurrenceScratch;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::neighbor_list::NeighborList;
 use sper_blocking::Parallelism;
@@ -16,7 +17,8 @@ use sper_model::{Pair, ProfileCollection, ProfileId};
 
 /// Accumulates co-occurrence frequencies over every window in `[1, wmax]`
 /// for the profiles of `range` — the unit of work of both the sequential
-/// and the sharded initialization.
+/// and the sharded initialization, on the shared dense scratch (one per
+/// worker, touched-list reset).
 fn weight_all_windows_range(
     profiles: &ProfileCollection,
     nl: &NeighborList,
@@ -25,31 +27,24 @@ fn weight_all_windows_range(
     range: std::ops::Range<u32>,
 ) -> Vec<Comparison> {
     let pi = nl.position_index();
-    let mut freq: Vec<u32> = vec![0; profiles.len()];
-    let mut touched: Vec<u32> = Vec::new();
+    let mut scratch = CooccurrenceScratch::new(profiles.len());
     let mut batch: Vec<Comparison> = Vec::new();
     for i in range {
         let i = ProfileId(i);
-        touched.clear();
         for &pos in pi.positions_of(i) {
             for w in 1..=wmax as isize {
                 for probe in [pos as isize + w, pos as isize - w] {
                     let Some(j) = nl.get(probe) else { continue };
                     if j != i && crate::is_valid_similarity_neighbor(profiles, i, j) {
-                        if freq[j.index()] == 0 {
-                            touched.push(j.0);
-                        }
-                        freq[j.index()] += 1;
+                        scratch.bump(j);
                     }
                 }
             }
         }
-        for &j in &touched {
-            let j = ProfileId(j);
-            let f = std::mem::take(&mut freq[j.index()]);
+        scratch.drain(|j, f| {
             let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
             batch.push(Comparison::new(Pair::new(i, j), weight));
-        }
+        });
     }
     batch
 }

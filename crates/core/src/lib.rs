@@ -35,6 +35,7 @@ pub mod psn;
 pub mod rcf;
 pub mod sa_psab;
 pub mod sa_psn;
+pub(crate) mod scratch;
 
 pub use emitter::{emission_order, ComparisonList, EmissionList, ShardedComparisonList};
 pub use method::{build_method, MethodConfig, ProgressiveMethod};

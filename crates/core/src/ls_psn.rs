@@ -15,54 +15,41 @@
 
 use crate::emitter::EmissionList;
 use crate::rcf::NeighborWeighting;
+use crate::scratch::CooccurrenceScratch;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::neighbor_list::NeighborList;
 use sper_blocking::Parallelism;
 use sper_model::{Pair, ProfileCollection, ProfileId};
 
-/// Per-worker scratch of the window weighting pass.
-#[derive(Debug, Clone, Default)]
-struct WindowScratch {
-    /// Co-occurrence frequency per candidate neighbor id.
-    freq: Vec<u32>,
-    /// Neighbor ids with non-zero frequency.
-    touched: Vec<u32>,
-}
-
 /// One weighting pass over `range` at window size `w` (Algorithm 1 lines
-/// 5–20) — the unit of work of both the sequential and the sharded engine.
+/// 5–20) — the unit of work of both the sequential and the sharded engine,
+/// on the shared dense scratch (one per worker, touched-list reset).
 fn weight_window_range(
     profiles: &ProfileCollection,
     nl: &NeighborList,
     weighting: NeighborWeighting,
     w: isize,
     range: std::ops::Range<u32>,
-    scratch: &mut WindowScratch,
+    scratch: &mut CooccurrenceScratch,
 ) -> Vec<Comparison> {
     let pi = nl.position_index();
     let mut batch: Vec<Comparison> = Vec::new();
     for i in range {
         let i = ProfileId(i);
-        scratch.touched.clear();
         for &pos in pi.positions_of(i) {
             for probe in [pos as isize + w, pos as isize - w] {
                 let Some(j) = nl.get(probe) else {
                     continue;
                 };
                 if j != i && crate::is_valid_similarity_neighbor(profiles, i, j) {
-                    if scratch.freq[j.index()] == 0 {
-                        scratch.touched.push(j.0);
-                    }
-                    scratch.freq[j.index()] += 1;
+                    scratch.bump(j);
                 }
             }
         }
-        for t in 0..scratch.touched.len() {
-            let j = ProfileId(scratch.touched[t]);
-            let f = std::mem::take(&mut scratch.freq[j.index()]);
+        scratch.drain(|j, f| {
             let weight = weighting.weight(f, pi.num_positions(i), pi.num_positions(j));
             batch.push(Comparison::new(Pair::new(i, j), weight));
-        }
+        });
     }
     batch
 }
@@ -76,8 +63,9 @@ pub struct LsPsn<'a> {
     window: usize,
     list: EmissionList,
     /// One scratch buffer per worker (a single one for the sequential
-    /// engine), reused across window refills.
-    scratch: Vec<WindowScratch>,
+    /// engine), reused across window refills. Transient by design — never
+    /// persisted, rebuilt on rehydration.
+    scratch: Vec<CooccurrenceScratch>,
 }
 
 impl<'a> LsPsn<'a> {
@@ -156,13 +144,7 @@ impl<'a> LsPsn<'a> {
             weighting,
             window: 1,
             list: EmissionList::new(par),
-            scratch: vec![
-                WindowScratch {
-                    freq: vec![0; n],
-                    touched: Vec::new(),
-                };
-                par.get()
-            ],
+            scratch: vec![CooccurrenceScratch::new(n); par.get()],
         };
         this.fill_window();
         this

@@ -13,9 +13,10 @@
 use crate::emitter::EmissionList;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::{
-    BlockCollection, BlockId, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
+    BlockCollection, BlockId, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightAccumulator,
+    WeightingScheme,
 };
-use sper_model::{Pair, ProfileCollection};
+use sper_model::{ErKind, Pair, ProfileCollection, ProfileId};
 
 /// The advanced equality-based method with block-level scheduling.
 #[derive(Debug)]
@@ -25,6 +26,13 @@ pub struct Pbs {
     scheme: WeightingScheme,
     next_block: usize,
     list: EmissionList,
+    /// Reusable sparse-accumulator scratch of the anchor-sweep refill
+    /// (transient by design — never persisted, rebuilt on rehydration).
+    acc: WeightAccumulator,
+    /// Forward neighborhood volume per profile: the number of scratch
+    /// updates a forward sweep of that profile costs. The refill's
+    /// sweep-vs-merge break-even gate reads this.
+    forward_volume: Vec<u64>,
 }
 
 impl Pbs {
@@ -77,12 +85,36 @@ impl Pbs {
         blocks.retain_comparable();
         blocks.sort_by_cardinality(); // Block Scheduling
         let index = ProfileIndex::build(&blocks);
+        let n = blocks.n_profiles();
+        // One pass over the member CSR: how many scratch updates a forward
+        // sweep of each profile would cost (Σ over its blocks of the
+        // forward partition size) — the refill gate compares this against
+        // the per-pair merge cost.
+        let mut forward_volume = vec![0u64; n];
+        for block in blocks.iter() {
+            match blocks.kind() {
+                ErKind::Dirty => {
+                    let members = block.profiles();
+                    for (x, &p) in members.iter().enumerate() {
+                        forward_volume[p.index()] += (members.len() - 1 - x) as u64;
+                    }
+                }
+                ErKind::CleanClean => {
+                    let partners = block.second_source().len() as u64;
+                    for &p in block.first_source() {
+                        forward_volume[p.index()] += partners;
+                    }
+                }
+            }
+        }
         let mut this = Self {
             blocks,
             index,
             scheme,
             next_block: 0,
             list: EmissionList::new(par),
+            acc: WeightAccumulator::new(n),
+            forward_volume,
         };
         this.fill_next_block();
         this
@@ -98,8 +130,10 @@ impl Pbs {
         self.next_block
     }
 
-    /// LeCoBI-filters and weights one block's comparison slice — the unit
-    /// of work of both the sequential and the sharded refill.
+    /// LeCoBI-filters and weights one block's comparison slice with
+    /// per-pair merge intersections — the unit of work of the sharded
+    /// refill (and the reference the anchor-sweep path is tested against:
+    /// both produce the identical comparison sequence).
     fn weigh_pairs(
         index: &ProfileIndex,
         scheme: WeightingScheme,
@@ -117,29 +151,100 @@ impl Pbs {
             .collect()
     }
 
+    /// One block's non-repeated weighted comparisons via per-anchor
+    /// sparse-accumulator sweeps — no `Vec<Pair>` materialization, no
+    /// per-pair merge intersections when the sweep is cheaper.
+    ///
+    /// For each anchor (a member with in-block partners after it), either
+    /// one forward sweep produces every partner's weight **and** LeCoBI
+    /// witness in `O(forward_volume)` total, or — when the anchor sits in
+    /// many large blocks but has few partners here — the classic per-pair
+    /// merge path is cheaper and is taken instead. Both sides of the gate
+    /// emit bit-identical comparisons, so the gate is purely a wall-clock
+    /// heuristic.
+    fn fill_block_sequential(&mut self, bid: BlockId, batch: &mut Vec<Comparison>) {
+        let Self {
+            blocks,
+            index,
+            acc,
+            forward_volume,
+            scheme,
+            ..
+        } = self;
+        let scheme = *scheme;
+        let kind = blocks.kind();
+        let block = blocks.get(bid);
+        let members = block.profiles();
+        let mut anchor = |i: ProfileId, partners: &[ProfileId]| {
+            if partners.is_empty() {
+                return;
+            }
+            // Sweep cost ≈ forward_volume[i] scratch updates; per-pair cost
+            // ≈ partners · (|B_i| + |B_j|) merge steps, lower-bounded by
+            // partners · 2|B_i| on redundancy-positive collections.
+            let merge_est =
+                (partners.len() as u64).saturating_mul(2 * index.blocks_of(i).len() as u64);
+            if forward_volume[i.index()] <= merge_est {
+                acc.sweep_forward(kind, blocks, index, scheme, i);
+                for &j in partners {
+                    // LeCoBI: keep the pair only where the sweep first saw
+                    // it — its least common block.
+                    if acc.least_common_block(j) == bid {
+                        batch.push(Comparison::new(
+                            Pair::new(i, j),
+                            acc.finalize(index, scheme, i, j),
+                        ));
+                    }
+                }
+                acc.reset();
+            } else {
+                for &j in partners {
+                    if index.is_new_comparison(i, j, bid) {
+                        batch.push(Comparison::new(Pair::new(i, j), index.weight(i, j, scheme)));
+                    }
+                }
+            }
+        };
+        match kind {
+            ErKind::Dirty => {
+                for x in 0..members.len().saturating_sub(1) {
+                    anchor(members[x], &members[x + 1..]);
+                }
+            }
+            ErKind::CleanClean => {
+                let seconds = block.second_source();
+                for &i in block.first_source() {
+                    anchor(i, seconds);
+                }
+            }
+        }
+    }
+
     /// Loads the next block's non-repeated comparisons into the Comparison
-    /// List (Algorithm 3 lines 4–12), fanning the LeCoBI filter and the
-    /// edge weighting out over the configured workers. Returns false when
+    /// List (Algorithm 3 lines 4–12): anchor sweeps on the sequential
+    /// path, the LeCoBI filter and edge weighting fanned out over the
+    /// configured workers for super-break-even blocks. Returns false when
     /// no block is left.
     fn fill_next_block(&mut self) -> bool {
-        let kind = self.blocks.kind();
         while self.next_block < self.blocks.len() {
             let bid = BlockId(self.next_block as u32);
-            let block = self.blocks.get(bid);
-            let pairs = block.comparisons(kind);
             let par = self.list.parallelism();
             // Most token blocks are tiny; below the spawn break-even the
             // fan-out would cost more than the weighting it distributes.
-            let batch: Vec<Comparison> =
-                if par.is_sequential() || pairs.len() < crate::emitter::MIN_PARALLEL_BATCH {
-                    Self::weigh_pairs(&self.index, self.scheme, bid, &pairs)
-                } else {
-                    let (index, scheme) = (&self.index, self.scheme);
-                    par.map_ranges(pairs.len(), |range| {
+            let cardinality = self.blocks.cardinality(bid) as usize;
+            let mut batch: Vec<Comparison> = Vec::new();
+            if par.is_sequential() || cardinality < crate::emitter::MIN_PARALLEL_BATCH {
+                self.fill_block_sequential(bid, &mut batch);
+            } else {
+                let kind = self.blocks.kind();
+                let pairs = self.blocks.get(bid).comparisons(kind);
+                let (index, scheme) = (&self.index, self.scheme);
+                batch = par
+                    .map_ranges(pairs.len(), |range| {
                         Self::weigh_pairs(index, scheme, bid, &pairs[range])
                     })
-                    .concat()
-                };
+                    .concat();
+            }
             self.next_block += 1;
             if !batch.is_empty() {
                 self.list.refill(batch);
@@ -278,6 +383,52 @@ mod tests {
         let coll = ProfileCollectionBuilder::dirty().build();
         let mut pbs = Pbs::new(&coll, WeightingScheme::Arcs);
         assert!(pbs.next().is_none());
+    }
+
+    #[test]
+    fn anchor_sweep_and_merge_paths_emit_identically() {
+        // Both sides of the refill gate — forward sparse-accumulator
+        // sweeps and per-pair LeCoBI merges — must produce the same
+        // comparison sequence with bit-equal weights for every block,
+        // dirty and clean-clean, under every scheme.
+        let dirty = {
+            let mut b = ProfileCollectionBuilder::dirty();
+            for i in 0..60u32 {
+                let base = i % 24;
+                b.add_profile([("t", format!("tok{} shared{} white", base, base % 5))]);
+            }
+            b.build()
+        };
+        let clean = {
+            let mut b = ProfileCollectionBuilder::clean_clean();
+            for i in 0..30u32 {
+                b.add_profile([("t", format!("tok{} white", i % 12))]);
+            }
+            b.start_second_source();
+            for i in 0..30u32 {
+                b.add_profile([("t", format!("tok{} white", i % 10))]);
+            }
+            b.build()
+        };
+        for coll in [dirty, clean] {
+            for scheme in WeightingScheme::ALL {
+                let blocks = TokenBlocking::default().build(&coll);
+                let mut pbs = Pbs::from_blocks(blocks, scheme);
+                let kind = pbs.blocks.kind();
+                for bid in 0..pbs.blocks.len() as u32 {
+                    let bid = sper_blocking::BlockId(bid);
+                    let mut swept = Vec::new();
+                    pbs.fill_block_sequential(bid, &mut swept);
+                    let pairs = pbs.blocks.get(bid).comparisons(kind);
+                    let merged = Pbs::weigh_pairs(&pbs.index, scheme, bid, &pairs);
+                    assert_eq!(swept.len(), merged.len(), "block {bid:?}");
+                    for (a, b) in swept.iter().zip(&merged) {
+                        assert_eq!(a.pair, b.pair, "block {bid:?}");
+                        assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

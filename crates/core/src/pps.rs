@@ -11,104 +11,49 @@
 //! been scheduled, its comparisons are never produced again from the other
 //! endpoint — "the previously examined profile's higher duplication
 //! likelihood provides more reliable evidence" (§5.2.2).
+//!
+//! Both phases run the shared sparse-accumulator kernel
+//! ([`sper_blocking::WeightAccumulator`]): dense per-neighbor scratch, a
+//! touched list for `O(degree)` resets, weights bit-identical to the
+//! materialized blocking graph's.
 
 use crate::emitter::EmissionList;
 use crate::{Comparison, ProgressiveEr};
 use sper_blocking::{
-    BlockCollection, BlockId, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightingScheme,
+    BlockCollection, Parallelism, ProfileIndex, TokenBlockingWorkflow, WeightAccumulator,
+    WeightingScheme,
 };
 use sper_model::{Pair, ProfileCollection, ProfileId};
 use std::collections::HashMap;
-
-/// Accumulates `scheme.per_block` contributions from every valid
-/// co-occurring neighbor of `i` into the scratch arrays; optionally skips
-/// already-checked entities (emission phase, Alg. 6 lines 10–12). A free
-/// function so the parallel initialization can run it with per-worker
-/// scratch.
-fn accumulate_neighbors_into(
-    blocks: &BlockCollection,
-    index: &ProfileIndex,
-    scheme: WeightingScheme,
-    i: ProfileId,
-    checked: Option<&[bool]>,
-    weights: &mut [f64],
-    touched: &mut Vec<u32>,
-) {
-    touched.clear();
-    let kind = blocks.kind();
-    for &bid in index.blocks_of(i) {
-        let block = blocks.get(BlockId(bid));
-        let contribution = scheme.per_block(block.cardinality(kind));
-        // Valid co-occurrences: Dirty — everyone else in the block;
-        // Clean-clean — the opposite source partition.
-        let partition: &[ProfileId] = match kind {
-            sper_model::ErKind::Dirty => block.profiles(),
-            sper_model::ErKind::CleanClean => {
-                if block.first_source().binary_search(&i).is_ok() {
-                    block.second_source()
-                } else {
-                    block.first_source()
-                }
-            }
-        };
-        for &j in partition {
-            if j == i || checked.is_some_and(|c| c[j.index()]) {
-                continue;
-            }
-            if weights[j.index()] == 0.0 {
-                touched.push(j.0);
-            }
-            weights[j.index()] += contribution;
-        }
-    }
-}
-
-/// Finalizes an accumulated neighbor weight (Algorithm 5 line 8).
-#[inline]
-fn finalize_weight_with(
-    index: &ProfileIndex,
-    scheme: WeightingScheme,
-    i: ProfileId,
-    j: ProfileId,
-    acc: f64,
-) -> f64 {
-    scheme.finalize(
-        acc,
-        index.blocks_of(i).len(),
-        index.blocks_of(j).len(),
-        index.total_blocks(),
-    )
-}
 
 /// One initialization shard's output: `(profile, duplication likelihood)`
 /// entries in profile order plus the per-profile top comparisons.
 type InitShard = (Vec<(ProfileId, f64)>, Vec<Comparison>);
 
 /// Algorithm 5 over one contiguous profile range — the unit of work of
-/// both the sequential and the sharded initialization.
+/// both the sequential and the sharded initialization, running the shared
+/// sparse-accumulator kernel with per-worker scratch.
 fn init_range(
     blocks: &BlockCollection,
     index: &ProfileIndex,
     scheme: WeightingScheme,
     range: std::ops::Range<u32>,
 ) -> InitShard {
-    let n = blocks.n_profiles();
-    let mut weights: Vec<f64> = vec![0.0; n];
-    let mut touched: Vec<u32> = Vec::new();
+    let mut acc = WeightAccumulator::new(blocks.n_profiles());
     let mut likelihood: Vec<(ProfileId, f64)> = Vec::new();
     let mut tops: Vec<Comparison> = Vec::new();
     for i in range {
         let i = ProfileId(i);
-        accumulate_neighbors_into(blocks, index, scheme, i, None, &mut weights, &mut touched);
-        if touched.is_empty() {
+        acc.sweep(blocks.kind(), blocks, index, scheme, i, None);
+        if acc.is_empty() {
             continue;
         }
         let mut dup = 0.0;
         let mut top: Option<Comparison> = None;
         // Finalize weights, pick the best, reset scratch.
-        for &jt in touched.iter() {
-            let j = ProfileId(jt);
-            let w = finalize_weight_with(index, scheme, i, j, weights[j.index()]);
+        for t in 0..acc.touched().len() {
+            let j = ProfileId(acc.touched()[t]);
+            let w = acc.finalize(index, scheme, i, j);
             dup += w;
             let cand = Comparison::new(Pair::new(i, j), w);
             let better = match &top {
@@ -119,12 +64,9 @@ fn init_range(
                 top = Some(cand);
             }
         }
-        dup /= touched.len() as f64;
-        for &j in &touched {
-            weights[j as usize] = 0.0;
-        }
-        touched.clear();
+        dup /= acc.touched().len() as f64;
         likelihood.push((i, dup));
+        acc.reset();
         if let Some(best) = top {
             tops.push(best);
         }
@@ -144,10 +86,9 @@ pub struct Pps {
     profile_cursor: usize,
     checked: Vec<bool>,
     list: EmissionList,
-    /// Scratch: accumulated per-neighbor weight.
-    weights: Vec<f64>,
-    /// Scratch: ids of touched neighbors.
-    touched: Vec<u32>,
+    /// The reusable sparse-accumulator scratch of the emission phase
+    /// (transient by design — never persisted, rebuilt on rehydration).
+    acc: WeightAccumulator,
 }
 
 impl Pps {
@@ -227,8 +168,7 @@ impl Pps {
             profile_cursor: 0,
             checked: vec![false; n],
             list: EmissionList::new(par),
-            weights: vec![0.0; n],
-            touched: Vec::new(),
+            acc: WeightAccumulator::new(n),
         };
         this.initialize();
         this
@@ -279,29 +219,24 @@ impl Pps {
             self.profile_cursor += 1;
             self.checked[i.index()] = true;
 
-            accumulate_neighbors_into(
+            self.acc.sweep(
+                self.blocks.kind(),
                 &self.blocks,
                 &self.index,
                 self.scheme,
                 i,
                 Some(&self.checked),
-                &mut self.weights,
-                &mut self.touched,
             );
-            if self.touched.is_empty() {
+            if self.acc.is_empty() {
                 continue;
             }
-            let mut batch: Vec<Comparison> = Vec::with_capacity(self.touched.len());
-            for t in 0..self.touched.len() {
-                let j = ProfileId(self.touched[t]);
-                let w =
-                    finalize_weight_with(&self.index, self.scheme, i, j, self.weights[j.index()]);
+            let mut batch: Vec<Comparison> = Vec::with_capacity(self.acc.touched().len());
+            for t in 0..self.acc.touched().len() {
+                let j = ProfileId(self.acc.touched()[t]);
+                let w = self.acc.finalize(&self.index, self.scheme, i, j);
                 batch.push(Comparison::new(Pair::new(i, j), w));
             }
-            for &j in &self.touched {
-                self.weights[j as usize] = 0.0;
-            }
-            self.touched.clear();
+            self.acc.reset();
             // SortedStack semantics: keep only the Kmax best.
             batch.sort_by(crate::emission_order);
             batch.truncate(self.kmax);

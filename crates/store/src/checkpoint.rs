@@ -14,6 +14,18 @@
 //! Sections: `SESS` (method, config, counters) is required; `PROF` is
 //! required; `INTR` + `ITBK` or `INTR` + `INLR` carry the substrate when
 //! the state holds one; `EMIT` and `RPTS` are required (possibly empty).
+//!
+//! **What is deliberately absent:** the sparse-accumulator kernel's
+//! scratch state (`sper_blocking::WeightAccumulator` inside PBS/PPS, the
+//! dense co-occurrence scratch inside LS-PSN/GS-PSN). The scratch is a
+//! pure function of the substrates the methods sweep — dense arrays plus
+//! a touched list, zeroed between profiles — so persisting it would add
+//! `O(|P|)` bytes per worker to every checkpoint without changing a
+//! single resumed emission. Rehydration allocates zeroed scratch and the
+//! first sweep rebuilds it; `tests/resume.rs::
+//! kernel_scratch_is_rebuilt_not_persisted` pins the invariant by killing
+//! budgeted runs with a hot mid-schedule scratch and demanding
+//! bit-identical continuations.
 
 use crate::container::{Store, Tag};
 use crate::error::StoreError;

@@ -251,3 +251,48 @@ fn emission_cursor_survives_the_file() {
     let outcome = resumed.emit_epoch(None);
     assert_eq!(outcome.report.epoch, 3, "epoch numbering continues");
 }
+
+/// The sparse-accumulator scratch is **deliberately not persisted**: the
+/// dense accumulator arrays and touched lists inside the kernel-backed
+/// methods (`WeightAccumulator` in PBS/PPS, the co-occurrence scratch in
+/// LS-PSN/GS-PSN) are pure functions of the substrates they sweep, so the
+/// wire format carries only the substrates and `SessionState` — a
+/// rehydrated session re-allocates zeroed scratch and rebuilds it on the
+/// next sweep. This test pins the invariant where it would bite hardest:
+/// tight budgets leave most of each epoch's weighted frontier pending (the
+/// scratch was hot mid-schedule when the process died), yet every resumed
+/// continuation is bit-identical to the uninterrupted run, at every kill
+/// point. If any scratch state had needed to survive the crash, some
+/// continuation would diverge.
+#[test]
+fn kernel_scratch_is_rebuilt_not_persisted() {
+    let rows = toy_rows(18);
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(3).map(|c| c.to_vec()).collect();
+    for method in [ProgressiveMethod::Pbs, ProgressiveMethod::Pps] {
+        let config = SessionConfig::exhaustive(method);
+        // Budget 1: the kill always lands with the kernel's frontier
+        // almost entirely unemitted.
+        for budget in [1u64, 5] {
+            let baseline = run_with_kill(
+                ProfileCollectionBuilder::dirty().build(),
+                &batches,
+                config.clone(),
+                Some(budget),
+                None,
+            );
+            for kill_after in 1..=batches.len() {
+                let resumed = run_with_kill(
+                    ProfileCollectionBuilder::dirty().build(),
+                    &batches,
+                    config.clone(),
+                    Some(budget),
+                    Some(kill_after),
+                );
+                assert_eq!(
+                    resumed, baseline,
+                    "{method:?} budget {budget}: scratch rebuild diverged after epoch {kill_after}"
+                );
+            }
+        }
+    }
+}
