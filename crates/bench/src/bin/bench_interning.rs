@@ -21,6 +21,7 @@ use sper_blocking::{
 };
 use sper_datagen::{DatasetKind, DatasetSpec};
 use sper_model::ProfileId;
+use sper_obs::{event, Level};
 use std::time::Instant;
 
 #[derive(Serialize)]
@@ -40,6 +41,7 @@ struct Report {
     dataset: String,
     n_profiles: usize,
     iters: usize,
+    host: sper_bench::HostInfo,
     measurements: Vec<Measurement>,
 }
 
@@ -56,6 +58,7 @@ fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    sper_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -74,9 +77,12 @@ fn main() {
         .with_scale(scale)
         .generate();
     let profiles = &data.profiles;
-    eprintln!(
-        "bench_interning: movies twin, |P| = {}, {iters} iters/measurement",
-        profiles.len()
+    event!(
+        Level::Info,
+        "bench_interning.start",
+        dataset = "movies",
+        profiles = profiles.len(),
+        iters = iters,
     );
 
     let mut measurements = Vec::new();
@@ -151,6 +157,7 @@ fn main() {
         dataset: "movies".into(),
         n_profiles: profiles.len(),
         iters,
+        host: sper_bench::host_info(),
         measurements,
     };
     for m in &report.measurements {
@@ -163,5 +170,5 @@ fn main() {
         eprintln!("error: {out}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out}");
+    event!(Level::Info, "bench_interning.wrote", path = out.as_str());
 }

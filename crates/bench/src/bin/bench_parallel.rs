@@ -27,12 +27,14 @@
 //! is not mistaken for a regression.
 
 use serde::Serialize;
+use sper_bench::peak_bytes;
 use sper_blocking::{
     parallel_blocking_graph, BlockingGraph, NeighborList, Parallelism, TokenBlocking,
     WeightingScheme,
 };
 use sper_core::pps::Pps;
 use sper_datagen::{DatasetKind, DatasetSpec};
+use sper_obs::{event, Level};
 use std::time::Instant;
 
 const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
@@ -43,6 +45,8 @@ struct Point {
     ms: f64,
     /// Sequential-baseline time / this time.
     speedup: f64,
+    /// High-water allocation of one build, bytes.
+    peak_bytes: usize,
 }
 
 #[derive(Serialize)]
@@ -63,6 +67,7 @@ struct Report {
     /// Worker threads the measuring machine can actually run — scaling is
     /// bounded by this, not by the requested thread count.
     host_parallelism: usize,
+    host: sper_bench::HostInfo,
     curves: Vec<Curve>,
 }
 
@@ -83,16 +88,17 @@ fn curve(
     baseline: &str,
     baseline_ms: f64,
     identical: bool,
-    mut at_threads: impl FnMut(usize) -> f64,
+    mut at_threads: impl FnMut(usize) -> (f64, usize),
 ) -> Curve {
     let points = THREAD_STEPS
         .iter()
         .map(|&threads| {
-            let ms = at_threads(threads);
+            let (ms, peak) = at_threads(threads);
             Point {
                 threads,
                 ms,
                 speedup: baseline_ms / ms,
+                peak_bytes: peak,
             }
         })
         .collect();
@@ -106,6 +112,7 @@ fn curve(
 }
 
 fn main() {
+    sper_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -124,10 +131,13 @@ fn main() {
         .with_scale(scale)
         .generate();
     let profiles = &data.profiles;
-    eprintln!(
-        "bench_parallel: movies twin, |P| = {}, {iters} iters/measurement, host parallelism {}",
-        profiles.len(),
-        Parallelism::available()
+    event!(
+        Level::Info,
+        "bench_parallel.start",
+        dataset = "movies",
+        profiles = profiles.len(),
+        iters = iters,
+        host_parallelism = Parallelism::available().get(),
     );
 
     let mut curves = Vec::new();
@@ -150,11 +160,15 @@ fn main() {
         baseline_ms,
         identical,
         |threads| {
-            median_ms(iters, || {
+            let ms = median_ms(iters, || {
                 std::hint::black_box(
                     parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap(),
                 );
-            })
+            });
+            let (_, peak) = peak_bytes(|| {
+                parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap()
+            });
+            (ms, peak)
         },
     ));
 
@@ -172,9 +186,11 @@ fn main() {
         baseline_ms,
         identical,
         |threads| {
-            median_ms(iters, || {
+            let ms = median_ms(iters, || {
                 std::hint::black_box(NeighborList::par_build(profiles, 42, threads).unwrap());
-            })
+            });
+            let (_, peak) = peak_bytes(|| NeighborList::par_build(profiles, 42, threads).unwrap());
+            (ms, peak)
         },
     ));
 
@@ -204,14 +220,23 @@ fn main() {
         baseline_ms,
         identical,
         |threads| {
-            median_ms(iters, || {
+            let ms = median_ms(iters, || {
                 std::hint::black_box(Pps::from_blocks_par(
                     pps_blocks.clone(),
                     WeightingScheme::Arcs,
                     Pps::DEFAULT_KMAX,
                     Parallelism::new(threads).unwrap(),
                 ));
-            })
+            });
+            let (_, peak) = peak_bytes(|| {
+                Pps::from_blocks_par(
+                    pps_blocks.clone(),
+                    WeightingScheme::Arcs,
+                    Pps::DEFAULT_KMAX,
+                    Parallelism::new(threads).unwrap(),
+                )
+            });
+            (ms, peak)
         },
     ));
 
@@ -220,6 +245,7 @@ fn main() {
         n_profiles: profiles.len(),
         iters,
         host_parallelism: Parallelism::available().get(),
+        host: sper_bench::host_info(),
         curves,
     };
     for c in &report.curves {
@@ -238,7 +264,7 @@ fn main() {
         eprintln!("error: {out}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out}");
+    event!(Level::Info, "bench_parallel.wrote", path = out.as_str());
     // The per-curve identity checks are a CI gate: a bit-identity
     // regression must fail the build, not merely write `false` into JSON.
     let broken: Vec<&str> = report

@@ -23,9 +23,11 @@
 //! the recorded speedup is for an exact replacement, not an approximation.
 
 use serde::Serialize;
+use sper_bench::peak_bytes;
 use sper_blocking::{NeighborList, ProfileIndex, TokenBlocking};
 use sper_core::ProgressiveMethod;
 use sper_datagen::{DatasetKind, DatasetSpec};
+use sper_obs::{event, Level};
 use sper_store::{SessionCheckpoint, Snapshot, Store};
 use sper_stream::{ProgressiveSession, SessionConfig};
 use std::sync::Arc;
@@ -36,14 +38,19 @@ struct Report {
     dataset: String,
     n_profiles: usize,
     iters: usize,
+    host: sper_bench::HostInfo,
     /// Tokenize + block + schedule + index + neighbor-list, from raw
     /// profiles.
     cold_rebuild_ms: f64,
+    /// High-water allocation of one cold rebuild, bytes.
+    cold_rebuild_peak_bytes: usize,
     /// Serializing the same substrates to the sectioned store (in
     /// memory; the file write adds only the page-cache copy).
     snapshot_write_ms: f64,
     /// Parsing + validating + reassembling the substrates from bytes.
     snapshot_load_ms: f64,
+    /// High-water allocation of one snapshot load, bytes.
+    snapshot_load_peak_bytes: usize,
     /// `cold_rebuild_ms / snapshot_load_ms` — the acceptance-bar number.
     load_speedup_vs_rebuild: f64,
     /// Snapshot size on disk.
@@ -54,6 +61,8 @@ struct Report {
     checkpoint_write_ms: f64,
     /// Store bytes → validated, resumable session state.
     checkpoint_load_ms: f64,
+    /// High-water allocation of one checkpoint load, bytes.
+    checkpoint_load_peak_bytes: usize,
     /// Checkpoint size.
     checkpoint_bytes: usize,
     /// Epochs the checkpointed session had completed.
@@ -73,6 +82,7 @@ fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    sper_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -89,9 +99,12 @@ fn main() {
         .with_scale(scale)
         .generate();
     let profiles = &data.profiles;
-    eprintln!(
-        "bench_store: movies twin, |P| = {}, {iters} iters/measurement",
-        profiles.len()
+    event!(
+        Level::Info,
+        "bench_store.start",
+        dataset = "movies",
+        profiles = profiles.len(),
+        iters = iters,
     );
 
     // --- Cold rebuild: what a restart pays without the store ---
@@ -102,7 +115,7 @@ fn main() {
         let nl = NeighborList::build(profiles, 42);
         (blocks, index, nl)
     };
-    let (blocks, index, nl) = build();
+    let ((blocks, index, nl), cold_rebuild_peak_bytes) = peak_bytes(build);
     let cold_rebuild_ms = median_ms(iters, || {
         std::hint::black_box(build());
     });
@@ -132,6 +145,10 @@ fn main() {
     let snapshot_load_ms = median_ms(iters, || {
         let store = Store::from_bytes(&bytes).expect("clean bytes parse");
         std::hint::black_box(Snapshot::from_store(&store).expect("clean snapshot loads"));
+    });
+    let (_, snapshot_load_peak_bytes) = peak_bytes(|| {
+        let store = Store::from_bytes(&bytes).expect("clean bytes parse");
+        Snapshot::from_store(&store).expect("clean snapshot loads")
     });
 
     // --- Identity: the load is an exact replacement for the rebuild ---
@@ -172,19 +189,27 @@ fn main() {
             SessionCheckpoint::from_store(&store).expect("clean checkpoint loads"),
         );
     });
+    let (_, checkpoint_load_peak_bytes) = peak_bytes(|| {
+        let store = Store::from_bytes(&ck_bytes).expect("clean bytes parse");
+        SessionCheckpoint::from_store(&store).expect("clean checkpoint loads")
+    });
 
     let report = Report {
         dataset: "movies".into(),
         n_profiles: profiles.len(),
         iters,
+        host: sper_bench::host_info(),
         cold_rebuild_ms,
+        cold_rebuild_peak_bytes,
         snapshot_write_ms,
         snapshot_load_ms,
+        snapshot_load_peak_bytes,
         load_speedup_vs_rebuild: cold_rebuild_ms / snapshot_load_ms,
         snapshot_bytes,
         identical,
         checkpoint_write_ms,
         checkpoint_load_ms,
+        checkpoint_load_peak_bytes,
         checkpoint_bytes,
         checkpoint_epochs,
     };
@@ -205,5 +230,5 @@ fn main() {
         eprintln!("error: {out}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out}");
+    event!(Level::Info, "bench_store.wrote", path = out.as_str());
 }

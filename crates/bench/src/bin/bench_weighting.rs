@@ -33,54 +33,14 @@
 //! thread) point is the honest single-core kernel-vs-legacy comparison.
 
 use serde::Serialize;
+use sper_bench::peak_bytes;
 use sper_blocking::legacy::legacy_graph_edges;
 use sper_blocking::spacc::weighted_edge_list;
 use sper_blocking::{Parallelism, ProfileIndex, TokenBlocking, WeightingScheme};
 use sper_core::{build_method, MethodConfig, ProgressiveMethod};
 use sper_datagen::{DatasetKind, DatasetSpec};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sper_obs::{event, Level};
 use std::time::Instant;
-
-/// A counting wrapper around the system allocator: tracks live bytes and
-/// the high-water mark, so each build path's peak allocation is measured
-/// directly instead of estimated.
-struct PeakAlloc {
-    live: AtomicUsize,
-    peak: AtomicUsize,
-}
-
-unsafe impl GlobalAlloc for PeakAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        let p = System.alloc(layout);
-        if !p.is_null() {
-            let live = self.live.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
-            self.peak.fetch_max(live, Ordering::Relaxed);
-        }
-        p
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout);
-        self.live.fetch_sub(layout.size(), Ordering::Relaxed);
-    }
-}
-
-#[global_allocator]
-static ALLOC: PeakAlloc = PeakAlloc {
-    live: AtomicUsize::new(0),
-    peak: AtomicUsize::new(0),
-};
-
-/// Runs `f` once and returns its peak allocation delta in bytes: the
-/// high-water mark above the bytes already live when it started.
-fn peak_bytes<T>(f: impl FnOnce() -> T) -> (T, usize) {
-    let before = ALLOC.live.load(Ordering::Relaxed);
-    ALLOC.peak.store(before, Ordering::Relaxed);
-    let out = f();
-    let peak = ALLOC.peak.load(Ordering::Relaxed);
-    (out, peak.saturating_sub(before))
-}
 
 #[derive(Serialize)]
 struct Point {
@@ -118,6 +78,7 @@ struct Report {
     n_profiles: usize,
     iters: usize,
     host_parallelism: usize,
+    host: sper_bench::HostInfo,
     schemes: Vec<SchemeCurve>,
     methods: Vec<MethodCheck>,
 }
@@ -137,6 +98,7 @@ fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
+    sper_bench::init_obs();
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out = args
@@ -153,10 +115,13 @@ fn main() {
         .with_scale(scale)
         .generate();
     let profiles = &data.profiles;
-    eprintln!(
-        "bench_weighting: movies twin, |P| = {}, {iters} iters/measurement, host parallelism {}",
-        profiles.len(),
-        Parallelism::available()
+    event!(
+        Level::Info,
+        "bench_weighting.start",
+        dataset = "movies",
+        profiles = profiles.len(),
+        iters = iters,
+        host_parallelism = Parallelism::available().get(),
     );
 
     let mut blocks = TokenBlocking::default().build(profiles);
@@ -243,6 +208,7 @@ fn main() {
         n_profiles: profiles.len(),
         iters,
         host_parallelism: Parallelism::available().get(),
+        host: sper_bench::host_info(),
         schemes,
         methods,
     };
@@ -274,7 +240,7 @@ fn main() {
         eprintln!("error: {out}: {e}");
         std::process::exit(1);
     }
-    eprintln!("wrote {out}");
+    event!(Level::Info, "bench_weighting.wrote", path = out.as_str());
     // The identity checks are a CI gate, not just a record: a determinism
     // regression must fail the build, not merely write `false` into JSON.
     let broken = report

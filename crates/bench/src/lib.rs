@@ -15,9 +15,61 @@
 //! twins default to a fraction of their laptop-scale-1.0 size so every
 //! binary finishes in minutes).
 
+use serde::Serialize;
 use sper_core::{build_method, MethodConfig, ProgressiveMethod};
 use sper_datagen::{DatasetKind, DatasetSpec, GeneratedDataset};
 use sper_eval::runner::{run_progressive, RunOptions, RunResult};
+
+/// The counting allocator every bench binary measures through: two
+/// relaxed atomic ops per allocation, shared here so each harness reads
+/// peaks from one place instead of hand-rolling its own wrapper.
+#[global_allocator]
+pub static ALLOC: sper_obs::PeakAllocTracker = sper_obs::PeakAllocTracker::new();
+
+/// Runs `f` once and returns its result plus its peak allocation delta in
+/// bytes: the high-water mark above the bytes already live at entry.
+pub fn peak_bytes<T>(f: impl FnOnce() -> T) -> (T, usize) {
+    let before = ALLOC.live_bytes();
+    ALLOC.reset_peak();
+    let out = f();
+    (out, ALLOC.peak_bytes().saturating_sub(before))
+}
+
+/// Serializable mirror of [`sper_obs::HostInfo`] (the orphan rule keeps
+/// the serde derive out of the dependency-free obs crate), stamped into
+/// every committed `BENCH_*.json` so baselines are self-describing.
+#[derive(Serialize, Debug, Clone)]
+pub struct HostInfo {
+    /// `processor` entries in `/proc/cpuinfo` (0 if unreadable).
+    pub cores: usize,
+    /// `std::thread::available_parallelism()` — what the scheduler grants.
+    pub host_parallelism: usize,
+    /// Memory page size in bytes (0 off-Linux).
+    pub page_size: usize,
+    /// Operating system the binary was compiled for.
+    pub os: &'static str,
+}
+
+/// Probes the measuring machine for the `host` section of a BENCH report.
+pub fn host_info() -> HostInfo {
+    let h = sper_obs::HostInfo::probe();
+    HostInfo {
+        cores: h.cores,
+        host_parallelism: h.host_parallelism,
+        page_size: h.page_size,
+        os: h.os,
+    }
+}
+
+/// Installs the human-readable stderr sink the bench binaries report
+/// progress through (Info level) — their old `eprintln!` status lines,
+/// now flowing through the same pipeline the CLI's `-v` uses.
+pub fn init_obs() {
+    sper_obs::trace::install_sink(
+        std::sync::Arc::new(sper_obs::StderrSink::new(sper_obs::Level::Info)),
+        sper_obs::Level::Info,
+    );
+}
 
 /// The `ec*` sampling grid used by the recall-progressiveness figures.
 pub const EC_GRID: [f64; 9] = [1.0, 2.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 30.0];

@@ -49,12 +49,14 @@ impl BlockingGraph {
     /// blocks *redundancy-positive*: the weight grows with the number of
     /// shared blocks, it does not duplicate edges).
     pub fn build(blocks: &BlockCollection, scheme: WeightingScheme) -> Self {
+        let mut span = sper_obs::span!("blocking.graph_build", blocks = blocks.len());
         let index = ProfileIndex::build(blocks);
         // Sparse-accumulator sweeps instead of per-pair merges: no hashed
         // `seen` set, no `O(|B_i| + |B_j|)` intersection per pair — and the
         // counting sort inside restores the seed builder's edge order.
         let edges =
             crate::spacc::weighted_edge_list(blocks, &index, scheme, Parallelism::SEQUENTIAL);
+        span.record("edges", edges.len());
         Self::from_edges(blocks.n_profiles(), edges)
     }
 

@@ -196,6 +196,7 @@ impl NeighborList {
     }
 
     fn build_inner(profiles: &ProfileCollection, seed: u64, keep_keys: bool) -> Self {
+        let mut span = sper_obs::span!("blocking.nl_build", profiles = profiles.len());
         let interner = TokenInterner::shared();
         let tokenizer = Tokenizer::default();
         // (token, profile) placements: one per *distinct* token per profile.
@@ -219,6 +220,7 @@ impl NeighborList {
         placements.sort_by_key(|&(t, _)| rank[t.index()]);
 
         shuffle_equal_runs(&mut placements, seed);
+        span.record("placements", placements.len());
         Self::from_parts(placements, interner, profiles.len(), keep_keys)
     }
 
@@ -228,6 +230,11 @@ impl NeighborList {
         keep_keys: bool,
         par: Parallelism,
     ) -> Self {
+        let mut span = sper_obs::span!(
+            "blocking.nl_par_build",
+            profiles = profiles.len(),
+            threads = par.get(),
+        );
         let interner = TokenInterner::shared();
         let n = profiles.len();
         if n == 0 {
@@ -302,6 +309,7 @@ impl NeighborList {
         // exactly as the sequential build does.
         let mut placements = merge_ranked_runs(runs, &rank);
         shuffle_equal_runs(&mut placements, seed);
+        span.record("placements", placements.len());
         Self::from_parts(placements, interner, n, keep_keys)
     }
 

@@ -131,6 +131,20 @@ enum SweepDir {
     Forward,
 }
 
+/// Cumulative statistics of an accumulator's lifetime, maintained with a
+/// handful of plain `u64` adds per *sweep* (never per co-occurrence) so
+/// the kernel's inner loop is untouched. Drained by the observability
+/// layer at the end of a build or epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Sweeps run (full + forward).
+    pub sweeps: u64,
+    /// Scratch resets.
+    pub resets: u64,
+    /// Total neighbors touched across all sweeps (= sum of degrees seen).
+    pub touched: u64,
+}
+
 /// The reusable sparse-accumulator scratch: one dense `f64` slot and one
 /// least-common-block tag per profile, plus the touched list that makes
 /// resets `O(degree)`.
@@ -152,6 +166,8 @@ pub struct WeightAccumulator {
     /// Ids of neighbors with non-zero accumulation, in discovery order
     /// until [`Self::sort_touched`] is called.
     touched: Vec<u32>,
+    /// Lifetime sweep/reset counters (see [`SweepStats`]).
+    stats: SweepStats,
 }
 
 impl WeightAccumulator {
@@ -161,7 +177,13 @@ impl WeightAccumulator {
             acc: vec![0.0; n_profiles],
             lcb: vec![0; n_profiles],
             touched: Vec::new(),
+            stats: SweepStats::default(),
         }
+    }
+
+    /// Lifetime sweep statistics of this scratch.
+    pub fn stats(&self) -> SweepStats {
+        self.stats
     }
 
     /// Number of profiles the scratch covers.
@@ -236,6 +258,8 @@ impl WeightAccumulator {
                 self.acc[j.index()] += contribution;
             }
         }
+        self.stats.sweeps += 1;
+        self.stats.touched += self.touched.len() as u64;
     }
 
     /// Accumulates the full valid neighborhood of `i`, optionally skipping
@@ -337,6 +361,7 @@ impl WeightAccumulator {
             self.acc[j as usize] = 0.0;
         }
         self.touched.clear();
+        self.stats.resets += 1;
     }
 }
 
@@ -426,8 +451,10 @@ pub fn weighted_edge_list(
     par: crate::Parallelism,
 ) -> Vec<(Pair, f64)> {
     /// One worker range's output: discovered edges plus their
-    /// least-common-block tags, in `(i, j)`-lexicographic order.
-    type Shard = (Vec<(Pair, f64)>, Vec<u32>);
+    /// least-common-block tags, in `(i, j)`-lexicographic order, and the
+    /// range's sweep statistics.
+    type Shard = (Vec<(Pair, f64)>, Vec<u32>, SweepStats);
+    let mut span = sper_obs::span!("blocking.weighted_edge_list", workers = par.get());
     let n = blocks.n_profiles();
     let shards: Vec<Shard> = par.map_ranges(n, |range| {
         let mut acc = WeightAccumulator::new(n);
@@ -444,15 +471,32 @@ pub fn weighted_edge_list(
                 lcbs.push(lcb.0);
             },
         );
-        (edges, lcbs)
+        let stats = acc.stats();
+        (edges, lcbs, stats)
     });
+
+    if sper_obs::trace::enabled(sper_obs::Level::Debug) {
+        let mut stats = SweepStats::default();
+        for (_, _, s) in &shards {
+            stats.sweeps += s.sweeps;
+            stats.resets += s.resets;
+            stats.touched += s.touched;
+        }
+        sper_obs::event!(
+            sper_obs::Level::Debug,
+            "spacc.sweep_stats",
+            sweeps = stats.sweeps,
+            resets = stats.resets,
+            touched = stats.touched,
+        );
+    }
 
     // Stable counting sort by least common block: concatenating the shard
     // outputs in range order preserves the global (i, j) discovery order,
     // and the scatter below preserves it within each block bucket.
-    let total: usize = shards.iter().map(|(e, _)| e.len()).sum();
+    let total: usize = shards.iter().map(|(e, _, _)| e.len()).sum();
     let mut counts = vec![0u32; index.total_blocks()];
-    for (_, lcbs) in &shards {
+    for (_, lcbs, _) in &shards {
         for &b in lcbs {
             counts[b as usize] += 1;
         }
@@ -467,13 +511,14 @@ pub fn weighted_edge_list(
         0.0,
     );
     let mut out: Vec<(Pair, f64)> = vec![placeholder; total];
-    for (edges, lcbs) in &shards {
+    for (edges, lcbs, _) in &shards {
         for (edge, &b) in edges.iter().zip(lcbs) {
             let at = &mut cursor[b as usize];
             out[*at as usize] = *edge;
             *at += 1;
         }
     }
+    span.record("edges", out.len());
     out
 }
 

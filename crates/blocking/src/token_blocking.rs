@@ -45,6 +45,7 @@ impl TokenBlocking {
         profiles: &ProfileCollection,
         interner: Arc<TokenInterner>,
     ) -> BlockCollection {
+        let mut span = sper_obs::span!("blocking.token_build", profiles = profiles.len());
         // token id → member profile ids, flat-indexed; grown as the
         // vocabulary grows. Profiles are visited in id order with all P1
         // profiles before P2 (the ProfileCollection invariant), so every
@@ -88,6 +89,7 @@ impl TokenBlocking {
         let mut coll = BlockCollection::new(kind, profiles.len(), interner, blocks);
         // Deterministic lexicographic order, independent of interning order.
         coll.sort_by_key_str();
+        span.record("blocks", coll.len());
         coll
     }
 }

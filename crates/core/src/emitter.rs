@@ -267,6 +267,9 @@ impl EmissionList {
     /// Replaces the contents with `batch` (sorted sequentially or
     /// shard-parallel, emission order identical).
     pub fn refill(&mut self, batch: Vec<Comparison>) {
+        // Per-batch (never per-pop) accounting keeps the drain loop clean.
+        sper_obs::count!("emitter.refills");
+        sper_obs::count!("emitter.refill_comparisons", batch.len() as u64);
         match self {
             EmissionList::Sequential(list) => list.refill(batch),
             EmissionList::Sharded(list, par) => list.refill(batch, *par),

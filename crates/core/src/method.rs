@@ -173,6 +173,12 @@ pub fn build_method<'a>(
     config: &MethodConfig,
     schema_keys: Option<&[String]>,
 ) -> Box<dyn ProgressiveEr + 'a> {
+    let _span = sper_obs::span!(
+        "core.build_method",
+        method = method.name(),
+        profiles = profiles.len(),
+        threads = config.threads.get(),
+    );
     let par = config.threads;
     // The schema-agnostic similarity methods share the (parallel) Neighbor
     // List build; equality methods fan out inside their own initialization.

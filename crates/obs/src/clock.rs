@@ -1,0 +1,42 @@
+//! Monotonic process-relative timestamps.
+//!
+//! Every trace record carries a nanosecond timestamp taken from one
+//! process-wide monotonic epoch (the first observation in the process), so
+//! timestamps are comparable across threads, never go backwards, and stay
+//! small enough to read. Wall-clock time is deliberately absent: traces
+//! are for ordering and duration, not calendars, and a monotonic source
+//! cannot perturb determinism the way a settable clock could.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process epoch: the `Instant` of the first timestamp request.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds elapsed since the process epoch — monotonic, thread-safe,
+/// saturating at `u64::MAX` (585 years of process uptime).
+pub fn now_nanos() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Forces the epoch to be the current instant if no timestamp has been
+/// taken yet — called by sink installation so the trace's zero point is
+/// "observability enabled", not "first event".
+pub fn touch_epoch() {
+    let _ = epoch();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let a = now_nanos();
+        let b = now_nanos();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,56 @@
+//! Zero-overhead observability for the sper engine.
+//!
+//! Three layers, all **off by default** and all gated by a single relaxed
+//! atomic load per call site so instrumentation can live on the engine's
+//! hottest paths without perturbing them:
+//!
+//! * [`trace`] — [`span!`]/[`event!`] structured tracing with
+//!   thread-local span stacks, monotonic timestamps and pluggable sinks
+//!   (JSON-lines, human stderr, in-memory capture, fan-out);
+//! * [`metrics`] — a global registry of counters, gauges and fixed-bucket
+//!   histograms ([`count!`]/[`observe!`]), exportable as Prometheus text
+//!   or JSON with deterministic ordering;
+//! * [`profiling`] — [`PeakAllocTracker`], a counting global allocator
+//!   for peak-heap measurement, and [`HostInfo`], a host fingerprint
+//!   stamped into bench baselines.
+//!
+//! The crate has **zero dependencies** (not even the workspace's vendored
+//! ones): it must be embeddable under every other crate in the graph
+//! without cycles, and its absence of codegen keeps the disabled path
+//! auditable.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sper_obs::trace::{CaptureSink, Level};
+//!
+//! let sink = Arc::new(CaptureSink::new());
+//! sper_obs::trace::install_sink(sink.clone(), Level::Debug);
+//! sper_obs::metrics::set_enabled(true);
+//!
+//! {
+//!     let mut span = sper_obs::span!("demo.build", inputs = 3usize);
+//!     sper_obs::count!("demo.widgets", 3u64);
+//!     span.record("outputs", 3usize);
+//! }
+//!
+//! assert_eq!(sink.names(), vec!["demo.build"]);
+//! sper_obs::trace::clear_sink();
+//! sper_obs::metrics::set_enabled(false);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod clock;
+pub mod metrics;
+pub mod profiling;
+pub mod trace;
+
+pub use metrics::MetricsRegistry;
+pub use profiling::{HostInfo, PeakAllocTracker};
+pub use trace::{
+    CaptureSink, FieldValue, JsonLinesSink, Level, MultiSink, Record, RecordKind, Sink, SpanGuard,
+    StderrSink,
+};

@@ -1,0 +1,573 @@
+//! Metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is process-global and **disabled by default**: every
+//! mutation macro ([`count!`](crate::count), [`observe!`](crate::observe))
+//! checks one relaxed atomic bool before touching anything, so
+//! uninstrumented runs pay a single predictable branch per call site.
+//! Handles are cached per call site in a `OnceLock`, so the registry's
+//! `Mutex` is taken once per site per process, never per increment.
+//!
+//! Metric values are plain atomics — incrementing a counter from eight
+//! shards never serializes them. Export order is deterministic (the
+//! registry is a `BTreeMap`), so two runs of the same workload produce
+//! byte-comparable Prometheus dumps modulo the values themselves.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time signed value (queue depth, live bytes, …).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A fixed-bucket histogram with quantile readout.
+///
+/// Bucket boundaries are **upper bounds** fixed at construction; samples
+/// land in the first bucket whose bound is `>=` the sample, or in the
+/// implicit overflow bucket. Quantiles are read as the upper bound of the
+/// bucket containing the requested rank — a conservative (never
+/// under-reporting) estimate, [`f64::INFINITY`] when the rank falls in
+/// the overflow bucket.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over ascending upper `bounds` (must be non-empty).
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            !bounds.is_empty(),
+            "histogram needs at least one bucket bound"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Default bounds for duration samples in **microseconds**: 1µs–10s
+    /// in 1-2-5 steps.
+    pub fn duration_bounds() -> Vec<f64> {
+        let mut bounds = Vec::with_capacity(22);
+        let mut base = 1.0;
+        while base <= 1_000_000.0 {
+            for mul in [1.0, 2.0, 5.0] {
+                bounds.push(base * mul);
+            }
+            base *= 10.0;
+        }
+        bounds.push(10_000_000.0);
+        bounds
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, sample: f64) {
+        let idx = self
+            .bounds
+            .partition_point(|&b| b < sample)
+            .min(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        // Micro-resolution fixed-point keeps the running sum atomic
+        // without a lock; negative samples clamp to zero.
+        let micros = if sample.is_finite() && sample > 0.0 {
+            (sample * 1.0) as u64
+        } else {
+            0
+        };
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (truncated to whole units; negatives and
+    /// non-finite samples contribute zero).
+    pub fn sum(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding that rank. `None` when empty; `INFINITY` when the
+    /// rank falls past the last bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the requested sample, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, count) in self.counts.iter().enumerate() {
+            seen += count.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(self.bounds.get(idx).copied().unwrap_or(f64::INFINITY));
+            }
+        }
+        Some(f64::INFINITY)
+    }
+
+    /// Convenience: p50.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// Convenience: p90.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// Convenience: p99.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs, Prometheus-style, ending
+    /// with the `+Inf` bucket.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        let mut cum = 0u64;
+        for (idx, count) in self.counts.iter().enumerate() {
+            cum += count.load(Ordering::Relaxed);
+            out.push((self.bounds.get(idx).copied().unwrap_or(f64::INFINITY), cum));
+        }
+        out
+    }
+
+    fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics with deterministic export order.
+///
+/// Most code uses the process-global registry via [`global`] and the
+/// [`count!`](crate::count)/[`observe!`](crate::observe) macros; tests
+/// can build private registries.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<&'static str, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use. Panics if `name`
+    /// is already registered as a different metric kind.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The gauge named `name`, created on first use. Panics if `name` is
+    /// already registered as a different metric kind.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// The histogram named `name`, created on first use with `bounds`.
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Zeroes every registered metric **without** removing it — cached
+    /// call-site handles stay live across a reset.
+    pub fn reset(&self) {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        for metric in metrics.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format
+    /// (metric names have `.` mapped to `_`; histograms expand to
+    /// `_bucket`/`_sum`/`_count` series).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::with_capacity(1024);
+        for (name, metric) in metrics.iter() {
+            let flat = name.replace('.', "_");
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {flat} counter");
+                    let _ = writeln!(out, "{flat} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {flat} gauge");
+                    let _ = writeln!(out, "{flat} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {flat} histogram");
+                    for (bound, cum) in h.cumulative_buckets() {
+                        if bound.is_finite() {
+                            let _ = writeln!(out, "{flat}_bucket{{le=\"{bound}\"}} {cum}");
+                        } else {
+                            let _ = writeln!(out, "{flat}_bucket{{le=\"+Inf\"}} {cum}");
+                        }
+                    }
+                    let _ = writeln!(out, "{flat}_sum {}", h.sum());
+                    let _ = writeln!(out, "{flat}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object. Counters and gauges map
+    /// to numbers; histograms to
+    /// `{"count":…,"sum":…,"p50":…,"p90":…,"p99":…}` (percentiles `null`
+    /// when empty, strings when infinite).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        for (i, (name, metric)) in metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::trace::json_string(&mut out, name);
+            out.push(':');
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, "{}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, "{}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(out, "{{\"count\":{},\"sum\":{}", h.count(), h.sum());
+                    for (label, q) in [("p50", h.p50()), ("p90", h.p90()), ("p99", h.p99())] {
+                        match q {
+                            None => {
+                                let _ = write!(out, ",\"{label}\":null");
+                            }
+                            Some(v) if v.is_finite() => {
+                                let _ = write!(out, ",\"{label}\":{v}");
+                            }
+                            Some(_) => {
+                                let _ = write!(out, ",\"{label}\":\"inf\"");
+                            }
+                        }
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("MetricsRegistry")
+    }
+}
+
+/// Whether the global registry accepts mutations — the macro hot-path
+/// gate, read with one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-global registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Turns global metric collection on or off.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when [`count!`](crate::count)/[`observe!`](crate::observe)
+/// record — one relaxed atomic load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds to a named global counter, creating it on first use. The handle
+/// is cached per call site; disabled calls cost one relaxed load.
+///
+/// ```
+/// # use sper_obs::count;
+/// count!("emitter.comparisons_emitted", 128u64);
+/// count!("emitter.heap_refills"); // increment by one
+/// ```
+#[macro_export]
+macro_rules! count {
+    ($name:literal) => {
+        $crate::count!($name, 1u64)
+    };
+    ($name:literal, $n:expr) => {
+        if $crate::metrics::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::metrics::global().counter($name))
+                .add($n);
+        }
+    };
+}
+
+/// Records a sample into a named global duration histogram
+/// (microsecond-scale default buckets), created on first use. The handle
+/// is cached per call site; disabled calls cost one relaxed load.
+///
+/// ```
+/// # use sper_obs::observe;
+/// observe!("store.crc_us", 12.5f64);
+/// ```
+#[macro_export]
+macro_rules! observe {
+    ($name:literal, $sample:expr) => {
+        if $crate::metrics::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| {
+                    $crate::metrics::global()
+                        .histogram($name, &$crate::metrics::Histogram::duration_bounds())
+                })
+                .observe($sample);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("a.depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+        reg.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn histogram_empty_has_no_quantiles() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_every_quantile() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.observe(5.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(10.0), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_edge_buckets() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(0.5); // first bucket
+        h.observe(1.0); // boundary lands in its own bucket (le semantics)
+        h.observe(1.5); // second bucket
+        h.observe(99.0); // overflow
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.75), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(f64::INFINITY));
+        assert_eq!(
+            h.cumulative_buckets(),
+            vec![(1.0, 2), (2.0, 3), (f64::INFINITY, 4)]
+        );
+    }
+
+    #[test]
+    fn histogram_percentile_distribution() {
+        let h = Histogram::new(&[10.0, 20.0, 50.0, 100.0]);
+        for i in 0..100 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.p50(), Some(50.0));
+        assert_eq!(h.p90(), Some(100.0));
+        assert_eq!(h.p99(), Some(100.0));
+    }
+
+    #[test]
+    fn duration_bounds_are_strictly_ascending() {
+        let bounds = Histogram::duration_bounds();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(bounds.first().copied(), Some(1.0));
+        assert_eq!(bounds.last().copied(), Some(10_000_000.0));
+    }
+
+    #[test]
+    fn reset_keeps_handles_live() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("keep.me");
+        c.add(3);
+        reg.reset();
+        c.add(2);
+        assert_eq!(reg.counter("keep.me").get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("emitter.comparisons").add(42);
+        reg.gauge("session.epoch").set(3);
+        let h = reg.histogram("store.write_us", &[10.0, 100.0]);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(5000.0);
+        let text = reg.to_prometheus();
+        let expected = "\
+# TYPE emitter_comparisons counter
+emitter_comparisons 42
+# TYPE session_epoch gauge
+session_epoch 3
+# TYPE store_write_us histogram
+store_write_us_bucket{le=\"10\"} 1
+store_write_us_bucket{le=\"100\"} 2
+store_write_us_bucket{le=\"+Inf\"} 3
+store_write_us_sum 5055
+store_write_us_count 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn json_export_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(1);
+        let h = reg.histogram("b", &[1.0]);
+        h.observe(0.5);
+        let json = reg.to_json();
+        assert_eq!(
+            json,
+            "{\"a\":1,\"b\":{\"count\":1,\"sum\":0,\"p50\":1,\"p90\":1,\"p99\":1}}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Profiling probes: a counting global allocator and a host fingerprint.
+//!
+//! [`PeakAllocTracker`] promotes the bench harnesses' hand-rolled
+//! counting allocator into one shared, const-constructible wrapper around
+//! [`std::alloc::System`] — install it with `#[global_allocator]` and
+//! read live/peak bytes at any point. [`HostInfo`] probes the machine the
+//! run happened on (physical cores, `available_parallelism`, page size,
+//! OS) so committed BENCH baselines are self-describing instead of
+//! "an opaque 1-core container".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A `GlobalAlloc` wrapper over the system allocator that tracks live and
+/// peak heap bytes.
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: sper_obs::PeakAllocTracker = sper_obs::PeakAllocTracker::new();
+/// // … workload …
+/// let peak = ALLOC.peak_bytes();
+/// ```
+///
+/// Counting is two relaxed atomic ops per allocation plus a CAS loop on
+/// new peaks; `realloc` is counted as the size delta.
+#[derive(Debug)]
+pub struct PeakAllocTracker {
+    live: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl PeakAllocTracker {
+    /// A zeroed tracker, usable in `static` position.
+    pub const fn new() -> Self {
+        Self {
+            live: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> usize {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since process start (or the last
+    /// [`reset_peak`](Self::reset_peak)).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Rebases the peak to the current live size, so per-phase peaks can
+    /// be measured in one process.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_alloc(&self, size: usize) {
+        let live = self.live.fetch_add(size, Ordering::Relaxed) + size;
+        let mut peak = self.peak.load(Ordering::Relaxed);
+        while live > peak {
+            match self
+                .peak
+                .compare_exchange_weak(peak, live, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(p) => peak = p,
+            }
+        }
+    }
+
+    #[inline]
+    fn on_dealloc(&self, size: usize) {
+        self.live.fetch_sub(size, Ordering::Relaxed);
+    }
+}
+
+impl Default for PeakAllocTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: defers every allocation to `System`, only adding relaxed
+// counter updates around it.
+unsafe impl GlobalAlloc for PeakAllocTracker {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            self.on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        self.on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                self.on_alloc(new_size - layout.size());
+            } else {
+                self.on_dealloc(layout.size() - new_size);
+            }
+        }
+        p
+    }
+}
+
+/// A fingerprint of the machine a run executed on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostInfo {
+    /// Physical/logical CPU count from `/proc/cpuinfo` (0 if unreadable).
+    pub cores: usize,
+    /// `std::thread::available_parallelism()` — what the scheduler
+    /// actually grants, which in a constrained container can be far below
+    /// `cores`.
+    pub host_parallelism: usize,
+    /// Memory page size in bytes from the auxiliary vector (0 off-Linux).
+    pub page_size: usize,
+    /// Operating system, as compiled for (`std::env::consts::OS`).
+    pub os: &'static str,
+}
+
+impl HostInfo {
+    /// Probes the current host. Never fails: unreadable probes report 0.
+    pub fn probe() -> Self {
+        Self {
+            cores: cpuinfo_cores(),
+            host_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(0),
+            page_size: auxv_page_size(),
+            os: std::env::consts::OS,
+        }
+    }
+}
+
+/// Counts `processor` entries in `/proc/cpuinfo`; 0 when unavailable.
+fn cpuinfo_cores() -> usize {
+    let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return 0;
+    };
+    text.lines().filter(|l| l.starts_with("processor")).count()
+}
+
+/// Reads `AT_PAGESZ` from `/proc/self/auxv`; 0 when unavailable.
+fn auxv_page_size() -> usize {
+    const AT_PAGESZ: u64 = 6;
+    let Ok(bytes) = std::fs::read("/proc/self/auxv") else {
+        return 0;
+    };
+    for pair in bytes.chunks_exact(16) {
+        let key = u64::from_ne_bytes(pair[..8].try_into().unwrap());
+        let value = u64::from_ne_bytes(pair[8..].try_into().unwrap());
+        if key == AT_PAGESZ {
+            return value as usize;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_and_peaks() {
+        let t = PeakAllocTracker::new();
+        t.on_alloc(100);
+        t.on_alloc(50);
+        assert_eq!(t.live_bytes(), 150);
+        assert_eq!(t.peak_bytes(), 150);
+        t.on_dealloc(120);
+        assert_eq!(t.live_bytes(), 30);
+        assert_eq!(t.peak_bytes(), 150);
+        t.reset_peak();
+        assert_eq!(t.peak_bytes(), 30);
+        t.on_alloc(10);
+        assert_eq!(t.peak_bytes(), 40);
+    }
+
+    #[test]
+    fn host_probe_is_sane_on_linux() {
+        let host = HostInfo::probe();
+        if host.os == "linux" {
+            assert!(host.cores >= 1);
+            assert!(host.host_parallelism >= 1);
+            assert!(host.page_size >= 4096);
+        }
+    }
+}

@@ -151,8 +151,12 @@ impl SessionCheckpoint {
             e.u64(r.raw_emissions);
             e.u64(r.new_emissions);
             e.u64(r.suppressed);
-            e.u64(duration_nanos(r.init_time));
-            e.u64(duration_nanos(r.emission_time));
+            // Timing state is never persisted: it describes the machine
+            // the epoch ran on, not the session's resumable state. The two
+            // wire slots that historically carried init/emission nanos are
+            // kept (layout compatibility) but always written as zero.
+            e.u64(0);
+            e.u64(0);
         }
         store.push(TAG_REPORTS, e.into_bytes());
 
@@ -267,15 +271,26 @@ impl SessionCheckpoint {
             if epoch != i + 1 {
                 return Err(d.corrupt(format!("epoch {epoch} recorded at cursor {}", i + 1)));
             }
+            let ingested = d.len()?;
+            let profiles_total = d.len()?;
+            let raw_emissions = d.u64()?;
+            let new_emissions = d.u64()?;
+            let suppressed = d.u64()?;
+            // Drain the two legacy timing slots; restored reports always
+            // carry zeroed timings (see `to_store`).
+            let _ = d.u64()?;
+            let _ = d.u64()?;
             reports.push(EpochReport {
                 epoch,
-                ingested: d.len()?,
-                profiles_total: d.len()?,
-                raw_emissions: d.u64()?,
-                new_emissions: d.u64()?,
-                suppressed: d.u64()?,
-                init_time: Duration::from_nanos(d.u64()?),
-                emission_time: Duration::from_nanos(d.u64()?),
+                ingested,
+                profiles_total,
+                raw_emissions,
+                new_emissions,
+                suppressed,
+                init_time: Duration::ZERO,
+                emission_time: Duration::ZERO,
+                wall_clock: Duration::ZERO,
+                comparisons_per_sec: 0.0,
             });
         }
         d.finish()?;
@@ -296,19 +311,15 @@ impl SessionCheckpoint {
 
     /// Writes the checkpoint to a file (atomically, via temp + rename).
     pub fn write_to_path(&self, path: &Path) -> Result<(), StoreError> {
+        let _span = sper_obs::span!("store.checkpoint_write");
         self.to_store().write_to_path(path)
     }
 
     /// Reads a checkpoint file.
     pub fn read_from_path(path: &Path) -> Result<Self, StoreError> {
+        let _span = sper_obs::span!("store.checkpoint_read");
         Self::from_store(&Store::read_from_path(path)?)
     }
-}
-
-/// Saturating nanosecond encoding of a duration (reports are diagnostics;
-/// half a millennium of wall clock is an acceptable ceiling).
-fn duration_nanos(d: Duration) -> u64 {
-    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn encode_method_config(e: &mut Encoder, config: &MethodConfig) {

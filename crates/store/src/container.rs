@@ -17,6 +17,19 @@
 use crate::crc32::crc32;
 use crate::error::StoreError;
 
+/// [`crc32`] with its wall time recorded into the `store.crc_us`
+/// histogram when metrics are enabled — zero extra work otherwise.
+fn crc32_timed(payload: &[u8]) -> u32 {
+    if sper_obs::metrics::enabled() {
+        let t = std::time::Instant::now();
+        let c = crc32(payload);
+        sper_obs::observe!("store.crc_us", t.elapsed().as_secs_f64() * 1e6);
+        c
+    } else {
+        crc32(payload)
+    }
+}
+
 /// The four-byte file magic.
 pub const MAGIC: [u8; 4] = *b"SPER";
 
@@ -92,7 +105,7 @@ impl Store {
         for (tag, payload) in &self.sections {
             out.extend_from_slice(tag);
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(&crc32_timed(payload).to_le_bytes());
             out.extend_from_slice(payload);
         }
         out
@@ -140,7 +153,7 @@ impl Store {
             at += 16;
             need(at, len)?;
             let payload = &bytes[at..at + len];
-            let computed = crc32(payload);
+            let computed = crc32_timed(payload);
             if computed != recorded {
                 return Err(StoreError::ChecksumMismatch {
                     section: tag_name(tag),
@@ -167,7 +180,9 @@ impl Store {
     /// until the new bytes are durable.
     pub fn write_to_path(&self, path: &std::path::Path) -> Result<(), StoreError> {
         use std::io::Write as _;
+        let mut span = sper_obs::span!("store.write", sections = self.sections.len());
         let bytes = self.to_bytes();
+        span.record("bytes", bytes.len());
         // Derive the temp name by appending (not replacing an extension):
         // sibling outputs like `run.v1` and `run.v2` must not collide on
         // one temp path.
@@ -187,6 +202,7 @@ impl Store {
 
     /// Reads and parses a store file.
     pub fn read_from_path(path: &std::path::Path) -> Result<Self, StoreError> {
+        let _span = sper_obs::span!("store.read");
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
     }

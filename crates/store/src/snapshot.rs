@@ -154,11 +154,13 @@ impl Snapshot {
 
     /// Writes the snapshot to a file (atomically, via temp + rename).
     pub fn write_to_path(&self, path: &Path) -> Result<(), StoreError> {
+        let _span = sper_obs::span!("store.snapshot_write");
         self.to_store()?.write_to_path(path)
     }
 
     /// Reads a snapshot file.
     pub fn read_from_path(path: &Path) -> Result<Self, StoreError> {
+        let _span = sper_obs::span!("store.snapshot_read");
         Self::from_store(&Store::read_from_path(path)?)
     }
 

@@ -1,0 +1,77 @@
+//! Epoch-report timing is diagnostic, never state: wall-clock fields
+//! (`init_time`, `emission_time`, `wall_clock`, `comparisons_per_sec`)
+//! must not be persisted by a checkpoint — two runs reaching the same
+//! logical state on hosts of different speeds must produce identical
+//! checkpoint bytes, and a resumed session must not inherit stale timing.
+
+use sper_core::ProgressiveMethod;
+use sper_model::{Attribute, ProfileCollectionBuilder};
+use sper_store::{SessionCheckpoint, Store};
+use sper_stream::{ProgressiveSession, SessionConfig};
+use std::time::Duration;
+
+fn session_with_epochs() -> ProgressiveSession {
+    let rows: Vec<Vec<Attribute>> = [
+        "carl white ny tailor",
+        "karl white ny tailor",
+        "hellen white ml teacher",
+        "ellen white ml teacher",
+        "emma white wi tailor",
+        "frank black la baker",
+    ]
+    .iter()
+    .map(|v| vec![Attribute::new("d", *v)])
+    .collect();
+    let mut session = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps),
+    );
+    for batch in rows.chunks(2) {
+        session.ingest_batch(batch.to_vec());
+        session.emit_epoch(None);
+    }
+    session
+}
+
+#[test]
+fn restored_reports_carry_zero_timing_but_full_counts() {
+    let session = session_with_epochs();
+    let bytes = SessionCheckpoint::of(&session).to_store().to_bytes();
+    let restored =
+        SessionCheckpoint::from_store(&Store::from_bytes(&bytes).expect("container parses"))
+            .expect("checkpoint validates");
+
+    let live = session.reports();
+    let loaded = &restored.state.reports;
+    assert_eq!(live.len(), loaded.len());
+    for (a, b) in live.iter().zip(loaded) {
+        // Logical state survives bit for bit…
+        assert_eq!(a.epoch, b.epoch);
+        assert_eq!(a.ingested, b.ingested);
+        assert_eq!(a.profiles_total, b.profiles_total);
+        assert_eq!(a.raw_emissions, b.raw_emissions);
+        assert_eq!(a.new_emissions, b.new_emissions);
+        assert_eq!(a.suppressed, b.suppressed);
+        // …while timing is restored as the documented zeros.
+        assert_eq!(b.init_time, Duration::ZERO);
+        assert_eq!(b.emission_time, Duration::ZERO);
+        assert_eq!(b.wall_clock, Duration::ZERO);
+        assert_eq!(b.comparisons_per_sec, 0.0);
+    }
+}
+
+/// The wire format cannot depend on how fast the host ran: checkpointing,
+/// resuming, and checkpointing again (reports now zero-timed) must yield
+/// byte-identical stores. If a timing field ever leaked into the RPTS
+/// section, the second pass would differ.
+#[test]
+fn checkpoint_bytes_are_independent_of_measured_timing() {
+    let session = session_with_epochs();
+    let first = SessionCheckpoint::of(&session).to_store().to_bytes();
+    let resumed =
+        SessionCheckpoint::from_store(&Store::from_bytes(&first).expect("container parses"))
+            .expect("checkpoint validates")
+            .resume();
+    let second = SessionCheckpoint::of(&resumed).to_store().to_bytes();
+    assert_eq!(first, second, "timing leaked into the checkpoint bytes");
+}

@@ -140,6 +140,15 @@ pub struct EpochReport {
     pub init_time: Duration,
     /// Time spent emitting.
     pub emission_time: Duration,
+    /// Total wall-clock time of the epoch (re-prioritization + emission).
+    ///
+    /// Timing fields are **never persisted**: a checkpoint round-trip
+    /// restores them as zero (they describe the machine the epoch ran on,
+    /// not the session's resumable state).
+    pub wall_clock: Duration,
+    /// Raw comparisons produced per second of emission time (0 when the
+    /// epoch emitted nothing or too fast to time).
+    pub comparisons_per_sec: f64,
 }
 
 /// The outcome of one epoch: the report plus the newly emitted
@@ -356,10 +365,13 @@ impl ProgressiveSession {
         &mut self,
         batch: impl IntoIterator<Item = Vec<Attribute>>,
     ) -> std::ops::Range<u32> {
+        let mut span = sper_obs::span!("stream.ingest");
         let start = self.profiles.len() as u32;
         for attrs in batch {
             self.ingest(attrs);
         }
+        span.record("rows", (self.profiles.len() as u32 - start) as u64);
+        span.record("profiles_total", self.profiles.len());
         start..self.profiles.len() as u32
     }
 
@@ -369,19 +381,37 @@ impl ProgressiveSession {
     /// exhausted or `budget` *new* emissions have been produced.
     pub fn emit_epoch(&mut self, budget: Option<u64>) -> EpochOutcome {
         let budget = budget.unwrap_or(u64::MAX);
+        let mut span = sper_obs::span!(
+            "stream.epoch",
+            epoch = self.reports.len() + 1,
+            method = self.method.name(),
+            ingested = self.pending_ingest,
+        );
         let t0 = Instant::now();
         // Snapshot the substrates first (they need `&mut self`), then
         // build the epoch method over `&self.profiles`.
-        let nl_snapshot = self.nl.as_mut().map(|nl| nl.snapshot());
-        let block_snapshot = self.blocks.as_ref().map(|b| {
-            let snap = b.snapshot();
-            let snap = BlockPurger::new(self.config.workflow.purge_ratio).purge(snap);
-            BlockFilter::new(self.config.workflow.filter_ratio).filter(snap)
-        });
+        let (nl_snapshot, block_snapshot) = {
+            let mut snap_span = sper_obs::span!("blocking.epoch_snapshot");
+            let nl_snapshot = self.nl.as_mut().map(|nl| nl.snapshot());
+            let block_snapshot = self.blocks.as_ref().map(|b| {
+                let snap = b.snapshot();
+                let snap = BlockPurger::new(self.config.workflow.purge_ratio).purge(snap);
+                BlockFilter::new(self.config.workflow.filter_ratio).filter(snap)
+            });
+            if let Some(blocks) = &block_snapshot {
+                snap_span.record("blocks", blocks.len());
+            }
+            (nl_snapshot, block_snapshot)
+        };
         // Epoch re-prioritization runs on the configured worker threads
         // (`MethodConfig::threads`); the emitted sequence is identical to
         // the sequential engine at any thread count.
         let par = self.config.threads;
+        let init_span = sper_obs::span!(
+            "core.method_init",
+            method = self.method.name(),
+            threads = par.get(),
+        );
         let mut method: Box<dyn ProgressiveEr + '_> = match self.method {
             ProgressiveMethod::SaPsn => {
                 let mut m = SaPsn::from_neighbor_list(&self.profiles, nl_snapshot.unwrap());
@@ -418,9 +448,11 @@ impl ProgressiveSession {
             // full rebuild per epoch.
             other => build_method(other, &self.profiles, &self.config, None),
         };
+        drop(init_span);
         let init_time = t0.elapsed();
 
         let t1 = Instant::now();
+        let mut emit_span = sper_obs::span!("stream.emit");
         let mut raw: u64 = 0;
         let mut suppressed: u64 = 0;
         let mut comparisons: Vec<Comparison> = Vec::new();
@@ -434,7 +466,26 @@ impl ProgressiveSession {
             }
         }
         drop(method);
+        emit_span.record("raw", raw);
+        emit_span.record("new", comparisons.len());
+        drop(emit_span);
         let emission_time = t1.elapsed();
+        let wall_clock = t0.elapsed();
+
+        // Epoch counters feed the global metrics registry (the source of
+        // the Prometheus/JSON dumps); the derived throughput rides on the
+        // report itself. Both are observational only — never persisted.
+        sper_obs::count!("session.epochs");
+        sper_obs::count!("session.raw_emissions", raw);
+        sper_obs::count!("session.new_emissions", comparisons.len() as u64);
+        sper_obs::count!("session.suppressed", suppressed);
+        sper_obs::observe!("session.epoch_init_us", init_time.as_secs_f64() * 1e6);
+        sper_obs::observe!("session.epoch_emit_us", emission_time.as_secs_f64() * 1e6);
+        let comparisons_per_sec = if emission_time.as_secs_f64() > 0.0 {
+            raw as f64 / emission_time.as_secs_f64()
+        } else {
+            0.0
+        };
 
         let report = EpochReport {
             epoch: self.reports.len() + 1,
@@ -445,7 +496,12 @@ impl ProgressiveSession {
             suppressed,
             init_time,
             emission_time,
+            wall_clock,
+            comparisons_per_sec,
         };
+        span.record("raw", raw);
+        span.record("new", report.new_emissions);
+        span.record("suppressed", suppressed);
         self.reports.push(report.clone());
         EpochOutcome {
             report,

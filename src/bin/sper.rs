@@ -30,18 +30,39 @@
 //! Every failure path reports a typed error and a nonzero exit code:
 //! usage errors exit 2, runtime errors (IO, corrupt stores, bad data)
 //! exit 1.
+//!
+//! Observability flags (valid after any subcommand): `-v`/`-vv` stream
+//! human-readable progress to stderr, `--trace FILE` writes a
+//! machine-readable JSON-lines trace, `--metrics FILE` dumps the metrics
+//! registry on exit (Prometheus text format, or JSON when FILE ends in
+//! `.json`). Tracing never changes emissions: all output-producing paths
+//! are bit-identical with and without it.
 
 use sper::prelude::*;
 use sper_model::io as model_io;
 use sper_model::{Attribute, JaccardMatcher, ProfileText};
+use sper_obs::{event, span, Level};
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let obs = match ObsSetup::from_args(&args) {
+        Ok(obs) => obs,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = run(&args);
+    if let Err(err) = obs.finish() {
+        eprintln!("error: {err}");
+        return ExitCode::FAILURE;
+    }
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
@@ -53,6 +74,79 @@ fn main() -> ExitCode {
             eprintln!("error: {err}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The observability configuration of one invocation: sinks installed up
+/// front, the metrics dump written after the subcommand returns.
+struct ObsSetup {
+    metrics_out: Option<String>,
+}
+
+impl ObsSetup {
+    /// Parses `-v`/`-vv`, `--trace FILE` and `--metrics FILE`, installing
+    /// the trace sink and enabling the metrics registry as requested.
+    fn from_args(args: &[String]) -> Result<Self, CliError> {
+        let verbosity = args
+            .iter()
+            .map(|a| match a.as_str() {
+                "-v" => 1usize,
+                "-vv" => 2,
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let trace_path = flag(args, "--trace");
+        let metrics_out = flag(args, "--metrics");
+
+        let mut sinks: Vec<Arc<dyn sper_obs::Sink>> = Vec::new();
+        if verbosity > 0 {
+            let max = if verbosity >= 2 {
+                Level::Debug
+            } else {
+                Level::Info
+            };
+            sinks.push(Arc::new(sper_obs::StderrSink::new(max)));
+        }
+        if let Some(path) = &trace_path {
+            let sink = sper_obs::JsonLinesSink::create(Path::new(path))
+                .map_err(CliError::io(path.as_str()))?;
+            sinks.push(Arc::new(sink));
+        }
+        if !sinks.is_empty() {
+            // The trace file always captures Debug detail; the stderr
+            // sink filters itself down to the `-v` level.
+            let level = if trace_path.is_some() || verbosity >= 2 {
+                Level::Debug
+            } else {
+                Level::Info
+            };
+            let sink: Arc<dyn sper_obs::Sink> = if sinks.len() == 1 {
+                sinks.pop().expect("one sink")
+            } else {
+                Arc::new(sper_obs::MultiSink::new(sinks))
+            };
+            sper_obs::trace::install_sink(sink, level);
+        }
+        if metrics_out.is_some() {
+            sper_obs::metrics::set_enabled(true);
+        }
+        Ok(Self { metrics_out })
+    }
+
+    /// Flushes the trace and writes the metrics dump, if requested.
+    fn finish(&self) -> Result<(), CliError> {
+        sper_obs::trace::clear_sink();
+        if let Some(path) = &self.metrics_out {
+            let registry = sper_obs::metrics::global();
+            let text = if path.ends_with(".json") {
+                registry.to_json()
+            } else {
+                registry.to_prometheus()
+            };
+            std::fs::write(path, text).map_err(CliError::io(path.as_str()))?;
+        }
+        Ok(())
     }
 }
 
@@ -114,10 +208,14 @@ const USAGE: &str = "usage:
   sper resume   <checkpoint.sper> [--epoch-budget N] [--threads N]
                 [--checkpoint FILE]
 
+Observability (any subcommand): -v / -vv print progress to stderr,
+--trace FILE writes a JSON-lines span/event trace, --metrics FILE dumps
+the metrics registry on exit (Prometheus text, or JSON for *.json).
+
 --threads defaults to the machine's available parallelism; results are
-bit-identical at any thread count. Checkpoints and snapshots are versioned,
-checksummed binary stores (magic SPER); `sper resume` continues a
-checkpointed stream bit-identically.";
+bit-identical at any thread count — with or without tracing. Checkpoints
+and snapshots are versioned, checksummed binary stores (magic SPER);
+`sper resume` continues a checkpointed stream bit-identically.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -245,10 +343,14 @@ fn resolve(args: &[String]) -> Result<(), CliError> {
     let threshold: f64 = parse_flag(args, "--threshold")?.unwrap_or(0.5);
 
     let threads = parse_threads(args)?;
-    eprintln!(
-        "{} profiles; method {}; budget {budget} comparisons; jaccard ≥ {threshold}; {threads} threads",
-        profiles.len(),
-        method.name()
+    event!(
+        Level::Info,
+        "cli.resolve",
+        profiles = profiles.len(),
+        method = method.name(),
+        budget = budget,
+        threshold = threshold,
+        threads = threads.get(),
     );
     let config = MethodConfig::default().with_threads(threads);
     let text = ProfileText::extract(&profiles);
@@ -292,7 +394,12 @@ fn resolve(args: &[String]) -> Result<(), CliError> {
             }
         }
     }
-    eprintln!("{emitted} comparisons emitted, {declared} matches declared");
+    event!(
+        Level::Info,
+        "cli.resolve_done",
+        emitted = emitted,
+        declared = declared,
+    );
     Ok(())
 }
 
@@ -328,11 +435,15 @@ fn evaluate(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// The per-epoch CSV header every streaming-shaped subcommand shares.
+const EPOCH_HEADER: &str =
+    "epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us,wall_us,cps";
+
 /// Prints the per-epoch CSV row every streaming-shaped subcommand shares.
 fn print_epoch_row(outcome: &EpochOutcome) {
     let r = &outcome.report;
     println!(
-        "{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{:.0}",
         r.epoch,
         r.ingested,
         r.profiles_total,
@@ -340,6 +451,8 @@ fn print_epoch_row(outcome: &EpochOutcome) {
         r.suppressed,
         r.init_time.as_micros(),
         r.emission_time.as_micros(),
+        r.wall_clock.as_micros(),
+        r.comparisons_per_sec,
     );
 }
 
@@ -408,17 +521,19 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             )
         }
     };
-    eprintln!(
-        "streaming {} profiles into {} batches (base: {}); method {}; epoch budget {}",
-        rows.len(),
-        n_batches,
-        initial.len(),
-        method.name(),
-        epoch_budget.map_or("∞".into(), |b| b.to_string()),
+    event!(
+        Level::Info,
+        "cli.stream",
+        profiles = rows.len(),
+        batches = n_batches,
+        base = initial.len(),
+        method = method.name(),
+        epoch_budget = epoch_budget.unwrap_or(u64::MAX),
     );
+    let mut run_span = span!("cli.stream_run", method = method.name());
     let chunk = rows.len().div_ceil(n_batches).max(1);
     let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(chunk).map(|c| c.to_vec()).collect();
-    println!("epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us");
+    println!("{EPOCH_HEADER}");
 
     let mut session = ProgressiveSession::new(initial, session_config);
     let mut epochs: Vec<sper::eval::StreamEpoch> = Vec::new();
@@ -437,7 +552,12 @@ fn stream(args: &[String]) -> Result<(), CliError> {
                     .write_to_path(Path::new(path))
                     .map_err(CliError::store(path))?;
                 checkpointed_epoch = outcome.report.epoch;
-                eprintln!("checkpoint → {path} (epoch {})", outcome.report.epoch);
+                event!(
+                    Level::Info,
+                    "cli.checkpoint",
+                    path = path.as_str(),
+                    epoch = outcome.report.epoch,
+                );
             }
         }
     }
@@ -448,9 +568,12 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             SessionCheckpoint::of(&session)
                 .write_to_path(Path::new(path))
                 .map_err(CliError::store(path))?;
-            eprintln!("final checkpoint → {path}");
+            event!(Level::Info, "cli.checkpoint_final", path = path.as_str());
         }
     }
+    run_span.record("epochs", session.reports().len());
+    run_span.record("emitted", session.emitted().len());
+    drop(run_span);
 
     if let Some(truth) = truth {
         let recall = sper::eval::streaming_recall(&epochs, &truth);
@@ -509,9 +632,14 @@ fn snapshot(args: &[String]) -> Result<(), CliError> {
         .map_err(CliError::store(&out))?;
     let write_time = t1.elapsed();
     let size = std::fs::metadata(&out).map_err(CliError::io(&out))?.len();
-    eprintln!(
-        "snapshot → {out} ({size} bytes; sections: {}; build {build_time:?}, write {write_time:?})",
-        snapshot.describe().join(", "),
+    event!(
+        Level::Info,
+        "cli.snapshot",
+        path = out.as_str(),
+        bytes = size,
+        sections = snapshot.describe().join(", "),
+        build_us = build_time.as_micros() as u64,
+        write_us = write_time.as_micros() as u64,
     );
     Ok(())
 }
@@ -535,16 +663,18 @@ fn resume(args: &[String]) -> Result<(), CliError> {
     if args.iter().any(|a| a == "--threads") {
         state.config.threads = parse_threads(args)?;
     }
-    eprintln!(
-        "resumed {} session: {} profiles, {} pairs emitted, {} epochs done (loaded in {load_time:?})",
-        state.method.name(),
-        state.profiles.len(),
-        state.emitted.len(),
-        state.reports.len(),
+    event!(
+        Level::Info,
+        "cli.resume",
+        method = state.method.name(),
+        profiles = state.profiles.len(),
+        emitted = state.emitted.len(),
+        epochs_done = state.reports.len(),
+        load_us = load_time.as_micros() as u64,
     );
     let mut session = ProgressiveSession::rehydrate(state);
 
-    println!("epoch,ingested,profiles,new_emissions,suppressed,init_us,emit_us");
+    println!("{EPOCH_HEADER}");
     loop {
         let outcome = session.emit_epoch(epoch_budget);
         print_epoch_row(&outcome);
@@ -557,16 +687,17 @@ fn resume(args: &[String]) -> Result<(), CliError> {
             break;
         }
     }
-    eprintln!(
-        "{} pairs emitted in total across {} epochs",
-        session.emitted().len(),
-        session.reports().len(),
+    event!(
+        Level::Info,
+        "cli.resume_done",
+        emitted = session.emitted().len(),
+        epochs = session.reports().len(),
     );
     if let Some(out) = checkpoint_out {
         SessionCheckpoint::of(&session)
             .write_to_path(Path::new(&out))
             .map_err(CliError::store(&out))?;
-        eprintln!("checkpoint → {out}");
+        event!(Level::Info, "cli.checkpoint_final", path = out.as_str());
     }
     Ok(())
 }
@@ -578,17 +709,18 @@ fn generate(args: &[String]) -> Result<(), CliError> {
     )?;
     let scale: f64 = parse_flag(args, "--scale")?.unwrap_or(1.0);
     let data = DatasetSpec::paper(kind).with_scale(scale).generate();
-    eprintln!(
-        "{}: {} profiles, {} matches",
-        kind,
-        data.profiles.len(),
-        data.truth.num_matches()
+    event!(
+        Level::Info,
+        "cli.generate",
+        dataset = kind.name(),
+        profiles = data.profiles.len(),
+        matches = data.truth.num_matches(),
     );
     match flag(args, "--out") {
         Some(path) => {
             let mut f = std::fs::File::create(&path).map_err(CliError::io(&path))?;
             model_io::write_csv(&data.profiles, &mut f).map_err(CliError::io(&path))?;
-            eprintln!("profiles → {path}");
+            event!(Level::Info, "cli.wrote_profiles", path = path.as_str());
         }
         None => {
             let stdout = std::io::stdout();
@@ -599,7 +731,7 @@ fn generate(args: &[String]) -> Result<(), CliError> {
     if let Some(path) = flag(args, "--truth") {
         let mut f = std::fs::File::create(&path).map_err(CliError::io(&path))?;
         model_io::write_matches(&data.truth, &mut f).map_err(CliError::io(&path))?;
-        eprintln!("truth → {path}");
+        event!(Level::Info, "cli.wrote_truth", path = path.as_str());
     }
     Ok(())
 }

@@ -18,6 +18,7 @@ pub use sper_core as core;
 pub use sper_datagen as datagen;
 pub use sper_eval as eval;
 pub use sper_model as model;
+pub use sper_obs as obs;
 pub use sper_store as store;
 pub use sper_stream as stream;
 pub use sper_text as text;
