@@ -21,10 +21,12 @@
 //!   initialization) vs the sequential constructor.
 //!
 //! Every parallel path is bit-identical to its sequential twin, so the
-//! JSON also records a cheap identity check per curve. Note that speedups
-//! only materialize on multi-core hosts: the JSON records the measuring
-//! machine's available parallelism so a 1-core CI container's flat curve
-//! is not mistaken for a regression.
+//! JSON also records a cheap identity check per curve, plus the dispatched
+//! SIMD kernel (`kernel_path`) and the per-worker utilization of each
+//! work-stealing fan-out. Speedups only materialize on multi-core hosts:
+//! on a 1-core container the multi-thread points keep their identity
+//! checks but skip timing (`timed: false`, zeroed ms/speedup) instead of
+//! committing scheduler noise as speedup numbers.
 
 use serde::Serialize;
 use sper_bench::peak_bytes;
@@ -47,6 +49,12 @@ struct Point {
     speedup: f64,
     /// High-water allocation of one build, bytes.
     peak_bytes: usize,
+    /// False when timing was skipped (multi-thread point on a 1-core
+    /// host) — `ms`/`speedup` are zeroed, the identity check still ran.
+    timed: bool,
+    /// Per-worker busy-time / wall-time of the work-stealing fan-out of
+    /// the untimed build (empty for paths without stealing fan-outs).
+    utilization: Vec<f64>,
 }
 
 #[derive(Serialize)]
@@ -68,6 +76,9 @@ struct Report {
     /// bounded by this, not by the requested thread count.
     host_parallelism: usize,
     host: sper_bench::HostInfo,
+    /// The SIMD kernel the runtime dispatcher chose for this run
+    /// (`avx2`/`sse2`/`scalar`; forced to `scalar` under `SPER_NO_SIMD=1`).
+    kernel_path: &'static str,
     curves: Vec<Curve>,
 }
 
@@ -88,17 +99,41 @@ fn curve(
     baseline: &str,
     baseline_ms: f64,
     identical: bool,
-    mut at_threads: impl FnMut(usize) -> (f64, usize),
+    mut build_peak: impl FnMut(usize) -> usize,
+    mut timed_ms: impl FnMut(usize) -> f64,
 ) -> Curve {
+    let single_core = Parallelism::available().get() == 1;
     let points = THREAD_STEPS
         .iter()
         .map(|&threads| {
-            let (ms, peak) = at_threads(threads);
+            // Drain stale fan-out stats so the utilization below belongs
+            // to this curve's build.
+            let _ = sper_blocking::take_last_fanout_stats();
+            let peak = build_peak(threads);
+            let utilization = sper_blocking::take_last_fanout_stats()
+                .map(|s| {
+                    s.utilization()
+                        .iter()
+                        .map(|u| (u * 1000.0).round() / 1000.0)
+                        .collect()
+                })
+                .unwrap_or_default();
+            // Multi-thread timings on a 1-core host are scheduler noise;
+            // keep the identity check and peak, skip the stopwatch.
+            let timed = threads == 1 || !single_core;
+            let (ms, speedup) = if timed {
+                let ms = timed_ms(threads);
+                (ms, baseline_ms / ms)
+            } else {
+                (0.0, 0.0)
+            };
             Point {
                 threads,
                 ms,
-                speedup: baseline_ms / ms,
+                speedup,
                 peak_bytes: peak,
+                timed,
+                utilization,
             }
         })
         .collect();
@@ -160,15 +195,15 @@ fn main() {
         baseline_ms,
         identical,
         |threads| {
-            let ms = median_ms(iters, || {
+            peak_bytes(|| parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap())
+                .1
+        },
+        |threads| {
+            median_ms(iters, || {
                 std::hint::black_box(
                     parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap(),
                 );
-            });
-            let (_, peak) = peak_bytes(|| {
-                parallel_blocking_graph(&blocks, WeightingScheme::Arcs, threads).unwrap()
-            });
-            (ms, peak)
+            })
         },
     ));
 
@@ -185,12 +220,11 @@ fn main() {
         "sequential NeighborList::build",
         baseline_ms,
         identical,
+        |threads| peak_bytes(|| NeighborList::par_build(profiles, 42, threads).unwrap()).1,
         |threads| {
-            let ms = median_ms(iters, || {
+            median_ms(iters, || {
                 std::hint::black_box(NeighborList::par_build(profiles, 42, threads).unwrap());
-            });
-            let (_, peak) = peak_bytes(|| NeighborList::par_build(profiles, 42, threads).unwrap());
-            (ms, peak)
+            })
         },
     ));
 
@@ -220,23 +254,25 @@ fn main() {
         baseline_ms,
         identical,
         |threads| {
-            let ms = median_ms(iters, || {
-                std::hint::black_box(Pps::from_blocks_par(
-                    pps_blocks.clone(),
-                    WeightingScheme::Arcs,
-                    Pps::DEFAULT_KMAX,
-                    Parallelism::new(threads).unwrap(),
-                ));
-            });
-            let (_, peak) = peak_bytes(|| {
+            peak_bytes(|| {
                 Pps::from_blocks_par(
                     pps_blocks.clone(),
                     WeightingScheme::Arcs,
                     Pps::DEFAULT_KMAX,
                     Parallelism::new(threads).unwrap(),
                 )
-            });
-            (ms, peak)
+            })
+            .1
+        },
+        |threads| {
+            median_ms(iters, || {
+                std::hint::black_box(Pps::from_blocks_par(
+                    pps_blocks.clone(),
+                    WeightingScheme::Arcs,
+                    Pps::DEFAULT_KMAX,
+                    Parallelism::new(threads).unwrap(),
+                ));
+            })
         },
     ));
 
@@ -246,18 +282,24 @@ fn main() {
         iters,
         host_parallelism: Parallelism::available().get(),
         host: sper_bench::host_info(),
+        kernel_path: sper_blocking::KernelPath::active().name(),
         curves,
     };
+    println!("kernel dispatch: {}", report.kernel_path);
     for c in &report.curves {
         println!(
             "{:<22} baseline {:>9.3} ms   identical {}",
             c.name, c.baseline_ms, c.identical
         );
         for p in &c.points {
-            println!(
-                "    {:>2} threads  {:>9.3} ms   speedup {:>5.2}x",
-                p.threads, p.ms, p.speedup
-            );
+            if p.timed {
+                println!(
+                    "    {:>2} threads  {:>9.3} ms   speedup {:>5.2}x",
+                    p.threads, p.ms, p.speedup
+                );
+            } else {
+                println!("    {:>2} threads  timing skipped (1-core host)", p.threads);
+            }
         }
     }
     if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {

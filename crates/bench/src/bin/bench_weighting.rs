@@ -28,9 +28,14 @@
 //! emit identical `(pair, weight)` sequences at 1 vs 4 worker threads now
 //! that PBS/PPS run on the kernel.
 //!
-//! Speedups only materialize on multi-core hosts; the JSON records the
-//! measuring machine's available parallelism, and the *sequential* (1
-//! thread) point is the honest single-core kernel-vs-legacy comparison.
+//! The report also records which SIMD kernel the dispatcher chose
+//! (`kernel_path` — rerun under `SPER_NO_SIMD=1` for the forced-scalar
+//! curve) and, per point, the per-worker utilization of the work-stealing
+//! fan-out. Speedups only materialize on multi-core hosts; on a 1-core
+//! container the multi-thread points still run their **identity checks**
+//! but skip timing (`timed: false`, zeroed ms/speedup) instead of
+//! committing scheduler noise as speedup numbers — the *sequential* point
+//! is the honest single-core kernel-vs-legacy comparison either way.
 
 use serde::Serialize;
 use sper_bench::peak_bytes;
@@ -50,6 +55,12 @@ struct Point {
     speedup: f64,
     /// High-water allocation of one build, bytes.
     peak_bytes: usize,
+    /// False when timing was skipped (multi-thread point on a 1-core
+    /// host) — `ms`/`speedup` are zeroed, the identity check still ran.
+    timed: bool,
+    /// Per-worker busy-time / wall-time of the work-stealing fan-out
+    /// (from the identity-check build).
+    utilization: Vec<f64>,
 }
 
 #[derive(Serialize)]
@@ -79,6 +90,9 @@ struct Report {
     iters: usize,
     host_parallelism: usize,
     host: sper_bench::HostInfo,
+    /// The SIMD kernel the runtime dispatcher chose for this run
+    /// (`avx2`/`sse2`/`scalar`; forced to `scalar` under `SPER_NO_SIMD=1`).
+    kernel_path: &'static str,
     schemes: Vec<SchemeCurve>,
     methods: Vec<MethodCheck>,
 }
@@ -137,22 +151,44 @@ fn main() {
 
         let mut identical = true;
         let mut points = Vec::new();
+        let single_core = Parallelism::available().get() == 1;
         for &threads in &THREAD_STEPS {
             let par = Parallelism::new(threads).expect("threads > 0");
+            // Drain stale fan-out stats so the utilization below belongs
+            // to this build.
+            let _ = sper_blocking::take_last_fanout_stats();
             let (edges, peak) = peak_bytes(|| weighted_edge_list(&blocks, &index, scheme, par));
+            let utilization = sper_blocking::take_last_fanout_stats()
+                .map(|s| {
+                    s.utilization()
+                        .iter()
+                        .map(|u| (u * 1000.0).round() / 1000.0)
+                        .collect()
+                })
+                .unwrap_or_default();
             identical &= edges.len() == reference.len()
                 && edges
                     .iter()
                     .zip(&reference)
                     .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
-            let ms = median_ms(iters, || {
-                std::hint::black_box(weighted_edge_list(&blocks, &index, scheme, par));
-            });
+            // Multi-thread timings on a 1-core host are scheduler noise;
+            // keep the identity check, skip the stopwatch.
+            let timed = threads == 1 || !single_core;
+            let (ms, speedup) = if timed {
+                let ms = median_ms(iters, || {
+                    std::hint::black_box(weighted_edge_list(&blocks, &index, scheme, par));
+                });
+                (ms, baseline_ms / ms)
+            } else {
+                (0.0, 0.0)
+            };
             points.push(Point {
                 threads,
                 ms,
-                speedup: baseline_ms / ms,
+                speedup,
                 peak_bytes: peak,
+                timed,
+                utilization,
             });
         }
         schemes.push(SchemeCurve {
@@ -209,9 +245,11 @@ fn main() {
         iters,
         host_parallelism: Parallelism::available().get(),
         host: sper_bench::host_info(),
+        kernel_path: sper_blocking::KernelPath::active().name(),
         schemes,
         methods,
     };
+    println!("kernel dispatch: {}", report.kernel_path);
     for c in &report.schemes {
         println!(
             "{:<5} baseline {:>9.3} ms  peak {:>6.1} MiB   identical {}",
@@ -221,13 +259,21 @@ fn main() {
             c.identical
         );
         for p in &c.points {
-            println!(
-                "    {:>2} threads  {:>9.3} ms   speedup {:>6.2}x   peak {:>6.1} MiB",
-                p.threads,
-                p.ms,
-                p.speedup,
-                p.peak_bytes as f64 / (1024.0 * 1024.0)
-            );
+            if p.timed {
+                println!(
+                    "    {:>2} threads  {:>9.3} ms   speedup {:>6.2}x   peak {:>6.1} MiB",
+                    p.threads,
+                    p.ms,
+                    p.speedup,
+                    p.peak_bytes as f64 / (1024.0 * 1024.0)
+                );
+            } else {
+                println!(
+                    "    {:>2} threads  timing skipped (1-core host)   peak {:>6.1} MiB",
+                    p.threads,
+                    p.peak_bytes as f64 / (1024.0 * 1024.0)
+                );
+            }
         }
     }
     for m in &report.methods {

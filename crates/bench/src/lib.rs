@@ -48,6 +48,8 @@ pub struct HostInfo {
     pub page_size: usize,
     /// Operating system the binary was compiled for.
     pub os: &'static str,
+    /// SIMD extensions detected at runtime (empty off x86_64).
+    pub cpu_features: Vec<&'static str>,
 }
 
 /// Probes the measuring machine for the `host` section of a BENCH report.
@@ -58,6 +60,7 @@ pub fn host_info() -> HostInfo {
         host_parallelism: h.host_parallelism,
         page_size: h.page_size,
         os: h.os,
+        cpu_features: h.cpu_features,
     }
 }
 

@@ -35,6 +35,7 @@ pub mod neighbor_list;
 pub mod parallel;
 pub mod profile_index;
 pub mod purging;
+pub mod simd;
 pub mod spacc;
 pub mod suffix_forest;
 pub mod token_blocking;
@@ -46,17 +47,20 @@ pub use graph::BlockingGraph;
 pub use metablocking::{par_prune, par_prune_blocks, prune, prune_blocks, PruningScheme};
 pub use neighbor_list::{NeighborList, PositionIndex};
 pub use parallel::{
-    parallel_blocking_graph, parallel_token_blocking, Parallelism, ZeroThreads, MIN_PARALLEL_BATCH,
+    parallel_blocking_graph, parallel_token_blocking, take_last_fanout_stats, FanoutStats,
+    Parallelism, WorkerStats, ZeroThreads, MIN_PARALLEL_BATCH, STEAL_MIN_CHUNK,
+    STEAL_OVERSUBSCRIPTION,
 };
 pub use profile_index::{IncrementalProfileIndex, IntersectStats, ProfileIndex};
 pub use purging::BlockPurger;
+pub use simd::KernelPath;
 pub use spacc::{BlockIndex, BlockMembers, WeightAccumulator};
 pub use suffix_forest::{SuffixForest, SuffixNode};
 pub use token_blocking::TokenBlocking;
 // The string ↔ id boundary of the columnar core, re-exported so consumers
 // of block collections don't need a direct sper-text dependency.
 pub use sper_text::{TokenId, TokenInterner};
-pub use weights::WeightingScheme;
+pub use weights::{FinalizeTable, WeightingScheme};
 
 use sper_model::ProfileCollection;
 

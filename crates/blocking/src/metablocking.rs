@@ -253,24 +253,30 @@ pub fn par_prune_blocks(
     let par = par.break_even(blocks.total_comparisons().min(usize::MAX as u64) as usize);
     let index = ProfileIndex::build(blocks);
     let n = blocks.n_profiles();
-    let keep_maps = par.map_ranges(n, |range| {
-        let mut acc = WeightAccumulator::new(n);
-        let mut neighborhood: Vec<(ProfileId, f64)> = Vec::new();
-        let mut keep: FxHashMap<Pair, f64> = FxHashMap::default();
-        for node in range {
-            keep_for_node_streaming(
-                blocks,
-                &index,
-                weighting,
-                scheme,
-                ProfileId(node as u32),
-                &mut acc,
-                &mut neighborhood,
-                &mut keep,
-            );
-        }
-        keep
-    });
+    // Work-stealing chunks: one scratch pair per worker (reused across
+    // every chunk the worker claims), one keep-map per chunk. The union
+    // below is order-independent, so stealing cannot change the output.
+    let keep_maps = par.steal_chunks(
+        n,
+        crate::parallel::STEAL_MIN_CHUNK,
+        || (WeightAccumulator::new(n), Vec::<(ProfileId, f64)>::new()),
+        |(acc, neighborhood), range, _chunk| {
+            let mut keep: FxHashMap<Pair, f64> = FxHashMap::default();
+            for node in range {
+                keep_for_node_streaming(
+                    blocks,
+                    &index,
+                    weighting,
+                    scheme,
+                    ProfileId(node as u32),
+                    acc,
+                    neighborhood,
+                    &mut keep,
+                );
+            }
+            keep
+        },
+    );
     // An edge can be kept from both endpoints (possibly in different
     // shards) with the same symmetric weight — the map union dedups it.
     let mut kept: FxHashMap<Pair, f64> = FxHashMap::default();
@@ -309,20 +315,27 @@ pub fn par_prune(
         return Ok(prune(graph, scheme));
     }
 
-    let keep_sets = par.map_ranges(nodes, |range| {
-        let mut keep = std::collections::HashSet::new();
-        let mut neighborhood: Vec<(ProfileId, f64)> = Vec::new();
-        for node in range {
-            keep_for_node(
-                graph,
-                scheme,
-                ProfileId(node as u32),
-                &mut neighborhood,
-                &mut keep,
-            );
-        }
-        keep
-    });
+    // Work-stealing chunks with a per-worker neighborhood scratch; the
+    // keep-set union is order-independent, so stealing cannot change the
+    // output.
+    let keep_sets = par.steal_chunks(
+        nodes,
+        crate::parallel::STEAL_MIN_CHUNK,
+        Vec::<(ProfileId, f64)>::new,
+        |neighborhood, range, _chunk| {
+            let mut keep = std::collections::HashSet::new();
+            for node in range {
+                keep_for_node(
+                    graph,
+                    scheme,
+                    ProfileId(node as u32),
+                    neighborhood,
+                    &mut keep,
+                );
+            }
+            keep
+        },
+    );
 
     let keep: std::collections::HashSet<Pair> = keep_sets.into_iter().flatten().collect();
     let mut kept: Vec<(Pair, f64)> = graph.edges().filter(|(p, _)| keep.contains(p)).collect();

@@ -165,6 +165,198 @@ impl Parallelism {
         .expect("parallel range map panicked");
         results
     }
+
+    /// Splits `0..len` into fine-grained chunks (about
+    /// [`STEAL_OVERSUBSCRIPTION`] per worker, never smaller than
+    /// `min_chunk` items) and lets the workers **steal** them from a
+    /// shared lock-free queue: each worker claims the next unclaimed chunk
+    /// with one atomic `fetch_add`, runs `f(&mut scratch, range, chunk)`,
+    /// and moves on — a straggler chunk delays only its own worker while
+    /// the rest drain the queue, unlike the fixed per-worker ranges of
+    /// [`Self::map_ranges`], where the slowest range sets the join time.
+    ///
+    /// Determinism: stealing reorders *execution*, never *output*. Chunk
+    /// boundaries are a pure function of `(len, workers, min_chunk)`, each
+    /// chunk's result is written into its own slot, and the returned `Vec`
+    /// is in chunk order — so as long as `f` is a pure function of its
+    /// range (the contract of every call site, property-tested by the
+    /// emission-equivalence suites), the concatenated output is identical
+    /// at every worker count and under every steal interleaving.
+    ///
+    /// `init` builds one per-worker scratch, reused across all chunks the
+    /// worker claims (the spacc sweeps reuse one `O(|P|)` accumulator per
+    /// worker instead of one per range). With one effective worker,
+    /// everything runs inline on the calling thread — no spawn, one
+    /// chunk.
+    ///
+    /// Every fan-out records per-worker busy time: into the global
+    /// metrics registry (`parallel.worker_busy_us` histogram,
+    /// `parallel.fanout_workers` gauge) when metrics are enabled, and
+    /// always into the slot [`take_last_fanout_stats`] reads.
+    pub fn steal_chunks<S, T, FI, F>(self, len: usize, min_chunk: usize, init: FI, f: F) -> Vec<T>
+    where
+        T: Send,
+        FI: Fn() -> S + Sync,
+        F: Fn(&mut S, std::ops::Range<usize>, usize) -> T + Sync,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::time::Instant;
+
+        let workers = self.capped(len.max(1)).get();
+        let chunk = len
+            .div_ceil(workers * STEAL_OVERSUBSCRIPTION)
+            .max(min_chunk.max(1));
+        let n_chunks = len.div_ceil(chunk).max(1);
+        let workers = workers.min(n_chunks);
+        let wall_start = Instant::now();
+
+        if workers == 1 {
+            let mut scratch = init();
+            let mut results = Vec::with_capacity(n_chunks);
+            let busy_start = Instant::now();
+            for c in 0..n_chunks {
+                let range = (c * chunk).min(len)..((c + 1) * chunk).min(len);
+                results.push(f(&mut scratch, range, c));
+            }
+            record_fanout(
+                wall_start.elapsed(),
+                vec![WorkerStats {
+                    worker: 0,
+                    busy: busy_start.elapsed(),
+                    chunks: n_chunks,
+                }],
+            );
+            return results;
+        }
+
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<(Vec<(usize, T)>, WorkerStats)> = Vec::with_capacity(workers);
+        crossbeam::thread::scope(|scope| {
+            let (next, f, init) = (&next, &f, &init);
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut scratch = init();
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        let mut claimed = 0usize;
+                        let busy_start = Instant::now();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= n_chunks {
+                                break;
+                            }
+                            let range = (c * chunk).min(len)..((c + 1) * chunk).min(len);
+                            out.push((c, f(&mut scratch, range, c)));
+                            claimed += 1;
+                        }
+                        let stats = WorkerStats {
+                            worker: w,
+                            busy: busy_start.elapsed(),
+                            chunks: claimed,
+                        };
+                        (out, stats)
+                    })
+                })
+                .collect();
+            per_worker.extend(handles.into_iter().map(|h| h.join().unwrap()));
+        })
+        .expect("work-stealing fan-out panicked");
+
+        // Per-chunk output slots restore chunk order regardless of which
+        // worker executed which chunk.
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        let mut stats = Vec::with_capacity(workers);
+        for (results, worker_stats) in per_worker {
+            for (c, result) in results {
+                debug_assert!(slots[c].is_none(), "chunk {c} claimed twice");
+                slots[c] = Some(result);
+            }
+            stats.push(worker_stats);
+        }
+        record_fanout(wall_start.elapsed(), stats);
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk claimed exactly once"))
+            .collect()
+    }
+}
+
+/// Publishes one fan-out's execution profile to the metrics registry and
+/// the [`take_last_fanout_stats`] slot.
+fn record_fanout(wall: std::time::Duration, workers: Vec<WorkerStats>) {
+    if sper_obs::metrics::enabled() {
+        let registry = sper_obs::metrics::global();
+        registry
+            .gauge("parallel.fanout_workers")
+            .set(workers.len() as i64);
+        for w in &workers {
+            sper_obs::observe!("parallel.worker_busy_us", w.busy.as_micros() as f64);
+        }
+        let _ = registry;
+    }
+    *LAST_FANOUT.lock().expect("fan-out stats poisoned") = Some(FanoutStats { wall, workers });
+}
+
+/// Chunks per worker the work-stealing plan aims for: enough slack for
+/// stealing to even out skewed ranges (one giant block landing in one
+/// shard), few enough that per-chunk bookkeeping stays negligible.
+pub const STEAL_OVERSUBSCRIPTION: usize = 8;
+
+/// Default minimum items per work-stealing chunk for per-profile sweeps —
+/// small enough that a handful of heavy neighborhoods cannot serialize a
+/// whole fixed range, large enough that claim overhead stays invisible.
+pub const STEAL_MIN_CHUNK: usize = 256;
+
+/// Per-worker execution record of one work-stealing fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the fan-out (`0..workers`).
+    pub worker: usize,
+    /// Time the worker spent inside chunk bodies.
+    pub busy: std::time::Duration,
+    /// Chunks the worker claimed.
+    pub chunks: usize,
+}
+
+/// One work-stealing fan-out's execution profile: wall-clock of the whole
+/// fan-out plus every worker's busy time — what the bench harnesses turn
+/// into per-thread utilization curves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutStats {
+    /// Wall-clock of the fan-out (spawn to last join).
+    pub wall: std::time::Duration,
+    /// Per-worker busy time and chunk counts, by worker index.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl FanoutStats {
+    /// Per-worker utilization (`busy / wall`), by worker index — 1.0 is a
+    /// fully busy worker, values near 0 are join/imbalance overhead.
+    pub fn utilization(&self) -> Vec<f64> {
+        let wall = self.wall.as_secs_f64();
+        self.workers
+            .iter()
+            .map(|w| {
+                if wall > 0.0 {
+                    (w.busy.as_secs_f64() / wall).min(1.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// The most recent [`Parallelism::steal_chunks`] fan-out profile, for
+/// bench introspection (last-writer-wins across concurrent fan-outs).
+static LAST_FANOUT: std::sync::Mutex<Option<FanoutStats>> = std::sync::Mutex::new(None);
+
+/// Takes the execution profile of the most recent work-stealing fan-out,
+/// if any fan-out ran since the last take. The bench harnesses call this
+/// right after a timed build to record per-thread utilization; it is
+/// diagnostic state only — results never depend on it.
+pub fn take_last_fanout_stats() -> Option<FanoutStats> {
+    LAST_FANOUT.lock().expect("fan-out stats poisoned").take()
 }
 
 impl Default for Parallelism {

@@ -38,8 +38,18 @@
 
 use crate::block::{Block, BlockCollection, BlockId};
 use crate::profile_index::{IncrementalProfileIndex, ProfileIndex};
-use crate::weights::WeightingScheme;
+use crate::simd::KernelPath;
+use crate::weights::{FinalizeTable, WeightingScheme};
 use sper_model::{ErKind, Pair, ProfileId};
+
+/// Reinterprets a sorted member partition as raw `u32` lanes for the SIMD
+/// kernels — free because [`ProfileId`] is `repr(transparent)` over `u32`.
+#[inline]
+fn raw_ids(partition: &[ProfileId]) -> &[u32] {
+    // SAFETY: `ProfileId` is `#[repr(transparent)]` over `u32`, so the two
+    // slice types have identical layout, alignment, and validity.
+    unsafe { std::slice::from_raw_parts(partition.as_ptr().cast::<u32>(), partition.len()) }
+}
 
 /// Read-only view of a profile→blocks inverted index, as the kernel needs
 /// it: the sorted block list of a profile, cached block cardinalities, and
@@ -145,6 +155,19 @@ pub struct SweepStats {
     pub touched: u64,
 }
 
+impl SweepStats {
+    /// The counters accumulated since `earlier` — how work-stealing chunks
+    /// report per-chunk statistics from a per-worker scratch that lives
+    /// across many chunks.
+    pub fn delta_since(self, earlier: SweepStats) -> SweepStats {
+        SweepStats {
+            sweeps: self.sweeps - earlier.sweeps,
+            resets: self.resets - earlier.resets,
+            touched: self.touched - earlier.touched,
+        }
+    }
+}
+
 /// The reusable sparse-accumulator scratch: one dense `f64` slot and one
 /// least-common-block tag per profile, plus the touched list that makes
 /// resets `O(degree)`.
@@ -166,19 +189,40 @@ pub struct WeightAccumulator {
     /// Ids of neighbors with non-zero accumulation, in discovery order
     /// until [`Self::sort_touched`] is called.
     touched: Vec<u32>,
+    /// One bit per profile — the dense drain path of
+    /// [`Self::drain_ascending`] marks touched ids here and scans words
+    /// ascending instead of sorting the touched list. All-zero between
+    /// drains.
+    mask: Vec<u64>,
+    /// The accumulate-kernel implementation every sweep dispatches to.
+    path: KernelPath,
     /// Lifetime sweep/reset counters (see [`SweepStats`]).
     stats: SweepStats,
 }
 
 impl WeightAccumulator {
-    /// A zeroed accumulator over `n_profiles` profiles.
+    /// A zeroed accumulator over `n_profiles` profiles, sweeping with the
+    /// process-wide dispatched kernel ([`KernelPath::active`]).
     pub fn new(n_profiles: usize) -> Self {
+        Self::with_path(n_profiles, KernelPath::active())
+    }
+
+    /// A zeroed accumulator pinned to a specific kernel implementation —
+    /// the equivalence suites compare paths inside one process with this.
+    pub fn with_path(n_profiles: usize, path: KernelPath) -> Self {
         Self {
             acc: vec![0.0; n_profiles],
             lcb: vec![0; n_profiles],
             touched: Vec::new(),
+            mask: vec![0; n_profiles.div_ceil(64)],
+            path,
             stats: SweepStats::default(),
         }
+    }
+
+    /// The kernel implementation this scratch sweeps with.
+    pub fn path(&self) -> KernelPath {
+        self.path
     }
 
     /// Lifetime sweep statistics of this scratch.
@@ -200,6 +244,7 @@ impl WeightAccumulator {
         if n_profiles > self.acc.len() {
             self.acc.resize(n_profiles, 0.0);
             self.lcb.resize(n_profiles, 0);
+            self.mask.resize(n_profiles.div_ceil(64), 0);
         }
     }
 
@@ -217,7 +262,14 @@ impl WeightAccumulator {
         dir: SweepDir,
         checked: Option<&[bool]>,
     ) {
-        debug_assert!(self.touched.is_empty(), "sweep on a non-reset scratch");
+        assert!(
+            self.touched.is_empty(),
+            "sweep on a non-reset scratch: {} touched entries would corrupt \
+             every accumulated weight — call reset() or drain_ascending() \
+             between sweeps",
+            self.touched.len()
+        );
+        let path = self.path;
         for &bid in index.blocks_of(i) {
             let contribution = scheme.per_block(index.block_cardinality(bid));
             let mem = members.members(bid);
@@ -226,36 +278,65 @@ impl WeightAccumulator {
             // Clean-clean — the opposite source partition. The forward
             // sweep keeps only ids beyond `i`, exploiting the sorted
             // member partitions (and, for Clean-clean, the collection
-            // invariant that every P1 id precedes every P2 id).
-            let partition: &[ProfileId] = match kind {
+            // invariant that every P1 id precedes every P2 id). The
+            // co-occurrences come out as up to two `i`-free segments so
+            // the kernels below need no per-lane `j == i` test: only the
+            // Dirty full sweep has `i` inside its partition, and there it
+            // is split out by binary search.
+            let (left, right): (&[ProfileId], &[ProfileId]) = match kind {
                 ErKind::Dirty => match dir {
-                    SweepDir::Full => mem,
+                    SweepDir::Full => match mem.binary_search(&i) {
+                        Ok(at) => (&mem[..at], &mem[at + 1..]),
+                        Err(at) => (&mem[..at], &mem[at..]),
+                    },
                     SweepDir::Forward => {
                         let beyond = mem.partition_point(|&p| p <= i);
-                        &mem[beyond..]
+                        (&mem[beyond..], &[][..])
                     }
                 },
                 ErKind::CleanClean => {
                     if mem[..n_first].binary_search(&i).is_ok() {
-                        &mem[n_first..]
+                        (&mem[n_first..], &[][..])
                     } else if dir == SweepDir::Forward {
                         // `i` is a P2 profile: every cross-source partner
                         // has a smaller id.
-                        &[]
+                        (&[][..], &[][..])
                     } else {
-                        &mem[..n_first]
+                        (&mem[..n_first], &[][..])
                     }
                 }
             };
-            for &j in partition {
-                if j == i || checked.is_some_and(|c| c[j.index()]) {
-                    continue;
+            if let Some(checked) = checked {
+                // The filtered sweep (PPS emission, Alg. 6) stays scalar:
+                // the `checked` test makes both the touched pushes and the
+                // adds data-dependent per lane.
+                for &j in left.iter().chain(right) {
+                    if checked[j.index()] {
+                        continue;
+                    }
+                    if self.acc[j.index()] == 0.0 {
+                        self.touched.push(j.0);
+                        self.lcb[j.index()] = bid;
+                    }
+                    self.acc[j.index()] += contribution;
                 }
-                if self.acc[j.index()] == 0.0 {
-                    self.touched.push(j.0);
-                    self.lcb[j.index()] = bid;
-                }
-                self.acc[j.index()] += contribution;
+            } else {
+                path.accumulate(
+                    raw_ids(left),
+                    contribution,
+                    bid,
+                    &mut self.acc,
+                    &mut self.lcb,
+                    &mut self.touched,
+                );
+                path.accumulate(
+                    raw_ids(right),
+                    contribution,
+                    bid,
+                    &mut self.acc,
+                    &mut self.lcb,
+                    &mut self.touched,
+                );
             }
         }
         self.stats.sweeps += 1;
@@ -265,6 +346,13 @@ impl WeightAccumulator {
     /// Accumulates the full valid neighborhood of `i`, optionally skipping
     /// already-`checked` profiles (PPS's emission phase, Alg. 6 lines
     /// 10–12). The scratch must be reset (fresh or [`Self::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — when the scratch still holds
+    /// touched entries from a previous sweep: accumulating on top of stale
+    /// sums silently corrupts every weight, so the contract violation is a
+    /// hard error rather than a `debug_assert!` that release builds skip.
     pub fn sweep<M: BlockMembers + ?Sized, I: BlockIndex>(
         &mut self,
         kind: ErKind,
@@ -282,6 +370,10 @@ impl WeightAccumulator {
     /// order visits each distinct edge exactly once, from its smaller
     /// endpoint, with the same accumulated weight either endpoint would
     /// compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the scratch is not reset — see [`Self::sweep`].
     pub fn sweep_forward<M: BlockMembers + ?Sized, I: BlockIndex>(
         &mut self,
         kind: ErKind,
@@ -355,10 +447,62 @@ impl WeightAccumulator {
     }
 
     /// Clears the touched entries — `O(degree)`, leaving the dense arrays
-    /// zeroed for the next sweep.
+    /// zeroed for the next sweep. The clear runs through the chunked
+    /// scatter loop of [`crate::simd`].
     pub fn reset(&mut self) {
-        for &j in &self.touched {
-            self.acc[j as usize] = 0.0;
+        crate::simd::clear_touched(&self.touched, &mut self.acc);
+        self.touched.clear();
+        self.stats.resets += 1;
+    }
+
+    /// Emits every touched neighbor in **ascending id order** — `f(j,
+    /// accumulated, least_common_block)` — and resets the scratch, fused
+    /// into one pass. This replaces the `sort_touched` → iterate →
+    /// `reset` sequence on the edge-emission hot path.
+    ///
+    /// The ordering strategy is adaptive:
+    ///
+    /// * **dense** neighborhoods (the overwhelmingly common case: the
+    ///   touched count rivals the profile count / 64) set one bit per
+    ///   neighbor in a reusable per-scratch bitmap and scan its words
+    ///   ascending with `trailing_zeros` — `O(degree + |P|/64)`, no sort,
+    ///   and the `acc` clear rides the same cache lines the scan reads;
+    /// * **sparse** neighborhoods fall back to the unstable sort the old
+    ///   path used — `O(degree · log degree)` but without scanning a
+    ///   bitmap that is mostly zeros.
+    ///
+    /// Both strategies visit exactly the touched ids in exactly ascending
+    /// order, so the emission sequence is independent of the cutover.
+    pub fn drain_ascending(&mut self, mut f: impl FnMut(u32, f64, u32)) {
+        let words = self.acc.len().div_ceil(64);
+        if self.touched.len() >= words / 8 {
+            let (touched, mask) = (&self.touched, &mut self.mask);
+            debug_assert!(mask.len() >= words);
+            for &j in touched {
+                mask[(j / 64) as usize] |= 1u64 << (j % 64);
+            }
+            for w in 0..words {
+                let mut bits = self.mask[w];
+                if bits == 0 {
+                    continue;
+                }
+                self.mask[w] = 0;
+                while bits != 0 {
+                    let j = (w as u32) * 64 + bits.trailing_zeros();
+                    bits &= bits - 1;
+                    let sum = self.acc[j as usize];
+                    self.acc[j as usize] = 0.0;
+                    f(j, sum, self.lcb[j as usize]);
+                }
+            }
+        } else {
+            self.touched.sort_unstable();
+            for t in 0..self.touched.len() {
+                let j = self.touched[t];
+                let sum = self.acc[j as usize];
+                self.acc[j as usize] = 0.0;
+                f(j, sum, self.lcb[j as usize]);
+            }
         }
         self.touched.clear();
         self.stats.resets += 1;
@@ -382,102 +526,183 @@ pub fn for_each_weighted_edge(
     scheme: WeightingScheme,
     mut emit: impl FnMut(Pair, f64, BlockId),
 ) {
-    let mut acc = WeightAccumulator::new(blocks.n_profiles());
-    emit_range(
-        blocks,
-        index,
-        scheme,
-        0..blocks.n_profiles(),
-        &mut acc,
-        &mut emit,
-    );
-}
-
-/// Forward-sweeps every profile of `range` and hands each discovered edge
-/// to `emit` in `(i, j)`-lexicographic order with its least-common-block
-/// witness — the one loop body behind both the streaming
-/// [`for_each_weighted_edge`] and the per-shard collection of
-/// [`weighted_edge_list`], so the two paths cannot drift apart on the
-/// order contract.
-fn emit_range(
-    blocks: &BlockCollection,
-    index: &ProfileIndex,
-    scheme: WeightingScheme,
-    range: std::ops::Range<usize>,
-    acc: &mut WeightAccumulator,
-    emit: &mut impl FnMut(Pair, f64, BlockId),
-) {
+    let n = blocks.n_profiles();
     let kind = blocks.kind();
-    for i in range {
+    let table = FinalizeTable::build(index, scheme, n);
+    let mut acc = WeightAccumulator::new(n);
+    for i in 0..n {
         let i = ProfileId(i as u32);
         acc.sweep_forward(kind, blocks, index, scheme, i);
-        if acc.is_empty() {
-            continue;
-        }
-        acc.sort_touched();
-        for t in 0..acc.touched().len() {
-            let j = ProfileId(acc.touched()[t]);
+        acc.drain_ascending(|j, sum, lcb| {
             emit(
-                Pair::new(i, j),
-                acc.finalize(index, scheme, i, j),
-                acc.least_common_block(j),
+                Pair::new(i, ProfileId(j)),
+                table.weight(i.0, j, sum),
+                BlockId(lcb),
             );
-        }
-        acc.reset();
+        });
     }
 }
 
 /// The sparse-accumulator replacement of the legacy edge-list builder:
 /// produces every distinct weighted comparison of `blocks` in the exact
 /// edge order of the seed seen-set builder (block-major first occurrence,
-/// within a block in comparison-enumeration order), fanning the per-profile
-/// sweeps out over `par` worker ranges.
+/// within a block in comparison-enumeration order), fanning the
+/// per-profile sweeps out over work-stealing chunks of `par` workers.
 ///
-/// Two phases:
+/// The builder is a **two-pass counting scatter** — it never materializes
+/// per-shard edge buffers (the old single-pass route pushed every edge
+/// into a shard `Vec`, re-read it to histogram the least-common-block
+/// tags, and re-read it again to scatter; three full passes over hundreds
+/// of megabytes at scale):
 ///
-/// 1. **Sweep** — each worker runs forward sweeps over a contiguous profile
-///    range with its own reusable scratch, emitting `(pair, weight)` tagged
-///    with the pair's least common block, in `(smaller endpoint, larger
-///    endpoint)` order.
-/// 2. **Restore** — a stable counting sort by least-common-block id
-///    regroups the edges block-major. Stability keeps the per-block
-///    `(i, j)`-lexicographic arrival order, which equals the block's
-///    comparison-enumeration order — so the output sequence is
-///    bit-identical to the legacy builder's at any worker count.
+/// 1. **Count** — every chunk forward-sweeps its profiles and histograms
+///    the touched least-common-block tags (`O(|B|)` integers per chunk,
+///    kilobytes). Combining the per-chunk histograms in chunk order gives
+///    every `(chunk, block)` cell a private, precomputed destination range
+///    in the output.
+/// 2. **Scatter** — every chunk re-sweeps (sweeps are the cheap part of
+///    the kernel), drains each neighborhood in ascending order, finalizes
+///    the weights through the dispatched SIMD table kernel, and writes
+///    each edge **directly into its final slot**.
+///
+/// Order and determinism: the destination ranges follow (block, chunk,
+/// within-chunk discovery) order, and within one chunk edges arrive in
+/// `(i, j)`-lexicographic order — together that is exactly the stable
+/// counting sort by least common block the legacy builder's output order
+/// demands, reproduced bit for bit at any worker count. Work-stealing only
+/// changes *which thread* executes a chunk, never the chunk boundaries or
+/// any destination index.
 pub fn weighted_edge_list(
     blocks: &BlockCollection,
     index: &ProfileIndex,
     scheme: WeightingScheme,
     par: crate::Parallelism,
 ) -> Vec<(Pair, f64)> {
-    /// One worker range's output: discovered edges plus their
-    /// least-common-block tags, in `(i, j)`-lexicographic order, and the
-    /// range's sweep statistics.
-    type Shard = (Vec<(Pair, f64)>, Vec<u32>, SweepStats);
     let mut span = sper_obs::span!("blocking.weighted_edge_list", workers = par.get());
     let n = blocks.n_profiles();
-    let shards: Vec<Shard> = par.map_ranges(n, |range| {
-        let mut acc = WeightAccumulator::new(n);
-        let mut edges: Vec<(Pair, f64)> = Vec::new();
-        let mut lcbs: Vec<u32> = Vec::new();
-        emit_range(
-            blocks,
-            index,
-            scheme,
-            range,
-            &mut acc,
-            &mut |pair, w, lcb| {
-                edges.push((pair, w));
-                lcbs.push(lcb.0);
-            },
-        );
-        let stats = acc.stats();
-        (edges, lcbs, stats)
-    });
+    let kind = blocks.kind();
+    let n_blocks = index.total_blocks();
+    let table = FinalizeTable::build(index, scheme, n);
+
+    // Pass 1: per-chunk least-common-block histograms.
+    let histograms: Vec<(Vec<u32>, SweepStats)> = par.steal_chunks(
+        n,
+        crate::parallel::STEAL_MIN_CHUNK,
+        || WeightAccumulator::new(n),
+        |acc, range, _chunk| {
+            let before = acc.stats();
+            let mut counts = vec![0u32; n_blocks];
+            for i in range {
+                let i = ProfileId(i as u32);
+                acc.sweep_forward(kind, blocks, index, scheme, i);
+                for &j in acc.touched() {
+                    counts[acc.least_common_block(ProfileId(j)).0 as usize] += 1;
+                }
+                acc.reset();
+            }
+            (counts, acc.stats().delta_since(before))
+        },
+    );
+
+    // Destination ranges: block-major, then chunk order, then within-chunk
+    // discovery order — the cursor table of chunk `c` starts where the
+    // global block offset plus all earlier chunks' counts end.
+    let mut totals = vec![0u32; n_blocks];
+    for (counts, _) in &histograms {
+        for (t, &c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+    }
+    let offsets = crate::block::prefix_offsets(&totals);
+    let total = offsets[n_blocks] as usize;
+    let mut running: Vec<u32> = offsets[..n_blocks].to_vec();
+    let cursors: Vec<Vec<u32>> = histograms
+        .iter()
+        .map(|(counts, _)| {
+            let snapshot = running.clone();
+            for (r, &c) in running.iter_mut().zip(counts) {
+                *r += c;
+            }
+            snapshot
+        })
+        .collect();
+
+    // Pass 2: re-sweep and scatter straight into the final buffer. The
+    // chunk layout is a pure function of `(n, crate::parallel::STEAL_MIN_CHUNK, par)`, so
+    // pass 2 revisits exactly the profile ranges pass 1 counted.
+    let mut out: Vec<(Pair, f64)> = Vec::with_capacity(total);
+    struct OutPtr(*mut (Pair, f64));
+    // SAFETY: the raw pointer is only used for disjoint writes — every
+    // (chunk, block) cell owns the private index range
+    // [cursors[chunk][block], cursors[chunk][block] + counts) computed
+    // above, and chunks only advance their own cursors.
+    unsafe impl Sync for OutPtr {}
+    let out_ptr = OutPtr(out.as_mut_ptr());
+    let out_ref = &out_ptr;
+    let scatter_stats: Vec<SweepStats> = par.steal_chunks(
+        n,
+        crate::parallel::STEAL_MIN_CHUNK,
+        || {
+            (
+                WeightAccumulator::new(n),
+                Vec::<u32>::new(),
+                Vec::<f64>::new(),
+                Vec::<u32>::new(),
+                Vec::<f64>::new(),
+            )
+        },
+        |(acc, jbuf, sumbuf, lcbbuf, wbuf), range, chunk| {
+            let before = acc.stats();
+            let path = acc.path();
+            let mut cursor = cursors[chunk].clone();
+            for i in range {
+                let i = ProfileId(i as u32);
+                acc.sweep_forward(kind, blocks, index, scheme, i);
+                jbuf.clear();
+                sumbuf.clear();
+                lcbbuf.clear();
+                acc.drain_ascending(|j, sum, lcb| {
+                    jbuf.push(j);
+                    sumbuf.push(sum);
+                    lcbbuf.push(lcb);
+                });
+                table.weights_into(path, i.0, jbuf, sumbuf, wbuf);
+                for ((&j, &lcb), &w) in jbuf.iter().zip(lcbbuf.iter()).zip(wbuf.iter()) {
+                    let at = &mut cursor[lcb as usize];
+                    // SAFETY: `*at` lies inside this (chunk, block) cell's
+                    // private range — pass 2 re-sweeps the exact profile
+                    // range pass 1 histogrammed, so the cell emits exactly
+                    // its counted number of edges; all cells partition
+                    // `0..total`, every slot is written exactly once, and
+                    // the scope join below sequences the writes before
+                    // `set_len`.
+                    unsafe {
+                        out_ref
+                            .0
+                            .add(*at as usize)
+                            .write((Pair::new(i, ProfileId(j)), w));
+                    }
+                    *at += 1;
+                }
+            }
+            acc.stats().delta_since(before)
+        },
+    );
+    debug_assert_eq!(scatter_stats.len(), cursors.len());
+    // SAFETY: pass 2 initialized every slot of `0..total` exactly once
+    // (see the scatter-write justification above), and `(Pair, f64)` is
+    // `Copy` with no drop obligations.
+    unsafe {
+        out.set_len(total);
+    }
 
     if sper_obs::trace::enabled(sper_obs::Level::Debug) {
         let mut stats = SweepStats::default();
-        for (_, _, s) in &shards {
+        for s in histograms
+            .iter()
+            .map(|(_, s)| s)
+            .chain(scatter_stats.iter())
+        {
             stats.sweeps += s.sweeps;
             stats.resets += s.resets;
             stats.touched += s.touched;
@@ -491,33 +716,6 @@ pub fn weighted_edge_list(
         );
     }
 
-    // Stable counting sort by least common block: concatenating the shard
-    // outputs in range order preserves the global (i, j) discovery order,
-    // and the scatter below preserves it within each block bucket.
-    let total: usize = shards.iter().map(|(e, _, _)| e.len()).sum();
-    let mut counts = vec![0u32; index.total_blocks()];
-    for (_, lcbs, _) in &shards {
-        for &b in lcbs {
-            counts[b as usize] += 1;
-        }
-    }
-    let offsets = crate::block::prefix_offsets(&counts);
-    let mut cursor = offsets;
-    let placeholder = (
-        Pair {
-            first: ProfileId(0),
-            second: ProfileId(u32::MAX),
-        },
-        0.0,
-    );
-    let mut out: Vec<(Pair, f64)> = vec![placeholder; total];
-    for (edges, lcbs, _) in &shards {
-        for (edge, &b) in edges.iter().zip(lcbs) {
-            let at = &mut cursor[b as usize];
-            out[*at as usize] = *edge;
-            *at += 1;
-        }
-    }
     span.record("edges", out.len());
     out
 }

@@ -25,9 +25,9 @@ fn weight_all_windows_range(
     wmax: usize,
     weighting: NeighborWeighting,
     range: std::ops::Range<u32>,
+    scratch: &mut CooccurrenceScratch,
 ) -> Vec<Comparison> {
     let pi = nl.position_index();
-    let mut scratch = CooccurrenceScratch::new(profiles.len());
     let mut batch: Vec<Comparison> = Vec::new();
     for i in range {
         let i = ProfileId(i);
@@ -144,16 +144,25 @@ impl GsPsn {
 
         let iterated = crate::iterated_profile_range(profiles);
         let nl_ref = &nl;
+        // Work-stealing chunks with a per-worker frequency scratch; each
+        // chunk's batch is a pure function of its profile range, so the
+        // chunk-order concatenation reproduces the sequential sequence.
         let batch: Vec<Comparison> = par
-            .map_ranges(iterated.len(), |range| {
-                weight_all_windows_range(
-                    profiles,
-                    nl_ref,
-                    wmax,
-                    weighting,
-                    range.start as u32..range.end as u32,
-                )
-            })
+            .steal_chunks(
+                iterated.len(),
+                sper_blocking::STEAL_MIN_CHUNK,
+                || CooccurrenceScratch::new(profiles.len()),
+                |scratch, range, _chunk| {
+                    weight_all_windows_range(
+                        profiles,
+                        nl_ref,
+                        wmax,
+                        weighting,
+                        range.start as u32..range.end as u32,
+                        scratch,
+                    )
+                },
+            )
             .concat();
 
         let mut list = EmissionList::new(par);

@@ -239,10 +239,17 @@ impl Pbs {
                 let kind = self.blocks.kind();
                 let pairs = self.blocks.get(bid).comparisons(kind);
                 let (index, scheme) = (&self.index, self.scheme);
+                // Work-stealing chunks (no per-worker scratch: the LeCoBI
+                // filter and weighting read shared state only); the batch
+                // is a pure function of the pair range, so chunk-order
+                // concatenation reproduces the fixed-range output.
                 batch = par
-                    .map_ranges(pairs.len(), |range| {
-                        Self::weigh_pairs(index, scheme, bid, &pairs[range])
-                    })
+                    .steal_chunks(
+                        pairs.len(),
+                        sper_blocking::STEAL_MIN_CHUNK,
+                        || (),
+                        |(), range, _chunk| Self::weigh_pairs(index, scheme, bid, &pairs[range]),
+                    )
                     .concat();
             }
             self.next_block += 1;

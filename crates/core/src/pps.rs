@@ -38,8 +38,8 @@ fn init_range(
     index: &ProfileIndex,
     scheme: WeightingScheme,
     range: std::ops::Range<u32>,
+    acc: &mut WeightAccumulator,
 ) -> InitShard {
-    let mut acc = WeightAccumulator::new(blocks.n_profiles());
     let mut likelihood: Vec<(ProfileId, f64)> = Vec::new();
     let mut tops: Vec<Comparison> = Vec::new();
     for i in range {
@@ -181,10 +181,25 @@ impl Pps {
         let n = self.checked.len();
         let par = self.list.parallelism();
         let (blocks, index, scheme) = (&self.blocks, &self.index, self.scheme);
-        let shards: Vec<InitShard> = par.map_ranges(n, |range| {
-            init_range(blocks, index, scheme, range.start as u32..range.end as u32)
-        });
-        // Concatenating in range order restores the sequential profile
+        // Work-stealing chunks with one accumulator per worker; each
+        // chunk's shard is a pure function of its profile range, so
+        // concatenating in chunk order is independent of which worker ran
+        // what.
+        let shards: Vec<InitShard> = par.steal_chunks(
+            n,
+            sper_blocking::STEAL_MIN_CHUNK,
+            || WeightAccumulator::new(n),
+            |acc, range, _chunk| {
+                init_range(
+                    blocks,
+                    index,
+                    scheme,
+                    range.start as u32..range.end as u32,
+                    acc,
+                )
+            },
+        );
+        // Concatenating in chunk order restores the sequential profile
         // order of both outputs.
         let mut likelihood: Vec<(ProfileId, f64)> = Vec::with_capacity(n);
         let mut tops: Vec<Comparison> = Vec::new();

@@ -8,10 +8,13 @@ use sper_text::Tokenizer;
 /// Ids are dense (`0..n`), which lets every index in the workspace be a flat
 /// `Vec` instead of a hash map — the compact-integer idiom the blocking
 /// substrate relies on (§5.1.1, §5.2.1 of the paper prescribe array-backed
-/// indexes for exactly this reason).
+/// indexes for exactly this reason). The layout is `repr(transparent)`
+/// over `u32` so id slices can be reinterpreted as raw `u32` lanes by the
+/// SIMD weighting kernels without a copy.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
+#[repr(transparent)]
 pub struct ProfileId(pub u32);
 
 impl ProfileId {

@@ -125,6 +125,10 @@ pub struct HostInfo {
     pub page_size: usize,
     /// Operating system, as compiled for (`std::env::consts::OS`).
     pub os: &'static str,
+    /// SIMD instruction-set extensions detected at runtime (empty off
+    /// x86_64) — the features the spacc kernel dispatch can choose from,
+    /// so a committed baseline names the vector units it actually had.
+    pub cpu_features: Vec<&'static str>,
 }
 
 impl HostInfo {
@@ -137,7 +141,40 @@ impl HostInfo {
                 .unwrap_or(0),
             page_size: auxv_page_size(),
             os: std::env::consts::OS,
+            cpu_features: cpu_features(),
         }
+    }
+}
+
+/// The SIMD feature set relevant to the weighting kernels, in ascending
+/// capability order; empty off x86_64.
+fn cpu_features() -> Vec<&'static str> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut features = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse2") {
+            features.push("sse2");
+        }
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            features.push("sse4.2");
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            features.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            features.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            features.push("avx512f");
+        }
+        features
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Vec::new()
     }
 }
 
@@ -193,5 +230,18 @@ mod tests {
             assert!(host.host_parallelism >= 1);
             assert!(host.page_size >= 4096);
         }
+    }
+
+    #[test]
+    fn cpu_features_include_the_x86_64_baseline() {
+        let host = HostInfo::probe();
+        #[cfg(target_arch = "x86_64")]
+        assert!(
+            host.cpu_features.contains(&"sse2"),
+            "{:?}",
+            host.cpu_features
+        );
+        #[cfg(not(target_arch = "x86_64"))]
+        assert!(host.cpu_features.is_empty());
     }
 }
