@@ -243,6 +243,10 @@ pub struct IncrementalProfileIndex {
     /// `‖b‖` per block id.
     cardinalities: Vec<u64>,
     total_blocks: usize,
+    /// Tombstone set of the mutation model: `true` for profiles retired by
+    /// [`Self::retire`]. Retired profiles keep their (now empty) slot so
+    /// ids stay dense; they never re-enter a block list.
+    retired: Vec<bool>,
 }
 
 impl IncrementalProfileIndex {
@@ -255,6 +259,7 @@ impl IncrementalProfileIndex {
             block_lists: vec![Vec::new(); n_profiles],
             cardinalities: Vec::new(),
             total_blocks: 0,
+            retired: vec![false; n_profiles],
         }
     }
 
@@ -262,6 +267,33 @@ impl IncrementalProfileIndex {
     pub fn add_profiles(&mut self, additional: usize) {
         self.block_lists
             .extend(std::iter::repeat_with(Vec::new).take(additional));
+        self.retired.extend(std::iter::repeat_n(false, additional));
+    }
+
+    /// Retires a profile: clears its block list and marks it tombstoned, so
+    /// [`Self::blocks_of`] answers "in no block" from then on. The slot is
+    /// kept (dense ids are load-bearing) and the id never re-enters a list.
+    /// Block membership on the *block* side stays stale until the owner of
+    /// the blocks compacts them — per-block cardinalities here are
+    /// likewise stale until that compaction re-pushes the filtered blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn retire(&mut self, p: ProfileId) {
+        self.block_lists[p.index()] = Vec::new();
+        self.retired[p.index()] = true;
+    }
+
+    /// True when [`Self::retire`] tombstoned this profile.
+    #[inline]
+    pub fn is_retired(&self, p: ProfileId) -> bool {
+        self.retired[p.index()]
+    }
+
+    /// Number of tombstoned profiles.
+    pub fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
     }
 
     /// Appends a new block with the given members and cardinality,
@@ -277,6 +309,7 @@ impl IncrementalProfileIndex {
         self.cardinalities.push(cardinality);
         self.total_blocks += 1;
         for &p in members {
+            debug_assert!(!self.retired[p.index()], "retired profile joined a block");
             self.block_lists[p.index()].push(id);
         }
         BlockId(id)
@@ -290,6 +323,7 @@ impl IncrementalProfileIndex {
     /// profile already lists a block id beyond `block` (appends must come
     /// in non-decreasing block-id order to keep the lists sorted).
     pub fn add_member(&mut self, block: BlockId, p: ProfileId, cardinality: u64) {
+        debug_assert!(!self.retired[p.index()], "retired profile joined a block");
         let list = &mut self.block_lists[p.index()];
         match list.last() {
             Some(&last) if last == block.0 => {}
@@ -373,10 +407,12 @@ impl IncrementalProfileIndex {
         debug_assert!(block_lists
             .iter()
             .all(|l| l.iter().all(|&b| (b as usize) < total_blocks)));
+        let retired = vec![false; block_lists.len()];
         Self {
             block_lists,
             cardinalities,
             total_blocks,
+            retired,
         }
     }
 
@@ -544,6 +580,23 @@ mod tests {
         let b0 = inc.push_block(&[pid(0)], 0);
         inc.push_block(&[pid(0)], 0);
         inc.add_member(b0, pid(0), 1);
+    }
+
+    #[test]
+    fn retire_clears_block_list_and_marks_tombstone() {
+        let mut inc = IncrementalProfileIndex::new_empty(3);
+        inc.push_block(&[pid(0), pid(1), pid(2)], 3);
+        inc.push_block(&[pid(1), pid(2)], 1);
+        assert_eq!(inc.blocks_of(pid(1)), &[0, 1]);
+        inc.retire(pid(1));
+        assert!(inc.is_retired(pid(1)));
+        assert!(inc.blocks_of(pid(1)).is_empty());
+        assert_eq!(inc.retired_count(), 1);
+        // Untouched profiles keep their lists; ids stay addressable.
+        assert_eq!(inc.blocks_of(pid(2)), &[0, 1]);
+        assert_eq!(inc.n_profiles(), 3);
+        // Intersection queries see the retired profile as sharing nothing.
+        assert_eq!(inc.intersect(pid(0), pid(1)).common, 0);
     }
 
     #[test]

@@ -455,6 +455,37 @@ impl WeightAccumulator {
         self.stats.resets += 1;
     }
 
+    /// Evicts every scratch entry belonging to a retired profile —
+    /// accumulated sums, least-common-block tags, touched-list slots, and
+    /// drain-mask bits — without disturbing live entries.
+    ///
+    /// A scratch that outlives a substrate **compaction** (the cross-epoch
+    /// `ensure_profiles` pattern of `sper-stream`) would otherwise carry
+    /// two kinds of stale state for compacted-away ids: an accumulated sum
+    /// a consumer could still [`Self::finalize`] against the *rebuilt*
+    /// index, and a `lcb` tag naming a pre-compaction block id that no
+    /// longer exists under the renumbered block space. Neither is reachable
+    /// through a disciplined sweep→drain cycle, but the scratch is a public
+    /// long-lived object — so compaction owners call this to make the
+    /// stale entries unobservable instead of relying on every consumer's
+    /// discipline. `retired[j] == true` marks profile `j` as
+    /// compacted-away; ids beyond the slice are treated as live.
+    ///
+    /// This does **not** replace [`Self::reset`]: live touched entries
+    /// survive, so a purged-but-undrained scratch still refuses new sweeps.
+    pub fn purge_retired(&mut self, retired: &[bool]) {
+        let n = retired.len().min(self.acc.len());
+        for (j, &dead) in retired[..n].iter().enumerate() {
+            if dead {
+                self.acc[j] = 0.0;
+                self.lcb[j] = 0;
+                self.mask[j / 64] &= !(1u64 << (j % 64));
+            }
+        }
+        self.touched
+            .retain(|&j| !retired.get(j as usize).copied().unwrap_or(false));
+    }
+
     /// Emits every touched neighbor in **ascending id order** — `f(j,
     /// accumulated, least_common_block)` — and resets the scratch, fused
     /// into one pass. This replaces the `sort_touched` → iterate →
@@ -816,6 +847,46 @@ mod tests {
         for j in 0..acc.n_profiles() as u32 {
             assert_eq!(acc.raw(pid(j)), 0.0);
         }
+    }
+
+    #[test]
+    fn purge_retired_evicts_only_dead_entries() {
+        let (blocks, index) = fig3_setup();
+        let kind = blocks.kind();
+        let mut acc = WeightAccumulator::new(blocks.n_profiles());
+        acc.sweep(kind, &blocks, &index, WeightingScheme::Arcs, pid(0), None);
+        assert!(acc.touched().contains(&1));
+        // Profile 1 is compacted away while the scratch still carries its
+        // accumulated sum and LCB tag from the pre-compaction sweep.
+        let mut retired = vec![false; blocks.n_profiles()];
+        retired[1] = true;
+        let live_before: Vec<u32> = acc.touched().iter().copied().filter(|&j| j != 1).collect();
+        acc.purge_retired(&retired);
+        assert!(!acc.touched().contains(&1));
+        assert_eq!(acc.raw(pid(1)), 0.0);
+        // Live entries are untouched by the purge...
+        assert_eq!(acc.touched(), live_before.as_slice());
+        for &j in &live_before {
+            assert_eq!(
+                acc.raw(pid(j)).to_bits(),
+                index
+                    .weight(pid(0), pid(j), WeightingScheme::Arcs)
+                    .to_bits()
+            );
+        }
+        // ...and a drain sees only live neighbors (in ascending order, as
+        // always) and restores the all-zero scratch invariant, so the
+        // next sweep is accepted.
+        let mut drained = Vec::new();
+        acc.drain_ascending(|j, _, _| drained.push(j));
+        let mut live_sorted = live_before.clone();
+        live_sorted.sort_unstable();
+        assert_eq!(drained, live_sorted);
+        for j in 0..acc.n_profiles() as u32 {
+            assert_eq!(acc.raw(pid(j)), 0.0);
+        }
+        acc.sweep(kind, &blocks, &index, WeightingScheme::Arcs, pid(2), None);
+        acc.reset();
     }
 
     #[test]

@@ -284,6 +284,30 @@ impl ProfileCollection {
         id
     }
 
+    /// Retracts a profile in place, clearing its attributes and returning
+    /// them — the deletion path of the mutation model (`sper-stream`).
+    ///
+    /// The id is **not** recycled and the slot is **not** removed: dense
+    /// ids are load-bearing across every array-backed index in the
+    /// workspace, so a retracted profile stays behind as an attribute-less
+    /// *husk* that no tokenizer can produce blocking keys for. Epoch
+    /// rebuilds that start from the collection (SA-PSAB's suffix forest)
+    /// therefore skip it without any extra bookkeeping, and `n_first` /
+    /// source assignments stay untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id is out of range.
+    pub fn retract_profile(&mut self, id: ProfileId) -> Vec<Attribute> {
+        std::mem::take(&mut self.profiles[id.index()].attributes)
+    }
+
+    /// True when the profile holds no attributes — either never had any or
+    /// was cleared by [`Self::retract_profile`].
+    pub fn is_husk(&self, id: ProfileId) -> bool {
+        self.profiles[id.index()].attributes.is_empty()
+    }
+
     /// Total number of comparisons of the naïve (blocking-free) solution:
     /// `n·(n−1)/2` for Dirty, `|P1|·|P2|` for Clean-clean.
     pub fn naive_comparisons(&self) -> u64 {
@@ -525,6 +549,26 @@ mod tests {
         assert_eq!(coll.len_first(), 1);
         assert_eq!(coll.len_second(), 2);
         assert!(coll.is_valid_comparison(a, late));
+    }
+
+    #[test]
+    fn retract_leaves_a_husk_with_a_stable_id() {
+        let mut coll = sample_dirty();
+        let old = coll.retract_profile(ProfileId(1));
+        assert_eq!(old, vec![Attribute::new("name", "Karl White")]);
+        assert!(coll.is_husk(ProfileId(1)));
+        assert!(!coll.is_husk(ProfileId(0)));
+        // The slot survives: ids stay dense, sources and n_first untouched.
+        assert_eq!(coll.len(), 3);
+        assert_eq!(coll.len_first(), 3);
+        assert_eq!(coll.get(ProfileId(1)).id, ProfileId(1));
+        assert!(coll
+            .get(ProfileId(1))
+            .tokens(&Tokenizer::default())
+            .is_empty());
+        // Re-ingest lands on a fresh id, never the husk's.
+        let re = coll.append_profile(vec![Attribute::new("name", "Karl White")]);
+        assert_eq!(re, ProfileId(3));
     }
 
     #[test]

@@ -418,6 +418,26 @@ macro_rules! count {
     };
 }
 
+/// Sets a named global gauge, creating it on first use. The handle is
+/// cached per call site; disabled calls cost one relaxed load.
+///
+/// ```
+/// # use sper_obs::gauge;
+/// gauge!("session.tombstones_pending", 3i64);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal, $v:expr) => {
+        if $crate::metrics::enabled() {
+            static HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::metrics::global().gauge($name))
+                .set($v);
+        }
+    };
+}
+
 /// Records a sample into a named global duration histogram
 /// (microsecond-scale default buckets), created on first use. The handle
 /// is cached per call site; disabled calls cost one relaxed load.
@@ -445,6 +465,16 @@ macro_rules! observe {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gauge_macro_sets_when_enabled() {
+        crate::metrics::set_enabled(true);
+        crate::gauge!("test.gauge_macro", 7i64);
+        assert_eq!(global().gauge("test.gauge_macro").get(), 7);
+        crate::gauge!("test.gauge_macro", 2i64);
+        assert_eq!(global().gauge("test.gauge_macro").get(), 2);
+        crate::metrics::set_enabled(false);
+    }
 
     #[test]
     fn counter_and_gauge_roundtrip() {

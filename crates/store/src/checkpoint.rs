@@ -13,7 +13,12 @@
 //!
 //! Sections: `SESS` (method, config, counters) is required; `PROF` is
 //! required; `INTR` + `ITBK` or `INTR` + `INLR` carry the substrate when
-//! the state holds one; `EMIT` and `RPTS` are required (possibly empty).
+//! the state holds one; `EMIT` and `RPTS` are required (possibly empty);
+//! `TOMB` (format v2) carries the mutation state — the compaction policy,
+//! every retracted id, and the tombstones still physically pending in the
+//! substrates. Version-1 files predate the mutation model and simply lack
+//! `TOMB`; the reader treats that as "no mutations ever happened", which
+//! is exactly what a v1 writer could express.
 //!
 //! **What is deliberately absent:** the sparse-accumulator kernel's
 //! scratch state (`sper_blocking::WeightAccumulator` inside PBS/PPS, the
@@ -39,8 +44,8 @@ use sper_blocking::{TokenBlockingWorkflow, WeightingScheme};
 use sper_core::{MethodConfig, NeighborWeighting, Parallelism, ProgressiveMethod};
 use sper_model::{Pair, ProfileId};
 use sper_stream::{
-    EpochReport, IncrementalNeighborList, IncrementalTokenBlocking, ProgressiveSession,
-    SessionState,
+    CompactionPolicy, EpochReport, IncrementalNeighborList, IncrementalTokenBlocking,
+    ProgressiveSession, SessionState,
 };
 use sper_text::TokenId;
 use std::path::Path;
@@ -57,6 +62,9 @@ pub const TAG_NL_RUNS: Tag = *b"INLR";
 pub const TAG_EMITTED: Tag = *b"EMIT";
 /// Section tag of the per-epoch reports.
 pub const TAG_REPORTS: Tag = *b"RPTS";
+/// Section tag of the mutation state: compaction policy, retracted ids,
+/// pending tombstones (format v2; absent in v1 files).
+pub const TAG_TOMBSTONES: Tag = *b"TOMB";
 
 /// A saved (or about-to-be-saved) session state.
 ///
@@ -119,6 +127,22 @@ impl SessionCheckpoint {
         store.push(TAG_SESSION, e.into_bytes());
 
         store.push(TAG_PROFILES, encode_profiles(&state.profiles));
+
+        // Mutation state (format v2). Always written — an empty section
+        // keeps the byte layout a pure function of the state, and the
+        // reader's v1 fallback only triggers on files that truly predate
+        // the section.
+        let mut e = Encoder::new();
+        e.f64(state.compaction.tombstone_ratio);
+        e.u64(state.retracted.len() as u64);
+        for p in &state.retracted {
+            e.u32(p.0);
+        }
+        e.u64(state.pending_tombstones.len() as u64);
+        for p in &state.pending_tombstones {
+            e.u32(p.0);
+        }
+        store.push(TAG_TOMBSTONES, e.into_bytes());
 
         if let Some(blocks) = &state.blocks {
             store.push(TAG_INTERNER, encode_interner(blocks.interner()));
@@ -193,6 +217,13 @@ impl SessionCheckpoint {
             });
         }
 
+        // Mutation state. A v1 file has no TOMB section: those writers
+        // could not retract, so "no mutations" is exact, not a guess.
+        let (compaction, retracted, pending_tombstones) = match store.get(TAG_TOMBSTONES) {
+            None => (CompactionPolicy::default(), Vec::new(), Vec::new()),
+            Some(bytes) => decode_tombstones(bytes, n_profiles, &profiles)?,
+        };
+
         let mut blocks: Option<IncrementalTokenBlocking> = None;
         let mut nl: Option<IncrementalNeighborList> = None;
         if has_blocks {
@@ -240,6 +271,21 @@ impl SessionCheckpoint {
                 interner,
             )?);
         }
+        // Re-mark the tombstones on the decoded substrate: the wire
+        // format stores blocks/runs as they physically are (dead rows
+        // included — that is the pre-compaction truth) and the id lists
+        // separately, so the marks are re-applied rather than encoded
+        // per-row.
+        if let Some(b) = blocks.as_mut() {
+            b.restore_tombstones(retracted.iter().copied(), pending_tombstones.len());
+        }
+        if let Some(n) = nl.as_mut() {
+            n.restore_tombstones(retracted.iter().copied(), pending_tombstones.len());
+        }
+        let mut dead = vec![false; n_profiles];
+        for &id in &retracted {
+            dead[id.index()] = true;
+        }
 
         let mut d = Decoder::new(store.require(TAG_EMITTED, "EMIT")?, "EMIT");
         let count = d.len()?;
@@ -252,6 +298,11 @@ impl SessionCheckpoint {
             }
             if second as usize >= n_profiles {
                 return Err(d.corrupt("pair endpoint out of profile range"));
+            }
+            if dead[first as usize] || dead[second as usize] {
+                // Sessions invalidate dedup entries eagerly on retract; a
+                // surviving entry means the two sections disagree.
+                return Err(d.corrupt("emitted pair touches a retracted profile"));
             }
             let pair = Pair::new(ProfileId(first), ProfileId(second));
             if let Some(&prev) = emitted.last() {
@@ -305,6 +356,9 @@ impl SessionCheckpoint {
                 emitted,
                 pending_ingest,
                 reports,
+                compaction,
+                retracted,
+                pending_tombstones,
             },
         })
     }
@@ -382,6 +436,59 @@ fn decode_method_config(d: &mut Decoder<'_>) -> Result<MethodConfig, StoreError>
         max_window,
         threads,
     })
+}
+
+/// Decodes the `TOMB` mutation section: compaction policy plus the two
+/// canonical (strictly ascending) id lists, cross-validated against the
+/// collection — a retracted profile must be a husk, and every pending
+/// tombstone must be retracted.
+fn decode_tombstones(
+    bytes: &[u8],
+    n_profiles: usize,
+    profiles: &sper_model::ProfileCollection,
+) -> Result<(CompactionPolicy, Vec<ProfileId>, Vec<ProfileId>), StoreError> {
+    let mut d = Decoder::new(bytes, "TOMB");
+    let tombstone_ratio = d.f64()?;
+    // Infinity is meaningful (manual-only compaction); NaN and negatives
+    // are not a policy any writer produces.
+    if tombstone_ratio.is_nan() || tombstone_ratio < 0.0 {
+        return Err(d.corrupt(format!("invalid compaction ratio {tombstone_ratio}")));
+    }
+    let ascending_ids = |d: &mut Decoder<'_>| -> Result<Vec<ProfileId>, StoreError> {
+        let count = d.len()?;
+        let mut ids: Vec<ProfileId> = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let id = d.u32()?;
+            if id as usize >= n_profiles {
+                return Err(d.corrupt(format!("tombstone id {id} out of profile range")));
+            }
+            if ids.last().is_some_and(|p| p.0 >= id) {
+                return Err(d.corrupt("tombstone ids not strictly ascending"));
+            }
+            ids.push(ProfileId(id));
+        }
+        Ok(ids)
+    };
+    let retracted = ascending_ids(&mut d)?;
+    let pending = ascending_ids(&mut d)?;
+    d.finish()?;
+    for &id in &retracted {
+        if !profiles.is_husk(id) {
+            return Err(StoreError::Corrupt {
+                section: "TOMB".into(),
+                detail: format!("retracted {id} still has attributes in PROF"),
+            });
+        }
+    }
+    for &id in &pending {
+        if retracted.binary_search(&id).is_err() {
+            return Err(StoreError::Corrupt {
+                section: "TOMB".into(),
+                detail: format!("pending tombstone {id} was never retracted"),
+            });
+        }
+    }
+    Ok((CompactionPolicy { tombstone_ratio }, retracted, pending))
 }
 
 /// Encodes the incremental neighbor list as its per-token runs, in token-id

@@ -9,10 +9,13 @@
 //!
 //! All integers little-endian. Each section's CRC-32 covers its payload
 //! only, so one flipped bit is attributed to the section it corrupts.
-//! Readers gate on the exact format version: the format evolves by
+//! Readers gate on the supported version range
+//! ([`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`]): the format evolves by
 //! bumping [`FORMAT_VERSION`] and teaching the new reader to migrate old
 //! layouts explicitly — silent best-effort parsing of unknown versions is
-//! how corruption stops being detectable.
+//! how corruption stops being detectable. Version 2 added the `TOMB`
+//! tombstone section to checkpoints; version-1 files (no mutations
+//! recorded) still load.
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
@@ -33,8 +36,13 @@ fn crc32_timed(payload: &[u8]) -> u32 {
 /// The four-byte file magic.
 pub const MAGIC: [u8; 4] = *b"SPER";
 
-/// The store format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The store format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads. Version-1 files
+/// simply lack the `TOMB` checkpoint section (they predate the mutation
+/// model); every other layout is unchanged.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// A section tag: four ASCII bytes naming the payload's codec.
 pub type Tag = [u8; 4];
@@ -132,7 +140,7 @@ impl Store {
             return Err(StoreError::BadMagic { found: magic });
         }
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -257,6 +265,22 @@ mod tests {
             }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn previous_format_version_still_parses() {
+        let mut s = Store::new();
+        s.push(*b"DATA", vec![1, 2, 3]);
+        let mut bytes = s.to_bytes();
+        bytes[4..8].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+        let back = Store::from_bytes(&bytes).unwrap();
+        assert_eq!(back.get(*b"DATA"), Some(&[1u8, 2, 3][..]));
+        // …but version 0 predates the format and is rejected.
+        bytes[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            Store::from_bytes(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 0, .. })
+        ));
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub mod substrates;
 
 pub use checkpoint::{
     SessionCheckpoint, TAG_EMITTED, TAG_LIVE_BLOCKS, TAG_NL_RUNS, TAG_REPORTS, TAG_SESSION,
+    TAG_TOMBSTONES,
 };
-pub use container::{Store, Tag, FORMAT_VERSION, MAGIC};
+pub use container::{Store, Tag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use crc32::crc32;
 pub use error::StoreError;
 pub use snapshot::Snapshot;

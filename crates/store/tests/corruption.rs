@@ -47,6 +47,32 @@ fn sample_checkpoint_bytes() -> Vec<u8> {
     SessionCheckpoint::of(&session).to_store().to_bytes()
 }
 
+/// A checkpoint of a session with live mutation state: retracted rows
+/// whose tombstones are still physically pending in the substrate — the
+/// `TOMB` section is non-trivial.
+fn mutated_checkpoint_bytes() -> Vec<u8> {
+    let mut session = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps)
+            .with_compaction(sper_stream::CompactionPolicy::manual()),
+    );
+    session.ingest_batch(
+        ["carl white", "karl white", "emma white", "frank black"]
+            .map(|v| vec![Attribute::new("t", v)]),
+    );
+    session.emit_epoch(Some(2));
+    session.retract(sper_model::ProfileId(1));
+    session.amend(
+        sper_model::ProfileId(3),
+        vec![Attribute::new("t", "frank brown")],
+    );
+    assert!(
+        session.pending_tombstones() > 0,
+        "fixture must carry tombstones"
+    );
+    SessionCheckpoint::of(&session).to_store().to_bytes()
+}
+
 /// Decoding a snapshot from a parsed store (the full pipeline a reader
 /// runs); used to prove payload-level corruption is typed too.
 fn load_snapshot(bytes: &[u8]) -> Result<(), StoreError> {
@@ -81,10 +107,10 @@ fn bad_magic_is_typed() {
 #[test]
 fn wrong_version_is_typed() {
     let mut bytes = sample_snapshot_bytes();
-    bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
     assert!(matches!(
         load_snapshot(&bytes),
-        Err(StoreError::UnsupportedVersion { found: 2, .. })
+        Err(StoreError::UnsupportedVersion { found: 99, .. })
     ));
 }
 
@@ -222,6 +248,136 @@ fn semantically_corrupt_sections_are_typed() {
     );
     store.push(TAG_NEIGHBOR_LIST, bytes);
     assert_corrupt(&store);
+}
+
+#[test]
+fn tombstone_section_corruption_is_typed() {
+    // The mutation-bearing checkpoint survives the same gauntlet as the
+    // base fixtures: truncation at every byte and every single-byte flip
+    // are typed errors (or harmless prologue reinterpretations) — never a
+    // panic.
+    let bytes = mutated_checkpoint_bytes();
+    assert!(load_checkpoint(&bytes).is_ok(), "clean file loads");
+    for cut in 0..bytes.len() {
+        assert!(load_checkpoint(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+    for i in 0..bytes.len() {
+        let mut corrupted = bytes.clone();
+        corrupted[i] ^= 0x80;
+        let _ = load_checkpoint(&corrupted); // must not panic
+    }
+}
+
+#[test]
+fn tombstone_crc_flip_is_checksum_mismatch() {
+    // Flip one payload byte of the TOMB section specifically; the
+    // per-section CRC must attribute the damage to it.
+    let bytes = mutated_checkpoint_bytes();
+    let store = Store::from_bytes(&bytes).unwrap();
+    // Locate the TOMB payload in the raw file: walk the section layout.
+    let mut at = 12usize;
+    let mut tomb_payload: Option<(usize, usize)> = None;
+    while at < bytes.len() {
+        let tag = &bytes[at..at + 4];
+        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().unwrap()) as usize;
+        if tag == b"TOMB" {
+            tomb_payload = Some((at + 16, len));
+            break;
+        }
+        at += 16 + len;
+    }
+    let (start, len) = tomb_payload.expect("mutated checkpoint has a TOMB section");
+    assert!(len > 0, "TOMB payload is non-trivial");
+    assert!(store.get(*b"TOMB").is_some());
+    for off in 0..len {
+        let mut corrupted = bytes.clone();
+        corrupted[start + off] ^= 0x01;
+        match Store::from_bytes(&corrupted) {
+            Err(StoreError::ChecksumMismatch { section, .. }) => {
+                assert_eq!(section, "TOMB", "flip at offset {off}")
+            }
+            other => panic!("flip at offset {off}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn semantically_corrupt_tombstones_are_typed() {
+    use sper_store::TAG_TOMBSTONES;
+    let bytes = mutated_checkpoint_bytes();
+    let clean = Store::from_bytes(&bytes).unwrap();
+    let tomb = clean.get(TAG_TOMBSTONES).unwrap().to_vec();
+
+    // Rebuild the store with one section swapped out.
+    let rebuild = |tomb_bytes: Vec<u8>| -> Store {
+        let mut s = Store::new();
+        for tag in clean.tags() {
+            if tag == TAG_TOMBSTONES {
+                s.push(tag, tomb_bytes.clone());
+            } else {
+                s.push(tag, clean.get(tag).unwrap().to_vec());
+            }
+        }
+        s
+    };
+    let assert_corrupt = |tomb_bytes: Vec<u8>, what: &str| {
+        assert!(
+            matches!(
+                SessionCheckpoint::from_store(&rebuild(tomb_bytes)),
+                Err(StoreError::Corrupt { .. })
+            ),
+            "{what} went unnoticed"
+        );
+    };
+
+    // NaN compaction ratio.
+    let mut t = tomb.clone();
+    t[0..8].copy_from_slice(&f64::NAN.to_le_bytes());
+    assert_corrupt(t, "NaN compaction ratio");
+
+    // Negative compaction ratio.
+    let mut t = tomb.clone();
+    t[0..8].copy_from_slice(&(-1.0f64).to_le_bytes());
+    assert_corrupt(t, "negative compaction ratio");
+
+    // Retracted id out of profile range. Layout after the ratio: count
+    // u64, then u32 ids.
+    let mut t = tomb.clone();
+    t[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert_corrupt(t, "retracted id out of range");
+
+    // Ids not strictly ascending: duplicate the first retracted id.
+    let n_retracted = u64::from_le_bytes(tomb[8..16].try_into().unwrap()) as usize;
+    assert!(n_retracted >= 2, "fixture retracts at least two profiles");
+    let first = tomb[16..20].to_vec();
+    let mut t = tomb.clone();
+    t[20..24].copy_from_slice(&first);
+    assert_corrupt(t, "non-ascending retracted ids");
+
+    // A pending tombstone that was never retracted: point the pending
+    // list at a live profile (id 0 is never retracted by the fixture).
+    let pending_at = 16 + 4 * n_retracted + 8;
+    let mut t = tomb.clone();
+    t[pending_at..pending_at + 4].copy_from_slice(&0u32.to_le_bytes());
+    assert_corrupt(t, "pending tombstone never retracted");
+
+    // Cross-section lie: a retracted profile that still has attributes in
+    // PROF. Claim profile 0 (live, non-empty) is retracted.
+    let mut t = tomb.clone();
+    t[16..20].copy_from_slice(&0u32.to_le_bytes());
+    // Keep ascending order: id 0 < previous first id, so this stays valid
+    // structurally as long as the old first id was > 0 — it is 1, so
+    // overwrite the *second* entry too, making the list [0, 3].
+    assert_corrupt(t, "retracted profile still has attributes");
+
+    // Truncated mid-list (decoder-level, inside a checksummed payload).
+    let t = tomb[..tomb.len() - 2].to_vec();
+    assert_corrupt(t, "short tombstone payload");
+
+    // Trailing garbage after the pending list.
+    let mut t = tomb.clone();
+    t.extend_from_slice(&[0xAB, 0xCD]);
+    assert_corrupt(t, "trailing bytes");
 }
 
 #[test]

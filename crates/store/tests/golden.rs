@@ -1,12 +1,28 @@
-//! Golden-file compatibility: a committed `.sper` fixture written by the
-//! format's first release must keep loading, bit-identically, on every
-//! build — the regression gate for accidental format drift. CI runs this
-//! on every push.
+//! Golden-file compatibility: committed `.sper` fixtures written by past
+//! releases must keep loading, bit-identically, on every build — the
+//! regression gate for accidental format drift. CI runs this on every
+//! push.
 //!
-//! The fixture bundles a snapshot *and* a session checkpoint in one store
-//! (their section tags are disjoint), built from a fixed toy collection.
-//! If the format ever needs to change, bump `FORMAT_VERSION`, teach the
-//! reader the migration, and regenerate with:
+//! Two fixtures are committed:
+//!
+//! * `golden-v1.sper` — written by the format's first release
+//!   (`FORMAT_VERSION` 1, no `TOMB` section). **Frozen**: this build
+//!   writes version 2, so the file can never be regenerated — only read.
+//!   Its continued loading proves the v1 migration path (absent `TOMB` ⇒
+//!   no mutations) stays intact.
+//! * `golden-v2.sper` — a version-2 store whose checkpoint carries live
+//!   mutation state (retracted profiles with tombstones still physically
+//!   pending in the substrate).
+//!
+//! The v1 fixture bundles a snapshot *and* a session checkpoint in one
+//! store (their section tags are disjoint and their `PROF`/`INTR`
+//! payloads coincide); the v2 fixture is a checkpoint-only store — its
+//! mutated collection (husks, an amended row) deliberately differs from
+//! what any snapshot of the base collection would hold, so the halves
+//! can no longer share sections. Both are built from a fixed toy
+//! collection. If the format ever needs to change again, bump
+//! `FORMAT_VERSION`, teach the reader the migration, freeze the old
+//! fixture, and regenerate the new one with:
 //!
 //! ```text
 //! cargo test -p sper-store --test golden -- --ignored regenerate
@@ -14,17 +30,24 @@
 
 use sper_blocking::{BlockingGraph, NeighborList, ProfileIndex, TokenBlocking, WeightingScheme};
 use sper_core::ProgressiveMethod;
-use sper_model::{Attribute, ProfileCollection, ProfileCollectionBuilder};
+use sper_model::{Attribute, ProfileCollection, ProfileCollectionBuilder, ProfileId};
 use sper_store::{SessionCheckpoint, Snapshot, Store};
-use sper_stream::{ProgressiveSession, SessionConfig};
+use sper_stream::{CompactionPolicy, ProgressiveSession, SessionConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
 
-fn golden_path() -> PathBuf {
+fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("golden-v1.sper")
+}
+
+fn golden_v1_path() -> PathBuf {
+    golden_dir().join("golden-v1.sper")
+}
+
+fn golden_v2_path() -> PathBuf {
+    golden_dir().join("golden-v2.sper")
 }
 
 /// The fixed collection the fixture is built from. Changing this breaks
@@ -48,7 +71,10 @@ fn golden_profiles() -> ProfileCollection {
 const GOLDEN_SEED: u64 = 7;
 const GOLDEN_EPOCH_BUDGET: u64 = 3;
 
-/// Builds the exact store the fixture holds.
+/// Builds the exact store the frozen v1 fixture holds. No longer
+/// callable as a regeneration path (this build writes format version 2);
+/// retained as the executable record of how `golden-v1.sper` was made.
+#[allow(dead_code)]
 fn build_golden_store() -> Store {
     let coll = golden_profiles();
     let mut blocks = TokenBlocking::default().build(&coll);
@@ -86,14 +112,46 @@ fn build_golden_store() -> Store {
     store
 }
 
-/// Regenerates the committed fixture. Run explicitly (`--ignored`) after
-/// a deliberate format-version bump — never as part of a normal test run.
+/// The session half of the v2 fixture: two epochs done, then a retract
+/// and an amend under a manual compaction policy, so the checkpoint
+/// carries a non-trivial `TOMB` section with *pending* tombstones (the
+/// substrate still physically holds the dead rows).
+fn build_golden_v2_session() -> ProgressiveSession {
+    let coll = golden_profiles();
+    let rows: Vec<Vec<Attribute>> = coll.iter().map(|p| p.attributes.clone()).collect();
+    let mut session = ProgressiveSession::new(
+        ProfileCollectionBuilder::dirty().build(),
+        SessionConfig::exhaustive(ProgressiveMethod::Pps)
+            .with_compaction(CompactionPolicy::manual()),
+    );
+    session.ingest_batch(rows[..3].to_vec());
+    session.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+    session.ingest_batch(rows[3..].to_vec());
+    session.retract(ProfileId(1));
+    session.amend(
+        ProfileId(4),
+        vec![Attribute::new("text", "emma white wi taylor")],
+    );
+    session.emit_epoch(Some(GOLDEN_EPOCH_BUDGET));
+    assert_eq!(
+        session.pending_tombstones(),
+        2,
+        "fixture carries tombstones"
+    );
+    session
+}
+
+/// Regenerates the committed v2 fixture. Run explicitly (`--ignored`)
+/// after a deliberate format-version bump — never as part of a normal
+/// test run. The v1 fixture is frozen and cannot be regenerated by this
+/// build (it writes version 2).
 #[test]
 #[ignore = "writes the committed fixture; run only on deliberate format changes"]
 fn regenerate() {
-    let path = golden_path();
+    let path = golden_v2_path();
     std::fs::create_dir_all(path.parent().expect("has parent")).expect("mkdir");
-    build_golden_store()
+    SessionCheckpoint::of(&build_golden_v2_session())
+        .to_store()
         .write_to_path(&path)
         .expect("fixture writes");
     eprintln!("regenerated {}", path.display());
@@ -103,7 +161,7 @@ fn regenerate() {
 /// exact structures it was built from.
 #[test]
 fn golden_fixture_loads_bit_identically() {
-    let path = golden_path();
+    let path = golden_v1_path();
     let store = Store::read_from_path(&path).unwrap_or_else(|e| {
         panic!(
             "committed fixture {} failed to load: {e}\n\
@@ -182,6 +240,68 @@ fn golden_fixture_loads_bit_identically() {
             .map(|c| (c.pair, c.weight))
             .collect::<Vec<_>>(),
         "fixture-resumed session diverged from the uninterrupted run"
+    );
+    assert_eq!(a.report.epoch, 3);
+}
+
+/// The committed v2 fixture (mutation-bearing checkpoint) still parses,
+/// restores the exact tombstone state, and resumes bit-identically to an
+/// uninterrupted run — before *and* after compaction.
+#[test]
+fn golden_v2_fixture_loads_bit_identically() {
+    let path = golden_v2_path();
+    let store = Store::read_from_path(&path).unwrap_or_else(|e| {
+        panic!(
+            "committed fixture {} failed to load: {e}\n\
+             (format drift? see the module docs for the migration policy)",
+            path.display()
+        )
+    });
+    let restored = SessionCheckpoint::from_store(&store).expect("checkpoint validates");
+
+    // The mutation state round-trips exactly.
+    assert_eq!(
+        restored.state.retracted,
+        vec![ProfileId(1), ProfileId(4)],
+        "retracted ids drifted"
+    );
+    assert_eq!(
+        restored.state.pending_tombstones,
+        vec![ProfileId(1), ProfileId(4)],
+        "pending tombstones drifted"
+    );
+    assert!(restored.state.compaction.tombstone_ratio.is_infinite());
+    assert_eq!(restored.state.reports.len(), 2);
+
+    // Byte-level drift gate: re-encoding the restored state reproduces
+    // the committed file exactly.
+    assert_eq!(
+        SessionCheckpoint {
+            state: restored.state.clone()
+        }
+        .to_store()
+        .to_bytes(),
+        std::fs::read(&path).expect("fixture read"),
+        "re-encoded checkpoint diverged from the committed bytes"
+    );
+
+    // The resumed session continues exactly like the uninterrupted one,
+    // and compaction on the fixture state changes nothing downstream.
+    let mut resumed = restored.resume();
+    let mut baseline = build_golden_v2_session();
+    assert_eq!(resumed.compact(), baseline.pending_tombstones());
+    let a = resumed.emit_epoch(None);
+    let b = baseline.emit_epoch(None);
+    assert_eq!(
+        a.comparisons
+            .iter()
+            .map(|c| (c.pair, c.weight))
+            .collect::<Vec<_>>(),
+        b.comparisons
+            .iter()
+            .map(|c| (c.pair, c.weight))
+            .collect::<Vec<_>>(),
+        "fixture-resumed session diverged post-compaction"
     );
     assert_eq!(a.report.epoch, 3);
 }

@@ -11,9 +11,9 @@
 
 use proptest::prelude::*;
 use sper_core::ProgressiveMethod;
-use sper_model::{Attribute, Pair, ProfileCollection, ProfileCollectionBuilder};
+use sper_model::{Attribute, Pair, ProfileCollection, ProfileCollectionBuilder, ProfileId};
 use sper_store::{SessionCheckpoint, Store};
-use sper_stream::{ProgressiveSession, SessionConfig};
+use sper_stream::{CompactionPolicy, ProgressiveSession, SessionConfig};
 
 const STREAMABLE: [ProgressiveMethod; 6] = [
     ProgressiveMethod::SaPsn,
@@ -224,6 +224,264 @@ proptest! {
             Some(budget),
             Some(kill_after),
         );
+        prop_assert_eq!(resumed, baseline);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation-aware kill/resume: schedules with update/delete/compaction.
+// ---------------------------------------------------------------------
+
+/// One scripted mutation, applied after a batch's ingest.
+#[derive(Clone, Copy, Debug)]
+enum MutOp {
+    /// Retract the profile with this id.
+    Del(u32),
+    /// Amend the profile with this id (retract + re-ingest fresh text).
+    Upd(u32),
+}
+
+/// The mutation script for one batch: ops after ingest, then optionally
+/// an explicit compaction.
+#[derive(Clone, Debug, Default)]
+struct BatchScript {
+    ops: Vec<MutOp>,
+    compact: bool,
+}
+
+/// Where within a batch's `ingest → mutate → compact → emit` cycle the
+/// process dies. `AfterMutate` on a compacting batch is the
+/// "mid-compaction" kill: the checkpoint carries the pending tombstones
+/// and the resumed process performs the identical compaction the dead one
+/// would have — the file itself is never torn mid-write because
+/// checkpoints go through an fsynced temp + rename (torn *bytes* are the
+/// corruption suite's domain).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(clippy::enum_variant_names)] // the After- prefix *is* the semantics
+enum Stage {
+    AfterIngest,
+    AfterMutate,
+    AfterCompact,
+    AfterEmit,
+}
+
+const STAGES: [Stage; 4] = [
+    Stage::AfterIngest,
+    Stage::AfterMutate,
+    Stage::AfterCompact,
+    Stage::AfterEmit,
+];
+
+fn checkpoint_roundtrip(session: &ProgressiveSession) -> ProgressiveSession {
+    let bytes = SessionCheckpoint::of(session).to_store().to_bytes();
+    SessionCheckpoint::from_store(&Store::from_bytes(&bytes).expect("container parses"))
+        .expect("checkpoint validates")
+        .resume()
+}
+
+/// [`run_with_kill`] with a mutation script: each batch runs `ingest →
+/// ops → (compact) → emit`, and the kill (checkpoint → file bytes →
+/// restore) can land at any stage of any batch.
+fn run_mutated_with_kill(
+    batches: &[Vec<Vec<Attribute>>],
+    script: &[BatchScript],
+    config: SessionConfig,
+    budget: Option<u64>,
+    kill_at: Option<(usize, Stage)>,
+) -> Vec<Emissions> {
+    assert_eq!(batches.len(), script.len());
+    let mut session = ProgressiveSession::new(ProfileCollectionBuilder::dirty().build(), config);
+    let mut out = Vec::new();
+    for (i, (batch, script)) in batches.iter().zip(script).enumerate() {
+        let maybe_kill = |session: &mut ProgressiveSession, stage: Stage| {
+            if kill_at == Some((i, stage)) {
+                *session = checkpoint_roundtrip(session);
+            }
+        };
+        session.ingest_batch(batch.clone());
+        maybe_kill(&mut session, Stage::AfterIngest);
+        for op in &script.ops {
+            match *op {
+                MutOp::Del(id) => session.retract(ProfileId(id)),
+                MutOp::Upd(id) => {
+                    session.amend(
+                        ProfileId(id),
+                        vec![Attribute::new("text", format!("amended row {id}"))],
+                    );
+                }
+            }
+        }
+        maybe_kill(&mut session, Stage::AfterMutate);
+        if script.compact {
+            session.compact();
+        }
+        maybe_kill(&mut session, Stage::AfterCompact);
+        out.push(emissions(&session.emit_epoch(budget)));
+        maybe_kill(&mut session, Stage::AfterEmit);
+    }
+    out.push(emissions(&session.emit_epoch(budget)));
+    out
+}
+
+/// The fixed mutation script the sweeps run: deletes, amends (including
+/// deleting a previously amended row), and an explicit mid-stream
+/// compaction, under a manual policy so the pending-tombstone windows are
+/// wide and deterministic.
+///
+/// Id accounting (ids are dense and never recycled): batches of 3 ingest
+/// ids 0–11; the batch-1 amend of id 4 re-ingests as id 6, shifting the
+/// later batches' ids up by one per preceding amend.
+fn mutation_script() -> (Vec<Vec<Vec<Attribute>>>, Vec<BatchScript>) {
+    let rows = toy_rows(12);
+    let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(3).map(|c| c.to_vec()).collect();
+    let script = vec![
+        BatchScript::default(),
+        // ids 0..=5 ingested; amend(4) re-ingests as id 6.
+        BatchScript {
+            ops: vec![MutOp::Del(1), MutOp::Upd(4)],
+            compact: false,
+        },
+        // ids 7..=9 ingested this batch; drop the amended row too, then
+        // compact away the accumulated tombstones {1, 4, 6}.
+        BatchScript {
+            ops: vec![MutOp::Del(6), MutOp::Del(0)],
+            compact: true,
+        },
+        // ids 10..=12 ingested; a fresh post-compaction mutation so the
+        // final checkpoint window has pending tombstones again.
+        BatchScript {
+            ops: vec![MutOp::Upd(2)],
+            compact: false,
+        },
+    ];
+    (batches, script)
+}
+
+/// Every streamable method × every batch × every stage: a budgeted run
+/// killed anywhere in the `ingest → mutate → compact → emit` cycle —
+/// including right before and right after the compaction — resumes from
+/// file bytes bit-identically.
+#[test]
+fn mutated_kill_resume_every_stage_is_bit_identical() {
+    let (batches, script) = mutation_script();
+    for method in STREAMABLE {
+        let config = SessionConfig::exhaustive(method).with_compaction(CompactionPolicy::manual());
+        let baseline = run_mutated_with_kill(&batches, &script, config.clone(), Some(3), None);
+        for batch in 0..batches.len() {
+            for stage in STAGES {
+                let resumed = run_mutated_with_kill(
+                    &batches,
+                    &script,
+                    config.clone(),
+                    Some(3),
+                    Some((batch, stage)),
+                );
+                assert_eq!(
+                    resumed, baseline,
+                    "{method:?} diverged when killed at {stage:?} of batch {batch}"
+                );
+            }
+        }
+    }
+}
+
+/// The kill window that matters most: after mutations, before their
+/// compaction. The checkpoint must actually carry pending tombstones
+/// (the regression this guards is a writer that silently compacts or
+/// drops the pending list on save).
+#[test]
+fn checkpoint_before_compaction_carries_pending_tombstones() {
+    let (batches, script) = mutation_script();
+    let config = SessionConfig::exhaustive(ProgressiveMethod::Pps)
+        .with_compaction(CompactionPolicy::manual());
+    let mut session = ProgressiveSession::new(ProfileCollectionBuilder::dirty().build(), config);
+    for (batch, script) in batches.iter().zip(&script).take(3) {
+        session.ingest_batch(batch.clone());
+        for op in &script.ops {
+            match *op {
+                MutOp::Del(id) => session.retract(ProfileId(id)),
+                MutOp::Upd(id) => {
+                    session.amend(
+                        ProfileId(id),
+                        vec![Attribute::new("text", format!("amended row {id}"))],
+                    );
+                }
+            }
+        }
+        if script.compact {
+            // Kill *between* the mutations and the compaction they feed.
+            assert_eq!(session.pending_tombstones(), 4, "{{0, 1, 4, 6}} pending");
+            let bytes = SessionCheckpoint::of(&session).to_store().to_bytes();
+            let restored =
+                SessionCheckpoint::from_store(&Store::from_bytes(&bytes).unwrap()).unwrap();
+            assert_eq!(
+                restored.state.pending_tombstones,
+                vec![ProfileId(0), ProfileId(1), ProfileId(4), ProfileId(6)]
+            );
+            assert_eq!(restored.state.retracted, restored.state.pending_tombstones);
+            let mut resumed = restored.resume();
+            // Both sides compact and drain; the streams must agree.
+            assert_eq!(session.compact(), 4);
+            assert_eq!(resumed.compact(), 4);
+            let a = emissions(&session.emit_epoch(None));
+            let b = emissions(&resumed.emit_epoch(None));
+            assert_eq!(a, b, "post-compaction drain diverged");
+            return;
+        }
+        session.emit_epoch(Some(3));
+    }
+    panic!("script never reached its compaction batch");
+}
+
+/// Paper-default (pruned) configuration with the auto-trigger live: the
+/// policy decision (compact or not at each epoch start) replays
+/// identically after a kill at any batch boundary, because the policy,
+/// the pending list, and the live-count inputs all ride the checkpoint.
+#[test]
+fn mutated_kill_resume_with_auto_compaction_policy() {
+    let (batches, script) = mutation_script();
+    for method in [ProgressiveMethod::Pps, ProgressiveMethod::SaPsn] {
+        // Every pending tombstone triggers compaction at the next epoch.
+        let config = SessionConfig::new(method).with_compaction(CompactionPolicy::at_ratio(0.0));
+        let baseline = run_mutated_with_kill(&batches, &script, config.clone(), Some(4), None);
+        for batch in 0..batches.len() {
+            for stage in [Stage::AfterMutate, Stage::AfterEmit] {
+                let resumed = run_mutated_with_kill(
+                    &batches,
+                    &script,
+                    config.clone(),
+                    Some(4),
+                    Some((batch, stage)),
+                );
+                assert_eq!(
+                    resumed, baseline,
+                    "{method:?} auto-compaction diverged at {stage:?} of batch {batch}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random budgets and kill positions over the fixed mutation script:
+    /// the concatenated emission sequence of the killed run equals the
+    /// uninterrupted one for every streamable method.
+    #[test]
+    fn mutated_kill_resume_property(
+        budget in 1u64..7,
+        batch_seed in 0usize..100,
+        stage_idx in 0usize..4,
+        method_idx in 0usize..6,
+    ) {
+        let method = STREAMABLE[method_idx];
+        let (batches, script) = mutation_script();
+        let kill_at = (batch_seed % batches.len(), STAGES[stage_idx]);
+        let config =
+            SessionConfig::exhaustive(method).with_compaction(CompactionPolicy::manual());
+        let baseline =
+            run_mutated_with_kill(&batches, &script, config.clone(), Some(budget), None);
+        let resumed =
+            run_mutated_with_kill(&batches, &script, config, Some(budget), Some(kill_at));
         prop_assert_eq!(resumed, baseline);
     }
 }

@@ -10,6 +10,20 @@
 //! below). This is what makes the `ProgressiveSession` equivalence to the
 //! batch methods possible at all.
 //!
+//! Since PR 8 both substrates also carry the **mutation model**: a
+//! tombstone set marks retracted profiles, read paths ([`snapshot`]s)
+//! filter tombstoned members lazily, and an explicit [`compact`] pass
+//! physically drops them and rebuilds the affected index segments. The
+//! headline invariant (property-tested in `tests/mutation_equivalence.rs`)
+//! is that a snapshot taken with tombstones — before *or* after
+//! compaction — equals the snapshot of a substrate that never ingested
+//! the retracted profiles, modulo the monotone survivor-id bijection.
+//! Ids are never renumbered or recycled: a retracted profile keeps its
+//! dense id forever as an empty husk.
+//!
+//! [`snapshot`]: IncrementalTokenBlocking::snapshot
+//! [`compact`]: IncrementalTokenBlocking::compact
+//!
 //! Both share one append-only [`TokenInterner`] *across epochs*: a token
 //! seen in epoch 1 keeps its [`TokenId`] forever, so per-epoch work is
 //! `u32`-keyed throughout and snapshots never re-hash token text. The
@@ -67,6 +81,13 @@ pub struct IncrementalTokenBlocking {
     blocks: Vec<Block>,
     /// Live profile → block-ids index over insertion-order ids.
     index: IncrementalProfileIndex,
+    /// All-time tombstone marks, indexed by profile id (`true` =
+    /// retracted). Never cleared: ids are not recycled.
+    tombstones: Vec<bool>,
+    /// Tombstoned members still physically present in `blocks` — zero
+    /// right after [`Self::compact`], which is also the fast-path guard
+    /// that keeps mutation-free snapshots allocation-identical to PR 1.
+    pending: usize,
 }
 
 impl IncrementalTokenBlocking {
@@ -87,6 +108,8 @@ impl IncrementalTokenBlocking {
             block_of_token: Vec::new(),
             blocks: Vec::new(),
             index: IncrementalProfileIndex::new_empty(0),
+            tombstones: Vec::new(),
+            pending: 0,
         }
     }
 
@@ -144,6 +167,7 @@ impl IncrementalTokenBlocking {
         );
         self.n_profiles += 1;
         self.index.add_profiles(1);
+        self.tombstones.push(false);
 
         let mut tokens: Vec<TokenId> = Vec::new();
         for attr in &profile.attributes {
@@ -227,24 +251,166 @@ impl IncrementalTokenBlocking {
             block_of_token,
             blocks,
             index,
+            tombstones: vec![false; n_profiles],
+            pending: 0,
         }
+    }
+
+    /// Retracts a profile: marks it tombstoned and retires it from the
+    /// live profile → blocks index. Its memberships on the *block* side
+    /// stay physically present (per-block cardinalities in the live index
+    /// are stale to the same extent) until [`Self::compact`]; every
+    /// [`Self::snapshot`] filters them out in the meantime, so read paths
+    /// never see the profile again.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id was never ingested or is already tombstoned.
+    pub fn retract(&mut self, id: ProfileId) {
+        assert!(id.index() < self.n_profiles, "retract of unknown {id}");
+        assert!(!self.tombstones[id.index()], "double retract of {id}");
+        self.tombstones[id.index()] = true;
+        self.pending += 1;
+        self.index.retire(id);
+    }
+
+    /// True when the profile was retracted.
+    #[inline]
+    pub fn is_tombstoned(&self, id: ProfileId) -> bool {
+        self.tombstones[id.index()]
+    }
+
+    /// All-time tombstoned ids, ascending.
+    pub fn tombstoned_ids(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.tombstones
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| ProfileId(i as u32))
+    }
+
+    /// Tombstoned profiles not yet physically dropped by
+    /// [`Self::compact`].
+    pub fn pending_tombstones(&self) -> usize {
+        self.pending
+    }
+
+    /// Re-applies persisted tombstone state after [`Self::from_parts`]:
+    /// `tombstoned` is the all-time set, `pending` how many of them still
+    /// have physical block memberships (zero when the checkpoint was taken
+    /// post-compaction). Callers (the persistence layer) must validate
+    /// untrusted input first.
+    pub fn restore_tombstones(
+        &mut self,
+        tombstoned: impl IntoIterator<Item = ProfileId>,
+        pending: usize,
+    ) {
+        for id in tombstoned {
+            debug_assert!(id.index() < self.n_profiles);
+            self.tombstones[id.index()] = true;
+            self.index.retire(id);
+        }
+        self.pending = pending;
+    }
+
+    /// Physically drops every tombstoned member: filters the blocks,
+    /// drops the ones left empty, renumbers the insertion-order block ids
+    /// (relative order preserved), and rebuilds the token → block map and
+    /// the live profile → blocks index over the new ids. Returns the
+    /// number of tombstones that had pending memberships.
+    ///
+    /// Renumbering is invisible to every read path: snapshots re-key to
+    /// key-sorted order anyway, and the live index is rebuilt in lockstep.
+    /// Post-compaction, the substrate is member-for-member identical to
+    /// one that never ingested the retracted profiles (the husk ids keep
+    /// their — now empty — index slots so dense ids stay addressable).
+    pub fn compact(&mut self) -> usize {
+        if self.pending == 0 {
+            return 0;
+        }
+        let old_blocks = std::mem::take(&mut self.blocks);
+        for slot in &mut self.block_of_token {
+            *slot = NO_BLOCK;
+        }
+        let mut index = IncrementalProfileIndex::new_empty(self.n_profiles);
+        for (p, &dead) in self.tombstones.iter().enumerate() {
+            if dead {
+                index.retire(ProfileId(p as u32));
+            }
+        }
+        let mut blocks = Vec::with_capacity(old_blocks.len());
+        for mut block in old_blocks {
+            if block.profiles().iter().any(|p| self.tombstones[p.index()]) {
+                let Some(filtered) = filter_block(&block, &self.tombstones) else {
+                    continue;
+                };
+                block = filtered;
+            }
+            let id = blocks.len() as u32;
+            self.block_of_token[block.key.index()] = id;
+            index.push_block(block.profiles(), block.cardinality(self.kind));
+            blocks.push(block);
+        }
+        self.blocks = blocks;
+        self.index = index;
+        std::mem::take(&mut self.pending)
     }
 
     /// Materializes the current blocks as a batch-identical
     /// [`BlockCollection`]: comparable blocks only, sorted by key string —
     /// exactly what `TokenBlocking::default().build(..)` produces on the
-    /// same collection.
+    /// same collection. Tombstoned members are filtered out lazily, so the
+    /// snapshot is the same whether [`Self::compact`] already ran or not.
     pub fn snapshot(&self) -> BlockCollection {
-        // Pack straight from the live blocks — no intermediate owned Vec.
-        let mut coll = BlockCollection::from_borrowed(
-            self.kind,
-            self.n_profiles,
-            Arc::clone(&self.interner),
-            self.blocks.iter().filter(|b| b.cardinality(self.kind) > 0),
-        );
+        let mut coll = if self.pending == 0 {
+            // Pack straight from the live blocks — no intermediate owned
+            // Vec on the mutation-free fast path.
+            BlockCollection::from_borrowed(
+                self.kind,
+                self.n_profiles,
+                Arc::clone(&self.interner),
+                self.blocks.iter().filter(|b| b.cardinality(self.kind) > 0),
+            )
+        } else {
+            let filtered: Vec<Block> = self
+                .blocks
+                .iter()
+                .filter_map(|b| filter_block(b, &self.tombstones))
+                .collect();
+            BlockCollection::from_borrowed(
+                self.kind,
+                self.n_profiles,
+                Arc::clone(&self.interner),
+                filtered.iter().filter(|b| b.cardinality(self.kind) > 0),
+            )
+        };
         coll.sort_by_key_str();
         coll
     }
+}
+
+/// `block` without its tombstoned members (`None` when nothing survives).
+/// Partition order is preserved, so the result is a valid
+/// partitioned-ascending block over the survivors.
+fn filter_block(block: &Block, tombstones: &[bool]) -> Option<Block> {
+    if block.profiles().iter().all(|p| !tombstones[p.index()]) {
+        return Some(block.clone());
+    }
+    let live_first = block
+        .first_source()
+        .iter()
+        .filter(|p| !tombstones[p.index()])
+        .count() as u32;
+    let members: Vec<ProfileId> = block
+        .profiles()
+        .iter()
+        .copied()
+        .filter(|p| !tombstones[p.index()])
+        .collect();
+    if members.is_empty() {
+        return None;
+    }
+    Some(Block::from_partitioned(block.key, members, live_first))
 }
 
 /// One equal-key run of the incremental Neighbor List.
@@ -280,6 +446,12 @@ pub struct IncrementalNeighborList {
     n_profiles: usize,
     runs: FxHashMap<TokenId, Run>,
     total_placements: usize,
+    /// All-time tombstone marks, indexed by profile id (`true` =
+    /// retracted). Never cleared: ids are not recycled.
+    tombstones: Vec<bool>,
+    /// Tombstoned profiles whose placements are still physically present
+    /// in `runs` — zero right after [`Self::compact`].
+    pending: usize,
 }
 
 impl IncrementalNeighborList {
@@ -298,6 +470,8 @@ impl IncrementalNeighborList {
             n_profiles: 0,
             runs: FxHashMap::default(),
             total_placements: 0,
+            tombstones: Vec::new(),
+            pending: 0,
         }
     }
 
@@ -347,6 +521,8 @@ impl IncrementalNeighborList {
             n_profiles,
             runs,
             total_placements,
+            tombstones: vec![false; n_profiles],
+            pending: 0,
         }
     }
 
@@ -398,6 +574,7 @@ impl IncrementalNeighborList {
             "profiles must be ingested in dense id order"
         );
         self.n_profiles += 1;
+        self.tombstones.push(false);
         let mut tokens: Vec<TokenId> = Vec::new();
         for attr in &profile.attributes {
             self.tokenizer
@@ -424,22 +601,121 @@ impl IncrementalNeighborList {
         }
     }
 
+    /// Retracts a profile: marks it tombstoned. Its placements stay
+    /// physically present in the runs until [`Self::compact`]; every
+    /// [`Self::snapshot`] filters them out (and reshuffles the affected
+    /// runs over the surviving member sets) in the meantime.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id was never ingested or is already tombstoned.
+    pub fn retract(&mut self, id: ProfileId) {
+        assert!(id.index() < self.n_profiles, "retract of unknown {id}");
+        assert!(!self.tombstones[id.index()], "double retract of {id}");
+        self.tombstones[id.index()] = true;
+        self.pending += 1;
+    }
+
+    /// True when the profile was retracted.
+    #[inline]
+    pub fn is_tombstoned(&self, id: ProfileId) -> bool {
+        self.tombstones[id.index()]
+    }
+
+    /// All-time tombstoned ids, ascending.
+    pub fn tombstoned_ids(&self) -> impl Iterator<Item = ProfileId> + '_ {
+        self.tombstones
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t)
+            .map(|(i, _)| ProfileId(i as u32))
+    }
+
+    /// Tombstoned profiles not yet physically dropped by
+    /// [`Self::compact`].
+    pub fn pending_tombstones(&self) -> usize {
+        self.pending
+    }
+
+    /// Re-applies persisted tombstone state after [`Self::from_parts`] —
+    /// see `IncrementalTokenBlocking::restore_tombstones`.
+    pub fn restore_tombstones(
+        &mut self,
+        tombstoned: impl IntoIterator<Item = ProfileId>,
+        pending: usize,
+    ) {
+        for id in tombstoned {
+            debug_assert!(id.index() < self.n_profiles);
+            self.tombstones[id.index()] = true;
+        }
+        self.pending = pending;
+    }
+
+    /// Physically drops every tombstoned placement: filters each run's
+    /// member set, drops runs left empty, and marks the changed runs dirty
+    /// so the next [`Self::snapshot`] reshuffles them over the surviving
+    /// members — the same permutation a list that never saw the retracted
+    /// profiles would draw, because run shuffles are a pure function of
+    /// `(seed, key, member set)`. Returns the number of tombstones that
+    /// had pending placements.
+    pub fn compact(&mut self) -> usize {
+        if self.pending == 0 {
+            return 0;
+        }
+        let tombstones = &self.tombstones;
+        self.runs.retain(|_, run| {
+            if run.members.iter().any(|p| tombstones[p.index()]) {
+                run.members.retain(|p| !tombstones[p.index()]);
+                run.dirty = true;
+                run.order = Vec::new();
+            }
+            !run.members.is_empty()
+        });
+        self.total_placements = self.runs.values().map(|r| r.members.len()).sum();
+        std::mem::take(&mut self.pending)
+    }
+
     /// Materializes the current placements as a [`NeighborList`]. Stale
     /// runs recompute their canonical permutation (amortized: a run is
     /// reshuffled only after it changed); assembling the flat list is
     /// `O(placements)` plus one vocabulary-sized rank sort — no
     /// re-tokenization and no placement-level sort.
+    ///
+    /// Tombstoned members are filtered lazily: a run still carrying dead
+    /// placements is shuffled over its *surviving* member set into scratch
+    /// (its cache is left untouched until [`Self::compact`]), so the
+    /// snapshot is bit-identical whether compaction already ran or not.
     pub fn snapshot(&mut self) -> NeighborList {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
         let seed = self.seed;
         let rank = self.interner.rank();
         let mut keys: Vec<TokenId> = self.runs.keys().copied().collect();
         keys.sort_unstable_by_key(|t| rank[t.index()]);
         let mut placements: Vec<(TokenId, ProfileId)> = Vec::with_capacity(self.total_placements);
+        let mut scratch: Vec<ProfileId> = Vec::new();
         for key in keys {
             let run = self.runs.get_mut(&key).expect("run exists");
+            if self.pending > 0 && run.members.iter().any(|p| self.tombstones[p.index()]) {
+                // Lazy filtering: shuffle the survivors without touching
+                // the run's cache — compact() will make this permanent.
+                scratch.clear();
+                scratch.extend(
+                    run.members
+                        .iter()
+                        .copied()
+                        .filter(|p| !self.tombstones[p.index()]),
+                );
+                if scratch.is_empty() {
+                    continue;
+                }
+                let key_str = self.interner.resolve(key);
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ fnv1a(key_str.as_bytes()));
+                scratch.shuffle(&mut rng);
+                placements.extend(scratch.iter().map(|&p| (key, p)));
+                continue;
+            }
             if run.dirty {
-                use rand::seq::SliceRandom;
-                use rand::SeedableRng;
                 // Only stale runs pay the key resolution for their seed.
                 let key_str = self.interner.resolve(key);
                 run.order = run.members.clone();
@@ -618,6 +894,84 @@ mod tests {
         // The "acme" block now yields exactly the one cross-source pair.
         let acme = snap.iter().find(|b| &*b.key_str() == "acme").unwrap();
         assert_eq!(acme.cardinality(ErKind::CleanClean), 1);
+    }
+
+    #[test]
+    fn lazy_snapshot_equals_compacted_snapshot() {
+        let coll = collection(30);
+        let mut inc = IncrementalTokenBlocking::from_collection(&coll);
+        for id in [3u32, 7, 15] {
+            inc.retract(ProfileId(id));
+        }
+        assert_eq!(inc.pending_tombstones(), 3);
+        let lazy = keys_and_members(&inc.snapshot());
+        for (key, members) in &lazy {
+            assert!(
+                members.iter().all(|p| ![3, 7, 15].contains(&p.0)),
+                "tombstoned member leaked into block {key}"
+            );
+        }
+        assert_eq!(inc.compact(), 3);
+        assert_eq!(inc.pending_tombstones(), 0);
+        assert_eq!(keys_and_members(&inc.snapshot()), lazy);
+        // The live index retired the ids alongside.
+        assert!(inc.profile_index().blocks_of(ProfileId(3)).is_empty());
+        assert!(inc.is_tombstoned(ProfileId(3)));
+        assert_eq!(inc.tombstoned_ids().count(), 3);
+    }
+
+    #[test]
+    fn nl_lazy_snapshot_equals_compacted_snapshot() {
+        let coll = collection(30);
+        let mut inc = IncrementalNeighborList::from_collection(&coll, 42);
+        for id in [2u32, 9] {
+            inc.retract(ProfileId(id));
+        }
+        let lazy = inc.snapshot();
+        assert!(lazy.as_slice().iter().all(|p| p.0 != 2 && p.0 != 9));
+        assert_eq!(inc.compact(), 2);
+        assert_eq!(inc.pending_tombstones(), 0);
+        assert_eq!(lazy.as_slice(), inc.snapshot().as_slice());
+    }
+
+    #[test]
+    fn retract_equals_never_ingested_husk() {
+        // A substrate with retractions — compacted or not — snapshots
+        // identically to one whose ingest only ever saw empty husks in the
+        // retracted slots (same dense ids, no attributes).
+        let coll = collection(24);
+        let mut husked = coll.clone();
+        for id in [1u32, 5, 12] {
+            husked.retract_profile(ProfileId(id));
+        }
+        let fresh = IncrementalTokenBlocking::from_collection(&husked);
+        let mut mutated = IncrementalTokenBlocking::from_collection(&coll);
+        for id in [1u32, 5, 12] {
+            mutated.retract(ProfileId(id));
+        }
+        let want = keys_and_members(&fresh.snapshot());
+        assert_eq!(keys_and_members(&mutated.snapshot()), want);
+        mutated.compact();
+        assert_eq!(keys_and_members(&mutated.snapshot()), want);
+
+        let mut fresh_nl = IncrementalNeighborList::from_collection(&husked, 7);
+        let mut mut_nl = IncrementalNeighborList::from_collection(&coll, 7);
+        for id in [1u32, 5, 12] {
+            mut_nl.retract(ProfileId(id));
+        }
+        let want = fresh_nl.snapshot();
+        assert_eq!(mut_nl.snapshot().as_slice(), want.as_slice());
+        mut_nl.compact();
+        assert_eq!(mut_nl.snapshot().as_slice(), want.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "double retract")]
+    fn double_retract_panics() {
+        let coll = collection(6);
+        let mut inc = IncrementalTokenBlocking::from_collection(&coll);
+        inc.retract(ProfileId(0));
+        inc.retract(ProfileId(0));
     }
 
     #[test]

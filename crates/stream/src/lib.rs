@@ -13,6 +13,9 @@
 //!    blocking indexes of `sper-blocking` up to date under `add_profile` /
 //!    `add_batch`, with amortized per-profile updates instead of full
 //!    rebuilds, and materialize batch-identical snapshots on demand.
+//!    Deletion is tombstone-based: `retract` marks a row, snapshots
+//!    filter it lazily, and a periodic `compact` pass physically drops
+//!    the dead rows — emission is bit-identical throughout.
 //! 2. **Resumable sessions** ([`session`]) — a [`ProgressiveSession`]
 //!    wraps any schema-agnostic method and runs `ingest → reprioritize →
 //!    emit` epochs, deduplicating emissions across epochs and reporting
@@ -51,6 +54,6 @@ pub mod session;
 
 pub use incremental::{IncrementalNeighborList, IncrementalTokenBlocking};
 pub use session::{
-    run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession,
-    SessionConfig, SessionState,
+    run_streaming, run_streaming_with, CompactionPolicy, EpochOutcome, EpochReport,
+    ProgressiveSession, SessionConfig, SessionState,
 };

@@ -43,6 +43,49 @@ use sper_model::{Attribute, GroundTruth, Pair, ProfileCollection, ProfileId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+/// When a session runs its periodic compaction pass (physically dropping
+/// tombstoned rows from the incremental substrates — see
+/// [`ProgressiveSession::compact`]).
+///
+/// Compaction is an optimization, never a correctness requirement: every
+/// snapshot filters tombstones lazily, so emission is bit-identical
+/// whether a compaction ran or not. The trigger only decides when to pay
+/// the rebuild to reclaim memory and restore fast-path snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact at the start of an epoch once pending tombstones reach
+    /// this fraction of the live collection. `0.0` compacts on any
+    /// pending tombstone; an effectively-infinite ratio makes compaction
+    /// manual-only ([`ProgressiveSession::compact`]).
+    pub tombstone_ratio: f64,
+}
+
+impl CompactionPolicy {
+    /// Compaction disabled — only explicit
+    /// [`ProgressiveSession::compact`] calls rebuild.
+    pub fn manual() -> Self {
+        Self {
+            tombstone_ratio: f64::INFINITY,
+        }
+    }
+
+    /// Compact once `ratio` of the live collection is tombstoned.
+    pub fn at_ratio(ratio: f64) -> Self {
+        Self {
+            tombstone_ratio: ratio,
+        }
+    }
+}
+
+impl Default for CompactionPolicy {
+    /// Compact once a quarter of the live collection is tombstoned.
+    fn default() -> Self {
+        Self {
+            tombstone_ratio: 0.25,
+        }
+    }
+}
+
 /// How a session builds and re-prioritizes its method.
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -51,6 +94,8 @@ pub struct SessionConfig {
     pub method: ProgressiveMethod,
     /// Shared method parameters (seed, weighting, workflow, `kmax`, …).
     pub config: MethodConfig,
+    /// When retract/amend tombstones are physically compacted away.
+    pub compaction: CompactionPolicy,
 }
 
 impl SessionConfig {
@@ -59,6 +104,7 @@ impl SessionConfig {
         Self {
             method,
             config: MethodConfig::default(),
+            compaction: CompactionPolicy::default(),
         }
     }
 
@@ -71,7 +117,11 @@ impl SessionConfig {
         config.workflow.filter_ratio = 1.0;
         config.kmax = usize::MAX / 2;
         config.wmax = usize::MAX / 2;
-        Self { method, config }
+        Self {
+            method,
+            config,
+            compaction: CompactionPolicy::default(),
+        }
     }
 
     /// Runs the epoch re-prioritization of the advanced methods (LS-PSN,
@@ -81,6 +131,12 @@ impl SessionConfig {
     /// the sequential engine at any thread count.
     pub fn with_threads(mut self, threads: sper_core::Parallelism) -> Self {
         self.config.threads = threads;
+        self
+    }
+
+    /// Replaces the compaction policy.
+    pub fn with_compaction(mut self, compaction: CompactionPolicy) -> Self {
+        self.compaction = compaction;
         self
     }
 }
@@ -117,6 +173,15 @@ pub struct SessionState {
     /// Per-epoch reports so far (the emission cursor: `reports.len()`
     /// numbers the next epoch).
     pub reports: Vec<EpochReport>,
+    /// The compaction policy in effect.
+    pub compaction: CompactionPolicy,
+    /// Every profile ever retracted (ascending). Ids are never recycled,
+    /// so this only grows.
+    pub retracted: Vec<ProfileId>,
+    /// Retracted profiles whose rows are still physically present in the
+    /// substrates (ascending, a subset of `retracted`) — the tombstones a
+    /// future compaction will drop.
+    pub pending_tombstones: Vec<ProfileId>,
 }
 
 /// Statistics of one `ingest → reprioritize → emit` epoch.
@@ -206,6 +271,15 @@ pub struct ProgressiveSession {
     emitted: HashSet<Pair>,
     pending_ingest: usize,
     reports: Vec<EpochReport>,
+    compaction: CompactionPolicy,
+    /// Per-profile retraction marks, indexed by id (tracks
+    /// `profiles.len()`).
+    retracted: Vec<bool>,
+    /// Count of `true` entries in `retracted`.
+    n_retracted: usize,
+    /// Retracted ids not yet compacted away, in retraction order
+    /// (sorted when dehydrated — the set, not the order, is the state).
+    pending: Vec<ProfileId>,
 }
 
 impl ProgressiveSession {
@@ -223,13 +297,18 @@ impl ProgressiveSession {
             !session.method.is_schema_based(),
             "PSN is schema-based; streaming sessions are schema-agnostic"
         );
-        let SessionConfig { method, config } = session;
+        let SessionConfig {
+            method,
+            config,
+            compaction,
+        } = session;
         // Maintain only the substrate the method consumes; the fallback
         // methods (SA-PSAB's suffix forest) rebuild from the collection.
         let blocks =
             uses_blocks(method).then(|| IncrementalTokenBlocking::from_collection(&initial));
         let nl = uses_nl(method)
             .then(|| IncrementalNeighborList::from_collection(&initial, config.seed));
+        let retracted = vec![false; initial.len()];
         Self {
             method,
             config,
@@ -241,6 +320,10 @@ impl ProgressiveSession {
             // (and throughput derived from them) start at zero.
             pending_ingest: 0,
             reports: Vec::new(),
+            compaction,
+            retracted,
+            n_retracted: 0,
+            pending: Vec::new(),
         }
     }
 
@@ -255,6 +338,7 @@ impl ProgressiveSession {
         SessionConfig {
             method: self.method,
             config: self.config.clone(),
+            compaction: self.compaction,
         }
     }
 
@@ -263,6 +347,17 @@ impl ProgressiveSession {
     pub fn dehydrate(&self) -> SessionState {
         let mut emitted: Vec<Pair> = self.emitted.iter().copied().collect();
         emitted.sort_unstable();
+        // Tombstone state canonicalizes to sorted id lists: checkpoint
+        // bytes must not depend on retraction order.
+        let retracted: Vec<ProfileId> = self
+            .retracted
+            .iter()
+            .enumerate()
+            .filter(|(_, &dead)| dead)
+            .map(|(i, _)| ProfileId(i as u32))
+            .collect();
+        let mut pending_tombstones = self.pending.clone();
+        pending_tombstones.sort_unstable();
         SessionState {
             method: self.method,
             config: self.config.clone(),
@@ -272,6 +367,9 @@ impl ProgressiveSession {
             emitted,
             pending_ingest: self.pending_ingest,
             reports: self.reports.clone(),
+            compaction: self.compaction,
+            retracted,
+            pending_tombstones,
         }
     }
 
@@ -302,22 +400,43 @@ impl ProgressiveSession {
             emitted,
             pending_ingest,
             reports,
+            compaction,
+            retracted,
+            pending_tombstones,
         } = state;
+        let mut dead = vec![false; profiles.len()];
+        for &id in &retracted {
+            assert!(
+                (id.index()) < profiles.len(),
+                "retracted id out of range: {id:?}"
+            );
+            dead[id.index()] = true;
+        }
+        for &id in &pending_tombstones {
+            assert!(dead[id.index()], "pending tombstone was never retracted");
+        }
         // Rebuild whichever substrate the method consumes but the state
-        // lacks; drop any the method does not use.
+        // lacks; drop any the method does not use. A substrate rebuilt
+        // from the husked collection is *already compacted* — retracted
+        // profiles tokenize to nothing — so it carries the all-time
+        // tombstone marks but zero physically-pending rows. Lazy snapshot
+        // filtering makes it emit identically to a carried-over substrate
+        // that still holds the dead rows.
         if !uses_blocks(method) {
             blocks = None;
         } else if blocks.is_none() {
-            blocks = Some(IncrementalTokenBlocking::from_collection(&profiles));
+            let mut b = IncrementalTokenBlocking::from_collection(&profiles);
+            b.restore_tombstones(retracted.iter().copied(), 0);
+            blocks = Some(b);
         }
         if !uses_nl(method) {
             nl = None;
         } else if nl.is_none() {
-            nl = Some(IncrementalNeighborList::from_collection(
-                &profiles,
-                config.seed,
-            ));
+            let mut n = IncrementalNeighborList::from_collection(&profiles, config.seed);
+            n.restore_tombstones(retracted.iter().copied(), 0);
+            nl = Some(n);
         }
+        let n_retracted = retracted.len();
         Self {
             method,
             config,
@@ -327,6 +446,10 @@ impl ProgressiveSession {
             emitted: emitted.into_iter().collect(),
             pending_ingest,
             reports,
+            compaction,
+            retracted: dead,
+            n_retracted,
+            pending: pending_tombstones,
         }
     }
 
@@ -356,6 +479,7 @@ impl ProgressiveSession {
         if let Some(nl) = self.nl.as_mut() {
             nl.add_profile(profile);
         }
+        self.retracted.push(false);
         self.pending_ingest += 1;
         id
     }
@@ -375,12 +499,129 @@ impl ProgressiveSession {
         start..self.profiles.len() as u32
     }
 
+    /// Retracts (deletes) a previously ingested profile.
+    ///
+    /// The id is *never recycled*: the collection keeps an empty husk in
+    /// the slot (so every other id stays stable) and the incremental
+    /// substrates mark the profile tombstoned. Snapshots filter
+    /// tombstones lazily, so from this call on the session emits exactly
+    /// what a session that never saw the profile would emit — the
+    /// physical rows are dropped later by [`compact`](Self::compact).
+    /// Cross-epoch dedup entries touching the profile are invalidated
+    /// immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never ingested or is already retracted.
+    pub fn retract(&mut self, id: ProfileId) {
+        assert!(id.index() < self.profiles.len(), "retract of unknown {id}");
+        assert!(!self.retracted[id.index()], "double retract of {id}");
+        self.retracted[id.index()] = true;
+        self.n_retracted += 1;
+        self.profiles.retract_profile(id);
+        if let Some(blocks) = self.blocks.as_mut() {
+            blocks.retract(id);
+        }
+        if let Some(nl) = self.nl.as_mut() {
+            nl.retract(id);
+        }
+        self.pending.push(id);
+        // Invalidate dedup-filter entries touching the retracted profile.
+        // Ids never recycle, so these pairs could never be re-emitted
+        // anyway — dropping them keeps the checkpoint's emitted section
+        // identical to a session that never saw the profile.
+        let retracted = &self.retracted;
+        self.emitted
+            .retain(|p| !retracted[p.first.index()] && !retracted[p.second.index()]);
+        sper_obs::count!("session.retracts");
+        sper_obs::gauge!("session.tombstones_pending", self.pending.len() as i64);
+    }
+
+    /// Updates a profile by retract + re-ingest: the old id becomes a
+    /// tombstone and the new attribute set receives a **fresh id** (ids
+    /// are immutable handles to an ingested row, never edited in place).
+    /// This makes *update ≡ delete + insert* hold by construction — the
+    /// equivalence the mutation test wall pins down.
+    ///
+    /// For Clean-clean sessions the re-ingested profile joins the
+    /// streamed source (`P2`), like any other ingest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never ingested or is already retracted.
+    pub fn amend(&mut self, id: ProfileId, attributes: Vec<Attribute>) -> ProfileId {
+        self.retract(id);
+        let new_id = self.ingest(attributes);
+        sper_obs::count!("session.amends");
+        new_id
+    }
+
+    /// Whether a profile has been retracted (directly or via
+    /// [`amend`](Self::amend)).
+    pub fn is_retracted(&self, id: ProfileId) -> bool {
+        self.retracted[id.index()]
+    }
+
+    /// Retracted ids whose rows are still physically present in the
+    /// substrates.
+    pub fn pending_tombstones(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Physically drops tombstoned rows from the incremental substrates,
+    /// rebuilding the affected CSR segments. Emission is bit-identical
+    /// before and after (snapshots already filter lazily); compaction
+    /// reclaims memory and restores the fast snapshot path. Returns the
+    /// number of tombstones compacted away.
+    ///
+    /// Runs automatically at the start of an epoch once the
+    /// [`CompactionPolicy`] threshold is reached; calling it manually is
+    /// always safe.
+    pub fn compact(&mut self) -> usize {
+        if self.pending.is_empty() {
+            return 0;
+        }
+        let mut span = sper_obs::span!("stream.compaction", pending = self.pending.len());
+        let mut dropped = 0usize;
+        if let Some(blocks) = self.blocks.as_mut() {
+            dropped = dropped.max(blocks.compact());
+        }
+        if let Some(nl) = self.nl.as_mut() {
+            dropped = dropped.max(nl.compact());
+        }
+        // Substrate-free methods (SA-PSAB) rebuild from the husked
+        // collection each epoch; their tombstones are "compacted" the
+        // moment they are retracted.
+        dropped = dropped.max(self.pending.len());
+        self.pending.clear();
+        span.record("dropped", dropped as u64);
+        sper_obs::count!("session.compactions");
+        sper_obs::gauge!("session.tombstones_pending", 0);
+        dropped
+    }
+
+    /// The epoch-start compaction trigger (see [`CompactionPolicy`]).
+    fn should_compact(&self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        let live = (self.profiles.len() - self.n_retracted).max(1);
+        self.pending.len() as f64 >= self.compaction.tombstone_ratio * live as f64
+    }
+
     /// Runs one epoch: rebuilds the method's priority state from the
     /// incremental substrates (re-prioritization) and emits best-first
     /// comparisons, suppressing cross-epoch repeats, until the method is
     /// exhausted or `budget` *new* emissions have been produced.
     pub fn emit_epoch(&mut self, budget: Option<u64>) -> EpochOutcome {
         let budget = budget.unwrap_or(u64::MAX);
+        // Periodic compaction runs at epoch boundaries, before the
+        // snapshot: it never changes what this epoch emits (lazy
+        // filtering already hides tombstones), only how fast the
+        // snapshot is taken.
+        if self.should_compact() {
+            self.compact();
+        }
         let mut span = sper_obs::span!(
             "stream.epoch",
             epoch = self.reports.len() + 1,
@@ -459,6 +700,16 @@ impl ProgressiveSession {
         while (comparisons.len() as u64) < budget {
             let Some(c) = method.next() else { break };
             raw += 1;
+            // Substrate snapshots already filter tombstones; this guard
+            // covers the substrate-free methods (SA-PSAB rebuilds from
+            // the husked collection, whose empty rows can never pair, so
+            // it is ordinarily inert) and is the last line of defense
+            // for the headline invariant: a retracted profile is never
+            // emitted.
+            if self.retracted[c.pair.first.index()] || self.retracted[c.pair.second.index()] {
+                suppressed += 1;
+                continue;
+            }
             if self.emitted.insert(c.pair) {
                 comparisons.push(c);
             } else {
@@ -754,6 +1005,143 @@ mod tests {
             b.comparisons.iter().map(|c| c.pair).collect::<Vec<_>>(),
         );
         assert!(full.report.new_emissions > 0);
+    }
+
+    fn emission_of(o: &EpochOutcome) -> Vec<(Pair, f64)> {
+        o.comparisons.iter().map(|c| (c.pair, c.weight)).collect()
+    }
+
+    #[test]
+    fn retract_before_emission_equals_never_ingested() {
+        // Ingest toy() plus a trailing junk profile, retract the junk
+        // before any emission: every epoch must be bit-identical to a
+        // session that never saw it (survivor ids coincide because the
+        // junk profile holds the last id).
+        for method in [
+            ProgressiveMethod::SaPsn,
+            ProgressiveMethod::LsPsn,
+            ProgressiveMethod::GsPsn,
+            ProgressiveMethod::Pbs,
+            ProgressiveMethod::Pps,
+            ProgressiveMethod::SaPsab,
+        ] {
+            let mut mutated =
+                ProgressiveSession::new(empty_dirty(), SessionConfig::exhaustive(method));
+            mutated.ingest_batch(toy());
+            let junk = mutated.ingest(vec![Attribute::new("text", "carl white zz tailor")]);
+            mutated.retract(junk);
+            let mut clean =
+                ProgressiveSession::new(empty_dirty(), SessionConfig::exhaustive(method));
+            clean.ingest_batch(toy());
+            let a = mutated.emit_epoch(None);
+            let b = clean.emit_epoch(None);
+            assert_eq!(emission_of(&a), emission_of(&b), "{method:?} diverged");
+            assert!(b.report.new_emissions > 0, "vacuous fixture");
+        }
+    }
+
+    #[test]
+    fn amend_retracts_and_assigns_a_fresh_id() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+        );
+        session.ingest_batch(toy());
+        let new_id = session.amend(ProfileId(0), vec![Attribute::new("text", "carla white")]);
+        assert_eq!(new_id, ProfileId(6), "amend re-ingests under a fresh id");
+        assert!(session.is_retracted(ProfileId(0)));
+        assert!(!session.is_retracted(new_id));
+        let outcome = session.emit_epoch(None);
+        for c in &outcome.comparisons {
+            assert_ne!(c.pair.first, ProfileId(0), "retracted id emitted");
+            assert_ne!(c.pair.second, ProfileId(0), "retracted id emitted");
+        }
+    }
+
+    #[test]
+    fn compaction_never_changes_the_emission_stream() {
+        // Fork one mid-stream state (via dehydrate) into a session that
+        // compacts eagerly and one that never compacts; their remaining
+        // epochs must match bit for bit.
+        for method in [ProgressiveMethod::Pps, ProgressiveMethod::SaPsn] {
+            let mut base =
+                ProgressiveSession::new(empty_dirty(), SessionConfig::exhaustive(method));
+            base.ingest_batch(toy());
+            base.emit_epoch(Some(2));
+            base.retract(ProfileId(4));
+            base.retract(ProfileId(5));
+            let state = base.dehydrate();
+            let mut eager = ProgressiveSession::rehydrate(state.clone());
+            let mut lazy = ProgressiveSession::rehydrate(state);
+            assert_eq!(eager.pending_tombstones(), 2);
+            assert!(eager.compact() >= 2);
+            assert_eq!(eager.pending_tombstones(), 0);
+            for extra in ["gina white ny tailor", "paul black la baker"] {
+                let attrs = vec![Attribute::new("text", extra)];
+                eager.ingest(attrs.clone());
+                lazy.ingest(attrs);
+                let a = eager.emit_epoch(Some(3));
+                let b = lazy.emit_epoch(Some(3));
+                assert_eq!(emission_of(&a), emission_of(&b), "{method:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn retract_invalidates_dedup_filter_entries() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+        );
+        session.ingest_batch(toy());
+        session.emit_epoch(None);
+        let touching_0 = session
+            .emitted()
+            .iter()
+            .filter(|p| p.first == ProfileId(0) || p.second == ProfileId(0))
+            .count();
+        assert!(touching_0 > 0, "vacuous fixture");
+        let before = session.emitted().len();
+        session.retract(ProfileId(0));
+        assert_eq!(session.emitted().len(), before - touching_0);
+        assert!(session
+            .emitted()
+            .iter()
+            .all(|p| p.first != ProfileId(0) && p.second != ProfileId(0)));
+    }
+
+    #[test]
+    fn compaction_policy_gates_the_epoch_trigger() {
+        // ratio 0.0 compacts on any pending tombstone at the epoch
+        // boundary; manual() never does.
+        let auto = SessionConfig::exhaustive(ProgressiveMethod::Pps)
+            .with_compaction(CompactionPolicy::at_ratio(0.0));
+        let mut session = ProgressiveSession::new(empty_dirty(), auto);
+        session.ingest_batch(toy());
+        session.retract(ProfileId(5));
+        assert_eq!(session.pending_tombstones(), 1);
+        session.emit_epoch(None);
+        assert_eq!(session.pending_tombstones(), 0, "epoch start compacts");
+
+        let manual = SessionConfig::exhaustive(ProgressiveMethod::Pps)
+            .with_compaction(CompactionPolicy::manual());
+        let mut session = ProgressiveSession::new(empty_dirty(), manual);
+        session.ingest_batch(toy());
+        session.retract(ProfileId(5));
+        session.emit_epoch(None);
+        assert_eq!(session.pending_tombstones(), 1, "manual policy never fires");
+    }
+
+    #[test]
+    #[should_panic(expected = "double retract")]
+    fn session_double_retract_panics() {
+        let mut session = ProgressiveSession::new(
+            empty_dirty(),
+            SessionConfig::exhaustive(ProgressiveMethod::Pps),
+        );
+        session.ingest_batch(toy());
+        session.retract(ProfileId(1));
+        session.retract(ProfileId(1));
     }
 
     #[test]

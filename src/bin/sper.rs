@@ -7,6 +7,7 @@
 //! sper stream   <dataset|profiles.csv> [--method pps] [--batches 5]
 //!               [--epoch-budget N] [--truth matches.csv] [--exhaustive]
 //!               [--checkpoint run.sper] [--checkpoint-every N]
+//!               [--mutations feed.txt] [--emit-pairs pairs.csv]
 //! sper snapshot <dataset|profiles.csv> [--out snapshot.sper] [--with-graph]
 //! sper resume   <run.sper> [--epoch-budget N] [--checkpoint run.sper]
 //! ```
@@ -20,7 +21,10 @@
 //!   [`ProgressiveSession`] in batches and report each `ingest →
 //!   reprioritize → emit` epoch; `--checkpoint` persists the session
 //!   every `--checkpoint-every` epochs so a later `sper resume` continues
-//!   exactly where the run stopped.
+//!   exactly where the run stopped. `--mutations FILE` scripts
+//!   update/delete operations against the stream (see [`load_mutations`]
+//!   for the line format); `--emit-pairs FILE` dumps every emission as
+//!   `first,second,weight-bits` for bit-exact diffing between runs.
 //! * `snapshot` — build the columnar substrates (blocks, profile index,
 //!   neighbor list, optionally the materialized blocking graph) and write
 //!   them to a versioned, checksummed `.sper` store for instant reload.
@@ -40,7 +44,7 @@
 
 use sper::prelude::*;
 use sper_model::io as model_io;
-use sper_model::{Attribute, JaccardMatcher, ProfileText};
+use sper_model::{Attribute, JaccardMatcher, ProfileId, ProfileText};
 use sper_obs::{event, span, Level};
 use std::io::Write;
 use std::path::Path;
@@ -203,6 +207,7 @@ const USAGE: &str = "usage:
   sper stream   <dataset|profiles.csv> [--method M] [--batches N]
                 [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]
                 [--threads N] [--checkpoint FILE] [--checkpoint-every N]
+                [--mutations FILE] [--emit-pairs FILE]
   sper snapshot <dataset|profiles.csv> [--scale S] [--seed N] [--out FILE]
                 [--with-graph]
   sper resume   <checkpoint.sper> [--epoch-budget N] [--threads N]
@@ -456,11 +461,147 @@ fn print_epoch_row(outcome: &EpochOutcome) {
     );
 }
 
+/// One scripted mutation from a `--mutations` feed, bound to the batch it
+/// fires after.
+enum Mutation {
+    /// `<batch> del <id>` — retract a previously ingested profile.
+    Del(u32),
+    /// `<batch> upd <id> k=v[;k=v…]` — amend: retract `<id>`, re-ingest
+    /// the new attribute set under a fresh id.
+    Upd(u32, Vec<Attribute>),
+    /// `<batch> compact` — physically drop pending tombstones now.
+    Compact,
+}
+
+/// Parses a `--mutations` feed into per-batch operation lists.
+///
+/// One operation per line, blank lines and `#` comments ignored:
+///
+/// ```text
+/// <batch> del <id>
+/// <batch> upd <id> <key>=<value>[;<key>=<value>…]
+/// <batch> compact
+/// ```
+///
+/// `<batch>` is the 0-based ingest batch the operation fires after —
+/// mutations apply once that batch's rows are ingested, before the
+/// epoch's emission. Ids are session profile ids (dense ingest order;
+/// for Clean-clean streams the base `P1` occupies the low ids). Ids are
+/// validated lazily at application time, so a feed may delete a profile
+/// an earlier `upd` created.
+fn load_mutations(path: &str, n_batches: usize) -> Result<Vec<Vec<Mutation>>, CliError> {
+    let data = |detail: String| CliError::Data {
+        path: path.into(),
+        detail,
+    };
+    let text = std::fs::read_to_string(path).map_err(CliError::io(path))?;
+    let mut ops: Vec<Vec<Mutation>> = (0..n_batches).map(|_| Vec::new()).collect();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| data(format!("line {}: {msg}: '{line}'", lineno + 1));
+        let mut fields = line.splitn(3, char::is_whitespace);
+        let batch: usize = fields
+            .next()
+            .expect("non-empty line")
+            .parse()
+            .map_err(|_| err("batch index is not a number"))?;
+        if batch >= n_batches {
+            return Err(data(format!(
+                "line {}: batch {batch} out of range (--batches {n_batches})",
+                lineno + 1
+            )));
+        }
+        let op = match fields.next() {
+            Some("del") => {
+                let id = fields
+                    .next()
+                    .ok_or_else(|| err("del needs a profile id"))?
+                    .trim()
+                    .parse()
+                    .map_err(|_| err("del id is not a number"))?;
+                Mutation::Del(id)
+            }
+            Some("upd") => {
+                let rest = fields
+                    .next()
+                    .ok_or_else(|| err("upd needs id and attributes"))?;
+                let (id, spec) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("upd needs attributes after the id"))?;
+                let id = id.parse().map_err(|_| err("upd id is not a number"))?;
+                let attrs: Vec<Attribute> = spec
+                    .split(';')
+                    .map(|kv| {
+                        kv.split_once('=')
+                            .map(|(k, v)| Attribute::new(k.trim(), v.trim()))
+                            .ok_or_else(|| err("attribute is not key=value"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                Mutation::Upd(id, attrs)
+            }
+            Some("compact") => Mutation::Compact,
+            _ => return Err(err("unknown operation (del, upd, compact)")),
+        };
+        ops[batch].push(op);
+    }
+    Ok(ops)
+}
+
+/// Applies one batch's scripted mutations to the session, validating ids
+/// against the live collection (a typed error, never a panic, on a stale
+/// or unknown id).
+fn apply_mutations(
+    session: &mut ProgressiveSession,
+    ops: &[Mutation],
+    path: &str,
+) -> Result<(), CliError> {
+    let check = |session: &ProgressiveSession, id: u32| -> Result<ProfileId, CliError> {
+        let id = ProfileId(id);
+        if id.index() >= session.profiles().len() {
+            return Err(CliError::Data {
+                path: path.into(),
+                detail: format!("{id} was never ingested"),
+            });
+        }
+        if session.is_retracted(id) {
+            return Err(CliError::Data {
+                path: path.into(),
+                detail: format!("{id} is already retracted"),
+            });
+        }
+        Ok(id)
+    };
+    for op in ops {
+        match op {
+            Mutation::Del(id) => session.retract(check(session, *id)?),
+            Mutation::Upd(id, attrs) => {
+                let new_id = session.amend(check(session, *id)?, attrs.clone());
+                event!(
+                    Level::Debug,
+                    "cli.amend",
+                    old = *id as u64,
+                    new = new_id.0 as u64
+                );
+            }
+            Mutation::Compact => {
+                session.compact();
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Ingest-while-resolving over a dataset name (generated twin, ground
 /// truth included) or a profiles CSV (ground truth via `--truth`). With
 /// `--checkpoint FILE`, the session is persisted every
 /// `--checkpoint-every N` epochs (default every epoch), so `sper resume`
 /// can continue the run bit-identically after a crash or budget stop.
+/// `--mutations FILE` replays a scripted update/delete feed against the
+/// stream (see [`load_mutations`]); `--emit-pairs FILE` records every
+/// emission as `first,second,<weight bits as hex>` for bit-exact diffing.
 fn stream(args: &[String]) -> Result<(), CliError> {
     let source = args
         .get(1)
@@ -533,15 +674,39 @@ fn stream(args: &[String]) -> Result<(), CliError> {
     let mut run_span = span!("cli.stream_run", method = method.name());
     let chunk = rows.len().div_ceil(n_batches).max(1);
     let batches: Vec<Vec<Vec<Attribute>>> = rows.chunks(chunk).map(|c| c.to_vec()).collect();
+    let mutations = flag(args, "--mutations")
+        .map(|path| Ok::<_, CliError>((load_mutations(&path, batches.len())?, path)))
+        .transpose()?;
+    let mut emit_pairs = flag(args, "--emit-pairs")
+        .map(|path| {
+            let f = std::fs::File::create(&path).map_err(CliError::io(path.as_str()))?;
+            Ok::<_, CliError>((std::io::BufWriter::new(f), path))
+        })
+        .transpose()?;
     println!("{EPOCH_HEADER}");
 
     let mut session = ProgressiveSession::new(initial, session_config);
     let mut epochs: Vec<sper::eval::StreamEpoch> = Vec::new();
     let mut checkpointed_epoch = 0usize;
-    for batch in batches {
+    for (batch_no, batch) in batches.into_iter().enumerate() {
         session.ingest_batch(batch);
+        if let Some((ops, path)) = &mutations {
+            apply_mutations(&mut session, &ops[batch_no], path)?;
+        }
         let outcome = session.emit_epoch(epoch_budget);
         print_epoch_row(&outcome);
+        if let Some((w, path)) = emit_pairs.as_mut() {
+            for c in &outcome.comparisons {
+                writeln!(
+                    w,
+                    "{},{},{:016x}",
+                    c.pair.first.0,
+                    c.pair.second.0,
+                    c.weight.to_bits()
+                )
+                .map_err(CliError::io(path.as_str()))?;
+            }
+        }
         epochs.push(sper::eval::StreamEpoch {
             profiles_total: outcome.report.profiles_total,
             pairs: outcome.comparisons.iter().map(|c| c.pair).collect(),
@@ -571,11 +736,25 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             event!(Level::Info, "cli.checkpoint_final", path = path.as_str());
         }
     }
+    if let Some((w, path)) = emit_pairs.as_mut() {
+        w.flush().map_err(CliError::io(path.as_str()))?;
+    }
     run_span.record("epochs", session.reports().len());
     run_span.record("emitted", session.emitted().len());
     drop(run_span);
 
-    if let Some(truth) = truth {
+    if mutations.is_some() {
+        // Ground truth maps the *original* ids; deletes and amends leave
+        // holes and fresh ids it knows nothing about, so per-epoch recall
+        // is meaningless for a mutated stream.
+        let retracted = (0..session.profiles().len() as u32)
+            .filter(|&i| session.is_retracted(ProfileId(i)))
+            .count();
+        eprintln!(
+            "(mutation feed active — recall skipped; {retracted} retracted, {} tombstones pending)",
+            session.pending_tombstones(),
+        );
+    } else if let Some(truth) = truth {
         let recall = sper::eval::streaming_recall(&epochs, &truth);
         eprintln!();
         eprintln!("epoch  profiles  emissions  new_matches  recall");
