@@ -42,6 +42,7 @@ struct Report {
     n_profiles: usize,
     iters: usize,
     host: sper_bench::HostInfo,
+    stamp: sper_bench::RunStamp,
     measurements: Vec<Measurement>,
 }
 
@@ -158,6 +159,7 @@ fn main() {
         n_profiles: profiles.len(),
         iters,
         host: sper_bench::host_info(),
+        stamp: sper_bench::run_stamp(),
         measurements,
     };
     for m in &report.measurements {

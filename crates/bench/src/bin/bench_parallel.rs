@@ -76,6 +76,7 @@ struct Report {
     /// bounded by this, not by the requested thread count.
     host_parallelism: usize,
     host: sper_bench::HostInfo,
+    stamp: sper_bench::RunStamp,
     /// The SIMD kernel the runtime dispatcher chose for this run
     /// (`avx2`/`sse2`/`scalar`; forced to `scalar` under `SPER_NO_SIMD=1`).
     kernel_path: &'static str,
@@ -282,6 +283,7 @@ fn main() {
         iters,
         host_parallelism: Parallelism::available().get(),
         host: sper_bench::host_info(),
+        stamp: sper_bench::run_stamp(),
         kernel_path: sper_blocking::KernelPath::active().name(),
         curves,
     };

@@ -39,6 +39,7 @@ struct Report {
     n_profiles: usize,
     iters: usize,
     host: sper_bench::HostInfo,
+    stamp: sper_bench::RunStamp,
     /// Tokenize + block + schedule + index + neighbor-list, from raw
     /// profiles.
     cold_rebuild_ms: f64,
@@ -199,6 +200,7 @@ fn main() {
         n_profiles: profiles.len(),
         iters,
         host: sper_bench::host_info(),
+        stamp: sper_bench::run_stamp(),
         cold_rebuild_ms,
         cold_rebuild_peak_bytes,
         snapshot_write_ms,

@@ -90,6 +90,7 @@ struct Report {
     iters: usize,
     host_parallelism: usize,
     host: sper_bench::HostInfo,
+    stamp: sper_bench::RunStamp,
     /// The SIMD kernel the runtime dispatcher chose for this run
     /// (`avx2`/`sse2`/`scalar`; forced to `scalar` under `SPER_NO_SIMD=1`).
     kernel_path: &'static str,
@@ -245,6 +246,7 @@ fn main() {
         iters,
         host_parallelism: Parallelism::available().get(),
         host: sper_bench::host_info(),
+        stamp: sper_bench::run_stamp(),
         kernel_path: sper_blocking::KernelPath::active().name(),
         schemes,
         methods,

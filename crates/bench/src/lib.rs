@@ -64,6 +64,27 @@ pub fn host_info() -> HostInfo {
     }
 }
 
+/// Serializable mirror of [`sper_obs::RunStamp`]: when the numbers were
+/// taken and at which revision, so a committed `BENCH_*.json` can be
+/// matched to the commit that produced it without trusting git history.
+#[derive(Serialize, Debug, Clone)]
+pub struct RunStamp {
+    /// ISO-8601 UTC wall-clock time the report was produced.
+    pub timestamp: String,
+    /// Abbreviated git revision of the working tree (`"unknown"` when
+    /// not built inside a repository).
+    pub git_rev: String,
+}
+
+/// Captures the timestamp + git revision stamped into every BENCH report.
+pub fn run_stamp() -> RunStamp {
+    let s = sper_obs::RunStamp::capture();
+    RunStamp {
+        timestamp: s.timestamp,
+        git_rev: s.git_rev,
+    }
+}
+
 /// Installs the human-readable stderr sink the bench binaries report
 /// progress through (Info level) — their old `eprintln!` status lines,
 /// now flowing through the same pipeline the CLI's `-v` uses.

@@ -192,7 +192,10 @@ impl Parallelism {
     /// Every fan-out records per-worker busy time: into the global
     /// metrics registry (`parallel.worker_busy_us` histogram,
     /// `parallel.fanout_workers` gauge) when metrics are enabled, and
-    /// always into the slot [`take_last_fanout_stats`] reads.
+    /// always into the slot [`take_last_fanout_stats`] reads. With
+    /// `Debug`-level tracing on, each worker additionally closes one
+    /// `parallel.worker` span (worker index, chunks claimed, busy µs) —
+    /// the per-worker utilization lanes of the Chrome-trace export.
     pub fn steal_chunks<S, T, FI, F>(self, len: usize, min_chunk: usize, init: FI, f: F) -> Vec<T>
     where
         T: Send,
@@ -213,16 +216,25 @@ impl Parallelism {
         if workers == 1 {
             let mut scratch = init();
             let mut results = Vec::with_capacity(n_chunks);
+            let mut span = sper_obs::trace::SpanGuard::enter(
+                sper_obs::trace::Level::Debug,
+                "parallel.worker",
+                || vec![("worker", sper_obs::FieldValue::from(0u64))],
+            );
             let busy_start = Instant::now();
             for c in 0..n_chunks {
                 let range = (c * chunk).min(len)..((c + 1) * chunk).min(len);
                 results.push(f(&mut scratch, range, c));
             }
+            let busy = busy_start.elapsed();
+            span.record("chunks", n_chunks);
+            span.record("busy_us", busy.as_micros() as u64);
+            drop(span);
             record_fanout(
                 wall_start.elapsed(),
                 vec![WorkerStats {
                     worker: 0,
-                    busy: busy_start.elapsed(),
+                    busy,
                     chunks: n_chunks,
                 }],
             );
@@ -239,6 +251,14 @@ impl Parallelism {
                         let mut scratch = init();
                         let mut out: Vec<(usize, T)> = Vec::new();
                         let mut claimed = 0usize;
+                        // A per-worker timeline span: closed right after
+                        // the steal loop, it puts each worker's busy
+                        // window on its own lane in a Chrome-trace view.
+                        let mut span = sper_obs::trace::SpanGuard::enter(
+                            sper_obs::trace::Level::Debug,
+                            "parallel.worker",
+                            || vec![("worker", sper_obs::FieldValue::from(w as u64))],
+                        );
                         let busy_start = Instant::now();
                         loop {
                             let c = next.fetch_add(1, Ordering::Relaxed);
@@ -249,9 +269,13 @@ impl Parallelism {
                             out.push((c, f(&mut scratch, range, c)));
                             claimed += 1;
                         }
+                        let busy = busy_start.elapsed();
+                        span.record("chunks", claimed);
+                        span.record("busy_us", busy.as_micros() as u64);
+                        drop(span);
                         let stats = WorkerStats {
                             worker: w,
-                            busy: busy_start.elapsed(),
+                            busy,
                             chunks: claimed,
                         };
                         (out, stats)

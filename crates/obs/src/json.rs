@@ -1,0 +1,279 @@
+//! A minimal JSON reader for the crate's own outputs.
+//!
+//! `sper-obs` is dependency-free by charter (it sits under every other
+//! crate), so the profiler and the run report — which re-read the JSON
+//! this crate itself writes (trace lines, metrics dumps) — carry their
+//! own small recursive-descent parser instead of pulling in the
+//! workspace's vendored serde. It accepts standard JSON; numbers are read
+//! as `f64` (every number this crate emits fits), and malformed input
+//! yields `None`, never a panic.
+
+/// A parsed JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects; `None` elsewhere.
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        self.as_f64().filter(|n| *n >= 0.0).map(|n| n as u64)
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document; `None` on any syntax error or trailing junk.
+pub(crate) fn parse(text: &str) -> Option<JsonValue> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn eat(bytes: &[u8], pos: &mut usize, expected: u8) -> Option<()> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&expected) {
+        *pos += 1;
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => parse_string(bytes, pos).map(JsonValue::Str),
+        b't' => parse_literal(bytes, pos, b"true", JsonValue::Bool(true)),
+        b'f' => parse_literal(bytes, pos, b"false", JsonValue::Bool(false)),
+        b'n' => parse_literal(bytes, pos, b"null", JsonValue::Null),
+        _ => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &[u8],
+    value: JsonValue,
+) -> Option<JsonValue> {
+    if bytes[*pos..].starts_with(literal) {
+        *pos += literal.len();
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(JsonValue::Num)
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    eat(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return Some(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        // Surrogates (emitted only for astral-plane text,
+                        // which this crate never writes unescaped) are
+                        // replaced rather than rejected.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar from the remaining text.
+                let rest = std::str::from_utf8(&bytes[*pos..]).ok()?;
+                let c = rest.chars().next()?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Some(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b']' => {
+                *pos += 1;
+                return Some(JsonValue::Arr(items));
+            }
+            _ => return None,
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Option<JsonValue> {
+    eat(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Some(JsonValue::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        eat(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos)? {
+            b',' => *pos += 1,
+            b'}' => {
+                *pos += 1;
+                return Some(JsonValue::Obj(members));
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_trace_line() {
+        let line = "{\"t\":42,\"kind\":\"span\",\"level\":\"info\",\"name\":\"a.b\",\
+                    \"thread\":1,\"depth\":2,\"dur_ns\":7,\
+                    \"fields\":{\"n\":3,\"label\":\"x\\\"y\",\"ok\":true}}";
+        let v = parse(line).expect("valid");
+        assert_eq!(v.get("t").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("kind").and_then(JsonValue::as_str), Some("span"));
+        let fields = v.get("fields").expect("fields");
+        assert_eq!(
+            fields.get("label").and_then(JsonValue::as_str),
+            Some("x\"y")
+        );
+        assert_eq!(fields.get("ok"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn parses_nested_arrays_and_numbers() {
+        let v = parse("[1, -2.5, [\"x\", null], {\"a\": 1e3}]").expect("valid");
+        let JsonValue::Arr(items) = &v else {
+            panic!("array")
+        };
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[1].as_f64(), Some(-2.5));
+        assert_eq!(items[3].get("a").and_then(JsonValue::as_f64), Some(1000.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["{", "{\"a\":}", "[1,]", "tru", "\"unterminated", "1 2"] {
+            assert_eq!(parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = parse("\"a\\u0041\\n\"").expect("valid");
+        assert_eq!(v.as_str(), Some("aA\n"));
+    }
+
+    #[test]
+    fn object_keys_preserve_order() {
+        let v = parse("{\"z\":1,\"a\":2}").expect("valid");
+        let members = v.as_obj().unwrap();
+        assert_eq!(members[0].0, "z");
+        assert_eq!(members[1].0, "a");
+    }
+}

@@ -11,8 +11,18 @@
 //!   histograms ([`count!`]/[`observe!`]), exportable as Prometheus text
 //!   or JSON with deterministic ordering;
 //! * [`profiling`] — [`PeakAllocTracker`], a counting global allocator
-//!   for peak-heap measurement, and [`HostInfo`], a host fingerprint
-//!   stamped into bench baselines.
+//!   for peak-heap measurement, [`HostInfo`], a host fingerprint
+//!   stamped into bench baselines, and [`RunStamp`], artifact provenance.
+//!
+//! On top of the substrate, four introspection surfaces:
+//!
+//! * [`ring`] — [`RingSink`], the bounded drop-oldest flight recorder;
+//! * [`serve()`] — a dependency-free HTTP scrape endpoint
+//!   (`/metrics`, `/healthz`, `/buildz`, `/tracez`) for live runs;
+//! * [`profile`] — the span profiler: call-tree reconstruction with
+//!   collapsed-stack (flamegraph) and Chrome trace-event exports;
+//! * [`report`] — a self-contained HTML run report fusing trace,
+//!   metrics, and recall data with inline SVG charts.
 //!
 //! The crate has **zero dependencies** (not even the workspace's vendored
 //! ones): it must be embeddable under every other crate in the graph
@@ -44,12 +54,21 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 
 pub mod clock;
+mod json;
 pub mod metrics;
+pub mod profile;
 pub mod profiling;
+pub mod report;
+pub mod ring;
+pub mod serve;
 pub mod trace;
 
 pub use metrics::MetricsRegistry;
-pub use profiling::{HostInfo, PeakAllocTracker};
+pub use profile::{chrome_trace, parse_trace, ProfileRecord, SpanProfile};
+pub use profiling::{HostInfo, PeakAllocTracker, RunStamp};
+pub use report::{render_html, ReportInputs};
+pub use ring::{RingSink, DEFAULT_RING_CAPACITY};
+pub use serve::{serve, BuildInfo, ObsServer};
 pub use trace::{
     CaptureSink, FieldValue, JsonLinesSink, Level, MultiSink, Record, RecordKind, Sink, SpanGuard,
     StderrSink,

@@ -178,6 +178,114 @@ fn cpu_features() -> Vec<&'static str> {
     }
 }
 
+/// Provenance of a run: when it happened and what code produced it.
+/// Stamped into every committed artifact (bench baselines, run reports)
+/// so a number on disk can always be traced back to a commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStamp {
+    /// UTC wall-clock time, ISO-8601 (`2026-08-07T12:34:56Z`).
+    pub timestamp: String,
+    /// Short git revision of the working tree, `"unknown"` outside a
+    /// checkout.
+    pub git_rev: String,
+}
+
+impl RunStamp {
+    /// Captures the current time and revision. Never fails: a missing
+    /// `git` binary or a non-repo directory yields `git_rev: "unknown"`.
+    pub fn capture() -> Self {
+        Self {
+            timestamp: iso8601_utc_now(),
+            git_rev: git_rev(),
+        }
+    }
+}
+
+/// The current UTC time as `YYYY-MM-DDThh:mm:ssZ`, from `SystemTime`
+/// alone (no time-zone database needed for UTC).
+fn iso8601_utc_now() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let tod = secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}Z",
+        tod / 3600,
+        (tod % 3600) / 60,
+        tod % 60
+    )
+}
+
+/// Days-since-epoch to (year, month, day), proleptic Gregorian — the
+/// standard era-based civil-calendar conversion.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// The working tree's short revision: `git rev-parse`, falling back to
+/// reading `.git/HEAD` directly, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+    }
+    git_rev_from_dot_git().unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Resolves HEAD by hand for environments without a `git` binary: walks
+/// up from the current directory to a `.git/HEAD`, follows one level of
+/// `ref:` indirection through loose refs and `packed-refs`.
+fn git_rev_from_dot_git() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    let git = loop {
+        let candidate = dir.join(".git");
+        if candidate.is_dir() {
+            break candidate;
+        }
+        if !dir.pop() {
+            return None;
+        }
+    };
+    let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+    let head = head.trim();
+    let hash = if let Some(reference) = head.strip_prefix("ref: ") {
+        match std::fs::read_to_string(git.join(reference)) {
+            Ok(loose) => loose.trim().to_string(),
+            Err(_) => {
+                let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+                packed
+                    .lines()
+                    .find(|l| l.ends_with(reference))
+                    .and_then(|l| l.split_whitespace().next())?
+                    .to_string()
+            }
+        }
+    } else {
+        head.to_string()
+    };
+    (hash.len() >= 12 && hash.bytes().all(|b| b.is_ascii_hexdigit()))
+        .then(|| hash[..12].to_string())
+}
+
 /// Counts `processor` entries in `/proc/cpuinfo`; 0 when unavailable.
 fn cpuinfo_cores() -> usize {
     let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") else {
@@ -230,6 +338,24 @@ mod tests {
             assert!(host.host_parallelism >= 1);
             assert!(host.page_size >= 4096);
         }
+    }
+
+    #[test]
+    fn run_stamp_has_iso_timestamp_and_a_rev() {
+        let stamp = RunStamp::capture();
+        let t = stamp.timestamp.as_bytes();
+        assert_eq!(t.len(), 20, "{}", stamp.timestamp);
+        assert_eq!(t[4], b'-');
+        assert_eq!(t[10], b'T');
+        assert_eq!(t[19], b'Z');
+        assert!(!stamp.git_rev.is_empty());
+    }
+
+    #[test]
+    fn civil_conversion_hits_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1), "leap-adjacent");
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The flight recorder: a bounded in-memory ring buffer of recent trace
+//! records.
+//!
+//! [`RingSink`] keeps the last `capacity` records and drops the oldest on
+//! overflow — a fixed memory budget however long the session runs, which
+//! is what makes it safe to leave attached to a week-long stream. It
+//! backs the `/tracez` endpoint of [`serve`](crate::serve()): a scrape
+//! returns a JSON snapshot of the recent past without the run having to
+//! write (or rotate) a trace file.
+//!
+//! Recording takes one short mutex-guarded push; snapshotting clones the
+//! buffer under the same lock. Concurrent writers interleave at record
+//! granularity, never corrupt, and the drop-oldest policy is exact: with
+//! `n` records recorded into capacity `c`, the snapshot holds the last
+//! `min(n, c)` in record order and reports `n - min(n, c)` dropped.
+
+use crate::trace::{record_to_json, Record, Sink};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default flight-recorder capacity: enough for minutes of span-level
+/// history at streaming cadence, bounded at roughly single-digit MiB.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A bounded, drop-oldest in-memory trace sink (the flight recorder).
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    buf: Mutex<VecDeque<Record>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` records (at least one).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            buf: Mutex::new(VecDeque::with_capacity(capacity)),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records dropped (overwritten by newer ones) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the retained records, oldest first.
+    pub fn snapshot(&self) -> Vec<Record> {
+        self.buf
+            .lock()
+            .expect("ring sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Renders the ring as one JSON object:
+    /// `{"capacity":…,"dropped":…,"records":[…]}` with each record in the
+    /// JSON-lines schema of [`crate::trace`]. This is the `/tracez`
+    /// payload.
+    pub fn to_json(&self) -> String {
+        // Snapshot first so the (brief) lock is not held while formatting.
+        let records = self.snapshot();
+        let mut out = String::with_capacity(64 + records.len() * 96);
+        out.push_str("{\"capacity\":");
+        out.push_str(&self.capacity.to_string());
+        out.push_str(",\"dropped\":");
+        out.push_str(&self.dropped().to_string());
+        out.push_str(",\"records\":[");
+        for (i, record) in records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&record_to_json(record));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, record: &Record) {
+        let mut buf = self.buf.lock().expect("ring sink poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(record.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FieldValue, Level, RecordKind};
+    use std::sync::Arc;
+
+    fn rec(n: u64) -> Record {
+        Record {
+            t_ns: n,
+            kind: RecordKind::Event,
+            level: Level::Info,
+            name: "test.ring",
+            thread: 0,
+            depth: 0,
+            dur_ns: None,
+            fields: vec![("seq", FieldValue::U64(n))],
+        }
+    }
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let ring = RingSink::new(8);
+        for n in 0..5 {
+            ring.record(&rec(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(snap.first().unwrap().t_ns, 0);
+        assert_eq!(snap.last().unwrap().t_ns, 4);
+    }
+
+    #[test]
+    fn drops_oldest_on_overflow() {
+        let ring = RingSink::new(4);
+        for n in 0..10 {
+            ring.record(&rec(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(ring.dropped(), 6);
+        let kept: Vec<u64> = snap.iter().map(|r| r.t_ns).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "last `capacity` records, in order");
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let ring = RingSink::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(&rec(1));
+        ring.record(&rec(2));
+        assert_eq!(ring.snapshot().len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_counts() {
+        let ring = Arc::new(RingSink::new(64));
+        let threads = 8;
+        let per_thread = 100u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for n in 0..per_thread {
+                        ring.record(&rec(n));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = threads as u64 * per_thread;
+        assert_eq!(ring.snapshot().len(), 64);
+        assert_eq!(ring.dropped(), total - 64, "retained + dropped == recorded");
+    }
+
+    #[test]
+    fn json_shape_is_valid() {
+        let ring = RingSink::new(2);
+        ring.record(&rec(1));
+        ring.record(&rec(2));
+        ring.record(&rec(3));
+        let json = ring.to_json();
+        assert!(json.starts_with("{\"capacity\":2,\"dropped\":1,\"records\":["));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"name\":\"test.ring\"").count(), 2);
+    }
+
+    #[test]
+    fn empty_ring_renders_empty_array() {
+        let ring = RingSink::new(4);
+        assert_eq!(
+            ring.to_json(),
+            "{\"capacity\":4,\"dropped\":0,\"records\":[]}"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! The live scrape endpoint: a dependency-free HTTP/1.1 listener.
+//!
+//! [`serve()`](serve()) spawns one listener thread over [`std::net::TcpListener`] —
+//! no async runtime, no HTTP crate — answering the four read-only
+//! introspection routes of a running session:
+//!
+//! | route      | payload                                                |
+//! |------------|--------------------------------------------------------|
+//! | `/metrics` | Prometheus exposition text (the global registry)       |
+//! | `/healthz` | `ok\n` — liveness                                      |
+//! | `/buildz`  | build + host JSON ([`BuildInfo`] and [`HostInfo`])     |
+//! | `/tracez`  | flight-recorder snapshot ([`RingSink::to_json`])       |
+//!
+//! Requests are served one at a time with `Connection: close` and short
+//! socket timeouts — a scraper stuck mid-request can delay the next
+//! scrape but can never wedge the session, which runs on its own
+//! threads. The server only ever *reads* shared state (the metrics
+//! registry, the ring buffer), so attaching it cannot perturb emission.
+//!
+//! [`HostInfo`]: crate::profiling::HostInfo
+
+use crate::profiling::HostInfo;
+use crate::ring::RingSink;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Static build identity reported by `/buildz`.
+#[derive(Debug, Clone)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION` of the binary).
+    pub version: String,
+    /// Active similarity kernel path (e.g. `"simd"` or `"scalar"`).
+    pub kernel: String,
+}
+
+/// Handle to a running scrape server. Dropping it shuts the listener
+/// down and joins the thread.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .field("requests", &self.requests())
+            .finish()
+    }
+}
+
+impl ObsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far (counted at accept, so a client that
+    /// has seen its response close is guaranteed to be included).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the listener and joins its thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept()`; a throwaway local
+        // connection unblocks it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the scrape server on `addr` (e.g. `"127.0.0.1:0"` for an
+/// ephemeral port). The optional `ring` backs `/tracez`; without one the
+/// route answers an empty snapshot.
+pub fn serve(
+    addr: impl ToSocketAddrs,
+    build: BuildInfo,
+    ring: Option<Arc<RingSink>>,
+) -> std::io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests = Arc::new(AtomicU64::new(0));
+    let thread_stop = Arc::clone(&stop);
+    let thread_requests = Arc::clone(&requests);
+    let handle = std::thread::Builder::new()
+        .name("sper-obs-serve".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if thread_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                // Count at accept time: by the time a client sees the
+                // connection close (its read-to-EOF framing), the tally
+                // already includes it.
+                thread_requests.fetch_add(1, Ordering::Relaxed);
+                let _ = handle_connection(stream, &build, ring.as_deref());
+            }
+        })?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        requests,
+        handle: Some(handle),
+    })
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    build: &BuildInfo,
+    ring: Option<&RingSink>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers (ignored — every route is GET with no body).
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    // Ignore any query string: `/metrics?x=1` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = crate::metrics::global().to_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/buildz" => respond(&mut stream, 200, "application/json", &buildz_json(build)),
+        "/tracez" => {
+            let body = match ring {
+                Some(ring) => ring.to_json(),
+                None => "{\"capacity\":0,\"dropped\":0,\"records\":[]}".to_string(),
+            };
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn buildz_json(build: &BuildInfo) -> String {
+    let host = HostInfo::probe();
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"version\":");
+    crate::trace::json_string(&mut out, &build.version);
+    out.push_str(",\"kernel\":");
+    crate::trace::json_string(&mut out, &build.kernel);
+    out.push_str(",\"host\":{\"os\":");
+    crate::trace::json_string(&mut out, host.os);
+    out.push_str(",\"cores\":");
+    out.push_str(&host.cores.to_string());
+    out.push_str(",\"parallelism\":");
+    out.push_str(&host.host_parallelism.to_string());
+    out.push_str(",\"cpu_features\":[");
+    for (i, feature) in host.cpu_features.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        crate::trace::json_string(&mut out, feature);
+    }
+    out.push_str("]}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{FieldValue, Level, Record, RecordKind, Sink};
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, request: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("write request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn get_path(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        get(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n"),
+        )
+    }
+
+    fn test_build() -> BuildInfo {
+        BuildInfo {
+            version: "9.9.9-test".to_string(),
+            kernel: "scalar".to_string(),
+        }
+    }
+
+    #[test]
+    fn serves_health_build_and_404() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+
+        let (status, head, body) = get_path(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        assert!(head.contains("Connection: close"));
+
+        let (status, _, body) = get_path(addr, "/buildz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"version\":\"9.9.9-test\""), "{body}");
+        assert!(body.contains("\"kernel\":\"scalar\""), "{body}");
+        assert!(body.contains("\"cores\":"), "{body}");
+
+        let (status, _, _) = get_path(addr, "/nope");
+        assert_eq!(status, 404);
+
+        let requests_before = server.requests();
+        assert!(requests_before >= 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_metrics_and_rejects_post() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+
+        let (status, head, _) = get_path(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("text/plain"), "{head}");
+
+        let (status, _, _) = get(addr, "POST /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tracez_reflects_the_ring() {
+        let ring = Arc::new(RingSink::new(8));
+        ring.record(&Record {
+            t_ns: 1,
+            kind: RecordKind::Event,
+            level: Level::Info,
+            name: "serve.test",
+            thread: 0,
+            depth: 0,
+            dur_ns: None,
+            fields: vec![("n", FieldValue::U64(7))],
+        });
+        let mut server = serve("127.0.0.1:0", test_build(), Some(Arc::clone(&ring))).expect("bind");
+        let (status, _, body) = get_path(server.addr(), "/tracez");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"name\":\"serve.test\""), "{body}");
+        assert!(body.starts_with("{\"capacity\":8,"), "{body}");
+
+        // Without a ring the route still answers.
+        server.shutdown();
+        let mut bare = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let (status, _, body) = get_path(bare.addr(), "/tracez");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"capacity\":0,\"dropped\":0,\"records\":[]}");
+        bare.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        // Port is released: a fresh bind on the same address succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+}

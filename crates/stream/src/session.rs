@@ -280,6 +280,13 @@ pub struct ProgressiveSession {
     /// Retracted ids not yet compacted away, in retraction order
     /// (sorted when dehydrated — the set, not the order, is the state).
     pending: Vec<ProfileId>,
+    /// When this process opened (or rehydrated) the session — the origin
+    /// of the time-to-first-emission measure. Observational only, never
+    /// persisted: a resumed session measures from the resume.
+    t_origin: Instant,
+    /// Microseconds from `t_origin` to the first emitted comparison of
+    /// this process, once one exists.
+    first_emission_us: Option<u64>,
 }
 
 impl ProgressiveSession {
@@ -324,6 +331,8 @@ impl ProgressiveSession {
             retracted,
             n_retracted: 0,
             pending: Vec::new(),
+            t_origin: Instant::now(),
+            first_emission_us: None,
         }
     }
 
@@ -450,12 +459,23 @@ impl ProgressiveSession {
             retracted: dead,
             n_retracted,
             pending: pending_tombstones,
+            t_origin: Instant::now(),
+            first_emission_us: None,
         }
     }
 
     /// The current collection.
     pub fn profiles(&self) -> &ProfileCollection {
         &self.profiles
+    }
+
+    /// Microseconds from session open (or resume) to the first comparison
+    /// this process emitted; `None` until one exists. Time-to-first-result
+    /// is the paper's headline progressive measure, so the session tracks
+    /// it directly (also exported as the `session.first_emission_us`
+    /// gauge).
+    pub fn first_emission_us(&self) -> Option<u64> {
+        self.first_emission_us
     }
 
     /// Pairs emitted so far, across all epochs.
@@ -732,6 +752,21 @@ impl ProgressiveSession {
         sper_obs::count!("session.suppressed", suppressed);
         sper_obs::observe!("session.epoch_init_us", init_time.as_secs_f64() * 1e6);
         sper_obs::observe!("session.epoch_emit_us", emission_time.as_secs_f64() * 1e6);
+        // Progress gauges: the live-scrape view of "where is this
+        // session right now" (epoch counters above only ever accumulate).
+        if self.first_emission_us.is_none() && !comparisons.is_empty() {
+            let us = u64::try_from(self.t_origin.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.first_emission_us = Some(us);
+            sper_obs::gauge!("session.first_emission_us", us as i64);
+        }
+        sper_obs::gauge!("session.epoch", self.reports.len() as i64 + 1);
+        sper_obs::gauge!("session.emitted_total", self.emitted.len() as i64);
+        sper_obs::gauge!("session.profiles", self.profiles.len() as i64);
+        let live = (self.profiles.len() - self.n_retracted).max(1);
+        sper_obs::gauge!(
+            "session.tombstone_permille",
+            (self.pending.len() as f64 / live as f64 * 1000.0) as i64
+        );
         let comparisons_per_sec = if emission_time.as_secs_f64() > 0.0 {
             raw as f64 / emission_time.as_secs_f64()
         } else {

@@ -10,6 +10,8 @@
 //!               [--mutations feed.txt] [--emit-pairs pairs.csv]
 //! sper snapshot <dataset|profiles.csv> [--out snapshot.sper] [--with-graph]
 //! sper resume   <run.sper> [--epoch-budget N] [--checkpoint run.sper]
+//! sper report   --trace run.jsonl [--metrics run.json] [--recall recall.csv]
+//!               [--out report.html] [--title NAME]
 //! ```
 //!
 //! * `resolve` — emit likely matches best-first, scored with the Jaccard
@@ -35,26 +37,45 @@
 //! usage errors exit 2, runtime errors (IO, corrupt stores, bad data)
 //! exit 1.
 //!
+//! * `report` — fuse a `--trace` JSONL and a `--metrics` JSON dump (plus
+//!   an optional recall CSV) into one self-contained HTML file.
+//!
 //! Observability flags (valid after any subcommand): `-v`/`-vv` stream
 //! human-readable progress to stderr, `--trace FILE` writes a
 //! machine-readable JSON-lines trace, `--metrics FILE` dumps the metrics
 //! registry on exit (Prometheus text format, or JSON when FILE ends in
-//! `.json`). Tracing never changes emissions: all output-producing paths
-//! are bit-identical with and without it.
+//! `.json`). The stderr sink filters to its own `-v` level independently
+//! of every other sink: `--trace` alone prints nothing to the terminal.
+//!
+//! Live introspection: `--listen ADDR` starts a scrape endpoint
+//! (`/metrics`, `/healthz`, `/buildz`, `/tracez`) on a background thread
+//! for the duration of the run; `--profile FILE` writes collapsed stacks
+//! (flamegraph.pl/inferno format) and `--chrome-trace FILE` a Perfetto-
+//! loadable trace-event JSON, both aggregated from the span stream;
+//! `--progress` renders a single in-place status line on a TTY stderr.
+//! None of it changes emissions: all output-producing paths are
+//! bit-identical with observability on or off.
 
 use sper::prelude::*;
 use sper_model::io as model_io;
 use sper_model::{Attribute, JaccardMatcher, ProfileId, ProfileText};
 use sper_obs::{event, span, Level};
-use std::io::Write;
+use std::io::{IsTerminal, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The counting allocator behind the `--progress` peak-RSS readout and
+/// the per-epoch `cli.epoch_alloc` trace events. Two relaxed atomic ops
+/// per allocation — unobservable next to the allocation itself.
+#[global_allocator]
+static ALLOC: sper_obs::PeakAllocTracker = sper_obs::PeakAllocTracker::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let obs = match ObsSetup::from_args(&args) {
+    let mut obs = match ObsSetup::from_args(&args) {
         Ok(obs) => obs,
         Err(err) => {
             eprintln!("error: {err}");
@@ -81,15 +102,32 @@ fn main() -> ExitCode {
     }
 }
 
-/// The observability configuration of one invocation: sinks installed up
-/// front, the metrics dump written after the subcommand returns.
+/// The observability configuration of one invocation: sinks (and the
+/// scrape server) installed up front, exports written after the
+/// subcommand returns.
 struct ObsSetup {
     metrics_out: Option<String>,
+    profile_out: Option<String>,
+    chrome_out: Option<String>,
+    /// In-process record capture feeding `--profile`/`--chrome-trace`.
+    capture: Option<Arc<sper_obs::CaptureSink>>,
+    /// The `--listen` scrape server, held open for the whole run.
+    server: Option<sper_obs::ObsServer>,
+    /// The `--progress` status-line renderer, if active.
+    progress: Option<ProgressLine>,
 }
 
 impl ObsSetup {
-    /// Parses `-v`/`-vv`, `--trace FILE` and `--metrics FILE`, installing
-    /// the trace sink and enabling the metrics registry as requested.
+    /// Parses the observability flags (`-v`/`-vv`, `--trace`, `--metrics`,
+    /// `--listen`, `--profile`, `--chrome-trace`, `--progress`),
+    /// installing sinks, starting the scrape server, and enabling the
+    /// metrics registry as requested.
+    ///
+    /// Each sink filters independently: the stderr sink shows exactly the
+    /// `-v` level however detailed the global threshold is, while the
+    /// trace file, the flight-recorder ring, and the profiler capture
+    /// always get Debug detail. The global threshold is the most detailed
+    /// level any installed sink wants.
     fn from_args(args: &[String]) -> Result<Self, CliError> {
         let verbosity = args
             .iter()
@@ -100,8 +138,15 @@ impl ObsSetup {
             })
             .max()
             .unwrap_or(0);
-        let trace_path = flag(args, "--trace");
-        let metrics_out = flag(args, "--metrics");
+        // `sper report` *consumes* `--trace`/`--metrics` files; installing
+        // the writer sinks would truncate its inputs. Only `-v` applies.
+        let reading = args.first().map(String::as_str) == Some("report");
+        let trace_path = flag(args, "--trace").filter(|_| !reading);
+        let metrics_out = flag(args, "--metrics").filter(|_| !reading);
+        let profile_out = flag(args, "--profile").filter(|_| !reading);
+        let chrome_out = flag(args, "--chrome-trace").filter(|_| !reading);
+        let listen = flag(args, "--listen").filter(|_| !reading);
+        let progress_wanted = !reading && args.iter().any(|a| a == "--progress");
 
         let mut sinks: Vec<Arc<dyn sper_obs::Sink>> = Vec::new();
         if verbosity > 0 {
@@ -117,10 +162,21 @@ impl ObsSetup {
                 .map_err(CliError::io(path.as_str()))?;
             sinks.push(Arc::new(sink));
         }
+        let capture = (profile_out.is_some() || chrome_out.is_some())
+            .then(|| Arc::new(sper_obs::CaptureSink::new()));
+        if let Some(capture) = &capture {
+            sinks.push(Arc::clone(capture) as Arc<dyn sper_obs::Sink>);
+        }
+        let ring = listen
+            .as_ref()
+            .map(|_| Arc::new(sper_obs::RingSink::new(sper_obs::DEFAULT_RING_CAPACITY)));
+        if let Some(ring) = &ring {
+            sinks.push(Arc::clone(ring) as Arc<dyn sper_obs::Sink>);
+        }
         if !sinks.is_empty() {
-            // The trace file always captures Debug detail; the stderr
-            // sink filters itself down to the `-v` level.
-            let level = if trace_path.is_some() || verbosity >= 2 {
+            // The machine-readable sinks want full Debug detail; stderr
+            // keeps filtering itself to the `-v` level either way.
+            let level = if verbosity >= 2 || sinks.len() > usize::from(verbosity > 0) {
                 Level::Debug
             } else {
                 Level::Info
@@ -132,15 +188,63 @@ impl ObsSetup {
             };
             sper_obs::trace::install_sink(sink, level);
         }
-        if metrics_out.is_some() {
+        let server = listen
+            .map(|addr| {
+                let build = sper_obs::BuildInfo {
+                    version: env!("CARGO_PKG_VERSION").to_string(),
+                    kernel: sper::blocking::KernelPath::active().name().to_string(),
+                };
+                let server = sper_obs::serve(addr.as_str(), build, ring.clone())
+                    .map_err(CliError::io(addr.as_str()))?;
+                // The one place the bound address is reported — tests and
+                // scripts parse this line to find an ephemeral port.
+                eprintln!("listening on {}", server.addr());
+                Ok::<_, CliError>(server)
+            })
+            .transpose()?;
+        // The scrape endpoint and the progress line both read the
+        // registry, so either one turns it on.
+        if metrics_out.is_some() || server.is_some() || progress_wanted {
             sper_obs::metrics::set_enabled(true);
         }
-        Ok(Self { metrics_out })
+        // The progress line owns the terminal's current row: suppressed
+        // when stderr is not a TTY (it would garble piped output) or when
+        // `-v` already streams records onto the same stream.
+        let progress = (progress_wanted && verbosity == 0 && std::io::stderr().is_terminal())
+            .then(ProgressLine::start);
+        Ok(Self {
+            metrics_out,
+            profile_out,
+            chrome_out,
+            capture,
+            server,
+            progress,
+        })
     }
 
-    /// Flushes the trace and writes the metrics dump, if requested.
-    fn finish(&self) -> Result<(), CliError> {
+    /// Stops the live surfaces and writes every requested export: the
+    /// metrics dump, the collapsed-stack profile, the Chrome trace.
+    fn finish(&mut self) -> Result<(), CliError> {
+        if let Some(progress) = self.progress.take() {
+            progress.stop();
+        }
         sper_obs::trace::clear_sink();
+        if let Some(server) = &mut self.server {
+            server.shutdown();
+        }
+        if let Some(capture) = &self.capture {
+            let records: Vec<sper_obs::ProfileRecord> =
+                capture.records().iter().map(Into::into).collect();
+            if let Some(path) = &self.profile_out {
+                let profile = sper_obs::SpanProfile::from_records(&records).with_threads(&records);
+                std::fs::write(path, profile.to_collapsed())
+                    .map_err(CliError::io(path.as_str()))?;
+            }
+            if let Some(path) = &self.chrome_out {
+                std::fs::write(path, sper_obs::chrome_trace(&records))
+                    .map_err(CliError::io(path.as_str()))?;
+            }
+        }
         if let Some(path) = &self.metrics_out {
             let registry = sper_obs::metrics::global();
             let text = if path.ends_with(".json") {
@@ -151,6 +255,62 @@ impl ObsSetup {
             std::fs::write(path, text).map_err(CliError::io(path.as_str()))?;
         }
         Ok(())
+    }
+}
+
+/// The `--progress` in-place status line: a background thread re-renders
+/// one stderr row (epoch, pairs, throughput, peak RSS) from the metrics
+/// registry a few times a second, and clears it on stop. Purely
+/// observational — it only ever *reads* the registry and the allocator.
+struct ProgressLine {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ProgressLine {
+    fn start() -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("sper-progress".to_string())
+            .spawn(move || {
+                let registry = sper_obs::metrics::global();
+                let mut last_raw = 0u64;
+                let mut last_t = Instant::now();
+                while !thread_stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                    let epoch = registry.gauge("session.epoch").get();
+                    let raw = registry.counter("session.raw_emissions").get();
+                    let emitted = registry.gauge("session.emitted_total").get();
+                    let dt = last_t.elapsed().as_secs_f64();
+                    let cps = if dt > 0.0 {
+                        (raw.saturating_sub(last_raw)) as f64 / dt
+                    } else {
+                        0.0
+                    };
+                    last_raw = raw;
+                    last_t = Instant::now();
+                    let peak_mib = ALLOC.peak_bytes() as f64 / (1024.0 * 1024.0);
+                    // `\r` + clear-to-end keeps the line in place however
+                    // much shorter the new render is.
+                    eprint!(
+                        "\repoch {epoch} · {emitted} pairs · {cps:.0} cmp/s · peak {peak_mib:.0} MiB\x1b[K"
+                    );
+                }
+                eprint!("\r\x1b[K");
+            })
+            .expect("spawn progress thread");
+        Self {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -212,10 +372,18 @@ const USAGE: &str = "usage:
                 [--with-graph]
   sper resume   <checkpoint.sper> [--epoch-budget N] [--threads N]
                 [--checkpoint FILE]
+  sper report   --trace FILE [--metrics FILE] [--recall FILE]
+                [--out FILE] [--title NAME]
 
 Observability (any subcommand): -v / -vv print progress to stderr,
 --trace FILE writes a JSON-lines span/event trace, --metrics FILE dumps
 the metrics registry on exit (Prometheus text, or JSON for *.json).
+--listen ADDR serves /metrics /healthz /buildz /tracez while the run is
+live (port 0 picks one; the bound address prints to stderr).
+--profile FILE writes collapsed stacks (flamegraph.pl/inferno),
+--chrome-trace FILE a Perfetto-loadable trace-event JSON.
+--progress renders an in-place status line on a TTY stderr
+(suppressed under -v). None of these change what gets emitted.
 
 --threads defaults to the machine's available parallelism; results are
 bit-identical at any thread count — with or without tracing. Checkpoints
@@ -291,6 +459,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         Some("stream") => stream(args),
         Some("snapshot") => snapshot(args),
         Some("resume") => resume(args),
+        Some("report") => report(args),
         _ => Err(CliError::usage("missing or unknown subcommand")),
     }
 }
@@ -438,6 +607,21 @@ fn evaluate(args: &[String]) -> Result<(), CliError> {
     println!("AUC*@{ec_star:<7}: {:.4}", result.auc(ec_star));
     println!("init time     : {:?}", result.init_time);
     Ok(())
+}
+
+/// Emits the per-epoch allocation sample (`cli.epoch_alloc`: this epoch's
+/// peak heap bytes) and resets the high-water mark, so each epoch reports
+/// its own peak rather than the run's running maximum. The run report
+/// charts these events against the epoch wall-clock series.
+fn record_epoch_alloc(epoch: usize) {
+    event!(
+        Level::Debug,
+        "cli.epoch_alloc",
+        epoch = epoch,
+        peak_bytes = ALLOC.peak_bytes() as u64,
+        live_bytes = ALLOC.live_bytes() as u64,
+    );
+    ALLOC.reset_peak();
 }
 
 /// The per-epoch CSV header every streaming-shaped subcommand shares.
@@ -694,6 +878,7 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             apply_mutations(&mut session, &ops[batch_no], path)?;
         }
         let outcome = session.emit_epoch(epoch_budget);
+        record_epoch_alloc(outcome.report.epoch);
         print_epoch_row(&outcome);
         if let Some((w, path)) = emit_pairs.as_mut() {
             for c in &outcome.comparisons {
@@ -856,6 +1041,7 @@ fn resume(args: &[String]) -> Result<(), CliError> {
     println!("{EPOCH_HEADER}");
     loop {
         let outcome = session.emit_epoch(epoch_budget);
+        record_epoch_alloc(outcome.report.epoch);
         print_epoch_row(&outcome);
         // An unbudgeted epoch is already exhaustive. A budgeted drain
         // loops while epochs fill their budget; the first epoch that
@@ -878,6 +1064,53 @@ fn resume(args: &[String]) -> Result<(), CliError> {
             .map_err(CliError::store(&out))?;
         event!(Level::Info, "cli.checkpoint_final", path = out.as_str());
     }
+    Ok(())
+}
+
+/// Fuses a `--trace` JSONL, a `--metrics` JSON dump, and an optional
+/// recall CSV into one self-contained HTML report (inline SVG charts, no
+/// external assets of any kind — it renders from an archive or a mail
+/// attachment).
+fn report(args: &[String]) -> Result<(), CliError> {
+    let trace_path = flag(args, "--trace")
+        .ok_or_else(|| CliError::usage("report needs --trace FILE (a JSON-lines trace)"))?;
+    let out = flag(args, "--out").unwrap_or_else(|| "report.html".into());
+    let trace_text =
+        std::fs::read_to_string(&trace_path).map_err(CliError::io(trace_path.as_str()))?;
+    let metrics_json = flag(args, "--metrics")
+        .map(|p| std::fs::read_to_string(&p).map_err(CliError::io(p.as_str())))
+        .transpose()?;
+    let recall_csv = flag(args, "--recall")
+        .map(|p| std::fs::read_to_string(&p).map_err(CliError::io(p.as_str())))
+        .transpose()?;
+    let title = flag(args, "--title").unwrap_or_else(|| {
+        Path::new(&trace_path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "sper run".into())
+    });
+    let stamp = sper_obs::RunStamp::capture();
+    let inputs = sper_obs::ReportInputs {
+        title,
+        trace: sper_obs::parse_trace(&trace_text),
+        metrics_json,
+        recall_csv,
+        stamp: Some(format!("{} @ {}", stamp.timestamp, stamp.git_rev)),
+    };
+    let html = sper_obs::render_html(&inputs);
+    std::fs::write(&out, &html).map_err(CliError::io(out.as_str()))?;
+    event!(
+        Level::Info,
+        "cli.report",
+        path = out.as_str(),
+        records = inputs.trace.len(),
+        bytes = html.len(),
+    );
+    eprintln!(
+        "wrote {out} ({} records, {} bytes)",
+        inputs.trace.len(),
+        html.len()
+    );
     Ok(())
 }
 
