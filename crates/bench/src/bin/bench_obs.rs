@@ -55,6 +55,19 @@ struct Report {
     /// runs, and how many older ones it evicted.
     ring_len: usize,
     ring_dropped: u64,
+    /// Median wall-clock with the fault registry fully disarmed, ms.
+    fault_unarmed_ms: f64,
+    /// Median wall-clock with the registry armed on an inert site (a
+    /// failpoint that no code path ever hits), ms.
+    fault_armed_ms: f64,
+    /// Median paired armed-inert/unarmed ratio. Armed-but-not-matching
+    /// is the *expensive* side of the unarmed-failpoint claim (every hit
+    /// site takes the registry lock instead of one relaxed load), so
+    /// this bounds the cost of compiling failpoints in — 1.01 is the
+    /// budget.
+    fault_overhead: f64,
+    /// The armed-inert run emitted the same stream as the dark run.
+    fault_identical: bool,
 }
 
 /// Streams the rows in `batches` ingest/emit rounds and returns every
@@ -163,12 +176,48 @@ fn main() {
     }
     server.shutdown();
     disarm();
+
+    // Failpoint harness cost, measured from its expensive side: an
+    // *armed* registry whose only site is never hit forces every real
+    // site the stream touches through the slow registry path, so the
+    // ratio upper-bounds what unarmed failpoints (one relaxed load per
+    // site) can cost. Probes stay dark — this isolates the fault layer.
+    assert!(!sper_obs::fault::armed(), "a fault schedule leaked in");
+    sper_obs::fault::arm("bench.inert.site=err(io)").expect("inert schedule parses");
+    let inert = stream_once(&rows, batches);
+    let fault_identical = dark == inert;
+    assert_eq!(
+        sper_obs::fault::fired("bench.inert.site"),
+        0,
+        "the inert site must never fire"
+    );
+    sper_obs::fault::disarm();
+    let mut fault_offs = Vec::with_capacity(iters);
+    let mut fault_ons = Vec::with_capacity(iters);
+    let mut fault_ratios = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        sper_obs::fault::disarm();
+        let t0 = Instant::now();
+        std::hint::black_box(stream_once(&rows, batches));
+        let off = t0.elapsed().as_secs_f64() * 1e3;
+        sper_obs::fault::arm("bench.inert.site=err(io)").expect("inert schedule parses");
+        let t0 = Instant::now();
+        std::hint::black_box(stream_once(&rows, batches));
+        let on = t0.elapsed().as_secs_f64() * 1e3;
+        fault_offs.push(off);
+        fault_ons.push(on);
+        fault_ratios.push(on / off);
+    }
+    sper_obs::fault::disarm();
+
     let median = |mut v: Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v[v.len() / 2]
     };
     let (off_ms, on_ms) = (median(offs), median(ons));
     let overhead = median(ratios);
+    let (fault_unarmed_ms, fault_armed_ms) = (median(fault_offs), median(fault_ons));
+    let fault_overhead = median(fault_ratios);
     let report = Report {
         dataset: "movies".into(),
         n_profiles: rows.len(),
@@ -184,6 +233,10 @@ fn main() {
         emissions: dark.len(),
         ring_len: ring.snapshot().len(),
         ring_dropped: ring.dropped(),
+        fault_unarmed_ms,
+        fault_armed_ms,
+        fault_overhead: (fault_overhead * 10_000.0).round() / 10_000.0,
+        fault_identical,
     };
     println!(
         "dark {:>9.3} ms   instrumented {:>9.3} ms   overhead {:>5.2}%   identical {}",
@@ -191,6 +244,13 @@ fn main() {
         report.on_ms,
         (report.overhead - 1.0) * 100.0,
         report.identical
+    );
+    println!(
+        "fault unarmed {:>9.3} ms   armed-inert {:>9.3} ms   overhead {:>5.2}%   identical {}",
+        report.fault_unarmed_ms,
+        report.fault_armed_ms,
+        (report.fault_overhead - 1.0) * 100.0,
+        report.fault_identical
     );
     if let Err(e) = std::fs::write(&out, serde::json::to_string(&report)) {
         eprintln!("error: {out}: {e}");
@@ -201,10 +261,21 @@ fn main() {
         eprintln!("error: instrumentation changed the emission stream");
         std::process::exit(1);
     }
+    if !report.fault_identical {
+        eprintln!("error: an armed (never-firing) fault schedule changed the emission stream");
+        std::process::exit(1);
+    }
     if !quick && report.overhead > 1.05 {
         eprintln!(
             "error: instrumentation overhead {:.2}% exceeds the 5% budget",
             (report.overhead - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    if !quick && report.fault_overhead > 1.01 {
+        eprintln!(
+            "error: failpoint overhead {:.2}% exceeds the 1% budget",
+            (report.fault_overhead - 1.0) * 100.0
         );
         std::process::exit(1);
     }

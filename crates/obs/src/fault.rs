@@ -1,0 +1,563 @@
+//! Deterministic fault injection: a registry of named failpoints.
+//!
+//! Every syscall-adjacent site in the engine (section writes, the
+//! temp+rename commit, fsync, the scrape listener's accept/read/write,
+//! checkpointing) evaluates a named failpoint. Unarmed — the production
+//! state — a failpoint is **one relaxed atomic load**, the same gate
+//! discipline as [`event!`](crate::event!) and [`count!`](crate::count!),
+//! so the sites can live on hot paths permanently. Armed via the
+//! `SPER_FAILPOINTS` environment variable or `--failpoints SPEC` on the
+//! CLI, each site runs a deterministic schedule, which is what makes
+//! fault testing reproducible and proptest-drivable: the same spec
+//! against the same workload injects the same faults at the same
+//! instructions, every run.
+//!
+//! # Grammar
+//!
+//! ```text
+//! spec    = site '=' [trigger '*'] action (';' site '=' … )*
+//! trigger = COUNT            fire on the first COUNT evaluations
+//!         | 'N' 'in' 'M'     fire on the last N evaluations of every
+//!                            window of M (1in5 → hits 5, 10, 15, …)
+//!         | (absent)         fire on every evaluation
+//! action  = 'err' ['(' kind ')']     injected io::Error (default kind io)
+//!         | 'partial' '(' n ')'      short write: n bytes then an error
+//!         | 'delay' '(' ms ')'       sleep, then proceed normally
+//!         | 'panic'                  panic at the site
+//! ```
+//!
+//! `SPER_FAILPOINTS='store.rename=1*err(io);store.fsync=1in5*delay(50)'`
+//! fails the first rename and stalls every fifth fsync. The `NinM` form
+//! counts from the *end* of each window so a schedule can skip early
+//! hits and target a later checkpoint — `1in3` first fires on the third
+//! evaluation, not the first.
+//!
+//! # Site registry
+//!
+//! Sites are open-ended strings; arming an unknown site is legal (it
+//! never fires). The sites threaded through the engine:
+//!
+//! | site                  | where                                        |
+//! |-----------------------|----------------------------------------------|
+//! | `store.write.section` | each section body written to a temp file     |
+//! | `store.fsync`         | the fsync before the commit rename           |
+//! | `store.rename`        | the temp→final and last-good rotation renames|
+//! | `store.read`          | reading a store file back                    |
+//! | `serve.accept`        | the scrape listener's accept loop            |
+//! | `serve.read`          | reading a scrape request                     |
+//! | `serve.write`         | writing a scrape response                    |
+//! | `stream.checkpoint`   | each checkpoint attempt (before the write)   |
+//! | `session.epoch`       | entry of [`emit_epoch`] (delay/panic only)   |
+//!
+//! [`emit_epoch`]: ../../sper_stream/struct.ProgressiveSession.html#method.emit_epoch
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// The error kinds nameable in `err(kind)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrKind {
+    /// Generic I/O failure (`ErrorKind::Other`) — the default.
+    Io,
+    /// `ErrorKind::NotFound`.
+    NotFound,
+    /// `ErrorKind::PermissionDenied`.
+    Denied,
+    /// `ErrorKind::Interrupted` — the kind retry loops classically eat.
+    Interrupted,
+    /// `ErrorKind::TimedOut`.
+    Timeout,
+    /// `ErrorKind::BrokenPipe`.
+    Pipe,
+    /// `ErrorKind::UnexpectedEof`.
+    Eof,
+    /// `ErrorKind::StorageFull` — the full-disk case.
+    Full,
+}
+
+impl ErrKind {
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "io" => ErrKind::Io,
+            "notfound" => ErrKind::NotFound,
+            "denied" => ErrKind::Denied,
+            "interrupted" => ErrKind::Interrupted,
+            "timeout" => ErrKind::Timeout,
+            "pipe" => ErrKind::Pipe,
+            "eof" => ErrKind::Eof,
+            "full" => ErrKind::Full,
+            _ => return None,
+        })
+    }
+
+    /// The `std::io::ErrorKind` this injects.
+    pub fn io_kind(self) -> std::io::ErrorKind {
+        use std::io::ErrorKind as K;
+        match self {
+            ErrKind::Io => K::Other,
+            ErrKind::NotFound => K::NotFound,
+            ErrKind::Denied => K::PermissionDenied,
+            ErrKind::Interrupted => K::Interrupted,
+            ErrKind::Timeout => K::TimedOut,
+            ErrKind::Pipe => K::BrokenPipe,
+            ErrKind::Eof => K::UnexpectedEof,
+            ErrKind::Full => K::StorageFull,
+        }
+    }
+}
+
+/// What an armed failpoint does when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return an injected [`std::io::Error`] of the given kind.
+    Err(ErrKind),
+    /// Allow only the first `n` bytes of the operation, then fail — the
+    /// torn-write case. Sites without a byte stream treat it as `Err`.
+    Partial(usize),
+    /// Sleep for the given milliseconds, then proceed normally.
+    Delay(u64),
+    /// Panic at the site — the kill-at-this-instruction case.
+    Panic,
+}
+
+/// When an armed site's action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on the first `n` evaluations, then go dormant (`3*`).
+    Times(u64),
+    /// Fire on the last `n` evaluations of every window of `m` (`1in5`
+    /// → hits 5, 10, 15, …). Counting from the window's end lets a
+    /// schedule skip early hits and target a later one.
+    Ratio {
+        /// Evaluations that fire per window.
+        n: u64,
+        /// The window length.
+        m: u64,
+    },
+    /// Fire on every evaluation (no trigger prefix).
+    Always,
+}
+
+impl Trigger {
+    /// Whether the `hit`-th evaluation (1-based) fires.
+    fn fires(self, hit: u64) -> bool {
+        match self {
+            Trigger::Times(n) => hit <= n,
+            Trigger::Ratio { n, m } => (hit - 1) % m >= m - n,
+            Trigger::Always => true,
+        }
+    }
+}
+
+/// A fault returned to the caller for it to materialize. `delay` and
+/// `panic` never reach here — [`evaluate`] applies them internally.
+#[derive(Debug)]
+pub enum InjectedFault {
+    /// Fail the operation with this error.
+    Err(std::io::Error),
+    /// Perform only the first `n` bytes, then fail.
+    Partial(usize),
+}
+
+/// A malformed `SPER_FAILPOINTS` / `--failpoints` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// What was wrong, quoting the offending fragment.
+    pub detail: String,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad failpoint spec: {}", self.detail)
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
+#[derive(Debug)]
+struct Site {
+    trigger: Trigger,
+    action: FaultAction,
+    /// Evaluations so far (1-based at fire decision).
+    hits: u64,
+    /// Evaluations whose trigger fired.
+    fired: u64,
+}
+
+/// The one-load gate: true iff any site is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, Site>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock_registry() -> MutexGuard<'static, HashMap<String, Site>> {
+    // A panic action fires while the lock is *released*, but a panicking
+    // caller elsewhere must not wedge every later evaluation.
+    registry()
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Whether any failpoint is armed. One relaxed load — this is the whole
+/// cost of an unarmed site.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Parses `spec` and arms it, replacing any previous schedule. An empty
+/// spec disarms. Returns the number of armed sites.
+pub fn arm(spec: &str) -> Result<usize, FaultSpecError> {
+    let parsed = parse_spec(spec)?;
+    let count = parsed.len();
+    let mut reg = lock_registry();
+    reg.clear();
+    for (site, trigger, action) in parsed {
+        reg.insert(
+            site,
+            Site {
+                trigger,
+                action,
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+    drop(reg);
+    ARMED.store(count > 0, Ordering::SeqCst);
+    if count > 0 {
+        crate::event!(crate::Level::Info, "fault.armed", sites = count);
+    }
+    Ok(count)
+}
+
+/// Arms from the `SPER_FAILPOINTS` environment variable, if set.
+/// Returns the number of armed sites (0 when unset).
+pub fn arm_from_env() -> Result<usize, FaultSpecError> {
+    match std::env::var("SPER_FAILPOINTS") {
+        Ok(spec) => arm(&spec),
+        Err(_) => Ok(0),
+    }
+}
+
+/// Disarms every failpoint and clears the schedule.
+pub fn disarm() {
+    ARMED.store(false, Ordering::SeqCst);
+    lock_registry().clear();
+}
+
+/// Evaluations of `site` whose trigger fired so far.
+pub fn fired(site: &str) -> u64 {
+    lock_registry().get(site).map(|s| s.fired).unwrap_or(0)
+}
+
+/// Evaluates `site` against the armed schedule. `delay` sleeps and
+/// `panic` panics right here; `err` and `partial` are returned for the
+/// caller to materialize. Unarmed, this is one relaxed load.
+#[inline]
+pub fn evaluate(site: &str) -> Option<InjectedFault> {
+    if !armed() {
+        return None;
+    }
+    evaluate_slow(site)
+}
+
+#[cold]
+fn evaluate_slow(site: &str) -> Option<InjectedFault> {
+    let mut reg = lock_registry();
+    let entry = reg.get_mut(site)?;
+    entry.hits += 1;
+    if !entry.trigger.fires(entry.hits) {
+        return None;
+    }
+    entry.fired += 1;
+    let action = entry.action;
+    drop(reg);
+    crate::count!("fault.injected");
+    match action {
+        FaultAction::Err(kind) => {
+            crate::event!(
+                crate::Level::Warn,
+                "fault.injected",
+                site = site,
+                action = "err"
+            );
+            Some(InjectedFault::Err(injected_error(site, kind)))
+        }
+        FaultAction::Partial(n) => {
+            crate::event!(
+                crate::Level::Warn,
+                "fault.injected",
+                site = site,
+                action = "partial",
+                bytes = n
+            );
+            Some(InjectedFault::Partial(n))
+        }
+        FaultAction::Delay(ms) => {
+            crate::event!(
+                crate::Level::Warn,
+                "fault.injected",
+                site = site,
+                action = "delay",
+                ms = ms
+            );
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            None
+        }
+        FaultAction::Panic => {
+            crate::event!(
+                crate::Level::Warn,
+                "fault.injected",
+                site = site,
+                action = "panic"
+            );
+            panic!("injected panic at failpoint {site}");
+        }
+    }
+}
+
+/// The common shape for sites without a byte stream: fires `err` (and
+/// `partial`, which degrades to `err` here) as an [`std::io::Error`];
+/// `delay` and `panic` are applied by [`evaluate`]. Unarmed: one load.
+#[inline]
+pub fn failpoint(site: &str) -> std::io::Result<()> {
+    match evaluate(site) {
+        None => Ok(()),
+        Some(InjectedFault::Err(e)) => Err(e),
+        Some(InjectedFault::Partial(_)) => Err(injected_error(site, ErrKind::Io)),
+    }
+}
+
+/// For sites that cannot propagate an error (epoch entry): applies
+/// `delay`/`panic`; an `err`/`partial` action merely counts and warns.
+#[inline]
+pub fn apply(site: &str) {
+    if let Some(_ignored) = evaluate(site) {
+        crate::event!(crate::Level::Warn, "fault.unapplicable", site = site);
+    }
+}
+
+fn injected_error(site: &str, kind: ErrKind) -> std::io::Error {
+    std::io::Error::new(kind.io_kind(), format!("injected fault at {site}"))
+}
+
+fn parse_spec(spec: &str) -> Result<Vec<(String, Trigger, FaultAction)>, FaultSpecError> {
+    let bad = |detail: String| FaultSpecError { detail };
+    let mut out = Vec::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, rest) = entry
+            .split_once('=')
+            .ok_or_else(|| bad(format!("`{entry}` has no `=`")))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(bad(format!("`{entry}` has an empty site name")));
+        }
+        let rest = rest.trim();
+        let (trigger, action_str) = match rest.split_once('*') {
+            Some((t, a)) => (
+                parse_trigger(t.trim())
+                    .ok_or_else(|| bad(format!("`{t}` is not a trigger (want COUNT or NinM)")))?,
+                a.trim(),
+            ),
+            None => (Trigger::Always, rest),
+        };
+        let action = parse_action(action_str)
+            .ok_or_else(|| bad(format!("`{action_str}` is not an action")))?;
+        out.push((site.to_string(), trigger, action));
+    }
+    Ok(out)
+}
+
+fn parse_trigger(t: &str) -> Option<Trigger> {
+    if let Some((n, m)) = t.split_once("in") {
+        let n: u64 = n.trim().parse().ok()?;
+        let m: u64 = m.trim().parse().ok()?;
+        if n == 0 || m == 0 || n > m {
+            return None;
+        }
+        Some(Trigger::Ratio { n, m })
+    } else {
+        let n: u64 = t.parse().ok()?;
+        (n > 0).then_some(Trigger::Times(n))
+    }
+}
+
+fn parse_action(a: &str) -> Option<FaultAction> {
+    let (name, arg) = match a.split_once('(') {
+        Some((name, rest)) => {
+            let arg = rest.strip_suffix(')')?;
+            (name.trim(), Some(arg.trim()))
+        }
+        None => (a, None),
+    };
+    Some(match (name, arg) {
+        ("err", None) => FaultAction::Err(ErrKind::Io),
+        ("err", Some(kind)) => FaultAction::Err(ErrKind::parse(kind)?),
+        ("partial", Some(n)) => FaultAction::Partial(n.parse().ok()?),
+        ("delay", Some(ms)) => FaultAction::Delay(ms.parse().ok()?),
+        ("panic", None) => FaultAction::Panic,
+        _ => return None,
+    })
+}
+
+/// A scoped schedule for tests: arms on construction, disarms on drop,
+/// and holds a process-wide lock so concurrent tests never observe each
+/// other's faults. Production code arms once at startup via [`arm`] /
+/// [`arm_from_env`] instead.
+#[derive(Debug)]
+pub struct Armed {
+    _serial: MutexGuard<'static, ()>,
+}
+
+/// Arms `spec` for the lifetime of the returned guard (see [`Armed`]).
+pub fn arm_scoped(spec: &str) -> Result<Armed, FaultSpecError> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    let serial = SERIAL
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    arm(spec)?;
+    Ok(Armed { _serial: serial })
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_do_nothing() {
+        // No guard needed: asserting the unarmed path. (If another test
+        // armed concurrently it would hold the serial lock, but these
+        // assertions only run the cheap gate when the registry is clear.)
+        let _g = arm_scoped("").unwrap();
+        assert!(!armed());
+        assert!(evaluate("store.rename").is_none());
+        assert!(failpoint("store.rename").is_ok());
+    }
+
+    #[test]
+    fn times_trigger_fires_first_n_then_goes_dormant() {
+        let _g = arm_scoped("t.site=2*err(notfound)").unwrap();
+        for i in 0..5 {
+            let hit = evaluate("t.site");
+            if i < 2 {
+                match hit {
+                    Some(InjectedFault::Err(e)) => {
+                        assert_eq!(e.kind(), std::io::ErrorKind::NotFound)
+                    }
+                    other => panic!("hit {i}: expected err, got {other:?}"),
+                }
+            } else {
+                assert!(hit.is_none(), "hit {i} should be dormant");
+            }
+        }
+        assert_eq!(fired("t.site"), 2);
+    }
+
+    #[test]
+    fn ratio_trigger_fires_window_tail() {
+        // 1in3 fires on hits 3, 6, 9 — skipping early hits is the point.
+        let _g = arm_scoped("r.site=1in3*err").unwrap();
+        let fired_hits: Vec<usize> = (1..=9)
+            .filter(|_| evaluate("r.site").is_some())
+            .collect::<Vec<_>>();
+        assert_eq!(fired_hits.len(), 3);
+        assert_eq!(fired("r.site"), 3);
+        // Re-arm to inspect which hit indices fire.
+        let _ = arm("r.site=2in4*err").unwrap();
+        let pattern: Vec<bool> = (1..=8).map(|_| evaluate("r.site").is_some()).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, true, true, false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn partial_and_default_err_kind() {
+        let _g = arm_scoped("p.site=1*partial(16); d.site = err ").unwrap();
+        match evaluate("p.site") {
+            Some(InjectedFault::Partial(16)) => {}
+            other => panic!("expected partial(16), got {other:?}"),
+        }
+        match evaluate("d.site") {
+            Some(InjectedFault::Err(e)) => assert_eq!(e.kind(), std::io::ErrorKind::Other),
+            other => panic!("expected err, got {other:?}"),
+        }
+        // `failpoint` degrades partial to an error.
+        let _ = arm("p.site=1*partial(16)").unwrap();
+        assert!(failpoint("p.site").is_err());
+    }
+
+    #[test]
+    fn delay_sleeps_then_proceeds() {
+        let _g = arm_scoped("slow.site=1*delay(30)").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(evaluate("slow.site").is_none());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+        // Trigger exhausted: second evaluation is instant.
+        let t0 = std::time::Instant::now();
+        assert!(evaluate("slow.site").is_none());
+        assert!(t0.elapsed() < std::time::Duration::from_millis(25));
+    }
+
+    #[test]
+    fn panic_action_panics_with_site_name() {
+        let _g = arm_scoped("boom.site=1*panic").unwrap();
+        let err = std::panic::catch_unwind(|| evaluate("boom.site")).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom.site"), "{msg}");
+        disarm();
+    }
+
+    #[test]
+    fn unknown_sites_and_unarmed_names_never_fire() {
+        let _g = arm_scoped("known=1*err").unwrap();
+        assert!(evaluate("unknown").is_none());
+        assert_eq!(fired("unknown"), 0);
+    }
+
+    #[test]
+    fn spec_errors_are_typed() {
+        for bad in [
+            "noequals",
+            "=err",
+            "s=3*",
+            "s=0*err",
+            "s=2in1*err",
+            "s=err(nope)",
+            "s=partial",
+            "s=delay(x)",
+            "s=frobnicate",
+        ] {
+            assert!(parse_spec(bad).is_err(), "`{bad}` should not parse");
+        }
+        let ok = parse_spec("a=1*err(io); b=1in5*delay(10);; c=panic").unwrap();
+        assert_eq!(ok.len(), 3);
+        assert_eq!(ok[2].1, Trigger::Always);
+        assert_eq!(ok[2].2, FaultAction::Panic);
+    }
+
+    #[test]
+    fn arm_replaces_and_disarm_clears() {
+        let _g = arm_scoped("a.site=5*err").unwrap();
+        assert!(evaluate("a.site").is_some());
+        let n = arm("b.site=1*err").unwrap();
+        assert_eq!(n, 1);
+        assert!(evaluate("a.site").is_none(), "replaced schedule");
+        disarm();
+        assert!(!armed());
+    }
+}

@@ -22,7 +22,10 @@
 //! * [`profile`] — the span profiler: call-tree reconstruction with
 //!   collapsed-stack (flamegraph) and Chrome trace-event exports;
 //! * [`report`] — a self-contained HTML run report fusing trace,
-//!   metrics, and recall data with inline SVG charts.
+//!   metrics, and recall data with inline SVG charts;
+//! * [`fault`] — the deterministic failpoint registry (`SPER_FAILPOINTS`)
+//!   behind the engine's fault-injection harness, gated exactly like the
+//!   macros: one relaxed load when unarmed.
 //!
 //! The crate has **zero dependencies** (not even the workspace's vendored
 //! ones): it must be embeddable under every other crate in the graph
@@ -54,6 +57,7 @@
 #![forbid(unsafe_op_in_unsafe_fn)]
 
 pub mod clock;
+pub mod fault;
 mod json;
 pub mod metrics;
 pub mod profile;
@@ -63,6 +67,7 @@ pub mod ring;
 pub mod serve;
 pub mod trace;
 
+pub use fault::{FaultAction, FaultSpecError, InjectedFault};
 pub use metrics::MetricsRegistry;
 pub use profile::{chrome_trace, parse_trace, ProfileRecord, SpanProfile};
 pub use profiling::{HostInfo, PeakAllocTracker, RunStamp};

@@ -11,22 +11,41 @@
 //! | `/buildz`  | build + host JSON ([`BuildInfo`] and [`HostInfo`])     |
 //! | `/tracez`  | flight-recorder snapshot ([`RingSink::to_json`])       |
 //!
-//! Requests are served one at a time with `Connection: close` and short
-//! socket timeouts — a scraper stuck mid-request can delay the next
-//! scrape but can never wedge the session, which runs on its own
-//! threads. The server only ever *reads* shared state (the metrics
-//! registry, the ring buffer), so attaching it cannot perturb emission.
+//! Each accepted connection is handed to its own short-lived handler
+//! thread, so a misbehaving client can never wedge the accept loop:
+//! `/healthz` keeps answering while a slow-loris trickles header bytes
+//! elsewhere. Handlers are bounded in *time*, not trust — the whole
+//! request head must arrive within [`HEADER_DEADLINE`] (a cumulative
+//! budget, not a per-read timeout that trickled bytes could reset
+//! forever) and within [`MAX_HEADER_BYTES`], after which the connection
+//! is dropped and `serve.client_errors` incremented. Responses close the
+//! connection (`Connection: close`). The server only ever *reads* shared
+//! state (the metrics registry, the ring buffer), so attaching it cannot
+//! perturb emission.
+//!
+//! The listener's syscall boundaries carry failpoints (`serve.accept`,
+//! `serve.read`, `serve.write`) for the fault harness in
+//! [`crate::fault`].
 //!
 //! [`HostInfo`]: crate::profiling::HostInfo
 
 use crate::profiling::HostInfo;
 use crate::ring::RingSink;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cumulative budget for receiving a complete request head. A client
+/// that trickles bytes slower than this is disconnected — per-read
+/// timeouts alone would reset with every byte and never expire.
+pub const HEADER_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Upper bound on request-head bytes; every real scrape request is a few
+/// hundred bytes, so anything larger is dropped as a client error.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
 
 /// Static build identity reported by `/buildz`.
 #[derive(Debug, Clone)]
@@ -43,6 +62,7 @@ pub struct ObsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     requests: Arc<AtomicU64>,
+    client_errors: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -51,6 +71,7 @@ impl std::fmt::Debug for ObsServer {
         f.debug_struct("ObsServer")
             .field("addr", &self.addr)
             .field("requests", &self.requests())
+            .field("client_errors", &self.client_errors())
             .finish()
     }
 }
@@ -67,7 +88,18 @@ impl ObsServer {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Stops the listener and joins its thread. Idempotent.
+    /// Connections dropped for client misbehavior: malformed request
+    /// lines, oversized or too-slow request heads (slow-loris), aborted
+    /// sends. Also exported as the `serve.client_errors` counter when
+    /// metrics are enabled.
+    pub fn client_errors(&self) -> u64 {
+        self.client_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops the listener and joins its thread. Idempotent. In-flight
+    /// handler threads finish on their own (each is bounded by
+    /// [`HEADER_DEADLINE`] + the write timeout); only the listening
+    /// socket is released here.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // The accept loop blocks in `accept()`; a throwaway local
@@ -97,8 +129,10 @@ pub fn serve(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let requests = Arc::new(AtomicU64::new(0));
+    let client_errors = Arc::new(AtomicU64::new(0));
     let thread_stop = Arc::clone(&stop);
     let thread_requests = Arc::clone(&requests);
+    let thread_client_errors = Arc::clone(&client_errors);
     let handle = std::thread::Builder::new()
         .name("sper-obs-serve".to_string())
         .spawn(move || {
@@ -107,45 +141,143 @@ pub fn serve(
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Injected accept failures drop the connection on the
+                // floor — exactly what a refused accept looks like.
+                if crate::fault::evaluate("serve.accept").is_some() {
+                    continue;
+                }
                 // Count at accept time: by the time a client sees the
                 // connection close (its read-to-EOF framing), the tally
                 // already includes it.
                 thread_requests.fetch_add(1, Ordering::Relaxed);
-                let _ = handle_connection(stream, &build, ring.as_deref());
+                let build = build.clone();
+                let ring = ring.clone();
+                let errors = Arc::clone(&thread_client_errors);
+                // One short-lived thread per connection: the accept loop
+                // must stay free so `/healthz` answers while a slow or
+                // hostile client occupies its own handler. If the spawn
+                // itself fails (thread exhaustion), the connection is
+                // dropped — degraded, never wedged.
+                let spawned = std::thread::Builder::new()
+                    .name("sper-obs-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &build, ring.as_deref(), &errors);
+                    });
+                if spawned.is_err() {
+                    crate::event!(crate::Level::Warn, "serve.spawn_failed");
+                }
             }
         })?;
     Ok(ObsServer {
         addr,
         stop,
         requests,
+        client_errors,
         handle: Some(handle),
     })
 }
 
-fn handle_connection(
-    stream: TcpStream,
-    build: &BuildInfo,
-    ring: Option<&RingSink>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers (ignored — every route is GET with no body).
+/// Why a request head never materialized.
+enum HeadError {
+    /// The cumulative header deadline expired (slow-loris).
+    TooSlow,
+    /// The head exceeded [`MAX_HEADER_BYTES`].
+    TooLarge,
+    /// The client closed before completing the head.
+    Closed,
+    /// A real transport error.
+    Io(std::io::Error),
+}
+
+/// Reads until the blank line ending the request head, under a
+/// cumulative deadline and a size cap.
+fn read_head(stream: &mut TcpStream, deadline: Instant) -> Result<Vec<u8>, HeadError> {
+    let mut buf = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
-            break;
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or(HeadError::TooSlow)?;
+        stream
+            .set_read_timeout(Some(remaining))
+            .map_err(HeadError::Io)?;
+        if let Err(e) = crate::fault::failpoint("serve.read") {
+            return Err(HeadError::Io(e));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HeadError::Closed),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.len() > MAX_HEADER_BYTES {
+                    return Err(HeadError::TooLarge);
+                }
+                if head_complete(&buf) {
+                    return Ok(buf);
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HeadError::TooSlow)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HeadError::Io(e)),
         }
     }
-    let mut stream = reader.into_inner();
+}
+
+fn head_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    build: &BuildInfo,
+    ring: Option<&RingSink>,
+    client_errors: &AtomicU64,
+) -> std::io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let client_error = |status: u16, reason: &'static str| {
+        client_errors.fetch_add(1, Ordering::Relaxed);
+        crate::count!("serve.client_errors");
+        crate::event!(
+            crate::Level::Warn,
+            "serve.client_error",
+            status = status as u32,
+            reason = reason
+        );
+    };
+    let head = match read_head(&mut stream, Instant::now() + HEADER_DEADLINE) {
+        Ok(head) => head,
+        Err(HeadError::TooSlow) => {
+            client_error(408, "header deadline exceeded");
+            return respond(&mut stream, 408, "text/plain", "request timeout\n");
+        }
+        Err(HeadError::TooLarge) => {
+            client_error(431, "request head too large");
+            return respond(&mut stream, 431, "text/plain", "request head too large\n");
+        }
+        Err(HeadError::Closed) => {
+            client_error(400, "closed before complete head");
+            return Ok(());
+        }
+        Err(HeadError::Io(e)) => return Err(e),
+    };
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m, p),
-        _ => return respond(&mut stream, 400, "text/plain", "bad request\n"),
+    let (method, path) = match (parts.next(), parts.next(), parts.next()) {
+        // A proper request line is exactly `METHOD PATH VERSION`.
+        (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/") => (m, p),
+        _ => {
+            client_error(400, "malformed request line");
+            return respond(&mut stream, 400, "text/plain", "bad request\n");
+        }
     };
     if method != "GET" {
+        client_error(405, "method not allowed");
         return respond(&mut stream, 405, "text/plain", "method not allowed\n");
     }
     // Ignore any query string: `/metrics?x=1` still scrapes.
@@ -179,6 +311,8 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        431 => "Request Header Fields Too Large",
         _ => "Error",
     };
     let head = format!(
@@ -186,6 +320,7 @@ fn respond(
          Content-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
+    crate::fault::failpoint("serve.write")?;
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -219,7 +354,6 @@ fn buildz_json(build: &BuildInfo) -> String {
 mod tests {
     use super::*;
     use crate::trace::{FieldValue, Level, Record, RecordKind, Sink};
-    use std::io::Read;
 
     fn get(addr: SocketAddr, request: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -246,6 +380,16 @@ mod tests {
         BuildInfo {
             version: "9.9.9-test".to_string(),
             kernel: "scalar".to_string(),
+        }
+    }
+
+    /// Polls until `server` has tallied at least `n` client errors —
+    /// handler threads race the assertions otherwise.
+    fn wait_client_errors(server: &ObsServer, n: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.client_errors() < n {
+            assert!(Instant::now() < deadline, "client_errors stuck below {n}");
+            std::thread::sleep(Duration::from_millis(10));
         }
     }
 
@@ -284,6 +428,7 @@ mod tests {
 
         let (status, _, _) = get(addr, "POST /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n");
         assert_eq!(status, 405);
+        wait_client_errors(&server, 1);
         server.shutdown();
     }
 
@@ -324,5 +469,94 @@ mod tests {
         // Port is released: a fresh bind on the same address succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "port still held after shutdown");
+    }
+
+    #[test]
+    fn slow_loris_cannot_stall_healthz() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+
+        // A client that sends a partial request head and then stalls. The
+        // old single-threaded handler would sit in read() on this socket
+        // and every later scrape queued behind it.
+        let mut loris = TcpStream::connect(addr).expect("connect");
+        loris.write_all(b"GET /hea").expect("trickle");
+
+        // /healthz must answer promptly while the loris still holds its
+        // connection open — well inside the 2s header deadline.
+        let t0 = Instant::now();
+        let (status, _, body) = get_path(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(body, "ok\n");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "healthz stalled {:?} behind a slow-loris client",
+            t0.elapsed()
+        );
+
+        // The loris is eventually cut off (408 or plain close) and
+        // tallied as a client error — its handler thread does not leak
+        // past the deadline.
+        let mut leftovers = String::new();
+        let _ = loris.read_to_string(&mut leftovers);
+        wait_client_errors(&server, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_line_is_400_and_counted() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+
+        let (status, _, _) = get(addr, "THIS IS NOT HTTP AT ALL\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _, _) = get(addr, "GET\r\n\r\n");
+        assert_eq!(status, 400);
+        wait_client_errors(&server, 2);
+
+        // The listener is unharmed.
+        let (status, _, _) = get_path(addr, "/healthz");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_is_cut_off() {
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let filler = format!(
+            "GET /healthz HTTP/1.1\r\nX-Filler: {}\r\n",
+            "x".repeat(2 * MAX_HEADER_BYTES)
+        );
+        // The server may cut us off mid-send (RST after it stops
+        // reading); that is the success condition, not a test failure.
+        let _ = stream.write_all(filler.as_bytes());
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        assert!(
+            response.is_empty() || response.starts_with("HTTP/1.1 431"),
+            "{response}"
+        );
+        wait_client_errors(&server, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_accept_fault_drops_the_connection() {
+        let _armed = crate::fault::arm_scoped("serve.accept=1*err").expect("arm");
+        let mut server = serve("127.0.0.1:0", test_build(), None).expect("bind");
+        let addr = server.addr();
+        // First connection is dropped by the injected accept failure;
+        // read-to-EOF sees an immediate close with no bytes.
+        let mut first = TcpStream::connect(addr).expect("connect");
+        let _ = first.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut response = String::new();
+        let _ = first.read_to_string(&mut response);
+        assert_eq!(response, "", "injected accept fault should drop the conn");
+        // The schedule is exhausted: the next scrape succeeds.
+        let (status, _, _) = get_path(addr, "/healthz");
+        assert_eq!(status, 200);
+        server.shutdown();
     }
 }

@@ -98,6 +98,11 @@ impl Store {
         self.sections.iter().map(|(t, _)| *t)
     }
 
+    /// The sections as owned `(tag, payload)` pairs, in file order.
+    pub(crate) fn sections_cloned(&self) -> Vec<(Tag, Vec<u8>)> {
+        self.sections.clone()
+    }
+
     /// Serializes the store to its byte layout.
     pub fn to_bytes(&self) -> Vec<u8> {
         let total: usize = 12
@@ -186,33 +191,100 @@ impl Store {
     /// crash mid-write nor a power loss right after the rename leaves a
     /// half-written store at `path` — the previous file survives intact
     /// until the new bytes are durable.
+    ///
+    /// Three failpoints cover the syscall boundaries
+    /// (`store.write.section`, `store.fsync`, `store.rename` — see
+    /// [`sper_obs::fault`]); an injected or real failure before the
+    /// rename can leave a torn `.tmp` sibling, which the next
+    /// [`read_from_path`](Self::read_from_path) purges.
     pub fn write_to_path(&self, path: &std::path::Path) -> Result<(), StoreError> {
-        use std::io::Write as _;
-        let mut span = sper_obs::span!("store.write", sections = self.sections.len());
-        let bytes = self.to_bytes();
-        span.record("bytes", bytes.len());
-        // Derive the temp name by appending (not replacing an extension):
-        // sibling outputs like `run.v1` and `run.v2` must not collide on
-        // one temp path.
-        let mut tmp_name = path
-            .file_name()
-            .map(|n| n.to_os_string())
-            .unwrap_or_else(|| "store".into());
-        tmp_name.push(".tmp");
-        let tmp = path.with_file_name(tmp_name);
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
-        file.sync_all()?;
-        drop(file);
+        let tmp = tmp_path(path);
+        self.write_tmp(&tmp)?;
+        sper_obs::fault::failpoint("store.rename")?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Reads and parses a store file.
+    /// Writes the serialized store to `tmp` (create, per-section writes,
+    /// fsync) without the commit rename — shared by the plain and
+    /// last-good-rotating write paths.
+    pub(crate) fn write_tmp(&self, tmp: &std::path::Path) -> Result<(), StoreError> {
+        use std::io::Write as _;
+        let mut span = sper_obs::span!("store.write", sections = self.sections.len());
+        let bytes = self.to_bytes();
+        span.record("bytes", bytes.len());
+        let mut file = std::fs::File::create(tmp)?;
+        // Write the header, then each section as its own syscall-shaped
+        // chunk so the `store.write.section` failpoint can tear the file
+        // at a realistic boundary (`partial(n)`: n bytes of the section
+        // reach the disk, then the write fails).
+        let mut at = 12.min(bytes.len());
+        file.write_all(&bytes[..at])?;
+        for (_, payload) in &self.sections {
+            let chunk = &bytes[at..at + 16 + payload.len()];
+            match sper_obs::fault::evaluate("store.write.section") {
+                None => {}
+                Some(sper_obs::InjectedFault::Err(e)) => return Err(e.into()),
+                Some(sper_obs::InjectedFault::Partial(n)) => {
+                    file.write_all(&chunk[..n.min(chunk.len())])?;
+                    let _ = file.sync_all();
+                    return Err(std::io::Error::other(
+                        "injected partial write at store.write.section",
+                    )
+                    .into());
+                }
+            }
+            file.write_all(chunk)?;
+            at += chunk.len();
+        }
+        sper_obs::fault::failpoint("store.fsync")?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Reads and parses a store file. Opening a store directory is when
+    /// garbage from killed writers gets collected: a stale `.tmp`
+    /// sibling (a torn write that never reached its commit rename) is
+    /// deleted with an Info event before the read.
     pub fn read_from_path(path: &std::path::Path) -> Result<Self, StoreError> {
         let _span = sper_obs::span!("store.read");
+        purge_stale_tmp(path);
+        sper_obs::fault::failpoint("store.read")?;
         let bytes = std::fs::read(path)?;
         Self::from_bytes(&bytes)
+    }
+}
+
+/// The sibling temporary path a write to `path` goes through. Derived by
+/// appending (not replacing an extension): sibling outputs like `run.v1`
+/// and `run.v2` must not collide on one temp path.
+pub fn tmp_path(path: &std::path::Path) -> std::path::PathBuf {
+    let mut tmp_name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "store".into());
+    tmp_name.push(".tmp");
+    path.with_file_name(tmp_name)
+}
+
+/// Deletes a stale `.tmp` sibling left by a killed writer, if present.
+/// Returns whether one was purged.
+pub fn purge_stale_tmp(path: &std::path::Path) -> bool {
+    let tmp = tmp_path(path);
+    if !tmp.exists() {
+        return false;
+    }
+    match std::fs::remove_file(&tmp) {
+        Ok(()) => {
+            sper_obs::event!(
+                sper_obs::Level::Info,
+                "store.purged_tmp",
+                path = tmp.display().to_string()
+            );
+            sper_obs::count!("store.purged_tmp");
+            true
+        }
+        Err(_) => false,
     }
 }
 

@@ -36,6 +36,8 @@ mod error;
 mod wire;
 
 mod checkpoint;
+mod healing;
+mod salvage;
 mod snapshot;
 pub mod substrates;
 
@@ -43,7 +45,14 @@ pub use checkpoint::{
     SessionCheckpoint, TAG_EMITTED, TAG_LIVE_BLOCKS, TAG_NL_RUNS, TAG_REPORTS, TAG_SESSION,
     TAG_TOMBSTONES,
 };
-pub use container::{Store, Tag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use container::{
+    purge_stale_tmp, tmp_path, Store, Tag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION,
+};
 pub use crc32::crc32;
 pub use error::StoreError;
+pub use healing::{
+    prev_path, read_store_with_fallback, read_with_fallback, CheckpointOutcome, CheckpointWriter,
+    OnCheckpointFailure, RetryPolicy,
+};
+pub use salvage::{LostSection, SalvageReport};
 pub use snapshot::Snapshot;

@@ -634,6 +634,10 @@ impl ProgressiveSession {
     /// comparisons, suppressing cross-epoch repeats, until the method is
     /// exhausted or `budget` *new* emissions have been produced.
     pub fn emit_epoch(&mut self, budget: Option<u64>) -> EpochOutcome {
+        // Fault-harness entry: `delay`/`panic` schedules simulate a slow
+        // or killed epoch (epochs return no Result, so error actions
+        // don't apply here — see `sper_obs::fault::apply`).
+        sper_obs::fault::apply("session.epoch");
         let budget = budget.unwrap_or(u64::MAX);
         // Periodic compaction runs at epoch boundaries, before the
         // snapshot: it never changes what this epoch emits (lazy

@@ -7,9 +7,12 @@
 //! sper stream   <dataset|profiles.csv> [--method pps] [--batches 5]
 //!               [--epoch-budget N] [--truth matches.csv] [--exhaustive]
 //!               [--checkpoint run.sper] [--checkpoint-every N]
+//!               [--on-checkpoint-failure abort|continue]
 //!               [--mutations feed.txt] [--emit-pairs pairs.csv]
 //! sper snapshot <dataset|profiles.csv> [--out snapshot.sper] [--with-graph]
+//! sper snapshot <corrupt.sper> --salvage [--out salvaged.sper]
 //! sper resume   <run.sper> [--epoch-budget N] [--checkpoint run.sper]
+//!               [--emit-pairs pairs.csv]
 //! sper report   --trace run.jsonl [--metrics run.json] [--recall recall.csv]
 //!               [--out report.html] [--title NAME]
 //! ```
@@ -30,12 +33,25 @@
 //! * `snapshot` — build the columnar substrates (blocks, profile index,
 //!   neighbor list, optionally the materialized blocking graph) and write
 //!   them to a versioned, checksummed `.sper` store for instant reload.
+//!   With `--salvage` the positional argument is instead a corrupted
+//!   `.sper` file: every section whose CRC still validates is recovered
+//!   and rewritten to `--out`, with a report of what was lost.
 //! * `resume` — rehydrate a checkpointed session and drain its remaining
 //!   emissions, bit-identical to what the original run would have emitted.
+//!   When the checkpoint is corrupt, resume falls back to the rotated
+//!   last-good `.prev` generation with a warning.
+//!
+//! Checkpoints are written with last-good rotation (`FILE` + `FILE.prev`)
+//! through a retrying writer; `--on-checkpoint-failure continue` lets a
+//! run outlive a dead checkpoint disk (the default, `abort`, stops it).
+//! `--failpoints SPEC` (or the `SPER_FAILPOINTS` env var) arms the
+//! deterministic fault-injection harness — see `sper_obs::fault` for the
+//! grammar.
 //!
 //! Every failure path reports a typed error and a nonzero exit code:
 //! usage errors exit 2, runtime errors (IO, corrupt stores, bad data)
-//! exit 1.
+//! exit 1. Salvage-with-losses and `.prev`-fallback resume succeed (exit
+//! 0) with warnings: recovering *something* is these modes' job.
 //!
 //! * `report` — fuse a `--trace` JSONL and a `--metrics` JSON dump (plus
 //!   an optional recall CSV) into one self-contained HTML file.
@@ -367,11 +383,13 @@ const USAGE: &str = "usage:
   sper stream   <dataset|profiles.csv> [--method M] [--batches N]
                 [--epoch-budget N] [--scale S] [--truth FILE] [--exhaustive]
                 [--threads N] [--checkpoint FILE] [--checkpoint-every N]
+                [--on-checkpoint-failure abort|continue]
                 [--mutations FILE] [--emit-pairs FILE]
   sper snapshot <dataset|profiles.csv> [--scale S] [--seed N] [--out FILE]
                 [--with-graph]
+  sper snapshot <corrupt.sper> --salvage [--out FILE]
   sper resume   <checkpoint.sper> [--epoch-budget N] [--threads N]
-                [--checkpoint FILE]
+                [--checkpoint FILE] [--emit-pairs FILE]
   sper report   --trace FILE [--metrics FILE] [--recall FILE]
                 [--out FILE] [--title NAME]
 
@@ -388,7 +406,14 @@ live (port 0 picks one; the bound address prints to stderr).
 --threads defaults to the machine's available parallelism; results are
 bit-identical at any thread count — with or without tracing. Checkpoints
 and snapshots are versioned, checksummed binary stores (magic SPER);
-`sper resume` continues a checkpointed stream bit-identically.";
+`sper resume` continues a checkpointed stream bit-identically.
+
+Fault tolerance: checkpoints rotate the previous generation to
+FILE.prev and `sper resume` falls back to it when FILE is corrupt;
+`sper snapshot FILE --salvage` recovers the CRC-valid sections of a
+damaged store. --failpoints SPEC (or SPER_FAILPOINTS) arms deterministic
+fault injection, e.g. 'store.rename=1*err(io);store.fsync=1in5*delay(50)'
+(see the sper_obs::fault docs for sites, actions, and triggers).";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -451,7 +476,20 @@ fn parse_dataset(s: &str) -> Result<DatasetKind, CliError> {
         .ok_or_else(|| CliError::usage(format!("unknown dataset '{s}'")))
 }
 
+/// Arms the fault-injection harness: `--failpoints SPEC` wins over the
+/// `SPER_FAILPOINTS` environment variable. A malformed spec is a usage
+/// error (exit 2) — a typo must not silently run an unfaulted schedule.
+fn arm_failpoints(args: &[String]) -> Result<(), CliError> {
+    match flag(args, "--failpoints") {
+        Some(spec) => sper_obs::fault::arm(&spec),
+        None => sper_obs::fault::arm_from_env(),
+    }
+    .map(|_| ())
+    .map_err(|e| CliError::usage(e.to_string()))
+}
+
 fn run(args: &[String]) -> Result<(), CliError> {
+    arm_failpoints(args)?;
     match args.first().map(String::as_str) {
         Some("resolve") => resolve(args),
         Some("evaluate") => evaluate(args),
@@ -811,6 +849,17 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             "--checkpoint-every needs --checkpoint FILE",
         ));
     }
+    let on_checkpoint_failure = match flag(args, "--on-checkpoint-failure") {
+        None => OnCheckpointFailure::Abort,
+        Some(s) => OnCheckpointFailure::parse(&s).ok_or_else(|| {
+            CliError::usage("--on-checkpoint-failure must be `abort` or `continue`")
+        })?,
+    };
+    if checkpoint_path.is_none() && flag(args, "--on-checkpoint-failure").is_some() {
+        return Err(CliError::usage(
+            "--on-checkpoint-failure needs --checkpoint FILE",
+        ));
+    }
 
     let (profiles, truth) = load_source(args, source)?;
 
@@ -872,6 +921,12 @@ fn stream(args: &[String]) -> Result<(), CliError> {
     let mut session = ProgressiveSession::new(initial, session_config);
     let mut epochs: Vec<sper::eval::StreamEpoch> = Vec::new();
     let mut checkpointed_epoch = 0usize;
+    // Checkpoints go through the self-healing writer: bounded retries
+    // with jittered backoff, last-good rotation to FILE.prev, and the
+    // `--on-checkpoint-failure` policy when retries run dry.
+    let mut checkpointer = checkpoint_path
+        .as_ref()
+        .map(|p| CheckpointWriter::new(p).with_on_failure(on_checkpoint_failure));
     for (batch_no, batch) in batches.into_iter().enumerate() {
         session.ingest_batch(batch);
         if let Some((ops, path)) = &mutations {
@@ -896,29 +951,43 @@ fn stream(args: &[String]) -> Result<(), CliError> {
             profiles_total: outcome.report.profiles_total,
             pairs: outcome.comparisons.iter().map(|c| c.pair).collect(),
         });
-        if let Some(path) = &checkpoint_path {
+        if let (Some(writer), Some(path)) = (checkpointer.as_mut(), checkpoint_path.as_ref()) {
             if outcome.report.epoch.is_multiple_of(checkpoint_every) {
-                SessionCheckpoint::of(&session)
-                    .write_to_path(Path::new(path))
-                    .map_err(CliError::store(path))?;
-                checkpointed_epoch = outcome.report.epoch;
-                event!(
-                    Level::Info,
-                    "cli.checkpoint",
-                    path = path.as_str(),
-                    epoch = outcome.report.epoch,
-                );
+                match writer.save(&session).map_err(CliError::store(path))? {
+                    CheckpointOutcome::Saved => {
+                        checkpointed_epoch = outcome.report.epoch;
+                        event!(
+                            Level::Info,
+                            "cli.checkpoint",
+                            path = path.as_str(),
+                            epoch = outcome.report.epoch,
+                        );
+                    }
+                    CheckpointOutcome::FailedContinuing => {
+                        eprintln!(
+                            "warning: checkpoint to {path} failed after retries; \
+                             run continues (last good generation kept)"
+                        );
+                    }
+                }
             }
         }
     }
     // The final state is always persisted, whatever the cadence — unless
     // the last epoch already was.
-    if let Some(path) = &checkpoint_path {
+    if let (Some(writer), Some(path)) = (checkpointer.as_mut(), checkpoint_path.as_ref()) {
         if checkpointed_epoch != session.reports().len() {
-            SessionCheckpoint::of(&session)
-                .write_to_path(Path::new(path))
-                .map_err(CliError::store(path))?;
-            event!(Level::Info, "cli.checkpoint_final", path = path.as_str());
+            match writer.save(&session).map_err(CliError::store(path))? {
+                CheckpointOutcome::Saved => {
+                    event!(Level::Info, "cli.checkpoint_final", path = path.as_str());
+                }
+                CheckpointOutcome::FailedContinuing => {
+                    eprintln!(
+                        "warning: final checkpoint to {path} failed after retries; \
+                         emissions above are complete, resume from the last good generation"
+                    );
+                }
+            }
         }
     }
     if let Some((w, path)) = emit_pairs.as_mut() {
@@ -967,6 +1036,9 @@ fn stream(args: &[String]) -> Result<(), CliError> {
 /// materialized blocking graph. Loading the file reproduces every array
 /// bit for bit, skipping tokenization and sorting entirely.
 fn snapshot(args: &[String]) -> Result<(), CliError> {
+    if args.iter().any(|a| a == "--salvage") {
+        return salvage(args);
+    }
     let source = args
         .get(1)
         .ok_or_else(|| CliError::usage("snapshot needs a dataset name or CSV path"))?;
@@ -1008,10 +1080,57 @@ fn snapshot(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Recovers what survives of a damaged `.sper` store: every section whose
+/// CRC-32 still validates and whose payload still decodes is kept, every
+/// other one becomes a typed loss-report entry. Losing a section is exit 0
+/// with a warning — losing *everything* (or the header) is exit 1.
+fn salvage(args: &[String]) -> Result<(), CliError> {
+    let source = args
+        .get(1)
+        .ok_or_else(|| CliError::usage("snapshot --salvage needs a .sper path"))?;
+    let bytes = std::fs::read(source).map_err(CliError::io(source.as_str()))?;
+    let (snapshot, report) = Snapshot::salvage(&bytes).map_err(CliError::store(source.as_str()))?;
+    println!("{}", report.summary());
+    for lost in &report.lost {
+        eprintln!("warning: lost section {}: {}", lost.section, lost.reason);
+        event!(
+            Level::Warn,
+            "cli.salvage_loss",
+            path = source.as_str(),
+            section = lost.section.as_str(),
+            reason = lost.reason.as_str(),
+        );
+    }
+    if report.recovered.is_empty() {
+        return Err(CliError::Store {
+            path: source.clone(),
+            source: StoreError::Corrupt {
+                section: "container".into(),
+                detail: "no section survived salvage".into(),
+            },
+        });
+    }
+    if let Some(out) = flag(args, "--out") {
+        snapshot
+            .write_to_path(Path::new(&out))
+            .map_err(CliError::store(&out))?;
+        event!(
+            Level::Info,
+            "cli.salvage_out",
+            path = out.as_str(),
+            sections = snapshot.describe().join(", "),
+        );
+        eprintln!("recovered snapshot written to {out}");
+    }
+    Ok(())
+}
+
 /// Rehydrates a checkpointed session and drains its remaining emissions —
 /// bit-identical to what the uninterrupted run would have emitted. With
 /// `--epoch-budget N` the drain runs budgeted epochs until the method is
-/// exhausted; `--checkpoint FILE` re-persists the final state.
+/// exhausted; `--checkpoint FILE` re-persists the final state. A corrupt
+/// primary falls back to the rotated `FILE.prev` generation (exit 0, with
+/// a warning).
 fn resume(args: &[String]) -> Result<(), CliError> {
     let path = args
         .get(1)
@@ -1020,8 +1139,11 @@ fn resume(args: &[String]) -> Result<(), CliError> {
     let checkpoint_out = flag(args, "--checkpoint");
 
     let t0 = Instant::now();
-    let checkpoint = SessionCheckpoint::read_from_path(Path::new(path))
-        .map_err(CliError::store(path.as_str()))?;
+    let (checkpoint, used_prev) =
+        CheckpointWriter::resume(Path::new(path)).map_err(CliError::store(path.as_str()))?;
+    if used_prev {
+        eprintln!("warning: {path} was unreadable; resumed from rotated {path}.prev");
+    }
     let load_time = t0.elapsed();
     let mut state = checkpoint.state;
     if args.iter().any(|a| a == "--threads") {
@@ -1037,12 +1159,33 @@ fn resume(args: &[String]) -> Result<(), CliError> {
         load_us = load_time.as_micros() as u64,
     );
     let mut session = ProgressiveSession::rehydrate(state);
+    let mut emit_pairs = flag(args, "--emit-pairs")
+        .map(|path| {
+            let f = std::fs::File::create(&path).map_err(CliError::io(path.as_str()))?;
+            Ok::<_, CliError>((std::io::BufWriter::new(f), path))
+        })
+        .transpose()?;
 
     println!("{EPOCH_HEADER}");
     loop {
         let outcome = session.emit_epoch(epoch_budget);
         record_epoch_alloc(outcome.report.epoch);
         print_epoch_row(&outcome);
+        if let Some((w, path)) = emit_pairs.as_mut() {
+            for c in &outcome.comparisons {
+                writeln!(
+                    w,
+                    "{},{},{:016x}",
+                    c.pair.first.0,
+                    c.pair.second.0,
+                    c.weight.to_bits()
+                )
+                .map_err(CliError::io(path.as_str()))?;
+            }
+            // Flushed per epoch so a later kill loses at most the epoch
+            // in flight — the fault-smoke harness diffs this file.
+            w.flush().map_err(CliError::io(path.as_str()))?;
+        }
         // An unbudgeted epoch is already exhaustive. A budgeted drain
         // loops while epochs fill their budget; the first epoch that
         // falls short ran the method dry (a rebuilt method re-emits
@@ -1059,10 +1202,19 @@ fn resume(args: &[String]) -> Result<(), CliError> {
         epochs = session.reports().len(),
     );
     if let Some(out) = checkpoint_out {
-        SessionCheckpoint::of(&session)
-            .write_to_path(Path::new(&out))
-            .map_err(CliError::store(&out))?;
-        event!(Level::Info, "cli.checkpoint_final", path = out.as_str());
+        match CheckpointWriter::new(&out)
+            .save(&session)
+            .map_err(CliError::store(&out))?
+        {
+            CheckpointOutcome::Saved => {
+                event!(Level::Info, "cli.checkpoint_final", path = out.as_str());
+            }
+            // Unreachable with the default Abort policy, but the match
+            // keeps the exit-code contract explicit.
+            CheckpointOutcome::FailedContinuing => {
+                eprintln!("warning: final checkpoint to {out} failed after retries");
+            }
+        }
     }
     Ok(())
 }

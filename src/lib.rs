@@ -45,7 +45,10 @@ pub mod prelude {
         ErKind, GroundTruth, MatchFunction, Pair, Profile, ProfileCollection,
         ProfileCollectionBuilder, ProfileId, SourceId,
     };
-    pub use sper_store::{SessionCheckpoint, Snapshot, StoreError};
+    pub use sper_store::{
+        CheckpointOutcome, CheckpointWriter, OnCheckpointFailure, RetryPolicy, SalvageReport,
+        SessionCheckpoint, Snapshot, StoreError,
+    };
     pub use sper_stream::{
         run_streaming, run_streaming_with, EpochOutcome, EpochReport, ProgressiveSession,
         SessionConfig, SessionState,

@@ -159,6 +159,84 @@ fn scraped_run_is_bit_identical_and_endpoints_answer_mid_run() {
     );
 }
 
+/// Hostile clients must not take the scrape endpoint down or perturb
+/// the run: a slow-loris connection that trickles header bytes cannot
+/// stall `/healthz` for other clients (per-connection handler threads +
+/// a cumulative header deadline), and a malformed request line gets a
+/// clean 400 instead of wedging the server. The run itself completes
+/// successfully under both.
+#[test]
+fn hostile_clients_neither_stall_healthz_nor_kill_the_run() {
+    let mut child = sper()
+        .args([
+            "stream",
+            "census",
+            "--scale",
+            "0.3",
+            "--batches",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn sper stream --listen");
+    let addr = wait_for_listen_line(&mut child);
+
+    // Slow loris: open a connection, send a header fragment, then stall.
+    // The connection stays open while we talk to the server on others.
+    let mut loris = TcpStream::connect(&addr).expect("connect loris");
+    loris
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: s")
+        .expect("write loris fragment");
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    // With the loris connection pending, a well-formed client must be
+    // answered promptly — well inside the loris header deadline.
+    let t0 = std::time::Instant::now();
+    let (status, _) = http_get(&addr, "/healthz");
+    assert!(status.contains("200"), "healthz behind a loris: {status}");
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "healthz stalled behind a slow-loris connection: {:?}",
+        t0.elapsed()
+    );
+
+    // A request line that is not `METHOD PATH HTTP/...` is a 400.
+    let mut bad = TcpStream::connect(&addr).expect("connect malformed");
+    bad.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    bad.write_all(b"NOT-AN-HTTP-REQUEST\r\n\r\n")
+        .expect("write malformed request");
+    let mut raw = String::new();
+    bad.read_to_string(&mut raw)
+        .expect("read malformed response");
+    assert!(
+        raw.starts_with("HTTP/1.1 400"),
+        "malformed request line should get 400: {raw:?}"
+    );
+
+    // The loris connection is cut off by the cumulative header deadline
+    // with 408 — unless the run (and with it the server process) ended
+    // first, in which case a bare close is equally acceptable.
+    let mut loris_raw = String::new();
+    let _ = loris.read_to_string(&mut loris_raw);
+    assert!(
+        loris_raw.is_empty() || loris_raw.starts_with("HTTP/1.1 408"),
+        "loris should time out with 408 or be dropped: {loris_raw:?}"
+    );
+
+    let out = child.wait_with_output().expect("wait for child");
+    assert!(
+        out.status.success(),
+        "run failed under hostile clients: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 /// Reads the child's stderr until the `listening on ADDR` banner,
 /// returns the bound address, and hands the rest of the stderr pipe to
 /// a drain thread so the child never blocks on a full pipe.
